@@ -1,0 +1,139 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out beyond
+// the paper's own figures: PCCP versus contiguous partitioning, the
+// θ-bisection depth of the BB-tree bound, the βxy distribution fit used by
+// the approximate solution, and the Theorem-4 closed form versus a
+// brute-force sweep of the cost model.
+package brepartition_test
+
+import (
+	"testing"
+
+	"brepartition/internal/approx"
+	"brepartition/internal/bbtree"
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/dataset"
+	"brepartition/internal/disk"
+	"brepartition/internal/partition"
+)
+
+func ablationData(b *testing.B) (*dataset.Dataset, bregman.Divergence, [][]float64) {
+	b.Helper()
+	spec, err := dataset.PaperSpec("audio", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.MustGenerate(spec)
+	div, err := bregman.ByName(ds.Divergence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, div, dataset.SampleQueries(ds, 8, 5)
+}
+
+func benchSearchWith(b *testing.B, opts core.Options) {
+	b.Helper()
+	ds, div, queries := ablationData(b)
+	if opts.Disk.PageSize == 0 {
+		opts.Disk = disk.Config{PageSize: ds.PageSize}
+	}
+	ix, err := core.Build(div, ds.Points, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(queries[i%len(queries)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// PCCP versus equal/contiguous partitioning at the same M.
+func BenchmarkAblationPCCP(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, Seed: 1})
+}
+
+func BenchmarkAblationNoPCCP(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, DisablePCCP: true, Seed: 1})
+}
+
+// θ-bisection depth: fewer iterations weaken the ball lower bound (more
+// leaves visited) but cost less per node.
+func BenchmarkAblationBisect4(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, Tree: bbtree.Config{BisectIters: 4}, Seed: 1})
+}
+
+func BenchmarkAblationBisect24(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, Tree: bbtree.Config{BisectIters: 24}, Seed: 1})
+}
+
+func BenchmarkAblationBisect48(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, Tree: bbtree.Config{BisectIters: 48}, Seed: 1})
+}
+
+// Leaf capacity C (§5.1 treats n/C as constant; this measures the reality).
+func BenchmarkAblationLeaf16(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, Tree: bbtree.Config{LeafSize: 16}, Seed: 1})
+}
+
+func BenchmarkAblationLeaf256(b *testing.B) {
+	benchSearchWith(b, core.Options{M: 16, Tree: bbtree.Config{LeafSize: 256}, Seed: 1})
+}
+
+// βxy distribution fit used by SearchApprox.
+func benchApproxFit(b *testing.B, kind approx.FitKind) {
+	b.Helper()
+	ds, div, queries := ablationData(b)
+	ix, err := core.Build(div, ds.Points, core.Options{
+		M: 16, Seed: 1,
+		Disk:   disk.Config{PageSize: ds.PageSize},
+		Approx: approx.Config{Fit: kind},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SearchApprox(queries[i%len(queries)], 20, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationApproxEmpirical(b *testing.B) {
+	benchApproxFit(b, approx.FitEmpirical)
+}
+
+func BenchmarkAblationApproxNormalMoments(b *testing.B) {
+	benchApproxFit(b, approx.FitNormalMoments)
+}
+
+func BenchmarkAblationApproxNormalHistogram(b *testing.B) {
+	benchApproxFit(b, approx.FitNormalHistogram)
+}
+
+// Theorem-4 closed form versus exhaustive sweep of the fitted cost model.
+func BenchmarkAblationOptimalMClosedForm(b *testing.B) {
+	ds, div, _ := ablationData(b)
+	model, err := partition.FitCostModel(div, ds.Points, 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.OptimalM(1)
+	}
+}
+
+func BenchmarkAblationOptimalMSweep(b *testing.B) {
+	ds, div, _ := ablationData(b)
+	model, err := partition.FitCostModel(div, ds.Points, 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.SweepOptimal(1)
+	}
+}

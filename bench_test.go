@@ -1,0 +1,209 @@
+// Package-level benchmarks: one testing.B benchmark per table/figure of the
+// paper's evaluation (§9), all delegating to internal/experiments so that
+// `go test -bench=.` regenerates the same rows `cmd/brebench` prints.
+//
+// Benchmarks use a reduced scale/query budget so the full suite completes
+// in minutes; run cmd/brebench with -scale/-queries for bigger sweeps.
+package brepartition_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"brepartition"
+	"brepartition/internal/dataset"
+	"brepartition/internal/experiments"
+)
+
+// benchEnv is shared across benchmarks so dataset/index construction is
+// amortized exactly like one brebench invocation.
+var benchEnv *experiments.Env
+
+func env() *experiments.Env {
+	if benchEnv == nil {
+		cfg := experiments.DefaultConfig()
+		cfg.Scale = 0.25
+		cfg.Queries = 5
+		benchEnv = experiments.NewEnv(cfg)
+	}
+	return benchEnv
+}
+
+// sink prevents the compiler from eliding table construction; set
+// BREPARTITION_BENCH_PRINT=1 to dump the regenerated tables.
+func emit(b *testing.B, tables []experiments.Table) {
+	b.Helper()
+	var w io.Writer = io.Discard
+	if os.Getenv("BREPARTITION_BENCH_PRINT") != "" {
+		w = os.Stdout
+	}
+	for i := range tables {
+		tables[i].Render(w)
+	}
+	if len(tables) == 0 {
+		b.Fatal("experiment produced no tables")
+	}
+}
+
+func BenchmarkTable4OptimalM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Table4())
+	}
+}
+
+func BenchmarkFig7Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig7())
+	}
+}
+
+func BenchmarkFig8PartitionsIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig8())
+	}
+}
+
+func BenchmarkFig9PartitionsTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig9())
+	}
+}
+
+func BenchmarkFig10PCCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig10())
+	}
+}
+
+func BenchmarkFig11IOCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig11())
+	}
+}
+
+func BenchmarkFig12RunningTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig12())
+	}
+}
+
+func BenchmarkFig13Dimensionality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig13())
+	}
+}
+
+func BenchmarkFig14DataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig14())
+	}
+}
+
+func BenchmarkFig15Approximate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig15("normal"))
+	}
+}
+
+func BenchmarkFig15ApproximateUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emit(b, env().Fig15("uniform"))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the core operations (not tied to a specific figure
+// but underpinning the running-time analysis of §5.1).
+// ---------------------------------------------------------------------------
+
+func benchIndex(b *testing.B, m int) (*brepartition.Index, [][]float64) {
+	b.Helper()
+	spec, err := dataset.PaperSpec("audio", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.MustGenerate(spec)
+	div, err := brepartition.DivergenceByName(ds.Divergence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := brepartition.Build(div, ds.Points, &brepartition.Options{M: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, dataset.SampleQueries(ds, 16, 3)
+}
+
+func BenchmarkSearchM8(b *testing.B) {
+	idx, queries := benchIndex(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(queries[i%len(queries)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchM32(b *testing.B) {
+	idx, queries := benchIndex(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Search(queries[i%len(queries)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchApproxP08(b *testing.B) {
+	idx, queries := benchIndex(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchApprox(queries[i%len(queries)], 20, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForce(b *testing.B) {
+	spec, _ := dataset.PaperSpec("audio", 0.1)
+	ds := dataset.MustGenerate(spec)
+	div, _ := brepartition.DivergenceByName(ds.Divergence)
+	queries := dataset.SampleQueries(ds, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brepartition.BruteForce(div, ds.Points, queries[i%len(queries)], 20)
+	}
+}
+
+func BenchmarkDistanceED192(b *testing.B) {
+	div, _ := brepartition.DivergenceByName("ed")
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 192)
+	y := make([]float64, 192)
+	for j := range x {
+		x[j] = -1 - rng.Float64()
+		y[j] = -1 - rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brepartition.Distance(div, x, y)
+	}
+}
+
+func BenchmarkBuildM16(b *testing.B) {
+	spec, _ := dataset.PaperSpec("sift", 0.05)
+	ds := dataset.MustGenerate(spec)
+	div, _ := brepartition.DivergenceByName(ds.Divergence)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := brepartition.Build(div, ds.Points, &brepartition.Options{M: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fmt is referenced so the import stays when emit's debug path is unused.
+var _ = fmt.Sprintf

@@ -1,0 +1,179 @@
+// Package brepartition is the public API of the BrePartition library, a
+// reproduction of "BrePartition: Optimized High-Dimensional kNN Search with
+// Bregman Distances" (Song, Gu, Zhang, Yu — ICDE 2023 / TKDE). It answers
+// exact and probabilistically-guaranteed approximate k-nearest-neighbour
+// queries under Bregman divergences in spaces of hundreds of dimensions
+// using a partition–filter–refinement framework: dimensions are split into
+// subspaces (PCCP), per-subspace Cauchy–Schwarz bounds drive range queries
+// over a disk-resident forest of Bregman Ball trees, and candidates are
+// refined exactly.
+//
+// Quick start:
+//
+//	idx, err := brepartition.Build(brepartition.ItakuraSaito(), points, nil)
+//	if err != nil { ... }
+//	res, err := idx.Search(query, 10)
+//	for _, nb := range res.Items {
+//	    fmt.Println(nb.ID, nb.Score) // dataset row and Bregman distance
+//	}
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// mapping between this library and the paper.
+package brepartition
+
+import (
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/scan"
+)
+
+// Divergence describes a decomposable Bregman divergence. Use the provided
+// constructors (SquaredEuclidean, ItakuraSaito, Exponential, GeneralizedKL,
+// ...) or implement the interface for a custom generator; implementations
+// must keep Phi strictly convex and GradInv the inverse of Grad.
+type Divergence = bregman.Divergence
+
+// Built-in divergences.
+func SquaredEuclidean() Divergence     { return bregman.SquaredEuclidean{} }
+func ItakuraSaito() Divergence         { return bregman.ItakuraSaito{} }
+func Exponential() Divergence          { return bregman.Exponential{} }
+func GeneralizedKL() Divergence        { return bregman.GeneralizedKL{} }
+func ShannonEntropy() Divergence       { return bregman.ShannonEntropy{} }
+func BurgEntropy() Divergence          { return bregman.BurgEntropy{} }
+func Mahalanobis(w float64) Divergence { return bregman.Mahalanobis{W: w} }
+
+// DivergenceByName resolves a registry name ("l2", "isd", "ed", "gkl",
+// "shannon", "burg"); the paper's Table-4 aliases ("ED", "ISD") work too.
+func DivergenceByName(name string) (Divergence, error) { return bregman.ByName(name) }
+
+// Distance computes the Bregman distance D_f(x, y) between two vectors.
+func Distance(div Divergence, x, y []float64) float64 { return bregman.Distance(div, x, y) }
+
+// Options configures index construction. The zero value (or a nil pointer
+// passed to Build) asks for the paper's defaults: M derived by the
+// Theorem-4 cost model, PCCP partitioning, 32 KiB pages.
+type Options = core.Options
+
+// Index is a built BrePartition index over an immutable point set.
+type Index struct {
+	inner *core.Index
+}
+
+// Result carries the answer items and per-query statistics (I/O page
+// reads, candidate count, filter/refine timing).
+type Result = core.Result
+
+// SearchStats is the per-query work breakdown.
+type SearchStats = core.SearchStats
+
+// Neighbor is one (dataset row id, Bregman distance) answer pair.
+type Neighbor struct {
+	ID       int
+	Distance float64
+}
+
+// Build constructs an index over points (each a d-dimensional row inside
+// div's domain). opts may be nil for defaults. Points are referenced, not
+// copied; do not mutate them afterwards.
+func Build(div Divergence, points [][]float64, opts *Options) (*Index, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	inner, err := core.Build(div, points, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Search returns the exact k nearest neighbours of q under D_f(x, q).
+func (ix *Index) Search(q []float64, k int) (Result, error) {
+	return ix.inner.Search(q, k)
+}
+
+// SearchApprox returns k neighbours that are the exact kNN with probability
+// guarantee p ∈ (0,1]; smaller p trades accuracy for speed (§8 of the
+// paper). p = 1 is exact search.
+func (ix *Index) SearchApprox(q []float64, k int, p float64) (Result, error) {
+	return ix.inner.SearchApprox(q, k, p)
+}
+
+// Neighbors converts a Result's items into Neighbor values.
+func Neighbors(res Result) []Neighbor {
+	out := make([]Neighbor, len(res.Items))
+	for i, it := range res.Items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Score}
+	}
+	return out
+}
+
+// M returns the number of dimension partitions the index uses.
+func (ix *Index) M() int { return ix.inner.M() }
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return ix.inner.N() }
+
+// Dim returns the indexed dimensionality.
+func (ix *Index) Dim() int { return ix.inner.Dim() }
+
+// BuildTime reports the precomputation wall time.
+func (ix *Index) BuildTime() interface{ String() string } { return ix.inner.BuildTime }
+
+// RangeSearch returns every point with D_f(x, q) ≤ r, exactly, sorted
+// ascending by distance, together with the query's work statistics.
+func (ix *Index) RangeSearch(q []float64, r float64) ([]Neighbor, SearchStats, error) {
+	items, stats, err := ix.inner.RangeSearch(q, r)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Score}
+	}
+	return out, stats, nil
+}
+
+// SearchParallel is Search with the per-subspace range queries fanned out
+// across workers goroutines (0 picks a sensible default). Results are
+// identical to Search.
+func (ix *Index) SearchParallel(q []float64, k, workers int) (Result, error) {
+	return ix.inner.SearchParallel(q, k, workers)
+}
+
+// Insert adds a point to the index (the paper's §10 future-work item) and
+// returns its new dataset id. Searches stay exact; heavy churn loosens the
+// ball bounds, so rebuild periodically for peak filtering.
+func (ix *Index) Insert(p []float64) (int, error) { return ix.inner.Insert(p) }
+
+// Delete tombstones a point by id, reporting whether it was live. Deleted
+// points never appear in results again.
+func (ix *Index) Delete(id int) bool { return ix.inner.Delete(id) }
+
+// Live returns the number of non-deleted points.
+func (ix *Index) Live() int { return ix.inner.Live() }
+
+// WriteFile persists the built index (partitioning, tuples, BB-forest) so
+// a later process can skip the entire precomputation.
+func (ix *Index) WriteFile(path string) error { return ix.inner.WriteFile(path) }
+
+// ReadIndexFile loads an index persisted with WriteFile. Divergences are
+// resolved from the built-in registry by name.
+func ReadIndexFile(path string) (*Index, error) {
+	inner, err := core.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// BruteForce computes the exact kNN by linear scan — the ground truth used
+// in tests and for small datasets where an index does not pay off.
+func BruteForce(div Divergence, points [][]float64, q []float64, k int) []Neighbor {
+	items := scan.KNN(div, points, q, k)
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Score}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package brepartition_test
+
+import (
+	"math"
+	"testing"
+
+	"brepartition"
+	"brepartition/internal/dataset"
+)
+
+func buildAPIIndex(t *testing.T) (*brepartition.Index, *dataset.Dataset) {
+	t.Helper()
+	spec, err := dataset.PaperSpec("audio", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.N = 500
+	spec.Dim = 32
+	ds := dataset.MustGenerate(spec)
+	div, err := brepartition.DivergenceByName(ds.Divergence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := brepartition.Build(div, ds.Points, &brepartition.Options{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, ds
+}
+
+func TestPublicAPISearchMatchesBruteForce(t *testing.T) {
+	idx, ds := buildAPIIndex(t)
+	div, _ := brepartition.DivergenceByName(ds.Divergence)
+	for _, q := range dataset.SampleQueries(ds, 5, 9) {
+		res, err := idx.Search(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brepartition.BruteForce(div, ds.Points, q, 8)
+		got := brepartition.Neighbors(res)
+		if len(got) != len(want) {
+			t.Fatalf("got %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Distance-want[i].Distance) > 1e-9*(1+want[i].Distance) {
+				t.Fatalf("pos %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	spec, _ := dataset.PaperSpec("sift", 0.01)
+	spec.N = 400
+	spec.Dim = 24
+	ds := dataset.MustGenerate(spec)
+	div, _ := brepartition.DivergenceByName("ed")
+	idx, err := brepartition.Build(div, ds.Points, nil) // nil options: all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.M() < 1 || idx.M() > idx.Dim() {
+		t.Fatalf("derived M=%d", idx.M())
+	}
+	if idx.N() != 400 || idx.Dim() != 24 {
+		t.Fatal("shape accessors wrong")
+	}
+	if idx.BuildTime().String() == "" {
+		t.Fatal("build time missing")
+	}
+}
+
+func TestPublicAPIApprox(t *testing.T) {
+	idx, ds := buildAPIIndex(t)
+	q := ds.Points[3]
+	res, err := idx.SearchApprox(q, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) == 0 {
+		t.Fatal("no results")
+	}
+	if _, err := idx.SearchApprox(q, 5, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := idx.SearchApprox(q, 5, 1.2); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestPublicAPIDivergences(t *testing.T) {
+	divs := []brepartition.Divergence{
+		brepartition.SquaredEuclidean(),
+		brepartition.ItakuraSaito(),
+		brepartition.Exponential(),
+		brepartition.GeneralizedKL(),
+		brepartition.ShannonEntropy(),
+		brepartition.BurgEntropy(),
+		brepartition.Mahalanobis(2),
+	}
+	for _, d := range divs {
+		if d.Name() == "" {
+			t.Fatal("divergence without a name")
+		}
+	}
+	if got := brepartition.Distance(brepartition.SquaredEuclidean(),
+		[]float64{0, 0}, []float64{3, 4}); got != 25 {
+		t.Fatalf("Distance = %g", got)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	idx, _ := buildAPIIndex(t)
+	if _, err := idx.Search([]float64{1, 2}, 5); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := idx.Search(make([]float64, idx.Dim()), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	div := brepartition.ItakuraSaito()
+	if _, err := brepartition.Build(div, [][]float64{{1, -1}}, nil); err == nil {
+		t.Fatal("out-of-domain point accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Command brebench regenerates the tables and figures of the BrePartition
+// paper's evaluation (§9) on the synthetic stand-in workloads.
+//
+// Usage:
+//
+//	brebench [flags] <experiment> [<experiment> ...]
+//	brebench all
+//
+// Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
+// fig14, fig15, fig15-uniform.
+//
+// Flags:
+//
+//	-scale f    multiply dataset cardinalities (default 1)
+//	-queries n  queries per measurement (default 10; paper uses 50)
+//	-seed n     RNG seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"brepartition/internal/experiments"
+)
+
+var order = []string{
+	"table4", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
+}
+
+func main() {
+	scale := flag.Float64("scale", 1, "dataset cardinality multiplier")
+	queries := flag.Int("queries", 10, "queries per measurement")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Queries = *queries
+	cfg.Seed = *seed
+	env := experiments.NewEnv(cfg)
+
+	var wanted []string
+	for _, a := range args {
+		if a == "all" {
+			wanted = order
+			break
+		}
+		wanted = append(wanted, strings.ToLower(a))
+	}
+
+	for _, name := range wanted {
+		tables, err := run(env, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brebench:", err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			tables[i].Render(os.Stdout)
+		}
+	}
+}
+
+func run(env *experiments.Env, name string) ([]experiments.Table, error) {
+	switch name {
+	case "table4":
+		return env.Table4(), nil
+	case "fig7":
+		return env.Fig7(), nil
+	case "fig8":
+		return env.Fig8(), nil
+	case "fig9":
+		return env.Fig9(), nil
+	case "fig10":
+		return env.Fig10(), nil
+	case "fig11":
+		return env.Fig11(), nil
+	case "fig12":
+		return env.Fig12(), nil
+	case "fig13":
+		return env.Fig13(), nil
+	case "fig14":
+		return env.Fig14(), nil
+	case "fig15":
+		return env.Fig15("normal"), nil
+	case "fig15-uniform":
+		return env.Fig15("uniform"), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
+			name, strings.Join(order, ", "))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `brebench regenerates the BrePartition paper's evaluation.
+
+usage: brebench [flags] <experiment> [<experiment> ...]
+
+experiments: %s, all
+
+flags:
+`, strings.Join(order, ", "))
+	flag.PrintDefaults()
+}

@@ -1,0 +1,84 @@
+// Command bregen generates the synthetic datasets of the evaluation and
+// writes them (plus a query workload) to binary files readable by breknn
+// and the library's dataset package.
+//
+// Usage:
+//
+//	bregen -name sift -scale 1 -out sift.bin
+//	bregen -custom -n 10000 -d 128 -div ed -clusters 16 -out my.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"brepartition/internal/dataset"
+)
+
+func main() {
+	name := flag.String("name", "", "paper dataset: audio|fonts|deep|sift|normal|uniform")
+	scale := flag.Float64("scale", 1, "cardinality multiplier for paper datasets")
+	out := flag.String("out", "", "output file (required)")
+	queriesOut := flag.String("queries-out", "", "optional query workload output file")
+	queries := flag.Int("queries", 50, "queries to sample for -queries-out")
+	seed := flag.Int64("seed", 1, "RNG seed")
+
+	custom := flag.Bool("custom", false, "generate a custom dataset instead of a paper one")
+	n := flag.Int("n", 10000, "custom: cardinality")
+	d := flag.Int("d", 128, "custom: dimensionality")
+	div := flag.String("div", "ed", "custom: divergence registry name")
+	clusters := flag.Int("clusters", 16, "custom: mixture components")
+	corr := flag.Float64("corr", 0.6, "custom: correlation strength [0,1]")
+	positive := flag.Bool("positive", false, "custom: map into a positive range (for isd/gkl)")
+	pageSize := flag.Int("page", 32<<10, "custom: page size in bytes")
+	flag.Parse()
+
+	if *out == "" {
+		fail("missing -out")
+	}
+
+	var spec dataset.Spec
+	if *custom {
+		spec = dataset.Spec{
+			Name: "custom", N: *n, Dim: *d, Divergence: *div,
+			PageSize: *pageSize, Clusters: *clusters, Correlation: *corr,
+			Positive: *positive, PosLo: 0.2, PosHi: 50, Seed: *seed,
+		}
+	} else {
+		if *name == "" {
+			fail("need -name or -custom")
+		}
+		var err error
+		spec, err = dataset.PaperSpec(*name, *scale)
+		if err != nil {
+			fail(err.Error())
+		}
+		spec.Seed = *seed
+	}
+
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		fail(err.Error())
+	}
+	if err := ds.WriteFile(*out); err != nil {
+		fail(err.Error())
+	}
+	fmt.Printf("wrote %s: n=%d d=%d divergence=%s page=%dB\n",
+		*out, ds.N(), ds.Dim(), ds.Divergence, ds.PageSize)
+
+	if *queriesOut != "" {
+		qs := dataset.SampleQueries(ds, *queries, *seed+7)
+		qds := &dataset.Dataset{Name: ds.Name + "-queries", Points: qs,
+			Divergence: ds.Divergence, PageSize: ds.PageSize}
+		if err := qds.WriteFile(*queriesOut); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("wrote %s: %d queries\n", *queriesOut, len(qs))
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "bregen:", msg)
+	os.Exit(1)
+}

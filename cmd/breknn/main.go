@@ -1,0 +1,93 @@
+// Command breknn builds a BrePartition index over a dataset file produced
+// by bregen and answers kNN queries from a query file (or from sampled
+// dataset rows), printing neighbour ids, distances and per-query I/O.
+//
+// Usage:
+//
+//	breknn -data sift.bin -k 10
+//	breknn -data sift.bin -queries queries.bin -k 20 -p 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"brepartition"
+	"brepartition/internal/dataset"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "dataset file from bregen (required)")
+	queryPath := flag.String("queries", "", "query file (defaults to 5 sampled rows)")
+	k := flag.Int("k", 10, "neighbours to return")
+	p := flag.Float64("p", 1, "probability guarantee; <1 uses approximate search")
+	m := flag.Int("m", 0, "partitions (0 = derive via Theorem 4)")
+	verbose := flag.Bool("v", false, "print every neighbour, not just the first three")
+	flag.Parse()
+
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "breknn: missing -data")
+		os.Exit(2)
+	}
+	ds, err := dataset.ReadFile(*dataPath)
+	if err != nil {
+		fail(err)
+	}
+	div, err := brepartition.DivergenceByName(ds.Divergence)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("building index over %s: n=%d d=%d divergence=%s\n",
+		ds.Name, ds.N(), ds.Dim(), div.Name())
+	start := time.Now()
+	idx, err := brepartition.Build(div, ds.Points, &brepartition.Options{M: *m})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("built in %s with M=%d partitions\n", time.Since(start).Round(time.Millisecond), idx.M())
+
+	var queries [][]float64
+	if *queryPath != "" {
+		qds, err := dataset.ReadFile(*queryPath)
+		if err != nil {
+			fail(err)
+		}
+		queries = qds.Points
+	} else {
+		queries = dataset.SampleQueries(ds, 5, 99)
+	}
+
+	for qi, q := range queries {
+		var res brepartition.Result
+		if *p > 0 && *p < 1 {
+			res, err = idx.SearchApprox(q, *k, *p)
+		} else {
+			res, err = idx.Search(q, *k)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("query %d: %d candidates, %d page reads, filter %s, refine %s\n",
+			qi, res.Stats.Candidates, res.Stats.PageReads,
+			res.Stats.FilterTime.Round(time.Microsecond),
+			res.Stats.RefineTime.Round(time.Microsecond))
+		limit := 3
+		if *verbose || limit > len(res.Items) {
+			limit = len(res.Items)
+		}
+		for i := 0; i < limit; i++ {
+			fmt.Printf("  #%d id=%d distance=%g\n", i+1, res.Items[i].ID, res.Items[i].Score)
+		}
+		if !*verbose && len(res.Items) > limit {
+			fmt.Printf("  ... %d more\n", len(res.Items)-limit)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "breknn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package brepartition_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandsEndToEnd builds the CLI tools and pipes a dataset from
+// bregen through breknn, the workflow README documents. Skipped with
+// -short (it shells out to the Go toolchain).
+func TestCommandsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI end-to-end test")
+	}
+	dir := t.TempDir()
+	bregen := filepath.Join(dir, "bregen")
+	breknn := filepath.Join(dir, "breknn")
+
+	for _, b := range []struct{ out, pkg string }{
+		{bregen, "./cmd/bregen"},
+		{breknn, "./cmd/breknn"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	data := filepath.Join(dir, "ds.bin")
+	queries := filepath.Join(dir, "qs.bin")
+	gen := exec.Command(bregen,
+		"-custom", "-n", "400", "-d", "24", "-div", "ed",
+		"-clusters", "4", "-out", data, "-queries-out", queries, "-queries", "3")
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("bregen: %v\n%s", err, out)
+	}
+
+	knn := exec.Command(breknn, "-data", data, "-queries", queries, "-k", "5", "-m", "4")
+	out, err := knn.CombinedOutput()
+	if err != nil {
+		t.Fatalf("breknn: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"building index", "M=4", "query 0", "distance="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("breknn output missing %q:\n%s", want, text)
+		}
+	}
+}

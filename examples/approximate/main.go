@@ -1,0 +1,126 @@
+// Approximate search: the §8 extension. Sweeps the probability guarantee p
+// and reports the accuracy/efficiency trade-off — overall ratio (§9.8's
+// metric), recall, I/O and time — against exact search on a standard-normal
+// dataset like the paper's "Normal".
+//
+// Run with:
+//
+//	go run ./examples/approximate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"brepartition"
+)
+
+const (
+	n   = 5000
+	dim = 200
+	k   = 20
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(9))
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		points[i] = p
+	}
+
+	// M is pinned to the paper's Table-4 value for its Normal dataset;
+	// the approximate radii tighten per subspace, so the forest needs
+	// genuinely low-dimensional subspaces to prune.
+	idx, err := brepartition.Build(brepartition.Exponential(), points,
+		&brepartition.Options{M: 25, LeafSize: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d x %d standard-normal points, M=%d\n", n, dim, idx.M())
+
+	queries := make([][]float64, 10)
+	for i := range queries {
+		src := points[rng.Intn(n)]
+		queries[i] = append([]float64(nil), src...)
+	}
+
+	exactRes := make([]brepartition.Result, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		exactRes[i], err = idx.Search(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	exactTime := time.Since(start) / time.Duration(len(queries))
+
+	var exactIO int
+	for _, r := range exactRes {
+		exactIO += r.Stats.PageReads
+	}
+	fmt.Printf("\n%-8s %-8s %-8s %-10s %-10s %s\n",
+		"p", "OR", "recall", "meanIO", "meanTime", "c")
+	fmt.Printf("%-8s %-8.4f %-8.2f %-10.1f %-10s %.3f\n",
+		"exact", 1.0, 1.0, float64(exactIO)/float64(len(queries)),
+		exactTime.Round(time.Microsecond), 1.0)
+
+	for _, p := range []float64{0.95, 0.9, 0.8, 0.7, 0.5} {
+		var io, orSum, recallSum, cSum float64
+		start := time.Now()
+		for i, q := range queries {
+			res, err := idx.SearchApprox(q, k, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			io += float64(res.Stats.PageReads)
+			cSum += res.Stats.ApproxC
+			orSum += overallRatio(res, exactRes[i])
+			recallSum += recall(res, exactRes[i])
+		}
+		elapsed := time.Since(start) / time.Duration(len(queries))
+		q := float64(len(queries))
+		fmt.Printf("%-8.2f %-8.4f %-8.2f %-10.1f %-10s %.3f\n",
+			p, orSum/q, recallSum/q, io/q, elapsed.Round(time.Microsecond), cSum/q)
+	}
+	fmt.Println("\nsmaller p → tighter radii (smaller c) → less I/O, lower accuracy.")
+}
+
+func overallRatio(appr, exact brepartition.Result) float64 {
+	kk := len(exact.Items)
+	if len(appr.Items) < kk {
+		kk = len(appr.Items)
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < kk; i++ {
+		if exact.Items[i].Score <= 0 {
+			continue
+		}
+		sum += appr.Items[i].Score / exact.Items[i].Score
+		cnt++
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(cnt)
+}
+
+func recall(appr, exact brepartition.Result) float64 {
+	want := map[int]bool{}
+	for _, it := range exact.Items {
+		want[it.ID] = true
+	}
+	hit := 0
+	for _, it := range appr.Items {
+		if want[it.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact.Items))
+}

@@ -1,0 +1,79 @@
+// Speech frames: log-energy spectral envelopes (predominantly negative
+// coordinates, as real log-domain audio features are) indexed under the
+// exponential distance, demonstrating the effect of the number of
+// partitions M on query cost — the paper's §5.1 trade-off.
+//
+// Run with:
+//
+//	go run ./examples/speech
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"brepartition"
+)
+
+const (
+	frames = 3000
+	dim    = 128
+	k      = 8
+)
+
+// frame simulates a log-energy spectral envelope: a smooth formant curve
+// per speaker plus jitter, all negative (log of energies < 1).
+func frame(rng *rand.Rand, speaker int) []float64 {
+	f := make([]float64, dim)
+	formant := 0.3 + 0.05*float64(speaker%16)
+	for j := range f {
+		f[j] = -1.0 - formant*float64(j%13)/13.0 - 0.1*rng.Float64()
+	}
+	return f
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]float64, frames)
+	for i := range data {
+		data[i] = frame(rng, rng.Intn(16))
+	}
+	query := data[99]
+
+	fmt.Println("M        build      query      candidates  pageReads")
+	var exact []brepartition.Neighbor
+	for _, m := range []int{1, 4, 16, 32, 64} {
+		idx, err := brepartition.Build(brepartition.Exponential(), data,
+			&brepartition.Options{M: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := idx.Search(query, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-8d %-10s %-10s %-11d %d\n",
+			m, idx.BuildTime(), elapsed.Round(time.Microsecond),
+			res.Stats.Candidates, res.Stats.PageReads)
+
+		nbs := brepartition.Neighbors(res)
+		if exact == nil {
+			exact = nbs
+			continue
+		}
+		// Every M must return the same exact answer.
+		for i := range exact {
+			if nbs[i].ID != exact[i].ID {
+				log.Fatalf("M=%d changed the exact result at rank %d", m, i)
+			}
+		}
+	}
+	fmt.Println("\nall partition counts returned identical exact results:")
+	for rank, nb := range exact {
+		fmt.Printf("  #%d frame=%d D=%.6f\n", rank+1, nb.ID, nb.Distance)
+	}
+}

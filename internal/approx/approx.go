@@ -1,0 +1,137 @@
+// Package approx implements the paper's approximate extension (§8): the
+// exact per-subspace searching radii are tightened by a coefficient
+// c ∈ (0,1] derived from the distribution of βxy so that, with probability
+// guarantee p, the tightened candidate set still contains the exact kNN.
+//
+// Proposition 1: with Ψ the CDF of βxy,
+//
+//	c = Ψ⁻¹( p·Ψ(µ) + (1−p)·Ψ(−κ) ) / µ,
+//
+// where κ + µ is the exact full-space bound split into its Cauchy-invariant
+// part κ and relaxed part µ = √(Σx²·Σφ′(y)²). The tightening is applied to
+// the Cauchy (√γδ) term of every subspace's radius, which is exactly the
+// term the relaxation created.
+package approx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/stats"
+	"brepartition/internal/transform"
+)
+
+// FitKind selects how the βxy distribution Ψ is modelled.
+type FitKind int
+
+const (
+	// FitEmpirical uses the empirical CDF of the sampled βxy values.
+	FitEmpirical FitKind = iota
+	// FitNormalMoments fits a Gaussian by moments.
+	FitNormalMoments
+	// FitNormalHistogram fits a Gaussian to a histogram by least squares,
+	// the paper's footnote-1 recipe.
+	FitNormalHistogram
+)
+
+// Config tunes the per-query distribution fit.
+type Config struct {
+	Fit FitKind
+	// Samples bounds how many data points are sampled for βxy. Default 400.
+	Samples int
+	// HistogramBins is used by FitNormalHistogram. Default 32.
+	HistogramBins int
+	Seed          int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		c.Samples = 400
+	}
+	if c.HistogramBins <= 0 {
+		c.HistogramBins = 32
+	}
+	return c
+}
+
+// ErrGuarantee reports an invalid probability guarantee.
+var ErrGuarantee = errors.New("approx: probability guarantee must be in (0,1]")
+
+// FitBetaXY samples βxy(x, y) = −Σ xⱼφ′(yⱼ) over data points x for the
+// query y and returns the fitted distribution Ψ.
+func FitBetaXY(div bregman.Divergence, points [][]float64, y []float64, cfg Config) (stats.Dist, error) {
+	cfg = cfg.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return nil, stats.ErrEmpty
+	}
+	m := cfg.Samples
+	if m > n {
+		m = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	samples := make([]float64, m)
+	if m == n {
+		for i, p := range points {
+			samples[i] = transform.BetaXY(div, p, y)
+		}
+	} else {
+		for i := range samples {
+			samples[i] = transform.BetaXY(div, points[rng.Intn(n)], y)
+		}
+	}
+	switch cfg.Fit {
+	case FitNormalMoments:
+		d, err := stats.FitNormalMoments(samples)
+		return d, err
+	case FitNormalHistogram:
+		d, err := stats.FitNormalHistogramLS(samples, cfg.HistogramBins)
+		return d, err
+	default:
+		return stats.NewEmpirical(samples)
+	}
+}
+
+// Coefficient evaluates Proposition 1. µ must be positive; κ is the
+// Cauchy-invariant bound part. The result is clamped to (0, 1]: c ≥ 1 means
+// the tightening would be vacuous and exact search should be used.
+func Coefficient(dist stats.Dist, p, kappa, mu float64) (float64, error) {
+	if !(p > 0 && p <= 1) {
+		return 0, ErrGuarantee
+	}
+	if mu <= 0 || math.IsNaN(mu) {
+		return 1, nil
+	}
+	target := p*dist.CDF(mu) + (1-p)*dist.CDF(-kappa)
+	c := dist.Quantile(target) / mu
+	if math.IsNaN(c) || c >= 1 {
+		return 1, nil
+	}
+	// βxy may be negative-heavy; a non-positive quantile would erase the
+	// Cauchy term entirely, which still yields a valid (if aggressive)
+	// radius, but c must stay positive for the probability semantics.
+	if c <= 0 {
+		c = 1e-6
+	}
+	return c, nil
+}
+
+// ScaledRadii recomputes the per-subspace radii of the selected bound point
+// with the Cauchy term tightened by c:
+//
+//	radiusᵢ = αx + αy + βyy + c·√(γx·δy),
+//
+// floored at 0 (a Bregman range radius is never negative).
+func ScaledRadii(tuples []transform.PointTuple, q []transform.QueryTriple, c float64) []float64 {
+	out := make([]float64, len(q))
+	for i := range q {
+		r := tuples[i].Alpha + q[i].Alpha + q[i].BetaYY + c*math.Sqrt(tuples[i].Gamma*q[i].Delta)
+		if r < 0 {
+			r = 0
+		}
+		out[i] = r
+	}
+	return out
+}

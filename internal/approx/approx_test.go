@@ -1,0 +1,159 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/partition"
+	"brepartition/internal/stats"
+	"brepartition/internal/transform"
+)
+
+func negPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = -1 - 0.4*rng.Float64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestFitBetaXYKinds(t *testing.T) {
+	div := bregman.Exponential{}
+	points := negPoints(500, 16, 1)
+	y := points[0]
+	for _, kind := range []FitKind{FitEmpirical, FitNormalMoments, FitNormalHistogram} {
+		dist, err := FitBetaXY(div, points, y, Config{Fit: kind, Seed: 2})
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		// CDF must be monotone over a probe grid.
+		prev := -1.0
+		for _, x := range []float64{-100, -10, 0, 10, 100} {
+			c := dist.CDF(x)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				t.Fatalf("kind %d: CDF not a CDF at %g", kind, x)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestFitBetaXYEmpty(t *testing.T) {
+	div := bregman.Exponential{}
+	if _, err := FitBetaXY(div, nil, []float64{1}, Config{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestCoefficientBounds(t *testing.T) {
+	// Against a known normal Ψ, c must be in (0,1] and increase with p.
+	dist := stats.Normal{Mu: 0, Sigma: 1}
+	prev := 0.0
+	for _, p := range []float64{0.5, 0.7, 0.9, 0.99} {
+		c, err := Coefficient(dist, p, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= 0 || c > 1 {
+			t.Fatalf("p=%g: c=%g outside (0,1]", p, c)
+		}
+		if c < prev {
+			t.Fatalf("c not monotone in p: %g after %g", c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCoefficientP1IsExact(t *testing.T) {
+	dist := stats.Normal{Mu: 0, Sigma: 1}
+	c, err := Coefficient(dist, 1, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=1 requires the full mass below µ, so c → Ψ⁻¹(Ψ(µ))/µ = 1.
+	if math.Abs(c-1) > 1e-9 {
+		t.Fatalf("p=1: c = %g, want 1", c)
+	}
+}
+
+func TestCoefficientInvalidP(t *testing.T) {
+	dist := stats.Normal{Mu: 0, Sigma: 1}
+	for _, p := range []float64{0, -0.5, 1.5} {
+		if _, err := Coefficient(dist, p, 1, 1); err == nil {
+			t.Fatalf("p=%g accepted", p)
+		}
+	}
+}
+
+func TestCoefficientDegenerateMu(t *testing.T) {
+	dist := stats.Normal{Mu: 0, Sigma: 1}
+	c, err := Coefficient(dist, 0.8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Fatalf("µ=0 should force c=1, got %g", c)
+	}
+}
+
+func TestCoefficientSemantics(t *testing.T) {
+	// With an empirical Ψ, the fraction of βxy samples below c·µ should be
+	// at least p·Ψ(µ) + (1−p)·Ψ(−κ) — the Proposition-1 construction.
+	div := bregman.Exponential{}
+	points := negPoints(2000, 12, 3)
+	y := points[1]
+	dist, err := FitBetaXY(div, points, y, Config{Fit: FitEmpirical, Samples: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kappa, mu := transform.KappaMu(div, points[2], y)
+	p := 0.8
+	c, err := Coefficient(dist, p, kappa, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := p*dist.CDF(mu) + (1-p)*dist.CDF(-kappa)
+	if got := dist.CDF(c * mu); got < target-0.02 {
+		t.Fatalf("CDF(cµ) = %g < target %g", got, target)
+	}
+}
+
+func TestScaledRadii(t *testing.T) {
+	div := bregman.Exponential{}
+	points := negPoints(50, 8, 5)
+	parts := partition.Equal(8, 2)
+	x, y := points[0], points[1]
+	tuples := transform.PTransform(div, x, parts)
+	triples := transform.QTransform(div, y, parts)
+
+	full := ScaledRadii(tuples, triples, 1)
+	for i := range full {
+		want := transform.UBCompute(tuples[i], triples[i])
+		if math.Abs(full[i]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("c=1 radius %g != UB %g", full[i], want)
+		}
+	}
+	tight := ScaledRadii(tuples, triples, 0.5)
+	for i := range tight {
+		if tight[i] > full[i]+1e-12 {
+			t.Fatalf("c=0.5 radius %g exceeds exact %g", tight[i], full[i])
+		}
+		if tight[i] < 0 {
+			t.Fatal("negative radius")
+		}
+	}
+	// Monotone in c.
+	mid := ScaledRadii(tuples, triples, 0.8)
+	for i := range mid {
+		if mid[i] < tight[i]-1e-12 || mid[i] > full[i]+1e-12 {
+			t.Fatal("radii not monotone in c")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"brepartition/internal/bbtree"
+	"brepartition/internal/bregman"
+	"brepartition/internal/dataset"
+	"brepartition/internal/disk"
+	"brepartition/internal/scan"
+	"brepartition/internal/topk"
+)
+
+func testData(tb testing.TB, n int) ([][]float64, bregman.Divergence) {
+	tb.Helper()
+	spec, err := dataset.PaperSpec("sift", 0.01)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec.N = n
+	spec.Dim = 32
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	div, err := bregman.ByName(ds.Divergence)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds.Points, div
+}
+
+func buildBase(tb testing.TB, points [][]float64, div bregman.Divergence) *BBT {
+	tb.Helper()
+	b, err := BuildBBT(div, points, bbtree.Config{LeafSize: 16, Seed: 1},
+		disk.Config{PageSize: 2 << 10})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+func TestBBTExactness(t *testing.T) {
+	points, div := testData(t, 600)
+	b := buildBase(t, points, div)
+	for _, qid := range []int{0, 17, 101, 350} {
+		q := points[qid]
+		got, st := b.Search(q, 10)
+		want := scan.KNN(div, points, q, 10)
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+				t.Fatalf("q%d pos %d: %g vs %g", qid, i, got[i].Score, want[i].Score)
+			}
+		}
+		if st.PageReads <= 0 {
+			t.Fatal("no I/O accounted")
+		}
+		if st.LeavesVisited <= 0 || st.NodesVisited < st.LeavesVisited {
+			t.Fatalf("stats inconsistent: %+v", st)
+		}
+	}
+}
+
+func TestBBTRejectsEmpty(t *testing.T) {
+	_, div := testData(t, 100)
+	if _, err := BuildBBT(div, nil, bbtree.Config{}, disk.Config{PageSize: 1024}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestVarBudgetAndQuality(t *testing.T) {
+	points, div := testData(t, 800)
+	base := buildBase(t, points, div)
+	v, err := BuildVar(base, points, VarConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.LeafBudget() < 1 || v.LeafBudget() > base.Tree.NumLeaves() {
+		t.Fatalf("budget %d outside [1,%d]", v.LeafBudget(), base.Tree.NumLeaves())
+	}
+	var exactIO, varIO int
+	var orSum float64
+	for _, qid := range []int{3, 33, 303} {
+		q := points[qid]
+		exact, est := base.Search(q, 10)
+		approxRes, vst := v.Search(q, 10)
+		exactIO += est.PageReads
+		varIO += vst.PageReads
+		or := OverallRatio(approxRes, exact)
+		if math.IsNaN(or) || or < 1-1e-9 {
+			t.Fatalf("overall ratio %g < 1", or)
+		}
+		orSum += or
+	}
+	if varIO > exactIO {
+		t.Fatalf("Var I/O %d exceeds exact %d", varIO, exactIO)
+	}
+	if avg := orSum / 3; avg > 5 {
+		t.Fatalf("Var quality too poor: OR=%g", avg)
+	}
+}
+
+func TestVarTooSmall(t *testing.T) {
+	points, div := testData(t, 100)
+	base := buildBase(t, points, div)
+	if _, err := BuildVar(base, points[:1], VarConfig{}); err == nil {
+		t.Fatal("n=1 accepted for Var calibration")
+	}
+}
+
+func TestOverallRatioExactIsOne(t *testing.T) {
+	items := []topk.Item{{ID: 0, Score: 1}, {ID: 1, Score: 2}, {ID: 2, Score: 3}}
+	if or := OverallRatio(items, items); math.Abs(or-1) > 1e-12 {
+		t.Fatalf("OR of identical lists = %g", or)
+	}
+}
+
+func TestOverallRatioWorse(t *testing.T) {
+	exact := []topk.Item{{ID: 0, Score: 1}, {ID: 1, Score: 2}}
+	approx := []topk.Item{{ID: 5, Score: 2}, {ID: 6, Score: 4}}
+	if or := OverallRatio(approx, exact); math.Abs(or-2) > 1e-12 {
+		t.Fatalf("OR = %g, want 2", or)
+	}
+}
+
+func TestOverallRatioZeroDistances(t *testing.T) {
+	exact := []topk.Item{{ID: 0, Score: 0}, {ID: 1, Score: 2}}
+	approx := []topk.Item{{ID: 0, Score: 0}, {ID: 1, Score: 2}}
+	if or := OverallRatio(approx, exact); math.Abs(or-1) > 1e-12 {
+		t.Fatalf("OR with zero exact distance = %g", or)
+	}
+}
+
+func TestOverallRatioEmpty(t *testing.T) {
+	if !math.IsNaN(OverallRatio(nil, nil)) {
+		t.Fatal("empty inputs should be NaN")
+	}
+}
+
+func TestOverallRatioShortReturned(t *testing.T) {
+	exact := []topk.Item{{ID: 0, Score: 1}, {ID: 1, Score: 2}, {ID: 2, Score: 3}}
+	approx := []topk.Item{{ID: 0, Score: 1}}
+	if or := OverallRatio(approx, exact); math.Abs(or-1) > 1e-12 {
+		t.Fatalf("OR = %g", or)
+	}
+}

@@ -1,0 +1,618 @@
+// Package bbtree implements Bregman Ball trees: Cayton's hierarchical
+// 2-means space decomposition (ICML 2008) with exact k-nearest-neighbour
+// search, and the range-query algorithm of Cayton's NIPS 2009 paper that
+// BrePartition performs inside every subspace (§6 of the paper).
+//
+// A node covers the Bregman ball B(µ, R) = {x : D_f(x, µ) ≤ R}. Pruning
+// bounds for a query y come from projecting y onto the ball along the
+// dual-space geodesic x(θ) = (∇f)⁻¹((1−θ)·∇f(y) + θ·∇f(µ)): the Lagrangian
+// weak-duality value
+//
+//	L(θ) = D_f(x(θ), y) + θ/(1−θ)·(D_f(x(θ), µ) − R)
+//
+// lower-bounds min{D_f(x,y) : x ∈ B(µ,R)} for every θ ∈ (0,1), so a
+// finite bisection yields a *provably safe* bound and search stays exact.
+package bbtree
+
+import (
+	"math"
+	"math/rand"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/topk"
+)
+
+// Config tunes tree construction and bound computation.
+type Config struct {
+	// LeafSize is the cluster capacity C; nodes with ≤ LeafSize points
+	// become leaves. Defaults to 64.
+	LeafSize int
+	// MaxDepth bounds recursion (degenerate data guard). Defaults to 48.
+	MaxDepth int
+	// KMeansIters bounds Lloyd iterations per split. Defaults to 8.
+	KMeansIters int
+	// BisectIters bounds the θ bisection. Defaults to 24.
+	BisectIters int
+	// Seed drives k-means initialization.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafSize <= 0 {
+		c.LeafSize = 64
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 48
+	}
+	if c.KMeansIters <= 0 {
+		c.KMeansIters = 8
+	}
+	if c.BisectIters <= 0 {
+		c.BisectIters = 24
+	}
+	return c
+}
+
+// Node is one ball of the hierarchy. Leaves carry the ids of their points.
+type Node struct {
+	Center []float64
+	Radius float64
+	Left   int // index into Tree.Nodes, -1 for leaf
+	Right  int
+	IDs    []int // leaf only
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left < 0 }
+
+// Tree is a Bregman Ball tree over a subspace of a point set.
+type Tree struct {
+	Div  bregman.Divergence
+	Dims []int // original dimension indices; nil means identity
+	// Nodes[0] is the root (when the tree is non-empty).
+	Nodes []Node
+
+	cfg Config
+	pts [][]float64 // subspace coordinates, indexed by dataset id
+}
+
+// Stats aggregates work counters for one query.
+type Stats struct {
+	NodesVisited  int
+	LeavesVisited int
+	DistanceComps int
+	BoundComps    int
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.NodesVisited += other.NodesVisited
+	s.LeavesVisited += other.LeavesVisited
+	s.DistanceComps += other.DistanceComps
+	s.BoundComps += other.BoundComps
+}
+
+// Gather copies the subspace coordinates of p selected by dims into a new
+// slice; nil dims returns a copy of p.
+func Gather(p []float64, dims []int) []float64 {
+	if dims == nil {
+		out := make([]float64, len(p))
+		copy(out, p)
+		return out
+	}
+	out := make([]float64, len(dims))
+	for i, j := range dims {
+		out[i] = p[j]
+	}
+	return out
+}
+
+// gatherInto writes the subspace view of p into dst and returns it.
+func gatherInto(dst, p []float64, dims []int) []float64 {
+	if dims == nil {
+		copy(dst, p)
+		return dst
+	}
+	for i, j := range dims {
+		dst[i] = p[j]
+	}
+	return dst
+}
+
+// Build constructs the tree over points (full-dimensional dataset rows),
+// restricted to the subspace dims (nil for all dimensions). The points are
+// gathered once into subspace coordinates owned by the tree.
+func Build(div bregman.Divergence, points [][]float64, dims []int, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	n := len(points)
+	t := &Tree{Div: div, Dims: dims, cfg: cfg}
+	t.pts = make([][]float64, n)
+	for i, p := range points {
+		t.pts[i] = Gather(p, dims)
+	}
+	if n == 0 {
+		return t
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t.build(ids, 0, rng)
+	return t
+}
+
+// Rehydrate reconstructs a tree from persisted nodes: the node topology is
+// taken as-is and the subspace coordinates are re-gathered from points.
+// It is the inverse of walking Tree.Nodes during serialization.
+func Rehydrate(div bregman.Divergence, points [][]float64, dims []int, nodes []Node) *Tree {
+	t := &Tree{Div: div, Dims: dims, Nodes: nodes, cfg: Config{}.withDefaults()}
+	t.pts = make([][]float64, len(points))
+	for i, p := range points {
+		t.pts[i] = Gather(p, dims)
+	}
+	return t
+}
+
+// SubDim returns the subspace dimensionality.
+func (t *Tree) SubDim() int {
+	if len(t.pts) == 0 {
+		return 0
+	}
+	return len(t.pts[0])
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Root returns the root node index, or -1 for an empty tree.
+func (t *Tree) Root() int {
+	if len(t.Nodes) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// NumLeaves counts leaf nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			c++
+		}
+	}
+	return c
+}
+
+// SubPoint returns the tree-local (subspace) coordinates of dataset id.
+func (t *Tree) SubPoint(id int) []float64 { return t.pts[id] }
+
+// build recursively constructs the subtree over ids and returns its node
+// index.
+func (t *Tree) build(ids []int, depth int, rng *rand.Rand) int {
+	center := t.centroid(ids)
+	radius := 0.0
+	for _, id := range ids {
+		if d := bregman.Distance(t.Div, t.pts[id], center); d > radius {
+			radius = d
+		}
+	}
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Center: center, Radius: radius, Left: -1, Right: -1})
+
+	if len(ids) <= t.cfg.LeafSize || depth >= t.cfg.MaxDepth {
+		own := make([]int, len(ids))
+		copy(own, ids)
+		t.Nodes[idx].IDs = own
+		return idx
+	}
+	left, right, ok := t.split(ids, rng)
+	if !ok {
+		own := make([]int, len(ids))
+		copy(own, ids)
+		t.Nodes[idx].IDs = own
+		return idx
+	}
+	l := t.build(left, depth+1, rng)
+	r := t.build(right, depth+1, rng)
+	t.Nodes[idx].Left = l
+	t.Nodes[idx].Right = r
+	return idx
+}
+
+// centroid returns the arithmetic mean of the ids' points — the exact
+// minimizer of Σ D_f(x, µ) over µ for any Bregman divergence (Banerjee et
+// al. 2005), which is what makes Bregman k-means well-defined.
+func (t *Tree) centroid(ids []int) []float64 {
+	d := t.SubDim()
+	c := make([]float64, d)
+	for _, id := range ids {
+		p := t.pts[id]
+		for j := range c {
+			c[j] += p[j]
+		}
+	}
+	inv := 1 / float64(len(ids))
+	for j := range c {
+		c[j] *= inv
+	}
+	return c
+}
+
+// split runs 2-means with Bregman assignment. ok is false when the data is
+// degenerate (all points identical), in which case the caller keeps a leaf.
+func (t *Tree) split(ids []int, rng *rand.Rand) (left, right []int, ok bool) {
+	// Seed centers with two distinct points.
+	c0 := t.pts[ids[rng.Intn(len(ids))]]
+	var c1 []float64
+	for attempts := 0; attempts < 16; attempts++ {
+		cand := t.pts[ids[rng.Intn(len(ids))]]
+		if !equalVec(cand, c0) {
+			c1 = cand
+			break
+		}
+	}
+	if c1 == nil {
+		// Fall back to the farthest point from c0.
+		far, farD := -1, -1.0
+		for _, id := range ids {
+			if d := bregman.Distance(t.Div, t.pts[id], c0); d > farD {
+				farD, far = d, id
+			}
+		}
+		if farD <= 0 {
+			return nil, nil, false
+		}
+		c1 = t.pts[far]
+	}
+	ctr0 := append([]float64(nil), c0...)
+	ctr1 := append([]float64(nil), c1...)
+
+	assign := make([]byte, len(ids))
+	for iter := 0; iter < t.cfg.KMeansIters; iter++ {
+		changed := false
+		n0, n1 := 0, 0
+		for i, id := range ids {
+			d0 := bregman.Distance(t.Div, t.pts[id], ctr0)
+			d1 := bregman.Distance(t.Div, t.pts[id], ctr1)
+			a := byte(0)
+			if d1 < d0 {
+				a = 1
+			}
+			if assign[i] != a {
+				assign[i] = a
+				changed = true
+			}
+			if a == 0 {
+				n0++
+			} else {
+				n1++
+			}
+		}
+		if n0 == 0 || n1 == 0 {
+			// Rebalance: move the point farthest from the occupied
+			// center into the empty side.
+			full := ctr0
+			if n0 == 0 {
+				full = ctr1
+			}
+			far, farD := -1, -1.0
+			for i, id := range ids {
+				if d := bregman.Distance(t.Div, t.pts[id], full); d > farD {
+					farD, far = d, i
+				}
+			}
+			if farD <= 0 {
+				return nil, nil, false
+			}
+			if n0 == 0 {
+				assign[far] = 0
+			} else {
+				assign[far] = 1
+			}
+			changed = true
+		}
+		// Recompute centers as means.
+		d := t.SubDim()
+		sum0 := make([]float64, d)
+		sum1 := make([]float64, d)
+		n0, n1 = 0, 0
+		for i, id := range ids {
+			p := t.pts[id]
+			if assign[i] == 0 {
+				for j := range sum0 {
+					sum0[j] += p[j]
+				}
+				n0++
+			} else {
+				for j := range sum1 {
+					sum1[j] += p[j]
+				}
+				n1++
+			}
+		}
+		if n0 == 0 || n1 == 0 {
+			return nil, nil, false
+		}
+		for j := range sum0 {
+			sum0[j] /= float64(n0)
+			sum1[j] /= float64(n1)
+		}
+		ctr0, ctr1 = sum0, sum1
+		if !changed {
+			break
+		}
+	}
+	for i, id := range ids {
+		if assign[i] == 0 {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil, false
+	}
+	return left, right, true
+}
+
+func equalVec(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Bounds: dual-geodesic projection (the "secant method" of §5.1/[35]).
+// ---------------------------------------------------------------------------
+
+// projector holds per-query scratch space for bound computations.
+type projector struct {
+	t        *Tree
+	q        []float64 // query in subspace coordinates
+	gq       []float64 // ∇f(q)
+	gmix, xt []float64
+}
+
+func (t *Tree) newProjector(qFull []float64) *projector {
+	d := t.SubDim()
+	p := &projector{
+		t:    t,
+		q:    make([]float64, d),
+		gq:   make([]float64, d),
+		gmix: make([]float64, d),
+		xt:   make([]float64, d),
+	}
+	gatherInto(p.q, qFull, t.Dims)
+	bregman.GradVec(t.Div, p.gq, p.q)
+	return p
+}
+
+// lowerBound returns a provable lower bound on min{D_f(x, q) : x ∈ ball of
+// node}. It never overestimates: when the geometry or arithmetic is
+// uncertain it returns 0 (no pruning).
+func (p *projector) lowerBound(node *Node) float64 {
+	div := p.t.Div
+	dq := bregman.Distance(div, p.q, node.Center)
+	if dq <= node.Radius {
+		return 0 // query inside the ball
+	}
+	gm := p.gmix[:len(p.q)]
+	xt := p.xt[:len(p.q)]
+	gmu := make([]float64, len(p.q))
+	bregman.GradVec(div, gmu, node.Center)
+
+	best := 0.0
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < p.t.cfg.BisectIters; iter++ {
+		theta := (lo + hi) / 2
+		for j := range gm {
+			gm[j] = (1-theta)*p.gq[j] + theta*gmu[j]
+		}
+		bregman.GradInvVec(div, xt, gm)
+		if !finiteVec(xt) {
+			return best
+		}
+		dMu := bregman.Distance(div, xt, node.Center)
+		dQ := bregman.Distance(div, xt, p.q)
+		// Weak-duality lower bound, valid for every θ in (0,1).
+		lb := dQ + theta/(1-theta)*(dMu-node.Radius)
+		if !math.IsNaN(lb) && lb > best {
+			best = lb
+		}
+		if dMu > node.Radius {
+			lo = theta // still outside: move toward the center
+		} else {
+			hi = theta
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Exact kNN (Cayton 2008 style best-first search).
+// ---------------------------------------------------------------------------
+
+// KNN returns the k nearest neighbours of q under D_f(x, q), exactly, as
+// (id, distance) pairs sorted ascending. q is given in full-dimensional
+// coordinates; the tree's subspace view is applied internally.
+func (t *Tree) KNN(q []float64, k int) ([]topk.Item, Stats) {
+	return t.KNNVisit(q, k, nil)
+}
+
+// KNNVisit is KNN with a hook invoked on every leaf whose points are
+// evaluated, letting callers charge disk I/O per visited cluster.
+func (t *Tree) KNNVisit(q []float64, k int, onLeaf func(*Node)) ([]topk.Item, Stats) {
+	var st Stats
+	if len(t.Nodes) == 0 || k <= 0 {
+		return nil, st
+	}
+	proj := t.newProjector(q)
+	sel := topk.New(k)
+	var pq topk.MinQueue
+	pq.Push(0, 0)
+	for pq.Len() > 0 {
+		it, _ := pq.Pop()
+		if thr, ok := sel.Threshold(); ok && it.Score > thr {
+			continue
+		}
+		node := &t.Nodes[it.ID]
+		st.NodesVisited++
+		if node.IsLeaf() {
+			st.LeavesVisited++
+			if onLeaf != nil {
+				onLeaf(node)
+			}
+			for _, id := range node.IDs {
+				d := bregman.Distance(t.Div, t.pts[id], proj.q)
+				st.DistanceComps++
+				sel.Offer(id, d)
+			}
+			continue
+		}
+		for _, child := range []int{node.Left, node.Right} {
+			cn := &t.Nodes[child]
+			lb := proj.lowerBound(cn)
+			st.BoundComps++
+			if thr, ok := sel.Threshold(); !ok || lb <= thr {
+				pq.Push(child, lb)
+			}
+		}
+	}
+	return sel.Items(), st
+}
+
+// KNNBudget is the approximate best-first variant used by the simulated
+// "Var" baseline (Coviello et al., ICML 2013): identical traversal, but
+// after the selector is full it stops once maxLeaves leaves have been
+// examined, trading exactness for fewer node expansions.
+func (t *Tree) KNNBudget(q []float64, k, maxLeaves int, onLeaf func(*Node)) ([]topk.Item, Stats) {
+	var st Stats
+	if len(t.Nodes) == 0 || k <= 0 {
+		return nil, st
+	}
+	proj := t.newProjector(q)
+	sel := topk.New(k)
+	var pq topk.MinQueue
+	pq.Push(0, 0)
+	for pq.Len() > 0 {
+		if maxLeaves > 0 && st.LeavesVisited >= maxLeaves && sel.Full() {
+			break
+		}
+		it, _ := pq.Pop()
+		if thr, ok := sel.Threshold(); ok && it.Score > thr {
+			continue
+		}
+		node := &t.Nodes[it.ID]
+		st.NodesVisited++
+		if node.IsLeaf() {
+			st.LeavesVisited++
+			if onLeaf != nil {
+				onLeaf(node)
+			}
+			for _, id := range node.IDs {
+				d := bregman.Distance(t.Div, t.pts[id], proj.q)
+				st.DistanceComps++
+				sel.Offer(id, d)
+			}
+			continue
+		}
+		for _, child := range []int{node.Left, node.Right} {
+			cn := &t.Nodes[child]
+			lb := proj.lowerBound(cn)
+			st.BoundComps++
+			if thr, ok := sel.Threshold(); !ok || lb <= thr {
+				pq.Push(child, lb)
+			}
+		}
+	}
+	return sel.Items(), st
+}
+
+// ---------------------------------------------------------------------------
+// Range query (Cayton 2009): all leaves whose ball may intersect the range.
+// ---------------------------------------------------------------------------
+
+// RangeLeaves invokes visit for every leaf whose Bregman ball possibly
+// contains a point x with D_f(x, q) ≤ r. Following the paper's I/O model,
+// whole leaf clusters are treated as candidates; the caller refines.
+func (t *Tree) RangeLeaves(q []float64, r float64, visit func(node *Node)) Stats {
+	var st Stats
+	if len(t.Nodes) == 0 {
+		return st
+	}
+	proj := t.newProjector(q)
+	var walk func(idx int)
+	walk = func(idx int) {
+		node := &t.Nodes[idx]
+		st.NodesVisited++
+		lb := proj.lowerBound(node)
+		st.BoundComps++
+		if lb > r {
+			return
+		}
+		if node.IsLeaf() {
+			st.LeavesVisited++
+			visit(node)
+			return
+		}
+		walk(node.Left)
+		walk(node.Right)
+	}
+	walk(0)
+	return st
+}
+
+// RangeQuery returns the ids of all points with D_f(x, q) ≤ r, verified
+// exactly, plus traversal stats. It is the reference implementation used by
+// tests; BrePartition's filter step uses RangeLeaves and defers
+// verification to the refinement phase.
+func (t *Tree) RangeQuery(q []float64, r float64) ([]int, Stats) {
+	var out []int
+	qSub := Gather(q, t.Dims)
+	st := t.RangeLeaves(q, r, func(node *Node) {
+		for _, id := range node.IDs {
+			if bregman.Distance(t.Div, t.pts[id], qSub) <= r {
+				out = append(out, id)
+			}
+		}
+	})
+	st.DistanceComps += len(out)
+	return out, st
+}
+
+// LeafOrder returns dataset ids in left-to-right leaf order — the layout
+// the BB-forest writes to disk (§6: data organized by the reference tree's
+// leaves).
+func (t *Tree) LeafOrder() []int {
+	out := make([]int, 0, len(t.pts))
+	var walk func(idx int)
+	walk = func(idx int) {
+		n := &t.Nodes[idx]
+		if n.IsLeaf() {
+			out = append(out, n.IDs...)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	if len(t.Nodes) > 0 {
+		walk(0)
+	}
+	return out
+}

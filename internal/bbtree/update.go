@@ -1,0 +1,85 @@
+package bbtree
+
+import "brepartition/internal/bregman"
+
+// Insert adds the point with dataset id (full-dimensional coordinates p)
+// to the tree: it descends to the closer child at every split and appends
+// to the reached leaf, widening every ball on the path so the covering
+// invariant (every subtree point inside its node's ball) is preserved.
+// The tree is not rebalanced; radii only grow, so all pruning bounds stay
+// sound (they may merely become looser until a rebuild).
+func (t *Tree) Insert(id int, p []float64) {
+	sub := Gather(p, t.Dims)
+	for len(t.pts) <= id {
+		t.pts = append(t.pts, nil)
+	}
+	t.pts[id] = sub
+
+	if len(t.Nodes) == 0 {
+		t.Nodes = append(t.Nodes, Node{
+			Center: append([]float64(nil), sub...),
+			Radius: 0, Left: -1, Right: -1, IDs: []int{id},
+		})
+		return
+	}
+	idx := 0
+	for {
+		node := &t.Nodes[idx]
+		if d := bregman.Distance(t.Div, sub, node.Center); d > node.Radius {
+			node.Radius = d
+		}
+		if node.IsLeaf() {
+			node.IDs = append(node.IDs, id)
+			return
+		}
+		dl := bregman.Distance(t.Div, sub, t.Nodes[node.Left].Center)
+		dr := bregman.Distance(t.Div, sub, t.Nodes[node.Right].Center)
+		if dl <= dr {
+			idx = node.Left
+		} else {
+			idx = node.Right
+		}
+	}
+}
+
+// Delete removes the point with dataset id from its leaf and reports
+// whether it was present. Ball radii are left unchanged — they remain
+// valid (if loose) upper bounds — so no bound ever becomes unsound.
+func (t *Tree) Delete(id int) bool {
+	if id < 0 || id >= len(t.pts) || t.pts[id] == nil {
+		return false
+	}
+	sub := t.pts[id]
+	// Descend like a lookup, but the point may be in either child when
+	// radii have grown; walk all subtrees whose ball can contain it.
+	var found bool
+	var walk func(idx int)
+	walk = func(idx int) {
+		if found || idx < 0 {
+			return
+		}
+		node := &t.Nodes[idx]
+		if bregman.Distance(t.Div, sub, node.Center) > node.Radius {
+			return
+		}
+		if node.IsLeaf() {
+			for i, got := range node.IDs {
+				if got == id {
+					node.IDs = append(node.IDs[:i], node.IDs[i+1:]...)
+					found = true
+					return
+				}
+			}
+			return
+		}
+		walk(node.Left)
+		walk(node.Right)
+	}
+	if len(t.Nodes) > 0 {
+		walk(0)
+	}
+	if found {
+		t.pts[id] = nil
+	}
+	return found
+}

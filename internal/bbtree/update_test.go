@@ -1,0 +1,125 @@
+package bbtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/scan"
+)
+
+func TestInsertPreservesCoveringInvariant(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := clusteredPoints(div, 300, 5, 41)
+	tree := Build(div, pts, nil, Config{LeafSize: 16, Seed: 42})
+
+	rng := rand.New(rand.NewSource(43))
+	all := append([][]float64(nil), pts...)
+	for i := 0; i < 60; i++ {
+		p := make([]float64, 5)
+		for j := range p {
+			p[j] = 3 * rng.NormFloat64()
+		}
+		tree.Insert(len(all), p)
+		all = append(all, p)
+	}
+
+	// Covering invariant: every point of every subtree inside its ball.
+	var walk func(idx int) []int
+	walk = func(idx int) []int {
+		node := &tree.Nodes[idx]
+		var ids []int
+		if node.IsLeaf() {
+			ids = node.IDs
+		} else {
+			ids = append(ids, walk(node.Left)...)
+			ids = append(ids, walk(node.Right)...)
+		}
+		for _, id := range ids {
+			if d := bregman.Distance(div, tree.SubPoint(id), node.Center); d > node.Radius+1e-9 {
+				t.Fatalf("point %d escaped its ball after insert", id)
+			}
+		}
+		return ids
+	}
+	if got := len(walk(0)); got != 360 {
+		t.Fatalf("tree covers %d points, want 360", got)
+	}
+
+	// kNN stays exact over the grown set.
+	q := all[320]
+	got, _ := tree.KNN(q, 8)
+	want := scan.KNN(div, all, q, 8)
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+			t.Fatalf("post-insert kNN wrong at %d", i)
+		}
+	}
+}
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	tree := Build(div, nil, nil, Config{})
+	tree.Insert(0, []float64{1, 2})
+	tree.Insert(1, []float64{3, 4})
+	got, _ := tree.KNN([]float64{1, 2}, 2)
+	if len(got) != 2 || got[0].ID != 0 {
+		t.Fatalf("empty-tree insert broken: %v", got)
+	}
+}
+
+func TestDeleteRemovesAndReportsCorrectly(t *testing.T) {
+	div := bregman.ItakuraSaito{}
+	pts := clusteredPoints(div, 200, 4, 44)
+	tree := Build(div, pts, nil, Config{LeafSize: 12, Seed: 45})
+
+	if !tree.Delete(50) {
+		t.Fatal("delete of live point failed")
+	}
+	if tree.Delete(50) {
+		t.Fatal("double delete reported success")
+	}
+	if tree.Delete(-1) || tree.Delete(9999) {
+		t.Fatal("out-of-range delete reported success")
+	}
+
+	got, _ := tree.KNN(pts[50], 5)
+	for _, it := range got {
+		if it.ID == 50 {
+			t.Fatal("deleted id still returned")
+		}
+	}
+	// Exactness over the survivors.
+	rest := make([][]float64, 0, 199)
+	ids := make([]int, 0, 199)
+	for i, p := range pts {
+		if i != 50 {
+			rest = append(rest, p)
+			ids = append(ids, i)
+		}
+	}
+	want := scan.KNN(div, rest, pts[50], 5)
+	for i := range want {
+		if got[i].ID != ids[want[i].ID] {
+			t.Fatalf("post-delete kNN wrong at %d", i)
+		}
+	}
+}
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	div := bregman.Exponential{}
+	pts := clusteredPoints(div, 150, 4, 46)
+	tree := Build(div, pts, nil, Config{LeafSize: 10, Seed: 47})
+	p := []float64{0.5, 0.5, 0.5, 0.5}
+	tree.Insert(150, p)
+	if got, _ := tree.KNN(p, 1); got[0].ID != 150 {
+		t.Fatal("inserted point not found")
+	}
+	if !tree.Delete(150) {
+		t.Fatal("delete failed")
+	}
+	if got, _ := tree.KNN(p, 1); len(got) > 0 && got[0].ID == 150 {
+		t.Fatal("deleted point resurfaced")
+	}
+}

@@ -1,0 +1,257 @@
+package bregman
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// domainSample draws a coordinate strictly inside div's domain.
+func domainSample(div Divergence, rng *rand.Rand) float64 {
+	lo, _ := div.Domain()
+	if math.IsInf(lo, -1) {
+		return 4 * (rng.Float64() - 0.5) // (-2, 2)
+	}
+	return lo + 0.1 + 4*rng.Float64() // positive domain
+}
+
+func domainVec(div Divergence, d int, rng *rand.Rand) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = domainSample(div, rng)
+	}
+	return v
+}
+
+func TestDistanceNonNegativeAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, div := range All() {
+		for trial := 0; trial < 200; trial++ {
+			x := domainVec(div, 8, rng)
+			y := domainVec(div, 8, rng)
+			d := Distance(div, x, y)
+			if d < 0 || math.IsNaN(d) {
+				t.Fatalf("%s: Distance = %g for x=%v y=%v", div.Name(), d, x, y)
+			}
+			if self := Distance(div, x, x); self > 1e-9 {
+				t.Fatalf("%s: Distance(x,x) = %g, want ~0", div.Name(), self)
+			}
+		}
+	}
+}
+
+func TestDistanceAsymmetry(t *testing.T) {
+	// Bregman divergences are generally asymmetric; IS distance must be.
+	div := ItakuraSaito{}
+	x := []float64{1, 2, 3}
+	y := []float64{3, 1, 2}
+	if Distance(div, x, y) == Distance(div, y, x) {
+		t.Fatal("IS distance unexpectedly symmetric on asymmetric input")
+	}
+}
+
+func TestSquaredEuclideanClosedForm(t *testing.T) {
+	div := SquaredEuclidean{}
+	x := []float64{1, -2, 0.5}
+	y := []float64{0, 1, 2}
+	want := 1.0 + 9 + 2.25
+	if got := Distance(div, x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L2² = %g, want %g", got, want)
+	}
+}
+
+func TestItakuraSaitoClosedForm(t *testing.T) {
+	div := ItakuraSaito{}
+	x := []float64{2}
+	y := []float64{1}
+	want := 2.0 - math.Log(2) - 1
+	if got := Distance(div, x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ISD = %g, want %g", got, want)
+	}
+}
+
+func TestExponentialClosedForm(t *testing.T) {
+	div := Exponential{}
+	x := []float64{1}
+	y := []float64{0}
+	// e^x − (x−y+1)e^y = e − 2.
+	want := math.E - 2
+	if got := Distance(div, x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ED = %g, want %g", got, want)
+	}
+}
+
+func TestGeneralizedKLClosedForm(t *testing.T) {
+	div := GeneralizedKL{}
+	x := []float64{2}
+	y := []float64{1}
+	want := 2*math.Log(2) - 2 + 1
+	if got := Distance(div, x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GKL = %g, want %g", got, want)
+	}
+}
+
+func TestBurgEquivalentToIS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		x := domainVec(BurgEntropy{}, 6, rng)
+		y := domainVec(BurgEntropy{}, 6, rng)
+		a := Distance(BurgEntropy{}, x, y)
+		b := Distance(ItakuraSaito{}, x, y)
+		if math.Abs(a-b) > 1e-9*(1+b) {
+			t.Fatalf("Burg %g != IS %g (linear terms must cancel)", a, b)
+		}
+	}
+}
+
+func TestShannonEquivalentToGKL(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		x := domainVec(ShannonEntropy{}, 6, rng)
+		y := domainVec(ShannonEntropy{}, 6, rng)
+		a := Distance(ShannonEntropy{}, x, y)
+		b := Distance(GeneralizedKL{}, x, y)
+		if math.Abs(a-b) > 1e-9*(1+b) {
+			t.Fatalf("Shannon %g != GKL %g", a, b)
+		}
+	}
+}
+
+func TestGradInvIsInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, div := range All() {
+		for trial := 0; trial < 300; trial++ {
+			x := domainSample(div, rng)
+			back := div.GradInv(div.Grad(x))
+			if math.Abs(back-x) > 1e-9*(1+math.Abs(x)) {
+				t.Fatalf("%s: GradInv(Grad(%g)) = %g", div.Name(), x, back)
+			}
+		}
+	}
+}
+
+func TestPhiConvexityProperty(t *testing.T) {
+	// φ((a+b)/2) ≤ (φ(a)+φ(b))/2 for all generators on their domain.
+	rng := rand.New(rand.NewSource(5))
+	for _, div := range All() {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			_ = rng
+			a := domainSample(div, r)
+			b := domainSample(div, r)
+			mid := div.Phi((a + b) / 2)
+			avg := (div.Phi(a) + div.Phi(b)) / 2
+			return mid <= avg+1e-12*(1+math.Abs(avg))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: convexity violated: %v", div.Name(), err)
+		}
+	}
+}
+
+func TestGradMatchesNumericalDerivative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, div := range All() {
+		for trial := 0; trial < 100; trial++ {
+			x := domainSample(div, rng)
+			h := 1e-6 * (1 + math.Abs(x))
+			num := (div.Phi(x+h) - div.Phi(x-h)) / (2 * h)
+			if math.Abs(num-div.Grad(x)) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s: Grad(%g)=%g, numeric %g", div.Name(), x, div.Grad(x), num)
+			}
+		}
+	}
+}
+
+func TestDistanceTermMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, div := range All() {
+		x := domainVec(div, 10, rng)
+		y := domainVec(div, 10, rng)
+		var sum float64
+		for j := range x {
+			sum += DistanceTerm(div, x[j], y[j])
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		if d := Distance(div, x, y); math.Abs(d-sum) > 1e-9*(1+math.Abs(sum)) {
+			t.Fatalf("%s: Distance %g != Σterms %g", div.Name(), d, sum)
+		}
+	}
+}
+
+func TestDomainChecks(t *testing.T) {
+	if InDomain(ItakuraSaito{}, []float64{1, -1}) {
+		t.Fatal("negative coordinate should be outside IS domain")
+	}
+	if !InDomain(ItakuraSaito{}, []float64{1, 2}) {
+		t.Fatal("positive coordinates should be inside IS domain")
+	}
+	if InDomain(SquaredEuclidean{}, []float64{math.NaN()}) {
+		t.Fatal("NaN should never be in domain")
+	}
+	err := CheckDomain(GeneralizedKL{}, []float64{1, 0})
+	if !errors.Is(err, ErrDomain) {
+		t.Fatalf("CheckDomain error = %v, want ErrDomain", err)
+	}
+	if err := CheckDomain(Exponential{}, []float64{-100, 100}); err != nil {
+		t.Fatalf("exp domain is all of R: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"l2", "is", "ISD", "ed", "ED", "gkl", "shannon", "burg"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestDistancePanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Distance(SquaredEuclidean{}, []float64{1}, []float64{1, 2})
+}
+
+func TestMahalanobisWeight(t *testing.T) {
+	m := Mahalanobis{W: 2}
+	// D(x,y) = 2(x−y)² per dim.
+	if got := Distance(m, []float64{3}, []float64{1}); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Mahalanobis = %g, want 8", got)
+	}
+}
+
+func TestLpNormGenerator(t *testing.T) {
+	l := LpNorm{P: 3}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		x := domainVec(l, 4, rng)
+		y := domainVec(l, 4, rng)
+		if d := Distance(l, x, y); d < 0 || math.IsNaN(d) {
+			t.Fatalf("Lp distance = %g", d)
+		}
+	}
+}
+
+func TestGradVecGradInvVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, div := range All() {
+		y := domainVec(div, 12, rng)
+		g := GradVec(div, nil, y)
+		back := GradInvVec(div, nil, g)
+		for j := range y {
+			if math.Abs(back[j]-y[j]) > 1e-8*(1+math.Abs(y[j])) {
+				t.Fatalf("%s: round trip %v -> %v", div.Name(), y[j], back[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package core assembles the paper's primary contribution: the BrePartition
+// partition–filter–refinement index (Algorithms 5 and 6).
+//
+// Precomputation (Algorithm 5): derive the optimized number of partitions M
+// (Theorem 4), partition dimensions with PCCP, transform every point into
+// per-subspace tuples P(x) = (αx, γx), and build the disk-resident
+// BB-forest.
+//
+// Search (Algorithm 6): transform the query into per-subspace triples
+// Q(y) = (αy, βyy, δy), select the k-th smallest summed upper bound and its
+// per-subspace components as range radii (Algorithm 4), run range queries
+// over the BB-forest, and refine the candidate union exactly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"brepartition/internal/approx"
+	"brepartition/internal/bbforest"
+	"brepartition/internal/bbtree"
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/partition"
+	"brepartition/internal/scan"
+	"brepartition/internal/topk"
+	"brepartition/internal/transform"
+)
+
+// Options configures index construction.
+type Options struct {
+	// M forces the number of partitions; 0 derives it via Theorem 4.
+	M int
+	// OptimizerK is the k the cost model is optimized for; the paper fixes
+	// 1 offline (§5.1). Default 1.
+	OptimizerK int
+	// DisablePCCP falls back to the equal/contiguous partitioning, the
+	// ablation measured in Fig. 10.
+	DisablePCCP bool
+	// LeafSize sets the BB-tree cluster capacity (0 = 64). It is the
+	// public-API knob; Tree.LeafSize overrides it when set.
+	LeafSize int
+	// PageSize sets the simulated disk page size in bytes (0 = 32 KiB).
+	// Disk.PageSize overrides it when set.
+	PageSize int
+	// Tree and Disk configure the BB-forest in full detail.
+	Tree bbtree.Config
+	Disk disk.Config
+	// CostSamples bounds the cost-model fitting sample (paper: 50).
+	CostSamples int
+	// PCCPSample bounds the correlation-matrix sample size.
+	PCCPSample int
+	// Approx configures the βxy distribution fit for SearchApprox.
+	Approx approx.Config
+	Seed   int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.OptimizerK <= 0 {
+		o.OptimizerK = 1
+	}
+	if o.CostSamples <= 0 {
+		o.CostSamples = 50
+	}
+	if o.Tree.LeafSize <= 0 && o.LeafSize > 0 {
+		o.Tree.LeafSize = o.LeafSize
+	}
+	if o.Disk.PageSize <= 0 {
+		if o.PageSize > 0 {
+			o.Disk.PageSize = o.PageSize
+		} else {
+			o.Disk = disk.DefaultConfig()
+		}
+	}
+	return o
+}
+
+// Index is a built BrePartition index.
+type Index struct {
+	Div    bregman.Divergence
+	Points [][]float64
+	Parts  [][]int
+	Forest *bbforest.Forest
+	// Tuples[i][s] is P(pointᵢ) in subspace s.
+	Tuples [][]transform.PointTuple
+	// Model is the fitted cost model when M was derived (zero otherwise).
+	Model partition.CostModel
+	// BuildTime records the precomputation wall time (Fig. 7's metric).
+	BuildTime time.Duration
+
+	opts Options
+	// deleted marks tombstoned points (nil until the first Delete).
+	deleted []bool
+}
+
+// SearchStats reports the work of one query, the quantities plotted in the
+// paper's figures.
+type SearchStats struct {
+	// PageReads is the per-query distinct-page I/O cost.
+	PageReads int
+	// Candidates is the size of the candidate union C.
+	Candidates int
+	// BoundTotal is the k-th smallest summed upper bound.
+	BoundTotal float64
+	// ApproxC is the Proposition-1 coefficient (1 for exact search).
+	ApproxC       float64
+	NodesVisited  int
+	LeavesVisited int
+	DistanceComps int
+	// FilterTime and RefineTime split the query wall time.
+	FilterTime time.Duration
+	RefineTime time.Duration
+}
+
+// Result is a query answer.
+type Result struct {
+	// Items are (dataset id, exact Bregman distance) ascending.
+	Items []topk.Item
+	Stats SearchStats
+}
+
+// Errors.
+var (
+	ErrEmpty = errors.New("core: empty dataset")
+	ErrDim   = errors.New("core: query dimensionality mismatch")
+	ErrK     = errors.New("core: k must be positive")
+)
+
+// Build runs Algorithm 5.
+func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if len(points) == 0 {
+		return nil, ErrEmpty
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		if err := bregman.CheckDomain(div, p); err != nil {
+			return nil, fmt.Errorf("core: point %d: %w", i, err)
+		}
+	}
+
+	ix := &Index{Div: div, Points: points, opts: opts}
+
+	// Step 1 (Line 2): number of partitions.
+	m := opts.M
+	if m <= 0 {
+		model, err := partition.FitCostModel(div, points, opts.CostSamples, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: deriving M: %w", err)
+		}
+		ix.Model = model
+		m = model.OptimalM(opts.OptimizerK)
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > d {
+		m = d
+	}
+
+	// Step 2 (Line 3): dimensionality partitioning.
+	if opts.DisablePCCP {
+		ix.Parts = partition.Equal(d, m)
+	} else {
+		ix.Parts = partition.PCCP(points, m, opts.PCCPSample, opts.Seed)
+	}
+
+	// Step 3 (Lines 4–7): offline tuple transform.
+	ix.Tuples = make([][]transform.PointTuple, len(points))
+	for i, p := range points {
+		ix.Tuples[i] = transform.PTransform(div, p, ix.Parts)
+	}
+
+	// Step 4 (Line 8): BB-forest.
+	fcfg := bbforest.Config{Tree: opts.Tree, Disk: opts.Disk}
+	fcfg.Tree.Seed = opts.Seed
+	forest, err := bbforest.Build(div, points, ix.Parts, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	ix.Forest = forest
+	ix.BuildTime = time.Since(start)
+	return ix, nil
+}
+
+// M returns the number of partitions in use.
+func (ix *Index) M() int { return len(ix.Parts) }
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return len(ix.Points) }
+
+// Dim returns the data dimensionality.
+func (ix *Index) Dim() int { return len(ix.Points[0]) }
+
+// Search runs Algorithm 6 and returns the exact kNN of q.
+func (ix *Index) Search(q []float64, k int) (Result, error) {
+	return ix.search(q, k, 0)
+}
+
+// SearchApprox runs the §8 extension: exact radii are tightened by the
+// Proposition-1 coefficient for probability guarantee p ∈ (0,1]; p = 1
+// degenerates to exact search.
+func (ix *Index) SearchApprox(q []float64, k int, p float64) (Result, error) {
+	if !(p > 0 && p <= 1) {
+		return Result{}, approx.ErrGuarantee
+	}
+	return ix.search(q, k, p)
+}
+
+func (ix *Index) search(q []float64, k int, p float64) (Result, error) {
+	if k <= 0 {
+		return Result{}, ErrK
+	}
+	if len(q) != ix.Dim() {
+		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.Dim())
+	}
+	if err := bregman.CheckDomain(ix.Div, q); err != nil {
+		return Result{}, err
+	}
+
+	filterStart := time.Now()
+	// Lines 2–4: query transform and searching bounds.
+	triples := transform.QTransform(ix.Div, q, ix.Parts)
+	bounds := transform.QBDetermine(ix.Tuples, triples, k)
+
+	radii := bounds.Radii
+	c := 1.0
+	if p > 0 && p < 1 {
+		// §8: tighten the Cauchy term of the selected point's radii.
+		dist, err := approx.FitBetaXY(ix.Div, ix.Points, q, ix.opts.Approx)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: fitting βxy: %w", err)
+		}
+		kappa, mu := transform.KappaMu(ix.Div, ix.Points[bounds.PointID], q)
+		c, err = approx.Coefficient(dist, p, kappa, mu)
+		if err != nil {
+			return Result{}, err
+		}
+		if c < 1 {
+			radii = approx.ScaledRadii(ix.Tuples[bounds.PointID], triples, c)
+		}
+	}
+
+	// Lines 5–7: range queries over the BB-forest.
+	sess := ix.Forest.Store.NewSession()
+	cands, ts := ix.Forest.CandidateUnion(q, radii, sess)
+	filterTime := time.Since(filterStart)
+
+	// Line 8: refinement.
+	refineStart := time.Now()
+	items := scan.Refine(ix.Div, sess, cands, q, k)
+	refineTime := time.Since(refineStart)
+
+	return Result{
+		Items: items,
+		Stats: SearchStats{
+			PageReads:     sess.PageReads(),
+			Candidates:    len(cands),
+			BoundTotal:    bounds.Total,
+			ApproxC:       c,
+			NodesVisited:  ts.NodesVisited,
+			LeavesVisited: ts.LeavesVisited,
+			DistanceComps: ts.DistanceComps + len(cands),
+			FilterTime:    filterTime,
+			RefineTime:    refineTime,
+		},
+	}, nil
+}
+
+// Bounds exposes Algorithm 4's output for a query (diagnostics and tests).
+func (ix *Index) Bounds(q []float64, k int) (transform.Bounds, error) {
+	if len(q) != ix.Dim() {
+		return transform.Bounds{}, ErrDim
+	}
+	triples := transform.QTransform(ix.Div, q, ix.Parts)
+	return transform.QBDetermine(ix.Tuples, triples, k), nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"brepartition/internal/bbtree"
+	"brepartition/internal/bregman"
+	"brepartition/internal/dataset"
+	"brepartition/internal/disk"
+	"brepartition/internal/scan"
+)
+
+func smallOptions(m int) Options {
+	return Options{
+		M:    m,
+		Tree: bbtree.Config{LeafSize: 16, Seed: 7},
+		Disk: disk.Config{PageSize: 4 << 10},
+		Seed: 11,
+	}
+}
+
+func buildSmall(t *testing.T, divName string, m int) (*Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.Spec{
+		Name: "t", N: 600, Dim: 24, Divergence: divName,
+		Clusters: 4, Correlation: 0.6, Seed: 42,
+	}
+	if divName == "isd" || divName == "gkl" {
+		spec.Positive = true
+		spec.PosLo, spec.PosHi = 0.2, 20
+	}
+	ds := dataset.MustGenerate(spec)
+	div, err := bregman.ByName(divName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(div, ds.Points, smallOptions(m))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix, ds
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, divName := range []string{"ed", "isd", "l2", "gkl"} {
+		divName := divName
+		t.Run(divName, func(t *testing.T) {
+			ix, ds := buildSmall(t, divName, 4)
+			div := ix.Div
+			queries := dataset.SampleQueries(ds, 8, 99)
+			for qi, q := range queries {
+				res, err := ix.Search(q, 10)
+				if err != nil {
+					t.Fatalf("query %d: %v", qi, err)
+				}
+				want := scan.KNN(div, ds.Points, q, 10)
+				if len(res.Items) != len(want) {
+					t.Fatalf("query %d: got %d items, want %d", qi, len(res.Items), len(want))
+				}
+				for i := range want {
+					if math.Abs(res.Items[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+						t.Errorf("query %d pos %d: got (%d,%g), want (%d,%g)",
+							qi, i, res.Items[i].ID, res.Items[i].Score,
+							want[i].ID, want[i].Score)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAutoMDerivation(t *testing.T) {
+	ix, _ := buildSmall(t, "ed", 0) // M=0 triggers Theorem-4 derivation
+	if ix.M() < 1 || ix.M() > ix.Dim() {
+		t.Fatalf("derived M=%d outside [1,%d]", ix.M(), ix.Dim())
+	}
+	if ix.Model.A == 0 {
+		t.Fatal("cost model not recorded")
+	}
+}
+
+func TestSearchApproxAccuracy(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 4)
+	queries := dataset.SampleQueries(ds, 5, 3)
+	for _, q := range queries {
+		exact, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appr, err := ix.SearchApprox(q, 10, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if appr.Stats.ApproxC > 1 || appr.Stats.ApproxC <= 0 {
+			t.Fatalf("coefficient %g outside (0,1]", appr.Stats.ApproxC)
+		}
+		if appr.Stats.PageReads > exact.Stats.PageReads {
+			t.Errorf("approx reads %d > exact reads %d", appr.Stats.PageReads, exact.Stats.PageReads)
+		}
+		if len(appr.Items) == 0 {
+			t.Fatal("approximate search returned nothing")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"brepartition/internal/bbtree"
+	"brepartition/internal/bregman"
+	"brepartition/internal/dataset"
+	"brepartition/internal/disk"
+	"brepartition/internal/partition"
+)
+
+// TestDiagCandidateFraction is a manual diagnostic (BP_DIAG=1) that prints
+// candidate fraction and I/O versus M for the audio stand-in, used while
+// calibrating the synthetic workloads.
+func TestDiagCandidateFraction(t *testing.T) {
+	if os.Getenv("BP_DIAG") == "" {
+		t.Skip("set BP_DIAG=1 to run the diagnostic")
+	}
+	spec, _ := dataset.PaperSpec("audio", 0.25)
+	ds := dataset.MustGenerate(spec)
+	div, _ := bregman.ByName(ds.Divergence)
+
+	model, err := partition.FitCostModel(div, ds.Points, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("model: A=%.4g alpha=%.6f beta=%.4g theoremM=%.2f optimal=%d sweep=%d\n",
+		model.A, model.Alpha, model.Beta, model.TheoremM(1), model.OptimalM(1), model.SweepOptimal(1))
+
+	queries := dataset.SampleQueries(ds, 3, 9)
+	for _, m := range []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96} {
+		if m > ds.Dim() {
+			break
+		}
+		ix, err := Build(div, ds.Points, Options{
+			M: m, Tree: bbtree.Config{LeafSize: 64, Seed: 7},
+			Disk: disk.Config{PageSize: ds.PageSize}, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cands, reads int
+		var bound float64
+		for _, q := range queries {
+			res, err := ix.Search(q, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands += res.Stats.Candidates
+			reads += res.Stats.PageReads
+			bound += res.Stats.BoundTotal
+		}
+		nq := len(queries)
+		fmt.Printf("M=%3d  cand=%6.0f/%d  io=%5.1f  meanKthUB=%.4g  cost=%.3g\n",
+			m, float64(cands)/float64(nq), ds.N(), float64(reads)/float64(nq),
+			bound/float64(nq), model.Cost(m, 1))
+
+		// Distance landscape + per-subspace exact-range counts for q0.
+		q := queries[0]
+		dists := make([]float64, ds.N())
+		for i, p := range ds.Points {
+			dists[i] = bregman.Distance(div, p, q)
+		}
+		sortCopy := append([]float64(nil), dists...)
+		sortFloats(sortCopy)
+		b, _ := ix.Bounds(q, 20)
+		perSub := 0
+		exactUnion := make(map[int]bool)
+		for si, dims := range ix.Parts {
+			cnt := 0
+			for i, p := range ds.Points {
+				var dsub float64
+				for _, j := range dims {
+					dsub += div.Phi(p[j]) - div.Phi(q[j]) - div.Grad(q[j])*(p[j]-q[j])
+				}
+				if dsub <= b.Radii[si] {
+					cnt++
+					exactUnion[i] = true
+				}
+			}
+			perSub += cnt
+		}
+		fmt.Printf("      q0: d20=%.4g median=%.4g max=%.4g kthUB=%.4g avg|Ci|=%.0f exactUnion=%d\n",
+			sortCopy[19], sortCopy[ds.N()/2], sortCopy[ds.N()-1], b.Total,
+			float64(perSub)/float64(len(ix.Parts)), len(exactUnion))
+	}
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

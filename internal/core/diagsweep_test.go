@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/dataset"
+	"brepartition/internal/transform"
+)
+
+// TestDiagSpecSweep (BP_DIAG=1) explores generator parameters: for each
+// variant it reports the distance landscape and the exact candidate-union
+// fraction at several M, which is what the synthetic stand-ins must get
+// right for the paper's figures to reproduce.
+func TestDiagSpecSweep(t *testing.T) {
+	if os.Getenv("BP_DIAG") == "" {
+		t.Skip("set BP_DIAG=1 to run the diagnostic")
+	}
+	type variant struct {
+		name                              string
+		scale, shift, spread, corr, noise float64
+		clusters, blocks                  int
+		dup                               float64
+	}
+	variants := []variant{
+		{"H", 0.3, -0.9, 1.0, 0.7, 0.3, 6, 8, 0.5},
+		{"J-dup.65", 0.35, -1.0, 1.0, 0.7, 0.2, 6, 8, 0.65},
+	}
+	for _, v := range variants {
+		spec := dataset.Spec{
+			Name: v.name, N: 2000, Dim: 192, Divergence: "ed", PageSize: 32 << 10,
+			Clusters: v.clusters, Blocks: v.blocks, NoiseSigma: v.noise,
+			Correlation: v.corr, Scale: v.scale, DupProb: v.dup,
+			Shift: v.shift, MeanSpread: v.spread, Seed: 77,
+		}
+		ds := dataset.MustGenerate(spec)
+		div, _ := bregman.ByName("ed")
+		q := dataset.SampleQueries(ds, 1, 5)[0]
+
+		dists := make([]float64, ds.N())
+		for i, p := range ds.Points {
+			dists[i] = bregman.Distance(div, p, q)
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+
+		fmt.Printf("%-14s d20=%-9.3g med=%-9.3g p90=%-9.3g", v.name, sorted[19], sorted[1000], sorted[1800])
+		// Slack decomposition at a few M for 200 sample points:
+		// slack = Σᵢ√(γᵢδᵢ) + Σⱼ xⱼgⱼ (second term negative for
+		// same-signed data).
+		for _, m := range []int{8, 24, 64, 192} {
+			ixd, err := Build(div, ds.Points, Options{M: m, Seed: 3})
+			if err != nil {
+				continue
+			}
+			triples := transform.QTransform(div, q, ixd.Parts)
+			var cauchy, beta, minSlack float64
+			minSlack = 1e18
+			for i := 0; i < 200; i++ {
+				p := ds.Points[i*ds.N()/200]
+				var cs float64
+				for si := range ixd.Parts {
+					tu := ixd.Tuples[i*ds.N()/200][si]
+					cs += math.Sqrt(tu.Gamma * triples[si].Delta)
+				}
+				bx := transform.BetaXY(div, p, q)
+				cauchy += cs
+				beta += bx
+				if s := cs - bx; s < minSlack {
+					minSlack = s
+				}
+			}
+			fmt.Printf("  [M=%d sqrt=%.3g beta=%.3g minSlack=%.3g]", m, cauchy/200, beta/200, minSlack)
+		}
+		fmt.Println()
+		for _, m := range []int{24, 64, 96, 128, 160, 192} {
+			ix, err := Build(div, ds.Points, Options{M: m, Seed: 3})
+			if err != nil {
+				fmt.Printf("  M=%d ERR(%v)", m, err)
+				continue
+			}
+			b, _ := ix.Bounds(q, 20)
+			union := 0
+			for i, p := range ds.Points {
+				in := false
+				for si, dims := range ix.Parts {
+					if transform.SubspaceDistance(div, p, q, dims) <= b.Radii[si] {
+						in = true
+						break
+					}
+				}
+				if in {
+					union++
+				}
+				_ = i
+			}
+			fmt.Printf("  M=%d ub=%.3g u=%d%%", m, b.Total, union*100/ds.N())
+		}
+		fmt.Println()
+	}
+}

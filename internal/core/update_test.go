@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brepartition/internal/dataset"
+	"brepartition/internal/scan"
+)
+
+func TestInsertThenSearchExact(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 4)
+	rng := rand.New(rand.NewSource(71))
+
+	// Insert 50 new points (perturbed copies of existing rows).
+	var inserted []int
+	for i := 0; i < 50; i++ {
+		src := ds.Points[rng.Intn(len(ds.Points))]
+		p := make([]float64, len(src))
+		for j := range p {
+			p[j] = src[j] + 0.01*rng.NormFloat64()
+		}
+		id, err := ix.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, id)
+	}
+	if ix.N() != 650 {
+		t.Fatalf("N = %d, want 650", ix.N())
+	}
+
+	// Searches over the grown index must match brute force over all
+	// current points, and inserted points must be findable.
+	for trial := 0; trial < 5; trial++ {
+		q := ix.Points[inserted[trial]]
+		res, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.KNN(ix.Div, ix.Points, q, 10)
+		for i := range want {
+			if math.Abs(res.Items[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+				t.Fatalf("trial %d pos %d: got %g want %g",
+					trial, i, res.Items[i].Score, want[i].Score)
+			}
+		}
+		if res.Items[0].ID != inserted[trial] {
+			t.Fatalf("inserted point %d not its own NN (got %d)",
+				inserted[trial], res.Items[0].ID)
+		}
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	ix, _ := buildSmall(t, "isd", 3)
+	if _, err := ix.Insert([]float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	bad := make([]float64, ix.Dim())
+	bad[0] = -5 // outside IS domain
+	for j := 1; j < len(bad); j++ {
+		bad[j] = 1
+	}
+	if _, err := ix.Insert(bad); err == nil {
+		t.Fatal("out-of-domain insert accepted")
+	}
+}
+
+func TestDeleteRemovesFromResults(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 4)
+	q := ds.Points[33]
+
+	before, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := before.Items[0].ID // the query row itself
+	if !ix.Delete(victim) {
+		t.Fatal("delete reported not-found")
+	}
+	if ix.Delete(victim) {
+		t.Fatal("double delete reported success")
+	}
+	if !ix.Deleted(victim) {
+		t.Fatal("Deleted() inconsistent")
+	}
+	if ix.Live() != ix.N()-1 {
+		t.Fatalf("Live = %d, want %d", ix.Live(), ix.N()-1)
+	}
+
+	after, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range after.Items {
+		if it.ID == victim {
+			t.Fatal("deleted point still returned")
+		}
+	}
+	// Results must equal brute force over the live set.
+	live := make([][]float64, 0, ix.N())
+	ids := make([]int, 0, ix.N())
+	for id, p := range ix.Points {
+		if !ix.Deleted(id) {
+			live = append(live, p)
+			ids = append(ids, id)
+		}
+	}
+	want := scan.KNN(ix.Div, live, q, 5)
+	for i := range want {
+		if math.Abs(after.Items[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+			t.Fatalf("pos %d: got %g want %g", i, after.Items[i].Score, want[i].Score)
+		}
+		if after.Items[i].ID != ids[want[i].ID] {
+			t.Fatalf("pos %d: id %d, want %d", i, after.Items[i].ID, ids[want[i].ID])
+		}
+	}
+}
+
+func TestDeleteOutOfRange(t *testing.T) {
+	ix, _ := buildSmall(t, "ed", 3)
+	if ix.Delete(-1) || ix.Delete(1<<20) {
+		t.Fatal("out-of-range delete reported success")
+	}
+}
+
+func TestInsertDeleteChurn(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 4)
+	rng := rand.New(rand.NewSource(99))
+	// Interleave inserts and deletes, then verify exactness end-to-end.
+	for i := 0; i < 80; i++ {
+		if rng.Float64() < 0.5 {
+			src := ds.Points[rng.Intn(len(ds.Points))]
+			p := make([]float64, len(src))
+			for j := range p {
+				p[j] = src[j] + 0.05*rng.NormFloat64()
+			}
+			if _, err := ix.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			ix.Delete(rng.Intn(ix.N()))
+		}
+	}
+	q := ds.Points[7]
+	res, err := ix.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([][]float64, 0, ix.N())
+	ids := make([]int, 0, ix.N())
+	for id, p := range ix.Points {
+		if !ix.Deleted(id) {
+			live = append(live, p)
+			ids = append(ids, id)
+		}
+	}
+	want := scan.KNN(ix.Div, live, q, 10)
+	if len(res.Items) != len(want) {
+		t.Fatalf("got %d items, want %d", len(res.Items), len(want))
+	}
+	for i := range want {
+		if math.Abs(res.Items[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+			t.Fatalf("churn broke exactness at %d: %g vs %g",
+				i, res.Items[i].Score, want[i].Score)
+		}
+	}
+	_ = dataset.PaperNames // keep import balance if edited
+}
+
+func TestPersistAfterDelete(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 3)
+	victim := 42
+	ix.Delete(victim)
+	path := t.TempDir() + "/deleted.bpi"
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Search(ds.Points[victim], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Items {
+		if it.ID == victim {
+			t.Fatal("deleted point resurfaced after persistence round trip")
+		}
+	}
+}

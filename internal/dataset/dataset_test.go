@@ -1,0 +1,267 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"brepartition/internal/vecmath"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, err := PaperSpec("audio", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	for i := range a.Points {
+		if !vecmath.EqualApprox(a.Points[i], b.Points[i], 0) {
+			t.Fatalf("generation not deterministic at point %d", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, name := range PaperNames() {
+		spec, err := PaperSpec(name, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := MustGenerate(spec)
+		if ds.N() != spec.N || ds.Dim() != spec.Dim {
+			t.Fatalf("%s: got %dx%d, want %dx%d", name, ds.N(), ds.Dim(), spec.N, spec.Dim)
+		}
+		if ds.Divergence == "" || ds.PageSize == 0 {
+			t.Fatalf("%s: missing metadata", name)
+		}
+	}
+}
+
+func TestPositiveDomainMapping(t *testing.T) {
+	spec, _ := PaperSpec("fonts", 0.02)
+	ds := MustGenerate(spec)
+	for i, p := range ds.Points {
+		for j, v := range p {
+			if v <= spec.PosLo || v >= spec.PosHi {
+				t.Fatalf("point %d dim %d = %g outside (%g,%g)", i, j, v, spec.PosLo, spec.PosHi)
+			}
+		}
+	}
+}
+
+func TestNegativeShiftDomain(t *testing.T) {
+	// The ED stand-ins must be predominantly negative (same-signed), the
+	// property the Cauchy bound's decay depends on.
+	spec, _ := PaperSpec("audio", 0.05)
+	ds := MustGenerate(spec)
+	pos, total := 0, 0
+	for _, p := range ds.Points {
+		for _, v := range p {
+			if v > 0 {
+				pos++
+			}
+			total++
+		}
+	}
+	if frac := float64(pos) / float64(total); frac > 0.05 {
+		t.Fatalf("%.1f%% positive coordinates, want < 5%%", 100*frac)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	spec, _ := PaperSpec("uniform", 0.02)
+	ds := MustGenerate(spec)
+	for _, p := range ds.Points {
+		for _, v := range p {
+			if v < 0.5 || v > 100 {
+				t.Fatalf("uniform coordinate %g outside [0.5,100]", v)
+			}
+		}
+	}
+}
+
+func TestNormalIsStandard(t *testing.T) {
+	spec, _ := PaperSpec("normal", 0.1)
+	ds := MustGenerate(spec)
+	var all []float64
+	for _, p := range ds.Points[:200] {
+		all = append(all, p...)
+	}
+	mean := vecmath.Mean(all)
+	sd := math.Sqrt(vecmath.Variance(all))
+	if math.Abs(mean) > 0.05 || math.Abs(sd-1) > 0.05 {
+		t.Fatalf("normal dataset: mean=%g sd=%g, want ~N(0,1)", mean, sd)
+	}
+}
+
+func TestCorrelationStructurePresent(t *testing.T) {
+	spec, _ := PaperSpec("audio", 0.05)
+	ds := MustGenerate(spec)
+	// Dimensions within a block should correlate more than across
+	// independent blocks on average.
+	colA := column(ds, 0)
+	colB := column(ds, 1)          // same block as 0
+	colC := column(ds, ds.Dim()-1) // different block
+	within := math.Abs(vecmath.Pearson(colA, colB))
+	across := math.Abs(vecmath.Pearson(colA, colC))
+	if within < across {
+		t.Logf("warning: within=%g across=%g (block structure weak at this seed)", within, across)
+	}
+	if within == 0 {
+		t.Fatal("no correlation structure at all")
+	}
+}
+
+func column(ds *Dataset, j int) []float64 {
+	out := make([]float64, ds.N())
+	for i, p := range ds.Points {
+		out[i] = p[j]
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{N: 0, Dim: 4},
+		{N: 4, Dim: 0},
+		{N: 4, Dim: 4, Clusters: -1},
+		{N: 4, Dim: 4, Positive: true, PosLo: 5, PosHi: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPaperSpecUnknown(t *testing.T) {
+	if _, err := PaperSpec("bogus", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPaperSpecScaleFloor(t *testing.T) {
+	spec, err := PaperSpec("audio", 0.000001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N < 100 {
+		t.Fatalf("scale floor violated: n=%d", spec.N)
+	}
+}
+
+func TestSampleQueriesShape(t *testing.T) {
+	spec, _ := PaperSpec("sift", 0.01)
+	ds := MustGenerate(spec)
+	qs := SampleQueries(ds, 7, 3)
+	if len(qs) != 7 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) != ds.Dim() {
+			t.Fatal("query dimension mismatch")
+		}
+	}
+	// Queries are copies: mutating them must not affect the dataset.
+	qs[0][0] = 1e9
+	for _, p := range ds.Points {
+		if p[0] == 1e9 {
+			t.Fatal("query aliases dataset row")
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	spec, _ := PaperSpec("deep", 0.01)
+	ds := MustGenerate(spec)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || got.Divergence != ds.Divergence || got.PageSize != ds.PageSize {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if got.N() != ds.N() || got.Dim() != ds.Dim() {
+		t.Fatal("shape lost")
+	}
+	for i := range ds.Points {
+		if !vecmath.EqualApprox(ds.Points[i], got.Points[i], 0) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	spec, _ := PaperSpec("uniform", 0.01)
+	ds := MustGenerate(spec)
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := ds.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != ds.N() {
+		t.Fatal("file round trip lost points")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	spec, _ := PaperSpec("uniform", 0.01)
+	ds := MustGenerate(spec)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestDupProbCreatesNearDuplicates(t *testing.T) {
+	spec, _ := PaperSpec("audio", 0.05)
+	ds := MustGenerate(spec)
+	// The nearest neighbour of a typical point should be far closer than
+	// the median distance (the near-duplicate property).
+	q := ds.Points[10]
+	best, med := math.Inf(1), []float64{}
+	for i, p := range ds.Points {
+		if i == 10 {
+			continue
+		}
+		var d float64
+		for j := range p {
+			diff := p[j] - q[j]
+			d += diff * diff
+		}
+		if d < best {
+			best = d
+		}
+		med = append(med, d)
+	}
+	var sum float64
+	for _, d := range med {
+		sum += d
+	}
+	avg := sum / float64(len(med))
+	if best > avg/4 {
+		t.Fatalf("nearest L2² %g vs mean %g: near-duplicate structure missing", best, avg)
+	}
+}

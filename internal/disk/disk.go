@@ -1,0 +1,358 @@
+// Package disk simulates the disk-resident storage layer of the paper's
+// BB-forest. The paper evaluates on a SATA SSD and reports "I/O cost" as
+// the number of page reads per query; this package reproduces exactly that
+// accounting model: points live in fixed-size pages laid out in a chosen
+// order (the PCCP-aligned leaf order of the reference BB-tree, §6), and a
+// per-query Session counts the *distinct* pages touched, so that candidate
+// reuse across subspaces — the point of PCCP — shows up as fewer reads.
+//
+// Two backings are provided: an in-memory page array (used by benchmarks)
+// and a real file with per-page checksums (used by the persistence tests
+// and the failure-injection suite). Both share the same layout and
+// accounting code paths.
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// PageSize is the page capacity in bytes (paper Table 4: 32–128 KB).
+	PageSize int
+	// IOPS models random-read operations per second for the latency
+	// estimate; 0 disables latency modelling (the paper's SSD argument in
+	// §5.1: at mainstream SSD IOPS the I/O time is negligible).
+	IOPS float64
+}
+
+// DefaultConfig mirrors the paper's smallest configuration.
+func DefaultConfig() Config { return Config{PageSize: 32 << 10, IOPS: 50_000} }
+
+const pointHeaderBytes = 8 // float64s only; ids tracked by layout
+
+// Errors reported by the store.
+var (
+	ErrBadPage     = errors.New("disk: page checksum mismatch")
+	ErrOutOfRange  = errors.New("disk: point id out of range")
+	ErrBadLayout   = errors.New("disk: layout is not a permutation")
+	ErrEmptyStore  = errors.New("disk: store has no points")
+	errBadGeometry = errors.New("disk: invalid page geometry")
+)
+
+// Store is a page-organized collection of n d-dimensional points.
+type Store struct {
+	cfg     Config
+	dim     int
+	n       int
+	perPage int   // points per page
+	slotOf  []int // point id -> slot (position in layout order)
+	idAt    []int // slot -> point id
+	points  [][]float64
+
+	totalPageReads int64 // across all sessions, for global accounting
+}
+
+// NewStore builds an in-memory store over points, placing them on pages in
+// the order given by layout (layout[slot] = point id). A nil layout means
+// identity. Points are referenced, not copied.
+func NewStore(points [][]float64, layout []int, cfg Config) (*Store, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrEmptyStore
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("disk: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if cfg.PageSize <= 0 {
+		return nil, errBadGeometry
+	}
+	perPage := cfg.PageSize / (dim * pointHeaderBytes)
+	if perPage < 1 {
+		perPage = 1
+	}
+	if layout == nil {
+		layout = make([]int, n)
+		for i := range layout {
+			layout[i] = i
+		}
+	}
+	if len(layout) != n {
+		return nil, ErrBadLayout
+	}
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	idAt := make([]int, n)
+	for slot, id := range layout {
+		if id < 0 || id >= n || slotOf[id] != -1 {
+			return nil, ErrBadLayout
+		}
+		slotOf[id] = slot
+		idAt[slot] = id
+	}
+	return &Store{
+		cfg:     cfg,
+		dim:     dim,
+		n:       n,
+		perPage: perPage,
+		slotOf:  slotOf,
+		idAt:    idAt,
+		points:  points,
+	}, nil
+}
+
+// Dim returns the point dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of points.
+func (s *Store) Len() int { return s.n }
+
+// PointsPerPage returns how many points share one page.
+func (s *Store) PointsPerPage() int { return s.perPage }
+
+// NumPages returns the page count.
+func (s *Store) NumPages() int { return (s.n + s.perPage - 1) / s.perPage }
+
+// PageOf returns the page number holding point id.
+func (s *Store) PageOf(id int) int {
+	if id < 0 || id >= s.n {
+		panic(ErrOutOfRange)
+	}
+	return s.slotOf[id] / s.perPage
+}
+
+// Address returns the (page, offsetInPage) address of point id, the
+// P.address the paper stores in every BB-tree leaf.
+func (s *Store) Address(id int) (page, offset int) {
+	slot := s.slotOf[id]
+	return slot / s.perPage, slot % s.perPage
+}
+
+// TotalPageReads returns the store-lifetime page read count across all
+// sessions.
+func (s *Store) TotalPageReads() int64 { return s.totalPageReads }
+
+// Append adds a point at the tail of the layout (the overflow region of
+// the last page, or a fresh page), supporting incremental inserts. The new
+// point's id is the previous Len().
+func (s *Store) Append(p []float64) error {
+	if len(p) != s.dim {
+		return fmt.Errorf("disk: append dim %d, want %d", len(p), s.dim)
+	}
+	slot := s.n
+	s.points = append(s.points, p)
+	s.slotOf = append(s.slotOf, slot)
+	s.idAt = append(s.idAt, s.n)
+	s.n++
+	return nil
+}
+
+// RawPoint returns point id without any I/O accounting (for construction
+// and for ground-truth scans that the paper does not charge I/O to).
+func (s *Store) RawPoint(id int) []float64 {
+	if id < 0 || id >= s.n {
+		panic(ErrOutOfRange)
+	}
+	return s.points[id]
+}
+
+// Session is a per-query I/O accounting context: the first access to each
+// page within a session costs one read; later accesses are buffer hits,
+// reproducing the paper's per-query distinct-page I/O metric.
+type Session struct {
+	store *Store
+	seen  map[int]struct{}
+	reads int
+	hits  int
+}
+
+// NewSession starts a fresh per-query accounting context.
+func (s *Store) NewSession() *Session {
+	return &Session{store: s, seen: make(map[int]struct{})}
+}
+
+// Point fetches point id, charging a page read if its page was not yet
+// touched in this session.
+func (ss *Session) Point(id int) []float64 {
+	page := ss.store.PageOf(id)
+	if _, ok := ss.seen[page]; !ok {
+		ss.seen[page] = struct{}{}
+		ss.reads++
+		ss.store.totalPageReads++
+	} else {
+		ss.hits++
+	}
+	return ss.store.points[id]
+}
+
+// Prefetch charges the read for the page containing id (if new) without
+// returning data — used when a leaf cluster is loaded wholesale.
+func (ss *Session) Prefetch(id int) {
+	page := ss.store.PageOf(id)
+	if _, ok := ss.seen[page]; !ok {
+		ss.seen[page] = struct{}{}
+		ss.reads++
+		ss.store.totalPageReads++
+	}
+}
+
+// PageReads returns the distinct pages read so far in this session.
+func (ss *Session) PageReads() int { return ss.reads }
+
+// BufferHits returns how many accesses were served without a read.
+func (ss *Session) BufferHits() int { return ss.hits }
+
+// Latency estimates the time the session's reads would take on the
+// configured device (reads / IOPS).
+func (ss *Session) Latency() time.Duration {
+	if ss.store.cfg.IOPS <= 0 {
+		return 0
+	}
+	sec := float64(ss.reads) / ss.store.cfg.IOPS
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ---------------------------------------------------------------------------
+// File persistence with per-page checksums.
+// ---------------------------------------------------------------------------
+
+// fileMagic identifies the page-file format.
+const fileMagic uint32 = 0xB4EF0127
+
+// WriteFile persists the store to path in page order. Each page is written
+// as [crc32][payload], where the payload is the page's points as
+// little-endian float64s; a trailing header records geometry.
+func (s *Store) WriteFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	pageBuf := make([]byte, 0, s.perPage*s.dim*8)
+	for p := 0; p < s.NumPages(); p++ {
+		pageBuf = pageBuf[:0]
+		for off := 0; off < s.perPage; off++ {
+			slot := p*s.perPage + off
+			if slot >= s.n {
+				break
+			}
+			pt := s.points[s.idAt[slot]]
+			for _, v := range pt {
+				pageBuf = binary.LittleEndian.AppendUint64(pageBuf, math.Float64bits(v))
+			}
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(pageBuf))
+		if _, err := f.Write(crc[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(pageBuf); err != nil {
+			return err
+		}
+	}
+	// Trailer: magic, n, dim, perPage, layout permutation.
+	tr := make([]byte, 0, 16+8*s.n)
+	tr = binary.LittleEndian.AppendUint32(tr, fileMagic)
+	tr = binary.LittleEndian.AppendUint32(tr, uint32(s.n))
+	tr = binary.LittleEndian.AppendUint32(tr, uint32(s.dim))
+	tr = binary.LittleEndian.AppendUint32(tr, uint32(s.perPage))
+	for _, id := range s.idAt {
+		tr = binary.LittleEndian.AppendUint64(tr, uint64(id))
+	}
+	if _, err := f.Write(tr); err != nil {
+		return err
+	}
+	var trLen [8]byte
+	binary.LittleEndian.PutUint64(trLen[:], uint64(len(tr)))
+	_, err = f.Write(trLen[:])
+	return err
+}
+
+// OpenFile loads a store previously written by WriteFile, verifying every
+// page checksum. The configured PageSize must match the original geometry's
+// implied points-per-page; cfg controls only the latency model otherwise.
+func OpenFile(path string, cfg Config) (*Store, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	trLen := int(binary.LittleEndian.Uint64(raw[len(raw)-8:]))
+	if trLen < 16 || trLen > len(raw)-8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	tr := raw[len(raw)-8-trLen : len(raw)-8]
+	if binary.LittleEndian.Uint32(tr[0:4]) != fileMagic {
+		return nil, fmt.Errorf("disk: bad magic in %s", path)
+	}
+	n := int(binary.LittleEndian.Uint32(tr[4:8]))
+	dim := int(binary.LittleEndian.Uint32(tr[8:12]))
+	perPage := int(binary.LittleEndian.Uint32(tr[12:16]))
+	if n <= 0 || dim <= 0 || perPage <= 0 || len(tr) != 16+8*n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	idAt := make([]int, n)
+	for i := range idAt {
+		idAt[i] = int(binary.LittleEndian.Uint64(tr[16+8*i:]))
+	}
+
+	points := make([][]float64, n)
+	body := raw[:len(raw)-8-trLen]
+	numPages := (n + perPage - 1) / perPage
+	cursor := 0
+	for p := 0; p < numPages; p++ {
+		inPage := perPage
+		if rem := n - p*perPage; rem < inPage {
+			inPage = rem
+		}
+		payloadLen := inPage * dim * 8
+		if cursor+4+payloadLen > len(body) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		wantCRC := binary.LittleEndian.Uint32(body[cursor:])
+		payload := body[cursor+4 : cursor+4+payloadLen]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil, fmt.Errorf("%w: page %d of %s", ErrBadPage, p, path)
+		}
+		for off := 0; off < inPage; off++ {
+			pt := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				bits := binary.LittleEndian.Uint64(payload[(off*dim+j)*8:])
+				pt[j] = math.Float64frombits(bits)
+			}
+			points[idAt[p*perPage+off]] = pt
+		}
+		cursor += 4 + payloadLen
+	}
+
+	layout := make([]int, n)
+	copy(layout, idAt)
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = perPage * dim * 8
+	}
+	st, err := NewStore(points, layout, Config{PageSize: perPage * dim * 8, IOPS: cfg.IOPS})
+	if err != nil {
+		return nil, err
+	}
+	st.perPage = perPage
+	return st, nil
+}

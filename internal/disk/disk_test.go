@@ -1,0 +1,299 @@
+package disk
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func makePoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestStoreGeometry(t *testing.T) {
+	pts := makePoints(100, 8, 1)
+	// 8 dims * 8 bytes = 64 bytes per point; 256-byte pages hold 4.
+	st, err := NewStore(pts, nil, Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PointsPerPage() != 4 {
+		t.Fatalf("perPage = %d, want 4", st.PointsPerPage())
+	}
+	if st.NumPages() != 25 {
+		t.Fatalf("pages = %d, want 25", st.NumPages())
+	}
+	if st.Dim() != 8 || st.Len() != 100 {
+		t.Fatal("dims/len wrong")
+	}
+}
+
+func TestStoreIdentityLayoutAddressing(t *testing.T) {
+	pts := makePoints(10, 4, 2)
+	st, err := NewStore(pts, nil, Config{PageSize: 64}) // 2 points per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PageOf(0) != 0 || st.PageOf(1) != 0 || st.PageOf(2) != 1 {
+		t.Fatal("identity layout paging wrong")
+	}
+	page, off := st.Address(3)
+	if page != 1 || off != 1 {
+		t.Fatalf("Address(3) = (%d,%d)", page, off)
+	}
+}
+
+func TestStoreCustomLayout(t *testing.T) {
+	pts := makePoints(4, 2, 3)
+	layout := []int{3, 2, 1, 0}                            // reversed
+	st, err := NewStore(pts, layout, Config{PageSize: 32}) // 2 per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PageOf(3) != 0 || st.PageOf(0) != 1 {
+		t.Fatal("custom layout ignored")
+	}
+}
+
+func TestStoreRejectsBadLayout(t *testing.T) {
+	pts := makePoints(3, 2, 4)
+	for _, layout := range [][]int{
+		{0, 1},     // too short
+		{0, 0, 1},  // duplicate
+		{0, 1, 5},  // out of range
+		{-1, 0, 1}, // negative
+	} {
+		if _, err := NewStore(pts, layout, Config{PageSize: 64}); !errors.Is(err, ErrBadLayout) {
+			t.Errorf("layout %v: err = %v, want ErrBadLayout", layout, err)
+		}
+	}
+}
+
+func TestStoreRejectsEmpty(t *testing.T) {
+	if _, err := NewStore(nil, nil, Config{PageSize: 64}); !errors.Is(err, ErrEmptyStore) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStoreRejectsRaggedPoints(t *testing.T) {
+	if _, err := NewStore([][]float64{{1, 2}, {1}}, nil, Config{PageSize: 64}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestSessionDistinctPageAccounting(t *testing.T) {
+	pts := makePoints(8, 2, 5)
+	st, _ := NewStore(pts, nil, Config{PageSize: 32}) // 2 per page → 4 pages
+	sess := st.NewSession()
+	sess.Point(0) // page 0
+	sess.Point(1) // page 0 again: hit
+	sess.Point(2) // page 1
+	sess.Point(0) // hit
+	if sess.PageReads() != 2 {
+		t.Fatalf("reads = %d, want 2", sess.PageReads())
+	}
+	if sess.BufferHits() != 2 {
+		t.Fatalf("hits = %d, want 2", sess.BufferHits())
+	}
+	// A new session starts cold.
+	s2 := st.NewSession()
+	s2.Point(0)
+	if s2.PageReads() != 1 {
+		t.Fatal("sessions must not share buffers")
+	}
+	if st.TotalPageReads() != 3 {
+		t.Fatalf("store total = %d, want 3", st.TotalPageReads())
+	}
+}
+
+func TestSessionPrefetch(t *testing.T) {
+	pts := makePoints(4, 2, 6)
+	st, _ := NewStore(pts, nil, Config{PageSize: 32})
+	sess := st.NewSession()
+	sess.Prefetch(0)
+	sess.Prefetch(1) // same page
+	if sess.PageReads() != 1 {
+		t.Fatalf("reads = %d, want 1", sess.PageReads())
+	}
+	sess.Point(0) // already fetched
+	if sess.BufferHits() != 1 {
+		t.Fatal("prefetched page should hit")
+	}
+}
+
+func TestSessionLatencyModel(t *testing.T) {
+	pts := makePoints(4, 2, 7)
+	st, _ := NewStore(pts, nil, Config{PageSize: 32, IOPS: 1000})
+	sess := st.NewSession()
+	sess.Point(0)
+	sess.Point(2)
+	if lat := sess.Latency(); lat.Milliseconds() != 2 {
+		t.Fatalf("latency = %v, want 2ms at 1000 IOPS", lat)
+	}
+	st2, _ := NewStore(pts, nil, Config{PageSize: 32})
+	s2 := st2.NewSession()
+	s2.Point(0)
+	if s2.Latency() != 0 {
+		t.Fatal("zero IOPS should disable latency")
+	}
+}
+
+func TestSessionAccountingProperty(t *testing.T) {
+	pts := makePoints(64, 4, 8)
+	st, _ := NewStore(pts, nil, Config{PageSize: 128}) // 4 per page → 16 pages
+	f := func(accesses []uint8) bool {
+		sess := st.NewSession()
+		want := map[int]bool{}
+		for _, a := range accesses {
+			id := int(a) % 64
+			sess.Point(id)
+			want[st.PageOf(id)] = true
+		}
+		return sess.PageReads() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pages")
+	pts := makePoints(37, 6, 9) // odd count exercises the partial last page
+	layout := rand.New(rand.NewSource(10)).Perm(37)
+	st, err := NewStore(pts, layout, Config{PageSize: 4 * 6 * 8}) // 4 per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenFile(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 37 || got.Dim() != 6 {
+		t.Fatalf("geometry: n=%d d=%d", got.Len(), got.Dim())
+	}
+	for id := 0; id < 37; id++ {
+		a := st.RawPoint(id)
+		b := got.RawPoint(id)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("point %d dim %d: %g != %g", id, j, a[j], b[j])
+			}
+		}
+		if st.PageOf(id) != got.PageOf(id) {
+			t.Fatalf("point %d changed page: %d -> %d", id, st.PageOf(id), got.PageOf(id))
+		}
+	}
+}
+
+func TestOpenFileDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pages")
+	pts := makePoints(16, 4, 11)
+	st, _ := NewStore(pts, nil, Config{PageSize: 128})
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF // flip a payload byte in page 0
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, Config{}); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("err = %v, want ErrBadPage", err)
+	}
+}
+
+func TestOpenFileRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pages")
+	pts := makePoints(16, 4, 12)
+	st, _ := NewStore(pts, nil, Config{PageSize: 128})
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, Config{}); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestPageOfPanicsOutOfRange(t *testing.T) {
+	pts := makePoints(4, 2, 13)
+	st, _ := NewStore(pts, nil, Config{PageSize: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.PageOf(99)
+}
+
+func TestTinyPageHoldsOnePoint(t *testing.T) {
+	pts := makePoints(5, 64, 14)                        // 512-byte points
+	st, err := NewStore(pts, nil, Config{PageSize: 64}) // smaller than a point
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PointsPerPage() != 1 {
+		t.Fatalf("perPage = %d, want 1 (floor)", st.PointsPerPage())
+	}
+	if st.NumPages() != 5 {
+		t.Fatalf("pages = %d", st.NumPages())
+	}
+}
+
+func TestAppendExtendsLayout(t *testing.T) {
+	pts := makePoints(5, 2, 20)
+	st, _ := NewStore(pts, nil, Config{PageSize: 32}) // 2 per page
+	if err := st.Append([]float64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 6 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if got := st.RawPoint(5); got[0] != 9 {
+		t.Fatal("appended point not retrievable")
+	}
+	// 6 points at 2 per page → 3 pages; the new point fills page 2.
+	if st.PageOf(5) != 2 {
+		t.Fatalf("appended point on page %d", st.PageOf(5))
+	}
+	if st.NumPages() != 3 {
+		t.Fatalf("pages = %d", st.NumPages())
+	}
+	sess := st.NewSession()
+	sess.Point(5)
+	if sess.PageReads() != 1 {
+		t.Fatal("append broke session accounting")
+	}
+}
+
+func TestAppendRejectsWrongDim(t *testing.T) {
+	pts := makePoints(3, 2, 21)
+	st, _ := NewStore(pts, nil, Config{PageSize: 32})
+	if err := st.Append([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-dimension append accepted")
+	}
+}

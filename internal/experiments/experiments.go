@@ -1,0 +1,285 @@
+// Package experiments is the harness that regenerates every table and
+// figure of the paper's evaluation (§9). Each Fig*/Table* function runs the
+// corresponding workload and returns printable tables whose rows/series
+// match what the paper plots; cmd/brebench prints them and bench_test.go
+// wraps them in testing.B benchmarks.
+//
+// Cardinalities are scaled-down stand-ins (see DESIGN.md, "Substitutions");
+// Config.Scale multiplies them back up for bigger machines.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"brepartition/internal/baselines"
+	"brepartition/internal/bbtree"
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/dataset"
+	"brepartition/internal/disk"
+	"brepartition/internal/vafile"
+)
+
+// Config tunes the harness.
+type Config struct {
+	// Scale multiplies dataset cardinalities (1 = laptop defaults).
+	Scale float64
+	// Queries per measurement (paper: 50; default here 10 for speed).
+	Queries int
+	// Ks is the k sweep (paper: 20..100 step 20).
+	Ks []int
+	// LeafSize for all BB-trees.
+	LeafSize int
+	Seed     int64
+}
+
+// DefaultConfig mirrors the paper's parameter table at laptop scale.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Queries: 10, Ks: []int{20, 40, 60, 80, 100}, LeafSize: 64, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Queries <= 0 {
+		c.Queries = 10
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{20, 40, 60, 80, 100}
+	}
+	if c.LeafSize <= 0 {
+		c.LeafSize = 64
+	}
+	return c
+}
+
+// Table is one printable result block.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Env lazily builds and caches datasets and per-method indexes so that one
+// brebench run shares work across figures.
+type Env struct {
+	cfg Config
+
+	datasets map[string]*dataset.Dataset
+	queries  map[string][][]float64
+	bp       map[string]*core.Index
+	bbt      map[string]*baselines.BBT
+	vaf      map[string]*vafile.Index
+
+	// Build times recorded when each index was first constructed.
+	bpBuild  map[string]time.Duration
+	bbtBuild map[string]time.Duration
+	vafBuild map[string]time.Duration
+
+	// Cached figure measurements shared across Fig calls.
+	sweeps map[string]*partitionSweep
+	cmps   map[string]*comparison
+}
+
+// NewEnv creates a harness environment.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	return &Env{
+		cfg:      cfg,
+		datasets: map[string]*dataset.Dataset{},
+		queries:  map[string][][]float64{},
+		bp:       map[string]*core.Index{},
+		bbt:      map[string]*baselines.BBT{},
+		vaf:      map[string]*vafile.Index{},
+		bpBuild:  map[string]time.Duration{},
+		bbtBuild: map[string]time.Duration{},
+		vafBuild: map[string]time.Duration{},
+	}
+}
+
+// Config returns the effective configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Dataset returns (building if needed) one of the paper's datasets.
+func (e *Env) Dataset(name string) *dataset.Dataset {
+	if ds, ok := e.datasets[name]; ok {
+		return ds
+	}
+	spec, err := dataset.PaperSpec(name, e.cfg.Scale)
+	if err != nil {
+		panic(err)
+	}
+	ds := dataset.MustGenerate(spec)
+	e.datasets[name] = ds
+	return ds
+}
+
+// Queries returns the query workload for a dataset.
+func (e *Env) Queries(name string) [][]float64 {
+	if q, ok := e.queries[name]; ok {
+		return q
+	}
+	q := dataset.SampleQueries(e.Dataset(name), e.cfg.Queries, e.cfg.Seed+7)
+	e.queries[name] = q
+	return q
+}
+
+func (e *Env) divergence(ds *dataset.Dataset) bregman.Divergence {
+	div, err := bregman.ByName(ds.Divergence)
+	if err != nil {
+		panic(err)
+	}
+	return div
+}
+
+func (e *Env) diskCfg(ds *dataset.Dataset) disk.Config {
+	return disk.Config{PageSize: ds.PageSize, IOPS: 50_000}
+}
+
+func (e *Env) treeCfg() bbtree.Config {
+	return bbtree.Config{LeafSize: e.cfg.LeafSize, Seed: e.cfg.Seed}
+}
+
+// BP returns the BrePartition index for a dataset (M auto-derived).
+func (e *Env) BP(name string) *core.Index {
+	if ix, ok := e.bp[name]; ok {
+		return ix
+	}
+	ds := e.Dataset(name)
+	ix, err := core.Build(e.divergence(ds), ds.Points, core.Options{
+		Tree: e.treeCfg(),
+		Disk: e.diskCfg(ds),
+		Seed: e.cfg.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("building BP(%s): %v", name, err))
+	}
+	e.bp[name] = ix
+	e.bpBuild[name] = ix.BuildTime
+	return ix
+}
+
+// BPWith builds a BrePartition index with explicit options (cached by key).
+func (e *Env) BPWith(name, key string, opts core.Options) *core.Index {
+	cache := name + "/" + key
+	if ix, ok := e.bp[cache]; ok {
+		return ix
+	}
+	ds := e.Dataset(name)
+	if opts.Disk.PageSize == 0 {
+		opts.Disk = e.diskCfg(ds)
+	}
+	if opts.Tree.LeafSize == 0 {
+		opts.Tree = e.treeCfg()
+	}
+	ix, err := core.Build(e.divergence(ds), ds.Points, opts)
+	if err != nil {
+		panic(fmt.Sprintf("building BP(%s,%s): %v", name, key, err))
+	}
+	e.bp[cache] = ix
+	return ix
+}
+
+// BBT returns the disk-resident full-space BB-tree baseline.
+func (e *Env) BBT(name string) *baselines.BBT {
+	if b, ok := e.bbt[name]; ok {
+		return b
+	}
+	ds := e.Dataset(name)
+	start := time.Now()
+	b, err := baselines.BuildBBT(e.divergence(ds), ds.Points, e.treeCfg(), e.diskCfg(ds))
+	if err != nil {
+		panic(fmt.Sprintf("building BBT(%s): %v", name, err))
+	}
+	e.bbtBuild[name] = time.Since(start)
+	e.bbt[name] = b
+	return b
+}
+
+// VAF returns the VA-file baseline.
+func (e *Env) VAF(name string) *vafile.Index {
+	if v, ok := e.vaf[name]; ok {
+		return v
+	}
+	ds := e.Dataset(name)
+	start := time.Now()
+	v, err := vafile.Build(e.divergence(ds), ds.Points, vafile.Config{Bits: 6, Disk: e.diskCfg(ds)})
+	if err != nil {
+		panic(fmt.Sprintf("building VAF(%s): %v", name, err))
+	}
+	e.vafBuild[name] = time.Since(start)
+	e.vaf[name] = v
+	return v
+}
+
+// MethodResult aggregates one method's averages over a query workload.
+type MethodResult struct {
+	IO      float64
+	Elapsed time.Duration
+	Ratio   float64 // overall ratio vs exact (1 for exact methods)
+}
+
+// measureBP averages BP (or ABP when p ∈ (0,1)) over the workload.
+func (e *Env) measureBP(ix *core.Index, queries [][]float64, k int, p float64) MethodResult {
+	var io float64
+	start := time.Now()
+	for _, q := range queries {
+		var res core.Result
+		var err error
+		if p > 0 && p < 1 {
+			res, err = ix.SearchApprox(q, k, p)
+		} else {
+			res, err = ix.Search(q, k)
+		}
+		if err != nil {
+			panic(err)
+		}
+		io += float64(res.Stats.PageReads)
+	}
+	elapsed := time.Since(start) / time.Duration(len(queries))
+	return MethodResult{IO: io / float64(len(queries)), Elapsed: elapsed, Ratio: 1}
+}
+
+func (e *Env) measureBBT(b *baselines.BBT, queries [][]float64, k int) MethodResult {
+	var io float64
+	start := time.Now()
+	for _, q := range queries {
+		_, st := b.Search(q, k)
+		io += float64(st.PageReads)
+	}
+	elapsed := time.Since(start) / time.Duration(len(queries))
+	return MethodResult{IO: io / float64(len(queries)), Elapsed: elapsed, Ratio: 1}
+}
+
+func (e *Env) measureVAF(v *vafile.Index, queries [][]float64, k int) MethodResult {
+	var io float64
+	start := time.Now()
+	for _, q := range queries {
+		_, st := v.Search(q, k)
+		io += float64(st.PageReads)
+	}
+	elapsed := time.Since(start) / time.Duration(len(queries))
+	return MethodResult{IO: io / float64(len(queries)), Elapsed: elapsed, Ratio: 1}
+}
+
+func fmtF(v float64) string         { return fmt.Sprintf("%.1f", v) }
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000) }
+func fmtRatio(v float64) string     { return fmt.Sprintf("%.4f", v) }
+func itoa(v int) string             { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,71 @@
+// Package scan provides brute-force exact kNN under Bregman divergences —
+// the ground truth every index is validated against — and the shared
+// candidate-refinement step of the filter-refine frameworks.
+package scan
+
+import (
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/topk"
+)
+
+// KNN returns the exact k nearest neighbours of q (ids and distances,
+// ascending) by scanning every point.
+func KNN(div bregman.Divergence, points [][]float64, q []float64, k int) []topk.Item {
+	if k <= 0 || len(points) == 0 {
+		return nil
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	sel := topk.New(k)
+	for id, p := range points {
+		sel.Offer(id, bregman.Distance(div, p, q))
+	}
+	return sel.Items()
+}
+
+// Refine evaluates the exact distance of every candidate id and returns the
+// k nearest, reading points through sess so the I/O of the refinement phase
+// is charged to the query (candidates were prefetched during filtering, so
+// these are buffer hits unless the filter skipped them).
+func Refine(div bregman.Divergence, sess *disk.Session, candidates []int, q []float64, k int) []topk.Item {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	sel := topk.New(k)
+	for _, id := range candidates {
+		p := sess.Point(id)
+		sel.Offer(id, bregman.Distance(div, p, q))
+	}
+	return sel.Items()
+}
+
+// RefineInMemory is Refine without I/O accounting, for memory-resident use.
+func RefineInMemory(div bregman.Divergence, points [][]float64, candidates []int, q []float64, k int) []topk.Item {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	sel := topk.New(k)
+	for _, id := range candidates {
+		sel.Offer(id, bregman.Distance(div, points[id], q))
+	}
+	return sel.Items()
+}
+
+// Range returns all ids with D_f(x, q) ≤ r by brute force.
+func Range(div bregman.Divergence, points [][]float64, q []float64, r float64) []int {
+	var out []int
+	for id, p := range points {
+		if bregman.Distance(div, p, q) <= r {
+			out = append(out, id)
+		}
+	}
+	return out
+}

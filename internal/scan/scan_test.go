@@ -1,0 +1,173 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+)
+
+func pts(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestKNNOrdering(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	points := pts(200, 5, 1)
+	q := points[0]
+	res := KNN(div, points, q, 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d", len(res))
+	}
+	if res[0].ID != 0 || res[0].Score != 0 {
+		t.Fatalf("nearest should be the query itself: %+v", res[0])
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score < res[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	if KNN(div, nil, []float64{1}, 3) != nil {
+		t.Fatal("empty dataset should return nil")
+	}
+	points := pts(5, 2, 2)
+	if got := KNN(div, points, points[0], 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := KNN(div, points, points[0], 99); len(got) != 5 {
+		t.Fatalf("k>n should clamp, got %d", len(got))
+	}
+}
+
+func TestRefineMatchesKNNAndChargesIO(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	points := pts(64, 4, 3)
+	store, err := disk.NewStore(points, nil, disk.Config{PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]int, len(points))
+	for i := range cands {
+		cands[i] = i
+	}
+	q := points[9]
+	sess := store.NewSession()
+	got := Refine(div, sess, cands, q, 7)
+	want := KNN(div, points, q, 7)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("refine differs at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if sess.PageReads() != store.NumPages() {
+		t.Fatalf("refining all candidates should read all pages: %d vs %d",
+			sess.PageReads(), store.NumPages())
+	}
+}
+
+func TestRefineSubsetOnly(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	points := pts(50, 3, 4)
+	store, _ := disk.NewStore(points, nil, disk.Config{PageSize: 96})
+	cands := []int{3, 7, 12}
+	sess := store.NewSession()
+	got := Refine(div, sess, cands, points[0], 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	for _, it := range got {
+		found := false
+		for _, c := range cands {
+			if it.ID == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("result %d not among candidates", it.ID)
+		}
+	}
+}
+
+func TestRefineInMemoryAgreesWithRefine(t *testing.T) {
+	div := bregman.ItakuraSaito{}
+	rng := rand.New(rand.NewSource(5))
+	points := make([][]float64, 40)
+	for i := range points {
+		p := make([]float64, 4)
+		for j := range p {
+			p[j] = 0.5 + rng.Float64()
+		}
+		points[i] = p
+	}
+	store, _ := disk.NewStore(points, nil, disk.Config{PageSize: 128})
+	cands := []int{0, 5, 10, 15, 20}
+	q := points[2]
+	a := Refine(div, store.NewSession(), cands, q, 3)
+	b := RefineInMemory(div, points, cands, q, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("in-memory and disk refinement disagree")
+		}
+	}
+}
+
+func TestRangeMatchesManualScan(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	points := pts(150, 3, 6)
+	q := points[0]
+	r := 2.5
+	got := Range(div, points, q, r)
+	sort.Ints(got)
+	var want []int
+	for id, p := range points {
+		if bregman.Distance(div, p, q) <= r {
+			want = append(want, id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("mismatch")
+		}
+	}
+}
+
+func TestRefineEmptyCandidates(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	points := pts(10, 2, 7)
+	store, _ := disk.NewStore(points, nil, disk.Config{PageSize: 64})
+	if got := Refine(div, store.NewSession(), nil, points[0], 3); got != nil {
+		t.Fatal("no candidates should return nil")
+	}
+}
+
+func TestKNNTiesAreStable(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	points := [][]float64{{0}, {1}, {1}, {2}}
+	got := KNN(div, points, []float64{0}, 3)
+	if got[0].ID != 0 {
+		t.Fatal("self should be first")
+	}
+	if got[1].ID != 1 || got[2].ID != 2 {
+		t.Fatalf("ties should break by id: %v", got)
+	}
+	_ = math.Pi
+}

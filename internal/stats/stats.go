@@ -1,0 +1,242 @@
+// Package stats provides the distribution-modelling substrate the paper's
+// approximate solution depends on (§8, Proposition 1): histograms, a
+// least-squares normal fit to a histogram (the footnote's recipe), and
+// empirical CDFs with inverse lookup. The approximate coefficient c needs a
+// CDF Ψ of the random variable βxy and its inverse Ψ⁻¹.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"brepartition/internal/vecmath"
+)
+
+// ErrEmpty is returned when a distribution is fit on no samples.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Dist is a one-dimensional distribution with a CDF and its inverse, the
+// interface Proposition 1 consumes.
+type Dist interface {
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Quantile returns inf{x : CDF(x) ≥ p} for p ∈ [0,1].
+	Quantile(p float64) float64
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+// Histogram is an equal-width histogram over [Lo, Hi] with len(Counts) bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram builds an equal-width histogram with bins buckets from the
+// samples. Returns ErrEmpty for no samples; a degenerate all-equal sample
+// produces a single-bin histogram of width 1 centred on the value.
+func NewHistogram(samples []float64, bins int) (*Histogram, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	if bins <= 0 {
+		bins = 1
+	}
+	lo, hi := vecmath.MinMax(samples)
+	if lo == hi {
+		lo, hi = lo-0.5, hi+0.5
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), N: len(samples)}
+	w := (hi - lo) / float64(bins)
+	for _, v := range samples {
+		i := int((v - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// BinWidth returns the width of each bucket.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// Centers returns the bucket midpoints.
+func (h *Histogram) Centers() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return out
+}
+
+// Densities returns the normalized density estimate per bucket.
+func (h *Histogram) Densities() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(h.N) * w)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Normal distribution, with two fitting routes.
+// ---------------------------------------------------------------------------
+
+// Normal is a Gaussian distribution N(Mu, Sigma²).
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// CDF returns Φ((x−µ)/σ).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return vecmath.NormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile returns µ + σ·Φ⁻¹(p).
+func (n Normal) Quantile(p float64) float64 {
+	if n.Sigma <= 0 {
+		return n.Mu
+	}
+	return n.Mu + n.Sigma*vecmath.NormalQuantile(p)
+}
+
+// PDF returns the Gaussian density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return 0
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-z*z/2) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// FitNormalMoments fits N(µ,σ²) by the sample mean and standard deviation.
+func FitNormalMoments(samples []float64) (Normal, error) {
+	if len(samples) == 0 {
+		return Normal{}, ErrEmpty
+	}
+	mu := vecmath.Mean(samples)
+	sigma := math.Sqrt(vecmath.Variance(samples))
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// FitNormalHistogramLS implements the paper's footnote: build a histogram of
+// the samples and fit a normal density to the bucket densities by least
+// squares. The moments fit seeds a Gauss–Newton refinement of (µ, σ); if the
+// refinement diverges the seed is returned.
+func FitNormalHistogramLS(samples []float64, bins int) (Normal, error) {
+	seed, err := FitNormalMoments(samples)
+	if err != nil {
+		return Normal{}, err
+	}
+	if seed.Sigma == 0 {
+		return seed, nil
+	}
+	h, err := NewHistogram(samples, bins)
+	if err != nil {
+		return Normal{}, err
+	}
+	xs, ys := h.Centers(), h.Densities()
+
+	mu, sigma := seed.Mu, seed.Sigma
+	for iter := 0; iter < 50; iter++ {
+		// Residuals r_i = N(x_i; mu, sigma) − y_i; Jacobian wrt (mu, sigma).
+		var jtj [2][2]float64
+		var jtr [2]float64
+		for i, x := range xs {
+			n := Normal{Mu: mu, Sigma: sigma}
+			p := n.PDF(x)
+			z := (x - mu) / sigma
+			dmu := p * z / sigma
+			dsig := p * (z*z - 1) / sigma
+			r := p - ys[i]
+			jtj[0][0] += dmu * dmu
+			jtj[0][1] += dmu * dsig
+			jtj[1][0] += dmu * dsig
+			jtj[1][1] += dsig * dsig
+			jtr[0] += dmu * r
+			jtr[1] += dsig * r
+		}
+		det := jtj[0][0]*jtj[1][1] - jtj[0][1]*jtj[1][0]
+		if math.Abs(det) < 1e-18 {
+			break
+		}
+		dMu := (jtj[1][1]*jtr[0] - jtj[0][1]*jtr[1]) / det
+		dSig := (jtj[0][0]*jtr[1] - jtj[1][0]*jtr[0]) / det
+		mu -= dMu
+		sigma -= dSig
+		if sigma <= 0 || math.IsNaN(mu) || math.IsNaN(sigma) {
+			return seed, nil
+		}
+		if math.Abs(dMu) < 1e-12 && math.Abs(dSig) < 1e-12 {
+			break
+		}
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Empirical distribution.
+// ---------------------------------------------------------------------------
+
+// Empirical is the empirical CDF of a sample, used when no parametric form
+// fits the βxy distribution well.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds an empirical CDF. The sample is copied and sorted.
+func NewEmpirical(samples []float64) (*Empirical, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	s := vecmath.Clone(samples)
+	sort.Float64s(s)
+	return &Empirical{sorted: s}, nil
+}
+
+// CDF returns the fraction of samples ≤ x.
+func (e *Empirical) CDF(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with CDF(v) ≥ p, with linear
+// interpolation between order statistics for interior p.
+func (e *Empirical) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	switch {
+	case p <= 0:
+		return e.sorted[0]
+	case p >= 1:
+		return e.sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return e.sorted[n-1]
+	}
+	return e.sorted[i]*(1-frac) + e.sorted[i+1]*frac
+}
+
+// Min and Max expose the sample range.
+func (e *Empirical) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample.
+func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func normalSamples(n int, mu, sigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestHistogramCountsSum(t *testing.T) {
+	s := normalSamples(5000, 0, 1, 1)
+	h, err := NewHistogram(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(s) {
+		t.Fatalf("counts sum to %d, want %d", total, len(s))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	if _, err := NewHistogram(nil, 8); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Lo >= h.Hi {
+		t.Fatal("degenerate histogram must still have positive width")
+	}
+}
+
+func TestHistogramDensitiesIntegrateToOne(t *testing.T) {
+	s := normalSamples(2000, 5, 2, 2)
+	h, _ := NewHistogram(s, 20)
+	var integral float64
+	for _, d := range h.Densities() {
+		integral += d * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("density integral = %g", integral)
+	}
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+}
+
+func TestNormalZeroSigma(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0}
+	if n.CDF(0.999) != 0 || n.CDF(1.001) != 1 {
+		t.Fatal("zero-sigma CDF should be a step at mu")
+	}
+	if n.Quantile(0.3) != 1 {
+		t.Fatal("zero-sigma quantile should be mu")
+	}
+}
+
+func TestFitNormalMoments(t *testing.T) {
+	s := normalSamples(20000, -2, 3, 3)
+	n, err := FitNormalMoments(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.Mu+2) > 0.1 || math.Abs(n.Sigma-3) > 0.1 {
+		t.Fatalf("fit = %+v, want mu=-2 sigma=3", n)
+	}
+}
+
+func TestFitNormalMomentsEmpty(t *testing.T) {
+	if _, err := FitNormalMoments(nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitNormalHistogramLSRecovers(t *testing.T) {
+	s := normalSamples(20000, 4, 1.5, 4)
+	n, err := FitNormalHistogramLS(s, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.Mu-4) > 0.15 || math.Abs(n.Sigma-1.5) > 0.15 {
+		t.Fatalf("LS fit = %+v, want mu=4 sigma=1.5", n)
+	}
+}
+
+func TestFitNormalHistogramLSDegenerate(t *testing.T) {
+	n, err := FitNormalHistogramLS([]float64{2, 2, 2, 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mu != 2 || n.Sigma != 0 {
+		t.Fatalf("degenerate fit = %+v", n)
+	}
+}
+
+func TestEmpiricalCDFMonotoneProperty(t *testing.T) {
+	s := normalSamples(500, 0, 1, 5)
+	e, err := NewEmpirical(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return e.CDF(a) <= e.CDF(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalCDFExactValues(t *testing.T) {
+	e, _ := NewEmpirical([]float64{1, 2, 3, 4})
+	if got := e.CDF(0); got != 0 {
+		t.Fatalf("CDF(0) = %g", got)
+	}
+	if got := e.CDF(2); got != 0.5 {
+		t.Fatalf("CDF(2) = %g", got)
+	}
+	if got := e.CDF(4); got != 1 {
+		t.Fatalf("CDF(4) = %g", got)
+	}
+	if got := e.CDF(2.5); got != 0.5 {
+		t.Fatalf("CDF(2.5) = %g", got)
+	}
+}
+
+func TestEmpiricalQuantileRange(t *testing.T) {
+	e, _ := NewEmpirical([]float64{10, 20, 30})
+	if e.Quantile(0) != 10 || e.Quantile(1) != 30 {
+		t.Fatal("quantile endpoints wrong")
+	}
+	if q := e.Quantile(0.5); q != 20 {
+		t.Fatalf("median = %g", q)
+	}
+	if e.Min() != 10 || e.Max() != 30 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestEmpiricalQuantileInterpolates(t *testing.T) {
+	e, _ := NewEmpirical([]float64{0, 10})
+	if q := e.Quantile(0.25); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("Quantile(0.25) = %g, want 2.5", q)
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	if _, err := NewEmpirical(nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmpiricalQuantileCDFConsistency(t *testing.T) {
+	s := normalSamples(1000, 0, 1, 6)
+	e, _ := NewEmpirical(s)
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		x := e.Quantile(p)
+		c := e.CDF(x)
+		if math.Abs(c-p) > 0.01 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, c)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package topk provides the bounded max-heap used everywhere BrePartition
+// selects "the k smallest of n" — the k-th smallest upper bound in
+// Algorithm 4 (O(n log k)), kNN refinement, and the baselines' candidate
+// maintenance.
+package topk
+
+import "sort"
+
+// Item pairs a candidate identifier with its score (a distance or bound).
+type Item struct {
+	ID    int
+	Score float64
+}
+
+// Selector keeps the k items with the smallest scores seen so far using a
+// max-heap of size ≤ k: the root is the current k-th smallest score, so a
+// new item replaces the root iff it is strictly smaller.
+//
+// The zero value is unusable; construct with New.
+type Selector struct {
+	k    int
+	heap []Item // max-heap on Score
+}
+
+// New returns a Selector retaining the k smallest-scored items. k must be
+// positive.
+func New(k int) *Selector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Selector{k: k, heap: make([]Item, 0, k)}
+}
+
+// K returns the selector's capacity.
+func (s *Selector) K() int { return s.k }
+
+// Len returns how many items are currently retained (≤ k).
+func (s *Selector) Len() int { return len(s.heap) }
+
+// Full reports whether k items have been retained.
+func (s *Selector) Full() bool { return len(s.heap) == s.k }
+
+// Threshold returns the current k-th smallest score: the score below which
+// a new item would be admitted. Before the selector is full it returns
+// +Inf semantics via the ok=false flag.
+func (s *Selector) Threshold() (score float64, ok bool) {
+	if !s.Full() {
+		return 0, false
+	}
+	return s.heap[0].Score, true
+}
+
+// Admissible reports whether an item with the given score could enter the
+// selection (true while not full, or when score beats the current root).
+func (s *Selector) Admissible(score float64) bool {
+	if !s.Full() {
+		return true
+	}
+	return score < s.heap[0].Score
+}
+
+// Offer considers (id, score) for the selection and reports whether it was
+// admitted.
+func (s *Selector) Offer(id int, score float64) bool {
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, Item{ID: id, Score: score})
+		s.up(len(s.heap) - 1)
+		return true
+	}
+	if score >= s.heap[0].Score {
+		return false
+	}
+	s.heap[0] = Item{ID: id, Score: score}
+	s.down(0)
+	return true
+}
+
+// Items returns the retained items sorted ascending by score (ties broken
+// by ID for determinism). The selector remains usable afterwards.
+func (s *Selector) Items() []Item {
+	out := make([]Item, len(s.heap))
+	copy(out, s.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Reset empties the selector, retaining capacity.
+func (s *Selector) Reset() { s.heap = s.heap[:0] }
+
+func (s *Selector) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].Score >= s.heap[i].Score {
+			return
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Selector) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l].Score > s.heap[largest].Score {
+			largest = l
+		}
+		if r < n && s.heap[r].Score > s.heap[largest].Score {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+// KthSmallest returns the k-th smallest value of scores (1-based k) in
+// O(n log k) without mutating the input. It panics when k is out of range.
+func KthSmallest(scores []float64, k int) float64 {
+	if k <= 0 || k > len(scores) {
+		panic("topk: k out of range")
+	}
+	sel := New(k)
+	for i, sc := range scores {
+		sel.Offer(i, sc)
+	}
+	v, _ := sel.Threshold()
+	return v
+}
+
+// MinQueue is a conventional min-priority queue keyed by float64, used by
+// best-first BB-tree traversal. The zero value is ready to use.
+type MinQueue struct {
+	items []Item
+}
+
+// Len returns the number of queued items.
+func (q *MinQueue) Len() int { return len(q.items) }
+
+// Push enqueues (id, score).
+func (q *MinQueue) Push(id int, score float64) {
+	q.items = append(q.items, Item{ID: id, Score: score})
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].Score <= q.items[i].Score {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the smallest-scored item. ok is false on empty.
+func (q *MinQueue) Pop() (it Item, ok bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	it = q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i, n := 0, len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].Score < q.items[smallest].Score {
+			smallest = l
+		}
+		if r < n && q.items[r].Score < q.items[smallest].Score {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return it, true
+}

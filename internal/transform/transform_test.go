@@ -1,0 +1,274 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brepartition/internal/bregman"
+)
+
+// equalParts mirrors partition.Equal without importing it (the partition
+// package depends on transform, so the test would form a cycle).
+func equalParts(d, m int) [][]int {
+	if m < 1 {
+		m = 1
+	}
+	if m > d {
+		m = d
+	}
+	size := (d + m - 1) / m
+	var parts [][]int
+	for start := 0; start < d; start += size {
+		end := start + size
+		if end > d {
+			end = d
+		}
+		dims := make([]int, end-start)
+		for i := range dims {
+			dims[i] = start + i
+		}
+		parts = append(parts, dims)
+	}
+	return parts
+}
+
+func domainVec(div bregman.Divergence, d int, rng *rand.Rand) []float64 {
+	lo, _ := div.Domain()
+	v := make([]float64, d)
+	for i := range v {
+		if math.IsInf(lo, -1) {
+			v[i] = 4 * (rng.Float64() - 0.5)
+		} else {
+			v[i] = lo + 0.1 + 4*rng.Float64()
+		}
+	}
+	return v
+}
+
+var testDivs = []bregman.Divergence{
+	bregman.SquaredEuclidean{},
+	bregman.ItakuraSaito{},
+	bregman.Exponential{},
+	bregman.GeneralizedKL{},
+}
+
+// TestTheorem1UpperBoundDominates: UB(xi,yi) ≥ D_f(xi,yi) in every subspace
+// for every divergence — the core soundness property of the filter.
+func TestTheorem1UpperBoundDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, div := range testDivs {
+		for trial := 0; trial < 200; trial++ {
+			d := 4 + rng.Intn(28)
+			m := 1 + rng.Intn(d)
+			parts := equalParts(d, m)
+			x := domainVec(div, d, rng)
+			y := domainVec(div, d, rng)
+			pt := PTransform(div, x, parts)
+			qt := QTransform(div, y, parts)
+			for i, dims := range parts {
+				ub := UBCompute(pt[i], qt[i])
+				dist := SubspaceDistance(div, x, y, dims)
+				if ub < dist-1e-9*(1+math.Abs(dist)) {
+					t.Fatalf("%s d=%d m=%d sub=%d: UB %g < D %g",
+						div.Name(), d, m, i, ub, dist)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem2Additivity: Σᵢ D(xi,yi) = D(x,y) for decomposable generators,
+// and the summed upper bound dominates the full distance.
+func TestTheorem2Additivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, div := range testDivs {
+		for trial := 0; trial < 100; trial++ {
+			d := 6 + rng.Intn(20)
+			m := 1 + rng.Intn(d)
+			parts := equalParts(d, m)
+			x := domainVec(div, d, rng)
+			y := domainVec(div, d, rng)
+			var sum float64
+			for _, dims := range parts {
+				sum += SubspaceDistance(div, x, y, dims)
+			}
+			full := bregman.Distance(div, x, y)
+			if math.Abs(sum-full) > 1e-8*(1+full) {
+				t.Fatalf("%s: Σ subspace %g != full %g", div.Name(), sum, full)
+			}
+			ubFull := UpperBoundFull(PTransform(div, x, parts), QTransform(div, y, parts))
+			if ubFull < full-1e-8*(1+full) {
+				t.Fatalf("%s: UB %g < D %g", div.Name(), ubFull, full)
+			}
+		}
+	}
+}
+
+// TestTheorem3Completeness: every true kNN point appears in the candidate
+// union produced by the Algorithm-4 radii.
+func TestTheorem3Completeness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, div := range testDivs {
+		n, d, m, k := 300, 16, 4, 10
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = domainVec(div, d, rng)
+		}
+		parts := equalParts(d, m)
+		tuples := make([][]PointTuple, n)
+		for i, p := range points {
+			tuples[i] = PTransform(div, p, parts)
+		}
+		for trial := 0; trial < 10; trial++ {
+			y := domainVec(div, d, rng)
+			qt := QTransform(div, y, parts)
+			b := QBDetermine(tuples, qt, k)
+
+			// Exact kNN by scan.
+			type pair struct {
+				id int
+				d  float64
+			}
+			dists := make([]pair, n)
+			for i, p := range points {
+				dists[i] = pair{i, bregman.Distance(div, p, y)}
+			}
+			for i := 0; i < k; i++ { // selection sort prefix
+				min := i
+				for j := i + 1; j < n; j++ {
+					if dists[j].d < dists[min].d {
+						min = j
+					}
+				}
+				dists[i], dists[min] = dists[min], dists[i]
+			}
+			for i := 0; i < k; i++ {
+				id := dists[i].id
+				inUnion := false
+				for si, dims := range parts {
+					if SubspaceDistance(div, points[id], y, dims) <= b.Radii[si]+1e-9 {
+						inUnion = true
+						break
+					}
+				}
+				if !inUnion {
+					t.Fatalf("%s: true %d-NN point %d missing from candidate union",
+						div.Name(), i+1, id)
+				}
+			}
+		}
+	}
+}
+
+func TestQBDetermineKthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	div := bregman.SquaredEuclidean{}
+	n, d, m := 100, 8, 2
+	parts := equalParts(d, m)
+	points := make([][]float64, n)
+	tuples := make([][]PointTuple, n)
+	for i := range points {
+		points[i] = domainVec(div, d, rng)
+		tuples[i] = PTransform(div, points[i], parts)
+	}
+	y := domainVec(div, d, rng)
+	qt := QTransform(div, y, parts)
+
+	b := QBDetermine(tuples, qt, 5)
+	// Exactly 5 points should have total UB ≤ b.Total (up to ties).
+	within := 0
+	for i := range tuples {
+		if UpperBoundFull(tuples[i], qt) <= b.Total+1e-12 {
+			within++
+		}
+	}
+	if within < 5 {
+		t.Fatalf("only %d points within the 5th smallest bound", within)
+	}
+	// The radii must reproduce the selected point's components.
+	var sum float64
+	for i := range b.Radii {
+		sum += b.Radii[i]
+	}
+	if math.Abs(sum-b.Total) > 1e-9*(1+b.Total) {
+		t.Fatalf("Σ radii %g != Total %g", sum, b.Total)
+	}
+}
+
+func TestQBDetermineEdgeCases(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	parts := equalParts(4, 2)
+	if b := QBDetermine(nil, QTransform(div, []float64{1, 2, 3, 4}, parts), 3); b.Radii != nil {
+		t.Fatal("empty dataset should return zero bounds")
+	}
+	// k > n clamps.
+	tuples := [][]PointTuple{PTransform(div, []float64{1, 1, 1, 1}, parts)}
+	b := QBDetermine(tuples, QTransform(div, []float64{0, 0, 0, 0}, parts), 10)
+	if b.PointID != 0 {
+		t.Fatalf("PointID = %d", b.PointID)
+	}
+}
+
+func TestKappaMuMatchesM1Bound(t *testing.T) {
+	// κ + µ must equal the M=1 Theorem-1 bound.
+	rng := rand.New(rand.NewSource(5))
+	for _, div := range testDivs {
+		d := 12
+		parts := equalParts(d, 1)
+		x := domainVec(div, d, rng)
+		y := domainVec(div, d, rng)
+		kappa, mu := KappaMu(div, x, y)
+		ub := UBCompute(PTransform(div, x, parts)[0], QTransform(div, y, parts)[0])
+		if math.Abs(kappa+mu-ub) > 1e-9*(1+math.Abs(ub)) {
+			t.Fatalf("%s: κ+µ = %g, UB(M=1) = %g", div.Name(), kappa+mu, ub)
+		}
+	}
+}
+
+func TestBetaXYRelaxation(t *testing.T) {
+	// |βxy| ≤ µ (Cauchy–Schwarz), the relaxation behind Proposition 1.
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_ = rng
+		div := testDivs[int(uint64(seed)%uint64(len(testDivs)))]
+		x := domainVec(div, 10, r)
+		y := domainVec(div, 10, r)
+		beta := BetaXY(div, x, y)
+		_, mu := KappaMu(div, x, y)
+		return math.Abs(beta) <= mu+1e-9*(1+mu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPTransformSubConsistency(t *testing.T) {
+	div := bregman.Exponential{}
+	rng := rand.New(rand.NewSource(7))
+	x := domainVec(div, 9, rng)
+	parts := equalParts(9, 3)
+	whole := PTransform(div, x, parts)
+	for i, dims := range parts {
+		single := PTransformSub(div, x, dims)
+		if whole[i] != single {
+			t.Fatalf("subspace %d: %+v != %+v", i, whole[i], single)
+		}
+	}
+}
+
+func TestSubspaceDistanceNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, div := range testDivs {
+		x := domainVec(div, 10, rng)
+		y := domainVec(div, 10, rng)
+		parts := equalParts(10, 5)
+		for _, dims := range parts {
+			if d := SubspaceDistance(div, x, y, dims); d < 0 {
+				t.Fatalf("%s: negative subspace distance %g", div.Name(), d)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package vafile implements the "VAF" baseline of the paper's evaluation:
+// Zhang et al.'s exact Bregman similarity search (PVLDB 2009), which maps
+// points into an extended space where the Bregman distance becomes linear
+// and then filters with a vector-approximation (VA) file.
+//
+// For a decomposable generator f(x) = Σ φ(xⱼ),
+//
+//	D_f(x, y) = Σφ(xⱼ) − Σφ(yⱼ) − Σ φ′(yⱼ)(xⱼ − yⱼ)
+//	          = ⟨ŵ(y), x̂⟩ + c(y)
+//
+// with the extended point x̂ = (x₁,…,x_d, Σφ(xⱼ)), the query weights
+// ŵ(y) = (−φ′(y₁),…,−φ′(y_d), 1) and the query constant
+// c(y) = −Σφ(yⱼ) + Σ yⱼφ′(yⱼ). kNN under D_f is therefore kNN under a
+// per-query linear functional of x̂, which a classic VA-file answers
+// exactly: quantized cells give per-point lower/upper bounds on the
+// functional, the k-th smallest upper bound prunes, survivors are read
+// from disk and verified.
+package vafile
+
+import (
+	"errors"
+	"math"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/topk"
+)
+
+// Config tunes the VA-file.
+type Config struct {
+	// Bits per extended dimension (cells per dim = 2^Bits). Default 6.
+	Bits int
+	// Disk configures the candidate page store and the approximation
+	// file's page accounting.
+	Disk disk.Config
+}
+
+// Index is a VA-file over the extended space.
+type Index struct {
+	div  bregman.Divergence
+	bits int
+	dim  int // extended dimensionality d+1
+
+	lo, hi  []float64 // per extended dim quantization range
+	cells   []uint16  // n * dim cell indices
+	n       int
+	store   *disk.Store
+	vaPages int // pages the approximation file occupies
+}
+
+// Stats reports one query's work.
+type Stats struct {
+	Candidates    int
+	PageReads     int
+	DistanceComps int
+}
+
+// Build constructs the VA-file index. Points must lie in the divergence's
+// domain.
+func Build(div bregman.Divergence, points [][]float64, cfg Config) (*Index, error) {
+	if len(points) == 0 {
+		return nil, errors.New("vafile: empty dataset")
+	}
+	if cfg.Bits <= 0 {
+		cfg.Bits = 6
+	}
+	if cfg.Bits > 16 {
+		cfg.Bits = 16
+	}
+	d := len(points[0])
+	ext := d + 1
+	idx := &Index{div: div, bits: cfg.Bits, dim: ext, n: len(points)}
+
+	// Extended coordinates: originals plus s(x) = Σφ(xⱼ).
+	extend := func(p []float64) []float64 {
+		e := make([]float64, ext)
+		copy(e, p)
+		var s float64
+		for _, v := range p {
+			s += div.Phi(v)
+		}
+		e[d] = s
+		return e
+	}
+
+	idx.lo = make([]float64, ext)
+	idx.hi = make([]float64, ext)
+	for j := range idx.lo {
+		idx.lo[j] = math.Inf(1)
+		idx.hi[j] = math.Inf(-1)
+	}
+	extPts := make([][]float64, len(points))
+	for i, p := range points {
+		e := extend(p)
+		extPts[i] = e
+		for j, v := range e {
+			if v < idx.lo[j] {
+				idx.lo[j] = v
+			}
+			if v > idx.hi[j] {
+				idx.hi[j] = v
+			}
+		}
+	}
+	for j := range idx.lo {
+		if idx.hi[j] <= idx.lo[j] {
+			idx.hi[j] = idx.lo[j] + 1 // constant dim: single degenerate cell
+		}
+	}
+
+	cellsPerDim := 1 << cfg.Bits
+	idx.cells = make([]uint16, len(points)*ext)
+	for i, e := range extPts {
+		row := idx.cells[i*ext : (i+1)*ext]
+		for j, v := range e {
+			c := int(float64(cellsPerDim) * (v - idx.lo[j]) / (idx.hi[j] - idx.lo[j]))
+			if c < 0 {
+				c = 0
+			}
+			if c >= cellsPerDim {
+				c = cellsPerDim - 1
+			}
+			row[j] = uint16(c)
+		}
+	}
+
+	store, err := disk.NewStore(points, nil, cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	idx.store = store
+
+	approxBytes := len(points) * ext * cfg.Bits / 8
+	idx.vaPages = (approxBytes + cfg.Disk.PageSize - 1) / cfg.Disk.PageSize
+	if idx.vaPages < 1 {
+		idx.vaPages = 1
+	}
+	return idx, nil
+}
+
+// Store exposes the candidate page store (for shared accounting in the
+// harness).
+func (idx *Index) Store() *disk.Store { return idx.store }
+
+// cellBounds returns the value interval of cell c along extended dim j.
+func (idx *Index) cellBounds(j int, c uint16) (lo, hi float64) {
+	cells := float64(int(1) << idx.bits)
+	w := (idx.hi[j] - idx.lo[j]) / cells
+	lo = idx.lo[j] + float64(c)*w
+	return lo, lo + w
+}
+
+// Search answers the exact kNN of q under D_f(x, q). The returned items are
+// ascending by distance. I/O accounting: every query scans the whole
+// approximation file (vaPages reads) and then reads each surviving
+// candidate's page.
+func (idx *Index) Search(q []float64, k int) ([]topk.Item, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	if k > idx.n {
+		k = idx.n
+	}
+	d := idx.dim - 1
+
+	// Query functional: weights over extended dims plus constant.
+	w := make([]float64, idx.dim)
+	var c float64
+	for j := 0; j < d; j++ {
+		g := idx.div.Grad(q[j])
+		w[j] = -g
+		c += -idx.div.Phi(q[j]) + q[j]*g
+	}
+	w[d] = 1
+
+	// Phase 1: bounds from cells; τ = k-th smallest upper bound.
+	ubSel := topk.New(k)
+	lbs := make([]float64, idx.n)
+	for i := 0; i < idx.n; i++ {
+		row := idx.cells[i*idx.dim : (i+1)*idx.dim]
+		var lb, ub float64
+		for j, cell := range row {
+			clo, chi := idx.cellBounds(j, cell)
+			if w[j] >= 0 {
+				lb += w[j] * clo
+				ub += w[j] * chi
+			} else {
+				lb += w[j] * chi
+				ub += w[j] * clo
+			}
+		}
+		lbs[i] = lb + c
+		ubSel.Offer(i, ub+c)
+	}
+	tau, _ := ubSel.Threshold()
+
+	// Phase 2: verify survivors, charging their page reads.
+	sess := idx.store.NewSession()
+	sel := topk.New(k)
+	for i := 0; i < idx.n; i++ {
+		if lbs[i] > tau {
+			continue
+		}
+		st.Candidates++
+		p := sess.Point(i)
+		st.DistanceComps++
+		sel.Offer(i, bregman.Distance(idx.div, p, q))
+	}
+	st.PageReads = sess.PageReads() + idx.vaPages
+	return sel.Items(), st
+}

@@ -1,0 +1,183 @@
+package vafile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/scan"
+)
+
+func points(div bregman.Divergence, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lo, _ := div.Domain()
+	positive := !math.IsInf(lo, -1)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			if positive {
+				p[j] = 0.1 + 4*rng.Float64()
+			} else {
+				p[j] = 3 * (rng.Float64() - 0.5)
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+var divs = []bregman.Divergence{
+	bregman.SquaredEuclidean{},
+	bregman.ItakuraSaito{},
+	bregman.Exponential{},
+	bregman.GeneralizedKL{},
+}
+
+func build(tb testing.TB, div bregman.Divergence, pts [][]float64, bits int) *Index {
+	tb.Helper()
+	idx, err := Build(div, pts, Config{Bits: bits, Disk: disk.Config{PageSize: 1 << 10}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return idx
+}
+
+func TestSearchExactAllDivergences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, div := range divs {
+		pts := points(div, 500, 10, 2)
+		idx := build(t, div, pts, 6)
+		for trial := 0; trial < 10; trial++ {
+			q := pts[rng.Intn(len(pts))]
+			k := 1 + rng.Intn(12)
+			got, _ := idx.Search(q, k)
+			want := scan.KNN(div, pts, q, k)
+			for i := range want {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-9*(1+want[i].Score) {
+					t.Fatalf("%s k=%d pos %d: got %g want %g",
+						div.Name(), k, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreBitsFewerCandidates(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 2000, 8, 3)
+	coarse := build(t, div, pts, 3)
+	fine := build(t, div, pts, 9)
+	q := pts[11]
+	_, stCoarse := coarse.Search(q, 10)
+	_, stFine := fine.Search(q, 10)
+	if stFine.Candidates > stCoarse.Candidates {
+		t.Fatalf("finer quantization produced more candidates: %d > %d",
+			stFine.Candidates, stCoarse.Candidates)
+	}
+	if stFine.Candidates >= 2000 {
+		t.Fatal("9-bit VA-file should prune something")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	div := bregman.Exponential{}
+	pts := points(div, 300, 6, 4)
+	idx := build(t, div, pts, 6)
+	_, st := idx.Search(pts[0], 5)
+	if st.Candidates <= 0 || st.Candidates > 300 {
+		t.Fatalf("candidates = %d", st.Candidates)
+	}
+	if st.PageReads <= 0 {
+		t.Fatal("VA-file scan must cost at least the approximation pages")
+	}
+	if st.DistanceComps != st.Candidates {
+		t.Fatalf("distance comps %d != candidates %d", st.DistanceComps, st.Candidates)
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(bregman.SquaredEuclidean{}, nil, Config{Disk: disk.Config{PageSize: 1024}}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestBitsClamped(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 50, 4, 5)
+	idx, err := Build(div, pts, Config{Bits: 99, Disk: disk.Config{PageSize: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.bits > 16 {
+		t.Fatalf("bits = %d", idx.bits)
+	}
+	idx2, err := Build(div, pts, Config{Bits: 0, Disk: disk.Config{PageSize: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.bits != 6 {
+		t.Fatalf("default bits = %d", idx2.bits)
+	}
+}
+
+func TestConstantDimensionHandled(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 100, 4, 6)
+	for _, p := range pts {
+		p[2] = 7 // constant dimension
+	}
+	idx := build(t, div, pts, 6)
+	got, _ := idx.Search(pts[3], 5)
+	want := scan.KNN(div, pts, pts[3], 5)
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatal("constant dimension broke exactness")
+		}
+	}
+}
+
+func TestSearchZeroK(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 20, 3, 7)
+	idx := build(t, div, pts, 4)
+	if got, _ := idx.Search(pts[0], 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 10, 3, 8)
+	idx := build(t, div, pts, 4)
+	got, _ := idx.Search(pts[0], 50)
+	if len(got) != 10 {
+		t.Fatalf("k>n should clamp: got %d", len(got))
+	}
+}
+
+func TestCellBoundsContainValues(t *testing.T) {
+	div := bregman.ItakuraSaito{}
+	pts := points(div, 200, 5, 9)
+	idx := build(t, div, pts, 5)
+	for i, p := range pts {
+		row := idx.cells[i*idx.dim : (i+1)*idx.dim]
+		ext := make([]float64, idx.dim)
+		copy(ext, p)
+		var s float64
+		for _, v := range p {
+			s += div.Phi(v)
+		}
+		ext[idx.dim-1] = s
+		for j, cell := range row {
+			lo, hi := idx.cellBounds(j, cell)
+			// Allow boundary placement at the extreme cells.
+			if ext[j] < lo-1e-9 || ext[j] > hi+1e-9 {
+				t.Fatalf("point %d extdim %d: value %g outside cell [%g,%g]",
+					i, j, ext[j], lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package vecmath provides the small numeric substrate used throughout the
+// BrePartition reproduction: vector arithmetic, running statistics,
+// correlation, and a few special functions (inverse normal CDF) that the
+// Go standard library does not ship.
+//
+// Everything operates on []float64 and is allocation-conscious: callers on
+// hot paths pass destination slices where it matters.
+package vecmath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned (or panicked in must-variants) when two
+// vectors that must share a dimensionality do not.
+var ErrLengthMismatch = errors.New("vecmath: vector length mismatch")
+
+// Dot returns the inner product of a and b. It panics if the lengths differ,
+// because a mismatch is always a programming error on the hot path.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// SumSquares returns Σ aᵢ².
+func SumSquares(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 { return math.Sqrt(SumSquares(a)) }
+
+// Sum returns Σ aᵢ using Kahan compensated summation, which keeps the
+// bound-tightness comparisons in the partition optimizer stable for the
+// long, mixed-magnitude sums that arise with exponential generators.
+func Sum(a []float64) float64 {
+	var sum, c float64
+	for _, v := range a {
+		y := v - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// Variance returns the population variance of a (denominator n), or 0 for
+// slices shorter than 1.
+func Variance(a []float64) float64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(a)
+	var s float64
+	for _, v := range a {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// Covariance returns the population covariance of a and b.
+func Covariance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var s float64
+	for i := range a {
+		s += (a[i] - ma) * (b[i] - mb)
+	}
+	return s / float64(n)
+}
+
+// Pearson returns the Pearson correlation coefficient r(a,b) =
+// cov(a,b)/√(var(a)·var(b)). If either variance is zero (a constant
+// dimension) it returns 0, which PCCP treats as "uncorrelated".
+func Pearson(a, b []float64) float64 {
+	va, vb := Variance(a), Variance(b)
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	r := Covariance(a, b) / math.Sqrt(va*vb)
+	// Numerical noise can push |r| infinitesimally above 1.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// AddScaled sets dst = a + s*b and returns dst. dst may alias a.
+func AddScaled(dst, a []float64, s float64, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	for i := range a {
+		dst[i] = a[i] + s*b[i]
+	}
+	return dst
+}
+
+// Lerp sets dst[i] = (1-t)*a[i] + t*b[i] and returns dst.
+func Lerp(dst, a, b []float64, t float64) []float64 {
+	if len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	for i := range a {
+		dst[i] = (1-t)*a[i] + t*b[i]
+	}
+	return dst
+}
+
+// Clone returns a fresh copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// EqualApprox reports whether |a-b| ≤ tol element-wise.
+func EqualApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Close reports whether two scalars agree to within an absolute-or-relative
+// tolerance, the comparison used across the test suites.
+func Close(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// MinMax returns the smallest and largest values in a. It panics on an
+// empty slice.
+func MinMax(a []float64) (lo, hi float64) {
+	if len(a) == 0 {
+		panic("vecmath: MinMax of empty slice")
+	}
+	lo, hi = a[0], a[0]
+	for _, v := range a[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p ∈ (0,1) using Acklam's rational
+// approximation refined by one Halley step, accurate to ~1e-15. It returns
+// ±Inf at the endpoints and NaN outside [0,1].
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement step against the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

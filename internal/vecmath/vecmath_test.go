@@ -1,0 +1,224 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %g, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSumSquaresAndNorm(t *testing.T) {
+	v := []float64{3, 4}
+	if got := SumSquares(v); got != 25 {
+		t.Fatalf("SumSquares = %g, want 25", got)
+	}
+	if got := Norm2(v); got != 5 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation loses the small terms.
+	v := make([]float64, 1001)
+	v[0] = 1
+	for i := 1; i < len(v); i++ {
+		v[i] = 1e-16
+	}
+	got := Sum(v)
+	want := 1 + 1000e-16
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Sum = %.20g, want %.20g", got, want)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := Variance(v); got != 4 {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-slice mean/variance should be 0")
+	}
+}
+
+func TestCovarianceSymmetry(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 5, 4}
+	if Covariance(a, b) != Covariance(b, a) {
+		t.Fatal("covariance not symmetric")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %g, want 1", got)
+	}
+	c := []float64{-1, -2, -3, -4, -5}
+	if got := Pearson(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %g, want -1", got)
+	}
+}
+
+func TestPearsonConstantDimension(t *testing.T) {
+	a := []float64{1, 1, 1}
+	b := []float64{1, 2, 3}
+	if got := Pearson(a, b); got != 0 {
+		t.Fatalf("Pearson with constant dim = %g, want 0", got)
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		// Map raw quick values into a bounded range; extreme magnitudes
+		// overflow the covariance product and are not meaningful inputs.
+		av := make([]float64, len(a))
+		bv := make([]float64, len(b))
+		for i := range a {
+			av[i] = math.Remainder(a[i], 1e6)
+			bv[i] = math.Remainder(b[i], 1e6)
+			if math.IsNaN(av[i]) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) {
+				bv[i] = 0
+			}
+		}
+		r := Pearson(av, bv)
+		return r >= -1 && r <= 1 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := []float64{0, 10}
+	b := []float64{10, 20}
+	if got := Lerp(nil, a, b, 0); !EqualApprox(got, a, 0) {
+		t.Fatalf("Lerp(0) = %v, want %v", got, a)
+	}
+	if got := Lerp(nil, a, b, 1); !EqualApprox(got, b, 0) {
+		t.Fatalf("Lerp(1) = %v, want %v", got, b)
+	}
+	if got := Lerp(nil, a, b, 0.5); !EqualApprox(got, []float64{5, 15}, 1e-15) {
+		t.Fatalf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	got := AddScaled(nil, []float64{1, 2}, 3, []float64{10, 20})
+	if !EqualApprox(got, []float64{31, 62}, 0) {
+		t.Fatalf("AddScaled = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone aliases its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g,%g), want (-1,7)", lo, hi)
+	}
+}
+
+func TestMinMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestClose(t *testing.T) {
+	if !Close(1, 1+1e-12, 1e-9) {
+		t.Fatal("Close should accept tiny relative error")
+	}
+	if Close(1, 2, 1e-9) {
+		t.Fatal("Close should reject large error")
+	}
+	if !Close(1e15, 1e15*(1+1e-12), 1e-9) {
+		t.Fatal("Close should be relative at large scale")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999, 1 - 1e-10} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Fatal("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("Quantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Fatal("out-of-range p should be NaN")
+	}
+}
+
+func TestNormalQuantileMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) <= NormalQuantile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
