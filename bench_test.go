@@ -119,7 +119,7 @@ func BenchmarkFig15ApproximateUniform(b *testing.B) {
 // but underpinning the running-time analysis of §5.1).
 // ---------------------------------------------------------------------------
 
-func benchIndex(b *testing.B, m int) (*brepartition.Index, [][]float64) {
+func benchIndex(b *testing.B, m, nq int) (*brepartition.Index, [][]float64) {
 	b.Helper()
 	spec, err := dataset.PaperSpec("audio", 0.1)
 	if err != nil {
@@ -134,11 +134,11 @@ func benchIndex(b *testing.B, m int) (*brepartition.Index, [][]float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return idx, dataset.SampleQueries(ds, 16, 3)
+	return idx, dataset.SampleQueries(ds, nq, 3)
 }
 
 func BenchmarkSearchM8(b *testing.B) {
-	idx, queries := benchIndex(b, 8)
+	idx, queries := benchIndex(b, 8, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := idx.Search(queries[i%len(queries)], 20); err != nil {
@@ -148,7 +148,7 @@ func BenchmarkSearchM8(b *testing.B) {
 }
 
 func BenchmarkSearchM32(b *testing.B) {
-	idx, queries := benchIndex(b, 32)
+	idx, queries := benchIndex(b, 32, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := idx.Search(queries[i%len(queries)], 20); err != nil {
@@ -158,7 +158,7 @@ func BenchmarkSearchM32(b *testing.B) {
 }
 
 func BenchmarkSearchApproxP08(b *testing.B) {
-	idx, queries := benchIndex(b, 8)
+	idx, queries := benchIndex(b, 8, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := idx.SearchApprox(queries[i%len(queries)], 20, 0.8); err != nil {
@@ -204,6 +204,39 @@ func BenchmarkBuildM16(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Batch engine throughput: sequential Search loop vs. the concurrent
+// engine at 1/4/8 workers. Compare ns/op across the variants to read the
+// throughput multiple (BENCH_*.json trajectory); worker counts above
+// GOMAXPROCS can't help, so run on a 4+ core machine to see the ≥2x.
+// ---------------------------------------------------------------------------
+
+func BenchmarkBatchSearchSequential(b *testing.B) {
+	idx, queries := benchIndex(b, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := idx.Search(q, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchmarkBatchWorkers(b *testing.B, workers int) {
+	idx, queries := benchIndex(b, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.BatchSearch(queries, 20, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSearchW1(b *testing.B) { benchmarkBatchWorkers(b, 1) }
+func BenchmarkBatchSearchW4(b *testing.B) { benchmarkBatchWorkers(b, 4) }
+func BenchmarkBatchSearchW8(b *testing.B) { benchmarkBatchWorkers(b, 8) }
 
 // fmt is referenced so the import stays when emit's debug path is unused.
 var _ = fmt.Sprintf

@@ -17,6 +17,18 @@
 //	    fmt.Println(nb.ID, nb.Score) // dataset row and Bregman distance
 //	}
 //
+// For query-heavy service workloads, wrap the index in an Engine: it runs
+// many queries concurrently over a bounded worker pool, shares an LRU
+// result cache across them, and aggregates QPS / latency statistics:
+//
+//	eng := brepartition.NewEngine(idx, nil)
+//	results, err := eng.BatchSearch(queries, 10)
+//	st := eng.Stats() // QPS, p50/p99 latency, page reads, cache hits
+//
+// All Index and Engine methods are safe for concurrent use; Insert and
+// Delete take the index's exclusive lock, so searches never observe a torn
+// index (see DESIGN.md, "Concurrency model").
+//
 // See the examples/ directory for complete programs and DESIGN.md for the
 // mapping between this library and the paper.
 package brepartition
@@ -24,6 +36,7 @@ package brepartition
 import (
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
+	"brepartition/internal/engine"
 	"brepartition/internal/scan"
 )
 
@@ -144,6 +157,10 @@ func (ix *Index) SearchParallel(q []float64, k, workers int) (Result, error) {
 // Insert adds a point to the index (the paper's §10 future-work item) and
 // returns its new dataset id. Searches stay exact; heavy churn loosens the
 // ball bounds, so rebuild periodically for peak filtering.
+//
+// Insert is safe to call while searches run on other goroutines: all index
+// methods follow a readers-writer discipline, so every search observes the
+// index either entirely before or entirely after each mutation.
 func (ix *Index) Insert(p []float64) (int, error) { return ix.inner.Insert(p) }
 
 // Delete tombstones a point by id, reporting whether it was live. Deleted
@@ -152,6 +169,11 @@ func (ix *Index) Delete(id int) bool { return ix.inner.Delete(id) }
 
 // Live returns the number of non-deleted points.
 func (ix *Index) Live() int { return ix.inner.Live() }
+
+// Version counts the mutations (Insert/Delete) applied so far. Two reads
+// bracketed by equal Version values saw the same index state; the engine's
+// result cache keys on it for invalidation.
+func (ix *Index) Version() uint64 { return ix.inner.Version() }
 
 // WriteFile persists the built index (partitioning, tuples, BB-forest) so
 // a later process can skip the entire precomputation.
@@ -165,6 +187,75 @@ func ReadIndexFile(path string) (*Index, error) {
 		return nil, err
 	}
 	return &Index{inner: inner}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent batch query engine.
+// ---------------------------------------------------------------------------
+
+// EngineOptions tunes a query engine: Workers bounds concurrently executing
+// queries (0 = GOMAXPROCS), SubWorkers optionally fans each query's
+// per-subspace range queries out as well (0 or 1 = sequential filter), and
+// CacheSize sets the shared LRU result cache capacity in entries (0 = 1024,
+// negative disables caching).
+type EngineOptions = engine.Config
+
+// EngineStats is the aggregate service view of an engine: completed query
+// count, cache hits, summed page reads and candidates, wall time, QPS, and
+// p50/p99 latency.
+type EngineStats = engine.Stats
+
+// Future is a handle to one in-flight query submitted to an Engine.
+type Future = engine.Future
+
+// Engine is a concurrent batch query layer over one Index: a bounded pool
+// of query workers, submit/await semantics, a shared LRU result cache, and
+// aggregate statistics. It is safe for concurrent use, including against
+// an index that is being mutated with Insert/Delete from other goroutines;
+// each query sees one consistent index snapshot, and cached results are
+// invalidated by mutations (they are keyed on Index.Version).
+//
+// Results handed out by an Engine may be shared with other callers of the
+// same engine (cache hits); treat them as read-only.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// NewEngine creates a query engine over ix. opts may be nil for defaults
+// (GOMAXPROCS workers, sequential per-query filter, 1024-entry cache).
+func NewEngine(ix *Index, opts *EngineOptions) *Engine {
+	var o EngineOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{inner: engine.New(ix.inner, o)}
+}
+
+// BatchSearch answers all queries with k exact nearest neighbours each,
+// running up to Workers queries concurrently. Results arrive in query
+// order and are identical to a sequential Search loop over the same index
+// state; the first error (if any) is returned after every query settled.
+func (e *Engine) BatchSearch(queries [][]float64, k int) ([]Result, error) {
+	return e.inner.BatchSearch(queries, k)
+}
+
+// Submit enqueues one query and returns a Future immediately; Wait blocks
+// for the answer. Use it to pipeline query production with execution.
+func (e *Engine) Submit(q []float64, k int) *Future { return e.inner.Submit(q, k) }
+
+// Stats snapshots the engine's aggregate statistics.
+func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
+
+// Workers returns the effective query-level concurrency bound.
+func (e *Engine) Workers() int { return e.inner.Workers() }
+
+// BatchSearch is a convenience one-shot batch: it answers all queries with
+// k neighbours each using workers concurrent queries (0 = GOMAXPROCS) and
+// no result cache. For sustained traffic keep a NewEngine instead, so the
+// cache and statistics persist across batches.
+func (ix *Index) BatchSearch(queries [][]float64, k, workers int) ([]Result, error) {
+	eng := engine.New(ix.inner, engine.Config{Workers: workers, CacheSize: -1})
+	return eng.BatchSearch(queries, k)
 }
 
 // BruteForce computes the exact kNN by linear scan — the ground truth used

@@ -7,13 +7,20 @@
 //	brebench all
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-// fig14, fig15, fig15-uniform.
+// fig14, fig15, fig15-uniform, batch.
+//
+// The batch experiment goes beyond the paper: it replays one batch of
+// queries through the concurrent engine at several worker counts and
+// reports throughput (QPS), p50/p99 latency, and the speedup over a
+// sequential Search loop.
 //
 // Flags:
 //
 //	-scale f    multiply dataset cardinalities (default 1)
 //	-queries n  queries per measurement (default 10; paper uses 50)
 //	-seed n     RNG seed (default 1)
+//	-workers n  max engine query workers for batch (default GOMAXPROCS)
+//	-batch n    batch size for the batch experiment (default 256)
 package main
 
 import (
@@ -28,12 +35,15 @@ import (
 var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
+	"batch",
 }
 
 func main() {
 	scale := flag.Float64("scale", 1, "dataset cardinality multiplier")
 	queries := flag.Int("queries", 10, "queries per measurement")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	workers := flag.Int("workers", 0, "max engine query workers for batch (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 256, "batch size for the batch experiment")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -58,7 +68,7 @@ func main() {
 	}
 
 	for _, name := range wanted {
-		tables, err := run(env, name)
+		tables, err := run(env, name, *workers, *batch)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "brebench:", err)
 			os.Exit(1)
@@ -69,7 +79,7 @@ func main() {
 	}
 }
 
-func run(env *experiments.Env, name string) ([]experiments.Table, error) {
+func run(env *experiments.Env, name string, workers, batch int) ([]experiments.Table, error) {
 	switch name {
 	case "table4":
 		return env.Table4(), nil
@@ -93,6 +103,8 @@ func run(env *experiments.Env, name string) ([]experiments.Table, error) {
 		return env.Fig15("normal"), nil
 	case "fig15-uniform":
 		return env.Fig15("uniform"), nil
+	case "batch":
+		return env.Batch(workers, batch), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

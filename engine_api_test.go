@@ -1,0 +1,114 @@
+package brepartition_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"brepartition"
+)
+
+func apiTestIndex(t testing.TB) (*brepartition.Index, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	const n, d = 500, 20
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = 0.5 + 4*rng.Float64()
+		}
+		points[i] = p
+	}
+	idx, err := brepartition.Build(brepartition.ItakuraSaito(), points, &brepartition.Options{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 20)
+	for i := range queries {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = 0.5 + 4*rng.Float64()
+		}
+		queries[i] = q
+	}
+	return idx, queries
+}
+
+// TestBatchSearchMatchesSequential asserts the batch engine's core
+// contract: for any worker count, BatchSearch returns exactly what a
+// sequential Search loop returns — same ids, same distances, bit for bit.
+func TestBatchSearchMatchesSequential(t *testing.T) {
+	idx, queries := apiTestIndex(t)
+	const k = 9
+
+	want := make([][]brepartition.Neighbor, len(queries))
+	for i, q := range queries {
+		res, err := idx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = brepartition.Neighbors(res)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		results, err := idx.BatchSearch(queries, k, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, res := range results {
+			if got := brepartition.Neighbors(res); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("workers=%d query %d: batch answer diverges from sequential Search\ngot  %v\nwant %v",
+					workers, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestEngineLifecycle exercises the persistent engine surface: submit /
+// await, batch, cache reuse, version-based invalidation, and statistics.
+func TestEngineLifecycle(t *testing.T) {
+	idx, queries := apiTestIndex(t)
+	eng := brepartition.NewEngine(idx, &brepartition.EngineOptions{Workers: 4, CacheSize: 128})
+
+	fut := eng.Submit(queries[0], 5)
+	res, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 5 {
+		t.Fatalf("got %d items, want 5", len(res.Items))
+	}
+
+	if _, err := eng.BatchSearch(queries, 5); err != nil {
+		t.Fatal(err)
+	}
+	// queries[0] was already answered: the batch must have hit the cache.
+	st := eng.Stats()
+	if st.CacheHits < 1 {
+		t.Fatalf("CacheHits = %d, want ≥ 1", st.CacheHits)
+	}
+	if st.Queries != int64(1+len(queries)) {
+		t.Fatalf("Queries = %d, want %d", st.Queries, 1+len(queries))
+	}
+	if st.QPS <= 0 || st.P99 < st.P50 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+
+	// Mutations invalidate cached answers via the version counter.
+	v0 := idx.Version()
+	id, err := idx.Insert(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Version() == v0 {
+		t.Fatal("Version did not advance on Insert")
+	}
+	res, err = eng.Submit(queries[0], 5).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items[0].ID != id || res.Items[0].Score != 0 {
+		t.Fatalf("after inserting the query point, expected it first with distance 0; got %+v", res.Items[0])
+	}
+}

@@ -59,4 +59,35 @@ func main() {
 		log.Fatalf("expected row 10 first, got %d", res.Items[0].ID)
 	}
 	fmt.Println("exact result verified (query row ranked first).")
+
+	// Batch mode: for query-heavy workloads, an Engine answers many
+	// queries concurrently (bounded worker pool + shared result cache)
+	// and aggregates service statistics. Results are identical to calling
+	// Search in a loop.
+	batch := make([][]float64, 64)
+	for i := range batch {
+		batch[i] = points[(i*7)%n]
+	}
+	eng := brepartition.NewEngine(idx, nil) // defaults: GOMAXPROCS workers
+	results, err := eng.BatchSearch(batch, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Items[0].ID != (i*7)%n {
+			log.Fatalf("batch query %d: expected row %d first, got %d",
+				i, (i*7)%n, r.Items[0].ID)
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("batch of %d queries on %d workers: %.0f QPS, p50=%s p99=%s, %d page reads\n",
+		len(batch), eng.Workers(), st.QPS, st.P50, st.P99, st.PageReads)
+
+	// The engine stays useful under mutation: Insert/Delete are safe while
+	// searches run, and the result cache invalidates itself.
+	if _, err := idx.Insert(points[0]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after one insert: %d live points, index version %d\n",
+		idx.Live(), idx.Version())
 }

@@ -1,0 +1,3 @@
+module brepartition
+
+go 1.21

@@ -1,0 +1,79 @@
+package bregman
+
+import (
+	"math"
+	"testing"
+)
+
+// mapIntoDomain folds an arbitrary fuzzed float into a numerically safe
+// interior of div's domain. Full-line generators are folded into [-30, 30]
+// (Exponential's φ(t)=eᵗ overflows float64 past ~709, which would turn the
+// invariants into inf−inf noise rather than exercising the math); positive
+// generators into [1e-3, 1e3].
+func mapIntoDomain(div Divergence, v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 1
+	}
+	lo, _ := div.Domain()
+	if lo == 0 {
+		m := math.Mod(math.Abs(v), 3) // exponent in [0, 3)
+		return 1e-3 * math.Pow(10, m) // [1e-3, 1e0·10^3) = [1e-3, 1e3)
+	}
+	return math.Mod(v, 30)
+}
+
+// FuzzDistance checks the divergence invariants every index structure
+// relies on, across the whole registry:
+//
+//   - D(x, y) is finite and non-negative (Theorem: φ strictly convex),
+//   - D(x, x) = 0 exactly,
+//   - every per-coordinate term is non-negative up to roundoff,
+//   - GradInv is the inverse of Grad on the domain (the Legendre dual
+//     coordinate map the BB-tree geodesic projection depends on).
+//
+// Run the stored corpus with `go test`; explore with
+// `go test -fuzz=FuzzDistance ./internal/bregman`.
+func FuzzDistance(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.5, 0.5, 0.5, 0.5)
+	f.Add(-7.25, 12.0, 1e-3, 1e3)
+	f.Add(29.9, -29.9, 0.001, 999.0)
+	f.Add(0.0, -0.0, math.Pi, math.E)
+
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, div := range All() {
+			x := []float64{mapIntoDomain(div, a), mapIntoDomain(div, b)}
+			y := []float64{mapIntoDomain(div, c), mapIntoDomain(div, d)}
+			if !InDomain(div, x) || !InDomain(div, y) {
+				t.Fatalf("%s: mapIntoDomain produced out-of-domain input x=%v y=%v",
+					div.Name(), x, y)
+			}
+
+			dist := Distance(div, x, y)
+			if math.IsNaN(dist) || math.IsInf(dist, 0) || dist < 0 {
+				t.Errorf("%s: D(%v, %v) = %v, want finite ≥ 0", div.Name(), x, y, dist)
+			}
+			if self := Distance(div, x, x); self != 0 {
+				t.Errorf("%s: D(x, x) = %v, want 0 (x=%v)", div.Name(), self, x)
+			}
+
+			for j := range x {
+				term := DistanceTerm(div, x[j], y[j])
+				// Convexity makes each term ≥ 0; allow roundoff scaled to
+				// the magnitudes that entered the subtraction.
+				scale := 1 + math.Abs(div.Phi(x[j])) + math.Abs(div.Phi(y[j])) +
+					math.Abs(div.Grad(y[j])*(x[j]-y[j]))
+				if term < -1e-9*scale {
+					t.Errorf("%s: term(%v, %v) = %v, want ≥ 0", div.Name(), x[j], y[j], term)
+				}
+			}
+
+			for _, v := range []float64{x[0], x[1], y[0], y[1]} {
+				got := div.GradInv(div.Grad(v))
+				if math.IsNaN(got) || math.Abs(got-v) > 1e-6*(1+math.Abs(v)) {
+					t.Errorf("%s: GradInv(Grad(%v)) = %v, want identity", div.Name(), v, got)
+				}
+			}
+		}
+	})
+}

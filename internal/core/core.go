@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"brepartition/internal/approx"
@@ -77,6 +78,14 @@ func (o Options) withDefaults() Options {
 }
 
 // Index is a built BrePartition index.
+//
+// Thread safety: all exported methods are safe for concurrent use. Reads
+// (Search, SearchApprox, SearchParallel, RangeSearch, Bounds, accessors)
+// hold a shared lock; mutations (Insert, Delete) hold an exclusive lock,
+// so a search never observes a torn index — it sees the index either
+// entirely before or entirely after each mutation. The exported fields are
+// owned by the index after Build; external code must not mutate them while
+// other goroutines use the index.
 type Index struct {
 	Div    bregman.Divergence
 	Points [][]float64
@@ -92,6 +101,18 @@ type Index struct {
 	opts Options
 	// deleted marks tombstoned points (nil until the first Delete).
 	deleted []bool
+	// d caches the dimensionality, truly immutable after construction
+	// (unlike the Points slice header, which Insert rewrites), so Dim
+	// stays lock-free.
+	d int
+
+	// mu guards every mutable structure reachable from the index (Points,
+	// Tuples, deleted, the BB-forest trees and the disk store layout).
+	// Exported methods lock; unexported helpers assume the caller holds it.
+	mu sync.RWMutex
+	// version counts completed mutations; snapshot consumers (the engine's
+	// result cache) use it to detect staleness.
+	version uint64
 }
 
 // SearchStats reports the work of one query, the quantities plotted in the
@@ -144,7 +165,7 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 		}
 	}
 
-	ix := &Index{Div: div, Points: points, opts: opts}
+	ix := &Index{Div: div, Points: points, opts: opts, d: d}
 
 	// Step 1 (Line 2): number of partitions.
 	m := opts.M
@@ -188,17 +209,35 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 	return ix, nil
 }
 
-// M returns the number of partitions in use.
+// M returns the number of partitions in use (immutable after Build).
 func (ix *Index) M() int { return len(ix.Parts) }
 
-// N returns the number of indexed points.
-func (ix *Index) N() int { return len(ix.Points) }
+// N returns the number of indexed points (including tombstoned ones).
+func (ix *Index) N() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.Points)
+}
 
-// Dim returns the data dimensionality.
-func (ix *Index) Dim() int { return len(ix.Points[0]) }
+// Dim returns the data dimensionality (immutable after construction, so
+// lock-free).
+func (ix *Index) Dim() int { return ix.d }
+
+// dim is the internal alias used on paths that already hold ix.mu.
+func (ix *Index) dim() int { return ix.d }
+
+// Version returns the number of mutations (Insert/Delete) applied so far.
+// Two searches bracketed by equal Version values saw the same index state.
+func (ix *Index) Version() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.version
+}
 
 // Search runs Algorithm 6 and returns the exact kNN of q.
 func (ix *Index) Search(q []float64, k int) (Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.search(q, k, 0)
 }
 
@@ -209,15 +248,18 @@ func (ix *Index) SearchApprox(q []float64, k int, p float64) (Result, error) {
 	if !(p > 0 && p <= 1) {
 		return Result{}, approx.ErrGuarantee
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.search(q, k, p)
 }
 
+// search runs Algorithm 6; the caller must hold ix.mu (read side).
 func (ix *Index) search(q []float64, k int, p float64) (Result, error) {
 	if k <= 0 {
 		return Result{}, ErrK
 	}
-	if len(q) != ix.Dim() {
-		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.Dim())
+	if len(q) != ix.dim() {
+		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.dim())
 	}
 	if err := bregman.CheckDomain(ix.Div, q); err != nil {
 		return Result{}, err
@@ -274,7 +316,9 @@ func (ix *Index) search(q []float64, k int, p float64) (Result, error) {
 
 // Bounds exposes Algorithm 4's output for a query (diagnostics and tests).
 func (ix *Index) Bounds(q []float64, k int) (transform.Bounds, error) {
-	if len(q) != ix.Dim() {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(q) != ix.dim() {
 		return transform.Bounds{}, ErrDim
 	}
 	triples := transform.QTransform(ix.Div, q, ix.Parts)

@@ -43,6 +43,8 @@ var ErrBadIndexFile = errors.New("core: bad index file")
 
 // WriteFile persists the built index to path.
 func (ix *Index) WriteFile(path string) (err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -75,8 +77,8 @@ func (ix *Index) WriteFile(path string) (err error) {
 	putU32(indexVersion)
 	putStr(ix.Div.Name())
 	putU32(uint32(ix.opts.Disk.PageSize))
-	putU32(uint32(ix.N()))
-	putU32(uint32(ix.Dim()))
+	putU32(uint32(len(ix.Points)))
+	putU32(uint32(ix.dim()))
 	putU32(uint32(ix.M()))
 	for _, dims := range ix.Parts {
 		putU32(uint32(len(dims)))
@@ -257,6 +259,7 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 		Tuples: tuples,
 		Forest: &bbforest.Forest{Trees: trees, Parts: parts, Store: store},
 		opts:   Options{Disk: disk.Config{PageSize: pageSize, IOPS: 50_000}},
+		d:      d,
 	}
 	return ix, nil
 }

@@ -18,9 +18,11 @@ import (
 // full-space distance for decomposable generators, so the per-subspace
 // candidate sets are complete), and candidates are verified exactly.
 func (ix *Index) RangeSearch(q []float64, r float64) ([]topk.Item, SearchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var stats SearchStats
-	if len(q) != ix.Dim() {
-		return nil, stats, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.Dim())
+	if len(q) != ix.dim() {
+		return nil, stats, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.dim())
 	}
 	if err := bregman.CheckDomain(ix.Div, q); err != nil {
 		return nil, stats, err
@@ -64,11 +66,13 @@ func (ix *Index) RangeSearch(q []float64, r float64) ([]topk.Item, SearchStats, 
 // are identical to Search; only wall-clock time differs. The refinement
 // stays sequential because it is I/O-accounting-ordered.
 func (ix *Index) SearchParallel(q []float64, k, workers int) (Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if k <= 0 {
 		return Result{}, ErrK
 	}
-	if len(q) != ix.Dim() {
-		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.Dim())
+	if len(q) != ix.dim() {
+		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrDim, len(q), ix.dim())
 	}
 	if err := bregman.CheckDomain(ix.Div, q); err != nil {
 		return Result{}, err
@@ -108,7 +112,7 @@ func (ix *Index) SearchParallel(q []float64, k, workers int) (Result, error) {
 	wg.Wait()
 
 	sess := ix.Forest.Store.NewSession()
-	seen := make([]bool, ix.N())
+	seen := make([]bool, len(ix.Points))
 	var cands []int
 	var ts bbtree.Stats
 	for _, sr := range results {

@@ -15,10 +15,14 @@ import (
 // All searches remain exact; heavy churn loosens the balls, so periodic
 // rebuilds (Build on the live points) restore tightness.
 //
-// Insert returns the new point's dataset id.
+// Insert returns the new point's dataset id. It holds the index's
+// exclusive lock, so concurrent searches see the index either entirely
+// without or entirely with the new point.
 func (ix *Index) Insert(p []float64) (int, error) {
-	if len(p) != ix.Dim() {
-		return 0, fmt.Errorf("%w: got %d, want %d", ErrDim, len(p), ix.Dim())
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(p) != ix.dim() {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDim, len(p), ix.dim())
 	}
 	if err := bregman.CheckDomain(ix.Div, p); err != nil {
 		return 0, err
@@ -38,14 +42,19 @@ func (ix *Index) Insert(p []float64) (int, error) {
 	if ix.deleted != nil {
 		ix.deleted = append(ix.deleted, false)
 	}
+	ix.version++
 	return id, nil
 }
 
 // Delete removes a point by id. The point leaves every subspace tree (so
 // it can never be a candidate) and its tuples are poisoned so Algorithm 4
 // never selects it as the bound source; ball radii are untouched and all
-// bounds stay sound. Delete reports whether the id was live.
+// bounds stay sound. Delete reports whether the id was live. Like Insert
+// it holds the exclusive lock, so searches never observe a half-removed
+// point.
 func (ix *Index) Delete(id int) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if id < 0 || id >= len(ix.Points) {
 		return false
 	}
@@ -67,11 +76,14 @@ func (ix *Index) Delete(id int) bool {
 	for s := range ix.Tuples[id] {
 		ix.Tuples[id][s] = transform.PointTuple{Alpha: math.Inf(1), Gamma: 0}
 	}
+	ix.version++
 	return true
 }
 
 // Live returns the number of non-deleted points.
 func (ix *Index) Live() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if ix.deleted == nil {
 		return len(ix.Points)
 	}
@@ -86,5 +98,7 @@ func (ix *Index) Live() int {
 
 // Deleted reports whether id has been removed.
 func (ix *Index) Deleted(id int) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.deleted != nil && id < len(ix.deleted) && ix.deleted[id]
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,7 +58,9 @@ type Store struct {
 	idAt    []int // slot -> point id
 	points  [][]float64
 
-	totalPageReads int64 // across all sessions, for global accounting
+	// totalPageReads accumulates across all sessions; atomic because
+	// concurrent queries each run their own session against one store.
+	totalPageReads atomic.Int64
 }
 
 // NewStore builds an in-memory store over points, placing them on pages in
@@ -142,7 +145,7 @@ func (s *Store) Address(id int) (page, offset int) {
 
 // TotalPageReads returns the store-lifetime page read count across all
 // sessions.
-func (s *Store) TotalPageReads() int64 { return s.totalPageReads }
+func (s *Store) TotalPageReads() int64 { return s.totalPageReads.Load() }
 
 // Append adds a point at the tail of the layout (the overflow region of
 // the last page, or a fresh page), supporting incremental inserts. The new
@@ -190,7 +193,7 @@ func (ss *Session) Point(id int) []float64 {
 	if _, ok := ss.seen[page]; !ok {
 		ss.seen[page] = struct{}{}
 		ss.reads++
-		ss.store.totalPageReads++
+		ss.store.totalPageReads.Add(1)
 	} else {
 		ss.hits++
 	}
@@ -204,7 +207,7 @@ func (ss *Session) Prefetch(id int) {
 	if _, ok := ss.seen[page]; !ok {
 		ss.seen[page] = struct{}{}
 		ss.reads++
-		ss.store.totalPageReads++
+		ss.store.totalPageReads.Add(1)
 	}
 }
 

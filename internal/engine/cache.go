@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+	"slices"
+	"sync"
+
+	"brepartition/internal/core"
+)
+
+// resultCache is a fixed-capacity LRU of query results shared across all
+// in-flight queries of one engine. Entries are keyed by (index version, k,
+// query) so a mutation implicitly invalidates every older entry: lookups
+// always use the current version, and stale entries age out of the LRU.
+//
+// Cached core.Result values are shared between callers and must be treated
+// as read-only (the engine's public wrapper documents this).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[uint64]*list.Element // fingerprint -> element
+	hits  int64
+}
+
+type cacheEntry struct {
+	fp      uint64
+	version uint64
+	k       int
+	q       []float64 // owned copy, exact-match guard against fp collisions
+	res     core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// fingerprint hashes (version, k, q) with FNV-64a over the raw float bits.
+func fingerprint(version uint64, k int, q []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		b[4] = byte(v >> 32)
+		b[5] = byte(v >> 40)
+		b[6] = byte(v >> 48)
+		b[7] = byte(v >> 56)
+		h.Write(b[:])
+	}
+	put(version)
+	put(uint64(k))
+	for _, v := range q {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// get returns the cached result for (version, k, q) and records a hit.
+func (c *resultCache) get(version uint64, k int, q []float64) (core.Result, bool) {
+	fp := fingerprint(version, k, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		return core.Result{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	// slices.Equal is NaN-safe here: a NaN coordinate never matches, which
+	// only costs a cache miss.
+	if ent.version != version || ent.k != k || !slices.Equal(ent.q, q) {
+		return core.Result{}, false // fingerprint collision
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.res, true
+}
+
+// put stores res for (version, k, q), evicting the least recently used
+// entry when full. The query is copied so later caller mutations cannot
+// corrupt the key.
+func (c *resultCache) put(version uint64, k int, q []float64, res core.Result) {
+	fp := fingerprint(version, k, q)
+	own := make([]float64, len(q))
+	copy(own, q)
+	ent := &cacheEntry{fp: fp, version: version, k: k, q: own, res: res}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		el.Value = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[fp] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).fp)
+	}
+}
+
+// hitCount returns how many lookups were served from the cache.
+func (c *resultCache) hitCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// len returns the live entry count (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

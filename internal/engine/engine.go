@@ -1,0 +1,288 @@
+// Package engine is the concurrent batch query layer on top of the core
+// BrePartition index: it composes query-level parallelism (a bounded pool
+// of worker goroutines, one in-flight query each) with the per-subspace
+// fan-out the core index already provides (SearchParallel), shares an LRU
+// result cache across in-flight queries, and aggregates service-level
+// statistics (QPS, latency percentiles, total page reads).
+//
+// The engine relies on the core index's locking discipline: searches take
+// the index's shared lock, mutations (Insert/Delete) its exclusive lock,
+// so any number of engine workers may run against an index that is being
+// mutated concurrently and each query sees one consistent snapshot. Cached
+// results are tagged with the index version observed during the search and
+// are never served across a mutation.
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"brepartition/internal/core"
+)
+
+// Config tunes the engine. The zero value asks for defaults.
+type Config struct {
+	// Workers bounds the number of concurrently executing queries
+	// (0 = GOMAXPROCS).
+	Workers int
+	// SubWorkers is the per-query subspace fan-out: 0 or 1 runs each
+	// query's filter sequentially (maximizing query-level parallelism,
+	// the right choice for saturated batch workloads); >1 additionally
+	// fans each query's M range queries out via SearchParallel (the right
+	// choice for low-QPS latency-sensitive traffic).
+	SubWorkers int
+	// CacheSize is the result-cache capacity in entries (0 = 1024,
+	// negative disables caching).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// Engine schedules queries against one core index. Submitted queries go
+// onto a FIFO queue drained by at most Workers worker goroutines; workers
+// are started on demand and exit when the queue empties, so an idle engine
+// holds no goroutines and needs no Close.
+type Engine struct {
+	ix    *core.Index
+	cfg   Config
+	cache *resultCache
+
+	qmu     sync.Mutex
+	queue   []job
+	running int // worker goroutines alive, ≤ cfg.Workers
+
+	mu         sync.Mutex
+	queries    int64
+	errors     int64
+	pageReads  int64
+	candidates int64
+	started    time.Time // first submission
+	lastDone   time.Time // most recent completion
+	lat        []time.Duration
+	latNext    int
+}
+
+type job struct {
+	q []float64
+	k int
+	f *Future
+}
+
+// maxLatSamples bounds the latency reservoir; with 16Ki samples the p99
+// estimate stays stable while memory stays constant under sustained load.
+const maxLatSamples = 1 << 14
+
+// New creates an engine over ix. cfg may be the zero value for defaults.
+func New(ix *core.Index, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{ix: ix, cfg: cfg}
+	if cfg.CacheSize > 0 {
+		e.cache = newResultCache(cfg.CacheSize)
+	}
+	return e
+}
+
+// Workers returns the effective query-level concurrency bound.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Future is a handle to one submitted query.
+type Future struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// Wait blocks until the query completes and returns its result.
+func (f *Future) Wait() (core.Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Submit enqueues one query and returns immediately. The query runs as
+// soon as a worker slot frees up.
+func (e *Engine) Submit(q []float64, k int) *Future {
+	e.mu.Lock()
+	if e.started.IsZero() {
+		e.started = time.Now()
+	}
+	e.mu.Unlock()
+
+	f := &Future{done: make(chan struct{})}
+	e.qmu.Lock()
+	e.queue = append(e.queue, job{q: q, k: k, f: f})
+	if e.running < e.cfg.Workers {
+		e.running++
+		go e.worker()
+	}
+	e.qmu.Unlock()
+	return f
+}
+
+// worker drains the queue one job at a time and exits when it is empty.
+func (e *Engine) worker() {
+	for {
+		e.qmu.Lock()
+		if len(e.queue) == 0 {
+			e.queue = nil // release the drained backing array
+			e.running--
+			e.qmu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue[0] = job{} // drop references for the GC
+		e.queue = e.queue[1:]
+		e.qmu.Unlock()
+
+		start := time.Now()
+		res, cached, err := e.searchOne(j.q, j.k)
+		j.f.res, j.f.err = res, err
+		e.record(res, cached, err, time.Since(start))
+		close(j.f.done)
+	}
+}
+
+// BatchSearch answers all queries with k neighbours each, running up to
+// Workers of them concurrently. Results arrive in query order and are
+// identical to a sequential Search loop over the same index state. The
+// first error (if any) is returned after every query has settled.
+func (e *Engine) BatchSearch(queries [][]float64, k int) ([]core.Result, error) {
+	futures := make([]*Future, len(queries))
+	for i, q := range queries {
+		futures[i] = e.Submit(q, k)
+	}
+	out := make([]core.Result, len(queries))
+	var firstErr error
+	for i, f := range futures {
+		res, err := f.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = res
+	}
+	return out, firstErr
+}
+
+// searchOne answers a single query, consulting the shared result cache;
+// cached reports whether the answer was served without searching.
+func (e *Engine) searchOne(q []float64, k int) (res core.Result, cached bool, err error) {
+	ver := e.ix.Version()
+	if e.cache != nil {
+		if res, ok := e.cache.get(ver, k, q); ok {
+			return res, true, nil
+		}
+	}
+	if e.cfg.SubWorkers > 1 {
+		res, err = e.ix.SearchParallel(q, k, e.cfg.SubWorkers)
+	} else {
+		res, err = e.ix.Search(q, k)
+	}
+	if err == nil && e.cache != nil && e.ix.Version() == ver {
+		// The version did not move across the search, so the result is
+		// exactly the snapshot tagged ver; safe to share. (If a mutation
+		// raced the search, skip caching: the result is still correct for
+		// the snapshot the search locked, but that snapshot has no stable
+		// version to key on.)
+		e.cache.put(ver, k, q, res)
+	}
+	return res, false, err
+}
+
+// record folds one finished query into the aggregate statistics. Cache
+// hits count as queries and latency samples but not as search work: their
+// page reads happened once, when the entry was populated.
+func (e *Engine) record(res core.Result, cached bool, err error, lat time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries++
+	e.lastDone = time.Now()
+	if err != nil {
+		e.errors++
+		return
+	}
+	if !cached {
+		e.pageReads += int64(res.Stats.PageReads)
+		e.candidates += int64(res.Stats.Candidates)
+	}
+	if len(e.lat) < maxLatSamples {
+		e.lat = append(e.lat, lat)
+	} else {
+		e.lat[e.latNext] = lat
+		e.latNext = (e.latNext + 1) % maxLatSamples
+	}
+}
+
+// Stats is the aggregate service view of everything the engine answered.
+type Stats struct {
+	// Queries counts completed queries (including errors and cache hits).
+	Queries int64
+	// Errors counts queries that returned an error.
+	Errors int64
+	// CacheHits counts queries served from the shared result cache.
+	CacheHits int64
+	// PageReads and Candidates sum the per-query work of all non-cached
+	// successful queries.
+	PageReads  int64
+	Candidates int64
+	// Wall spans first submission to most recent completion.
+	Wall time.Duration
+	// QPS is Queries / Wall.
+	QPS float64
+	// P50 and P99 are latency percentiles over a bounded reservoir of
+	// recent queries (cache hits included — they are real service time).
+	P50, P99 time.Duration
+}
+
+// Stats snapshots the aggregate statistics.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Queries:    e.queries,
+		Errors:     e.errors,
+		PageReads:  e.pageReads,
+		Candidates: e.candidates,
+	}
+	if e.cache != nil {
+		st.CacheHits = e.cache.hitCount()
+	}
+	if !e.started.IsZero() && e.lastDone.After(e.started) {
+		st.Wall = e.lastDone.Sub(e.started)
+		st.QPS = float64(e.queries) / st.Wall.Seconds()
+	}
+	if len(e.lat) > 0 {
+		sorted := make([]time.Duration, len(e.lat))
+		copy(sorted, e.lat)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st.P50 = percentile(sorted, 0.50)
+		st.P99 = percentile(sorted, 0.99)
+	}
+	return st
+}
+
+// percentile returns the p-quantile of sorted by the nearest-rank method:
+// the smallest sample ≥ p of the distribution, so the worst observation is
+// reportable as P99 even with few samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
