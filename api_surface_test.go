@@ -1,0 +1,126 @@
+package brepartition_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"brepartition"
+)
+
+// TestPublicAPISurface pins the public method signatures with compile-time
+// assignments, so an accidental signature change (like BuildTime's old
+// interface{ String() string } return) breaks this test file instead of
+// silently breaking downstream users.
+func TestPublicAPISurface(t *testing.T) {
+	var idx *brepartition.Index
+	var _ func() time.Duration = idx.BuildTime
+	var _ func([]float64, int) (brepartition.Result, error) = idx.Search
+	var _ func([]float64, int, float64) (brepartition.Result, error) = idx.SearchApprox
+	var _ func([]float64, int, int) (brepartition.Result, error) = idx.SearchParallel
+	var _ func([]float64, float64) ([]brepartition.Neighbor, brepartition.SearchStats, error) = idx.RangeSearch
+	var _ func([][]float64, int, int) ([]brepartition.Result, error) = idx.BatchSearch
+	var _ func([]float64) (int, error) = idx.Insert
+	var _ func(int) bool = idx.Delete
+	var _ func() uint64 = idx.Version
+	var _ func(string) error = idx.WriteFile
+
+	var sx *brepartition.ShardedIndex
+	var _ func([]float64, int) (brepartition.Result, error) = sx.Search
+	var _ func([][]float64, int) ([]brepartition.Result, error) = sx.BatchSearch
+	var _ func([]float64, float64) ([]brepartition.Neighbor, brepartition.SearchStats, error) = sx.RangeSearch
+	var _ func([]float64) (int, error) = sx.Insert
+	var _ func(int) bool = sx.Delete
+	var _ func(string) error = sx.WriteDir
+	var _ func() uint64 = sx.Version
+
+	// Both index kinds are Engine backends.
+	var _ brepartition.Backend = idx
+	var _ brepartition.Backend = sx
+	var _ func(brepartition.Backend, *brepartition.EngineOptions) *brepartition.Engine = brepartition.NewEngine
+
+	// Constructor shapes.
+	var _ func(brepartition.Divergence, [][]float64, *brepartition.Options) (*brepartition.Index, error) = brepartition.Build
+	var _ func(brepartition.Divergence, [][]float64, int, *brepartition.Options) (*brepartition.ShardedIndex, error) = brepartition.BuildSharded
+	var _ func(string) (*brepartition.ShardedIndex, error) = brepartition.OpenSharded
+	var _ func(string) (*brepartition.Index, error) = brepartition.ReadIndexFile
+}
+
+// TestShardedPublicRoundTrip drives the whole public sharded surface:
+// build, search equality with the single index, engine over both
+// backends, snapshot, reopen, mutate.
+func TestShardedPublicRoundTrip(t *testing.T) {
+	idx, queries := apiTestIndex(t)
+	// The same deterministic points apiTestIndex indexes, sharded 4 ways.
+	sx, err := brepartition.BuildSharded(brepartition.ItakuraSaito(), apiTestPoints(), 4, &brepartition.Options{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.Shards() != 4 || sx.N() != idx.N() || sx.Dim() != idx.Dim() {
+		t.Fatalf("sharded geometry: shards=%d N=%d Dim=%d", sx.Shards(), sx.N(), sx.Dim())
+	}
+
+	const k = 7
+	for _, q := range queries {
+		want, err := idx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(brepartition.Neighbors(got), brepartition.Neighbors(want)) {
+			t.Fatalf("sharded != single-index\ngot  %v\nwant %v",
+				brepartition.Neighbors(got), brepartition.Neighbors(want))
+		}
+	}
+
+	// An Engine drives either backend identically.
+	eng := brepartition.NewEngine(sx, &brepartition.EngineOptions{Workers: 4})
+	results, err := eng.BatchSearch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, _ := idx.Search(q, k)
+		if !reflect.DeepEqual(brepartition.Neighbors(results[i]), brepartition.Neighbors(want)) {
+			t.Fatalf("engine-over-sharded query %d diverged", i)
+		}
+	}
+	if st := eng.Stats(); st.Queries != int64(len(queries)) {
+		t.Fatalf("engine stats queries = %d, want %d", st.Queries, len(queries))
+	}
+
+	// Snapshot → reopen → identical answers, still mutable.
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := sx.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	lx, err := brepartition.OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries[:4] {
+		want, _ := sx.Search(q, k)
+		got, err := lx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Items, want.Items) {
+			t.Fatal("reopened snapshot answers differently")
+		}
+	}
+	id, err := lx.Insert(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lx.Search(queries[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items[0].ID != id || res.Items[0].Score != 0 {
+		t.Fatalf("inserted query point not first: %+v", res.Items[0])
+	}
+}

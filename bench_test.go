@@ -238,5 +238,51 @@ func BenchmarkBatchSearchW1(b *testing.B) { benchmarkBatchWorkers(b, 1) }
 func BenchmarkBatchSearchW4(b *testing.B) { benchmarkBatchWorkers(b, 4) }
 func BenchmarkBatchSearchW8(b *testing.B) { benchmarkBatchWorkers(b, 8) }
 
+// ---------------------------------------------------------------------------
+// Sharded scatter-gather: the same 64-query batch against the 4-shard
+// index. Compare BenchmarkShardedBatchSearch against BenchmarkBatchSearchW4
+// (the acceptance bar: sharded batch throughput ≥ single-index batch
+// throughput at N=4 shards); BenchmarkShardedSearch tracks the per-query
+// scatter-gather overhead against BenchmarkSearchM8.
+// ---------------------------------------------------------------------------
+
+func benchShardedIndex(b *testing.B, shards, m, nq int) (*brepartition.ShardedIndex, [][]float64) {
+	b.Helper()
+	spec, err := dataset.PaperSpec("audio", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.MustGenerate(spec)
+	div, err := brepartition.DivergenceByName(ds.Divergence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sx, err := brepartition.BuildSharded(div, ds.Points, shards, &brepartition.Options{M: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sx, dataset.SampleQueries(ds, nq, 3)
+}
+
+func BenchmarkShardedBatchSearch(b *testing.B) {
+	sx, queries := benchShardedIndex(b, 4, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sx.BatchSearch(queries, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedSearch(b *testing.B) {
+	sx, queries := benchShardedIndex(b, 4, 8, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sx.Search(queries[i%len(queries)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // fmt is referenced so the import stays when emit's debug path is unused.
 var _ = fmt.Sprintf

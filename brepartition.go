@@ -34,10 +34,13 @@
 package brepartition
 
 import (
+	"time"
+
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
 	"brepartition/internal/scan"
+	"brepartition/internal/shard"
 )
 
 // Divergence describes a decomposable Bregman divergence. Use the provided
@@ -131,7 +134,7 @@ func (ix *Index) N() int { return ix.inner.N() }
 func (ix *Index) Dim() int { return ix.inner.Dim() }
 
 // BuildTime reports the precomputation wall time.
-func (ix *Index) BuildTime() interface{ String() string } { return ix.inner.BuildTime }
+func (ix *Index) BuildTime() time.Duration { return ix.inner.BuildTime }
 
 // RangeSearch returns every point with D_f(x, q) ≤ r, exactly, sorted
 // ascending by distance, together with the query's work statistics.
@@ -190,6 +193,123 @@ func ReadIndexFile(path string) (*Index, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded scatter-gather index.
+// ---------------------------------------------------------------------------
+
+// ShardedIndex hash-partitions points across several independent core
+// indexes and answers queries scatter-gather: every query fans out to all
+// shards through per-shard worker pools and the per-shard top-k heaps are
+// merged into the global top-k. Results are bit-for-bit identical to a
+// single Index over the same points — same ids, same distances — while
+// mutations lock only the id map and the one shard that owns the point
+// (never another shard), and batch throughput scales with the shard
+// engines' combined worker pools.
+//
+// A ShardedIndex is safe for concurrent use. Each mutation is atomic, but
+// a query fanned across shards is not a global snapshot: two mutations to
+// two different shards may straddle it (see DESIGN.md, "Sharding").
+type ShardedIndex struct {
+	inner *shard.Index
+}
+
+// BuildSharded hash-partitions points across shards core indexes (0 picks
+// 4). opts configures every per-shard index; when opts.M is 0 the
+// Theorem-4 cost model is fitted once on the full dataset and the result
+// pinned into all shards. Global ids are the dataset row numbers, exactly
+// as in Build.
+func BuildSharded(div Divergence, points [][]float64, shards int, opts *Options) (*ShardedIndex, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	inner, err := shard.Build(div, points, shard.Options{Shards: shards, Core: o})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{inner: inner}, nil
+}
+
+// OpenSharded loads a snapshot directory written by ShardedIndex.WriteDir.
+// Every shard file is verified against the manifest's checksums before it
+// is trusted; corruption anywhere fails the load with a descriptive error.
+func OpenSharded(dir string) (*ShardedIndex, error) {
+	inner, err := shard.ReadDir(dir, shard.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{inner: inner}, nil
+}
+
+// Search returns the exact k nearest neighbours of q across all shards;
+// ids and distances match a single Index over the same points.
+func (sx *ShardedIndex) Search(q []float64, k int) (Result, error) {
+	return sx.inner.Search(q, k)
+}
+
+// SearchParallel is Search (the scatter across shards is already the
+// parallel axis); it exists so an Engine can drive either backend.
+func (sx *ShardedIndex) SearchParallel(q []float64, k, workers int) (Result, error) {
+	return sx.inner.SearchParallel(q, k, workers)
+}
+
+// BatchSearch answers all queries, scatter-gathering each across every
+// shard concurrently. Results arrive in query order and match a
+// sequential Search loop.
+func (sx *ShardedIndex) BatchSearch(queries [][]float64, k int) ([]Result, error) {
+	return sx.inner.BatchSearch(queries, k)
+}
+
+// RangeSearch returns every point with D_f(x, q) ≤ r across all shards,
+// ascending by (distance, id).
+func (sx *ShardedIndex) RangeSearch(q []float64, r float64) ([]Neighbor, SearchStats, error) {
+	items, stats, err := sx.inner.RangeSearch(q, r)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Score}
+	}
+	return out, stats, nil
+}
+
+// Insert adds a point, assigns it the next global id, and routes it to
+// its owning shard — no other shard is locked (mutations serialize with
+// each other on the id map, not with other shards' search work).
+func (sx *ShardedIndex) Insert(p []float64) (int, error) { return sx.inner.Insert(p) }
+
+// Delete tombstones a point by global id, reporting whether it was live.
+func (sx *ShardedIndex) Delete(id int) bool { return sx.inner.Delete(id) }
+
+// WriteDir persists the index as a snapshot directory: one index file per
+// shard plus a checksummed manifest, committed by atomic rename so the
+// destination never holds a half-written snapshot. Mutations quiesce for
+// the duration; searches proceed.
+func (sx *ShardedIndex) WriteDir(dir string) error { return sx.inner.WriteDir(dir) }
+
+// Shards returns the shard count.
+func (sx *ShardedIndex) Shards() int { return sx.inner.Shards() }
+
+// ShardSizes returns how many ids each shard owns (balance diagnostics).
+func (sx *ShardedIndex) ShardSizes() []int { return sx.inner.ShardSizes() }
+
+// N returns the number of ids ever assigned (including tombstoned ones).
+func (sx *ShardedIndex) N() int { return sx.inner.N() }
+
+// Dim returns the indexed dimensionality.
+func (sx *ShardedIndex) Dim() int { return sx.inner.Dim() }
+
+// M returns the per-shard partition count.
+func (sx *ShardedIndex) M() int { return sx.inner.M() }
+
+// Live returns the number of non-deleted points.
+func (sx *ShardedIndex) Live() int { return sx.inner.Live() }
+
+// Version counts the mutations applied so far (the Engine's result cache
+// keys on it, exactly as with Index).
+func (sx *ShardedIndex) Version() uint64 { return sx.inner.Version() }
+
+// ---------------------------------------------------------------------------
 // Concurrent batch query engine.
 // ---------------------------------------------------------------------------
 
@@ -208,12 +328,19 @@ type EngineStats = engine.Stats
 // Future is a handle to one in-flight query submitted to an Engine.
 type Future = engine.Future
 
-// Engine is a concurrent batch query layer over one Index: a bounded pool
-// of query workers, submit/await semantics, a shared LRU result cache, and
-// aggregate statistics. It is safe for concurrent use, including against
-// an index that is being mutated with Insert/Delete from other goroutines;
-// each query sees one consistent index snapshot, and cached results are
-// invalidated by mutations (they are keyed on Index.Version).
+// Backend is any index an Engine can schedule over. Both *Index and
+// *ShardedIndex implement it; custom backends only need the three methods
+// to be safe for concurrent use, with Version changing on every mutation
+// (the result-cache invalidation invariant).
+type Backend = engine.Backend
+
+// Engine is a concurrent batch query layer over one backend — a single
+// Index or a ShardedIndex: a bounded pool of query workers, submit/await
+// semantics, a shared LRU result cache, and aggregate statistics. It is
+// safe for concurrent use, including against an index that is being
+// mutated with Insert/Delete from other goroutines; each query sees one
+// consistent index snapshot, and cached results are invalidated by
+// mutations (they are keyed on the backend's Version).
 //
 // Results handed out by an Engine may be shared with other callers of the
 // same engine (cache hits); treat them as read-only.
@@ -221,14 +348,15 @@ type Engine struct {
 	inner *engine.Engine
 }
 
-// NewEngine creates a query engine over ix. opts may be nil for defaults
+// NewEngine creates a query engine over any backend — an *Index, a
+// *ShardedIndex, or a custom Backend. opts may be nil for defaults
 // (GOMAXPROCS workers, sequential per-query filter, 1024-entry cache).
-func NewEngine(ix *Index, opts *EngineOptions) *Engine {
+func NewEngine(b Backend, opts *EngineOptions) *Engine {
 	var o EngineOptions
 	if opts != nil {
 		o = *opts
 	}
-	return &Engine{inner: engine.New(ix.inner, o)}
+	return &Engine{inner: engine.New(b, o)}
 }
 
 // BatchSearch answers all queries with k exact nearest neighbours each,

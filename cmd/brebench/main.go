@@ -7,12 +7,14 @@
 //	brebench all
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-// fig14, fig15, fig15-uniform, batch.
+// fig14, fig15, fig15-uniform, batch, sharded.
 //
-// The batch experiment goes beyond the paper: it replays one batch of
-// queries through the concurrent engine at several worker counts and
-// reports throughput (QPS), p50/p99 latency, and the speedup over a
-// sequential Search loop.
+// The batch and sharded experiments go beyond the paper: batch replays one
+// batch of queries through the concurrent engine at several worker counts
+// and reports throughput (QPS), p50/p99 latency, and the speedup over a
+// sequential Search loop; sharded compares the single index against the
+// hash-partitioned scatter-gather index at -shards partitions (answers are
+// verified identical first) and times the snapshot round trip.
 //
 // Flags:
 //
@@ -20,7 +22,8 @@
 //	-queries n  queries per measurement (default 10; paper uses 50)
 //	-seed n     RNG seed (default 1)
 //	-workers n  max engine query workers for batch (default GOMAXPROCS)
-//	-batch n    batch size for the batch experiment (default 256)
+//	-batch n    batch size for the batch/sharded experiments (default 256)
+//	-shards n   shard count for the sharded experiment (default 4)
 package main
 
 import (
@@ -35,7 +38,7 @@ import (
 var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
-	"batch",
+	"batch", "sharded",
 }
 
 func main() {
@@ -43,7 +46,8 @@ func main() {
 	queries := flag.Int("queries", 10, "queries per measurement")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	workers := flag.Int("workers", 0, "max engine query workers for batch (0 = GOMAXPROCS)")
-	batch := flag.Int("batch", 256, "batch size for the batch experiment")
+	batch := flag.Int("batch", 256, "batch size for the batch/sharded experiments")
+	shards := flag.Int("shards", 4, "shard count for the sharded experiment")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -68,7 +72,7 @@ func main() {
 	}
 
 	for _, name := range wanted {
-		tables, err := run(env, name, *workers, *batch)
+		tables, err := run(env, name, *workers, *batch, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "brebench:", err)
 			os.Exit(1)
@@ -79,7 +83,7 @@ func main() {
 	}
 }
 
-func run(env *experiments.Env, name string, workers, batch int) ([]experiments.Table, error) {
+func run(env *experiments.Env, name string, workers, batch, shards int) ([]experiments.Table, error) {
 	switch name {
 	case "table4":
 		return env.Table4(), nil
@@ -105,6 +109,8 @@ func run(env *experiments.Env, name string, workers, batch int) ([]experiments.T
 		return env.Fig15("uniform"), nil
 	case "batch":
 		return env.Batch(workers, batch), nil
+	case "sharded":
+		return env.Sharded(workers, batch, shards), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

@@ -8,8 +8,9 @@ import (
 	"brepartition"
 )
 
-func apiTestIndex(t testing.TB) (*brepartition.Index, [][]float64) {
-	t.Helper()
+// apiTestPoints returns the deterministic dataset shared by the public
+// API tests (and their sharded variants).
+func apiTestPoints() [][]float64 {
 	rng := rand.New(rand.NewSource(99))
 	const n, d = 500, 20
 	points := make([][]float64, n)
@@ -20,6 +21,14 @@ func apiTestIndex(t testing.TB) (*brepartition.Index, [][]float64) {
 		}
 		points[i] = p
 	}
+	return points
+}
+
+func apiTestIndex(t testing.TB) (*brepartition.Index, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(98))
+	const d = 20
+	points := apiTestPoints()
 	idx, err := brepartition.Build(brepartition.ItakuraSaito(), points, &brepartition.Options{M: 4})
 	if err != nil {
 		t.Fatal(err)

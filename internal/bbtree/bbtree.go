@@ -154,12 +154,19 @@ func Rehydrate(div bregman.Divergence, points [][]float64, dims []int, nodes []N
 	return t
 }
 
-// SubDim returns the subspace dimensionality.
+// SubDim returns the subspace dimensionality. Deleted points have nil
+// coordinate slots, so it reports the first live point's width (the Dims
+// length when a subspace restriction is set).
 func (t *Tree) SubDim() int {
-	if len(t.pts) == 0 {
-		return 0
+	if t.Dims != nil {
+		return len(t.Dims)
 	}
-	return len(t.pts[0])
+	for _, p := range t.pts {
+		if p != nil {
+			return len(p)
+		}
+	}
+	return 0
 }
 
 // Len returns the number of indexed points.

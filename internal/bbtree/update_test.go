@@ -123,3 +123,28 @@ func TestInsertDeleteRoundTrip(t *testing.T) {
 		t.Fatal("deleted point resurfaced")
 	}
 }
+
+// TestDeleteFirstPointKeepsTreeSearchable is the regression test for the
+// SubDim crash: deleting dataset id 0 nils the first coordinate slot, and
+// a full-space tree (Dims == nil) must still report its width and answer
+// queries instead of panicking in the projector.
+func TestDeleteFirstPointKeepsTreeSearchable(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := clusteredPoints(div, 80, 5, 3)
+	tree := Build(div, pts, nil, Config{LeafSize: 8, Seed: 4})
+	if !tree.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	if got := tree.SubDim(); got != 5 {
+		t.Fatalf("SubDim after Delete(0) = %d, want 5", got)
+	}
+	got, _ := tree.KNN(pts[1], 3)
+	if len(got) != 3 || got[0].ID != 1 {
+		t.Fatalf("post-delete KNN broken: %v", got)
+	}
+	var hits int
+	tree.RangeLeaves(pts[1], 1e9, func(n *Node) { hits += len(n.IDs) })
+	if hits != 79 {
+		t.Fatalf("range over everything saw %d ids, want 79", hits)
+	}
+}

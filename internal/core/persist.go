@@ -163,11 +163,21 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 	n := int(r.u32())
 	d := int(r.u32())
 	m := int(r.u32())
-	if r.err != nil || n <= 0 || d <= 0 || m <= 0 || m > d {
+	if r.err != nil || n <= 0 || d <= 0 || m <= 0 || m > d || pageSize <= 0 {
 		return nil, fmt.Errorf("%w: bad geometry", ErrBadIndexFile)
+	}
+	// The points and tuples sections alone need n*(d+2m)*8 bytes; reject
+	// implausible geometry before allocating anything proportional to it.
+	// Divide rather than multiply: n, d, m are attacker-controlled u32s and
+	// the product can wrap uint64. perPoint itself cannot overflow
+	// ((2^32 + 2·2^32)·8 < 2^64).
+	perPoint := (uint64(d) + 2*uint64(m)) * 8
+	if uint64(n) > uint64(len(body))/perPoint {
+		return nil, fmt.Errorf("%w: geometry larger than file", ErrBadIndexFile)
 	}
 
 	parts := make([][]int, m)
+	dimSeen := make([]bool, d)
 	for i := range parts {
 		cnt := int(r.u32())
 		if cnt <= 0 || cnt > d {
@@ -175,7 +185,12 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 		}
 		dims := make([]int, cnt)
 		for j := range dims {
-			dims[j] = int(r.u32())
+			dj := int(r.u32())
+			if dj < 0 || dj >= d || (r.err == nil && dimSeen[dj]) {
+				return nil, fmt.Errorf("%w: bad subspace dimension", ErrBadIndexFile)
+			}
+			dimSeen[dj] = true
+			dims[j] = dj
 		}
 		parts[i] = dims
 	}
@@ -211,6 +226,16 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 			radius := r.f64()
 			left := int(int32(r.u32()))
 			right := int(int32(r.u32()))
+			// Children are appended after their parent during construction
+			// (and Insert only ever appends a root), so a valid file has
+			// parent < child < nodeCount; enforcing it bounds every later
+			// traversal (no out-of-range links, no cycles in LeafOrder).
+			if r.err == nil && left >= 0 != (right >= 0) {
+				return nil, fmt.Errorf("%w: half-linked node", ErrBadIndexFile)
+			}
+			if left >= 0 && (left <= ni || left >= nodeCount || right <= ni || right >= nodeCount) {
+				return nil, fmt.Errorf("%w: bad node links", ErrBadIndexFile)
+			}
 			idCount := int(r.u32())
 			if idCount < 0 || idCount > n {
 				return nil, fmt.Errorf("%w: bad leaf size", ErrBadIndexFile)
@@ -219,7 +244,11 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 			if idCount > 0 {
 				ids = make([]int, idCount)
 				for j := range ids {
-					ids[j] = int(r.u32())
+					id := int(r.u32())
+					if id < 0 || id >= n {
+						return nil, fmt.Errorf("%w: leaf id out of range", ErrBadIndexFile)
+					}
+					ids[j] = id
 				}
 			}
 			nodes[ni] = bbtree.Node{Center: center, Radius: radius,

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"runtime"
 	"sort"
@@ -21,7 +22,25 @@ import (
 	"time"
 
 	"brepartition/internal/core"
+	"brepartition/internal/topk"
 )
+
+// Backend is the index surface the engine schedules over. Both the
+// single-process core index (*core.Index) and the sharded scatter-gather
+// index (*shard.Index) implement it; the engine is agnostic to which one
+// it drives, as long as the backend's methods are safe for concurrent use
+// and Version changes on every mutation (the result-cache invariant).
+type Backend interface {
+	Search(q []float64, k int) (core.Result, error)
+	SearchParallel(q []float64, k, workers int) (core.Result, error)
+	Version() uint64
+}
+
+// rangeBackend is the optional range-query surface; SubmitRange requires
+// the backend to implement it (both core and shard indexes do).
+type rangeBackend interface {
+	RangeSearch(q []float64, r float64) ([]topk.Item, core.SearchStats, error)
+}
 
 // Config tunes the engine. The zero value asks for defaults.
 type Config struct {
@@ -54,7 +73,7 @@ func (c Config) withDefaults() Config {
 // are started on demand and exit when the queue empties, so an idle engine
 // holds no goroutines and needs no Close.
 type Engine struct {
-	ix    *core.Index
+	ix    Backend
 	cfg   Config
 	cache *resultCache
 
@@ -73,18 +92,20 @@ type Engine struct {
 	latNext    int
 }
 
+// job is one queued unit of work: run answers it (a kNN search consulting
+// the shared cache, or a range query), f receives the result.
 type job struct {
-	q []float64
-	k int
-	f *Future
+	run func() (res core.Result, cached bool, err error)
+	f   *Future
 }
 
 // maxLatSamples bounds the latency reservoir; with 16Ki samples the p99
 // estimate stays stable while memory stays constant under sustained load.
 const maxLatSamples = 1 << 14
 
-// New creates an engine over ix. cfg may be the zero value for defaults.
-func New(ix *core.Index, cfg Config) *Engine {
+// New creates an engine over any backend. cfg may be the zero value for
+// defaults.
+func New(ix Backend, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{ix: ix, cfg: cfg}
 	if cfg.CacheSize > 0 {
@@ -112,6 +133,28 @@ func (f *Future) Wait() (core.Result, error) {
 // Submit enqueues one query and returns immediately. The query runs as
 // soon as a worker slot frees up.
 func (e *Engine) Submit(q []float64, k int) *Future {
+	return e.submit(func() (core.Result, bool, error) { return e.searchOne(q, k) })
+}
+
+// SubmitRange enqueues one range query: the Future resolves to a Result
+// whose Items are every point with D_f(x, q) ≤ r, ascending. Range results
+// bypass the result cache (it is keyed on k-kNN queries) and require the
+// backend to support RangeSearch.
+func (e *Engine) SubmitRange(q []float64, r float64) *Future {
+	rb, ok := e.ix.(rangeBackend)
+	return e.submit(func() (core.Result, bool, error) {
+		if !ok {
+			return core.Result{}, false, ErrNoRange
+		}
+		items, stats, err := rb.RangeSearch(q, r)
+		return core.Result{Items: items, Stats: stats}, false, err
+	})
+}
+
+// ErrNoRange reports a SubmitRange against a backend without RangeSearch.
+var ErrNoRange = errors.New("engine: backend does not support range queries")
+
+func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
 	e.mu.Lock()
 	if e.started.IsZero() {
 		e.started = time.Now()
@@ -120,7 +163,7 @@ func (e *Engine) Submit(q []float64, k int) *Future {
 
 	f := &Future{done: make(chan struct{})}
 	e.qmu.Lock()
-	e.queue = append(e.queue, job{q: q, k: k, f: f})
+	e.queue = append(e.queue, job{run: run, f: f})
 	if e.running < e.cfg.Workers {
 		e.running++
 		go e.worker()
@@ -145,7 +188,7 @@ func (e *Engine) worker() {
 		e.qmu.Unlock()
 
 		start := time.Now()
-		res, cached, err := e.searchOne(j.q, j.k)
+		res, cached, err := j.run()
 		j.f.res, j.f.err = res, err
 		e.record(res, cached, err, time.Since(start))
 		close(j.f.done)

@@ -1,0 +1,360 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/scan"
+)
+
+// buildMutated returns a sharded index that has seen builds, inserts, and
+// deletes — the general case a snapshot must capture.
+func buildMutated(t testing.TB) (*Index, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	points := genPoints(rng, 220, 7)
+	sx, err := Build(bregman.ItakuraSaito{}, points, Options{Shards: 3, Core: core.Options{M: 2, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([][]float64, len(points))
+	copy(live, points)
+	for i := 0; i < 25; i++ {
+		p := genPoints(rng, 1, 7)[0]
+		if _, err := sx.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	for i := 0; i < 30; i++ {
+		id := rng.Intn(len(live))
+		if live[id] != nil && sx.Delete(id) {
+			live[id] = nil
+		}
+	}
+	return sx, live
+}
+
+// TestSnapshotRoundTrip: WriteDir → ReadDir must reproduce the index
+// exactly — same counts, same tombstones, bit-identical query answers.
+func TestSnapshotRoundTrip(t *testing.T) {
+	sx, live := buildMutated(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := sx.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	lx, err := ReadDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lx.N() != sx.N() || lx.Live() != sx.Live() || lx.Shards() != sx.Shards() || lx.Dim() != sx.Dim() {
+		t.Fatalf("loaded geometry: N=%d Live=%d Shards=%d Dim=%d; want N=%d Live=%d Shards=%d Dim=%d",
+			lx.N(), lx.Live(), lx.Shards(), lx.Dim(), sx.N(), sx.Live(), sx.Shards(), sx.Dim())
+	}
+	for g := 0; g < sx.N(); g++ {
+		if lx.Deleted(g) != sx.Deleted(g) {
+			t.Fatalf("tombstone %d diverged after reload", g)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	div := sx.Divergence()
+	var livePoints [][]float64
+	var liveIDs []int
+	for id, p := range live {
+		if p != nil {
+			livePoints = append(livePoints, p)
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := livePoints[rng.Intn(len(livePoints))]
+		const k = 6
+		want, err := sx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lx.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Items, want.Items) {
+			t.Fatalf("query %d: loaded snapshot answers differently\ngot  %v\nwant %v",
+				qi, got.Items, want.Items)
+		}
+		// And both must match the live-set oracle.
+		oracle := scan.KNN(div, livePoints, q, k)
+		for i, it := range oracle {
+			if want.Items[i].ID != liveIDs[it.ID] || want.Items[i].Score != it.Score {
+				t.Fatalf("query %d rank %d: index %v, oracle id=%d score=%v",
+					qi, i, want.Items[i], liveIDs[it.ID], it.Score)
+			}
+		}
+	}
+
+	// The loaded index must stay mutable: insert routes to the next global
+	// id, and a re-snapshot of the loaded index replaces dir atomically.
+	g, err := lx.Insert(livePoints[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != sx.N() {
+		t.Fatalf("post-load Insert id = %d, want %d", g, sx.N())
+	}
+	if err := lx.WriteDir(dir); err != nil {
+		t.Fatalf("re-snapshot over existing dir: %v", err)
+	}
+	rx, err := ReadDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.N() != lx.N() || rx.Live() != lx.Live() {
+		t.Fatalf("re-snapshot N=%d Live=%d, want %d/%d", rx.N(), rx.Live(), lx.N(), lx.Live())
+	}
+}
+
+// corrupt flips one byte at off (negative: relative to end) in path.
+func corrupt(t *testing.T, path string, off int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(raw)
+	}
+	raw[off] ^= 0x55
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotTo writes a fresh snapshot for corruption tests.
+func snapshotTo(t *testing.T) string {
+	t.Helper()
+	sx, _ := buildMutated(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := sx.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestSnapshotCorruptionDetected is the crash-recovery satellite: byte
+// flips and truncations anywhere in the snapshot — shard files, manifest
+// body, manifest checksum — must fail ReadDir with a descriptive
+// ErrBadSnapshot instead of loading a corrupt index (or panicking).
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, dir string)
+		want   string // substring the error must mention
+	}{
+		{"shard file byte flip", func(t *testing.T, dir string) {
+			corrupt(t, filepath.Join(dir, "shard-0001.bpidx"), 1000)
+		}, "checksum"},
+		{"shard file tail flip", func(t *testing.T, dir string) {
+			corrupt(t, filepath.Join(dir, "shard-0000.bpidx"), -2)
+		}, "checksum"},
+		{"shard file truncated", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "shard-0002.bpidx")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "truncated"},
+		{"shard file missing", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, "shard-0001.bpidx")); err != nil {
+				t.Fatal(err)
+			}
+		}, "shard-0001"},
+		{"manifest byte flip", func(t *testing.T, dir string) {
+			corrupt(t, filepath.Join(dir, manifestName), 40)
+		}, "manifest"},
+		{"manifest checksum flip", func(t *testing.T, dir string) {
+			corrupt(t, filepath.Join(dir, manifestName), -1)
+		}, "manifest"},
+		{"manifest truncated", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, manifestName)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "manifest"},
+		{"manifest missing", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+				t.Fatal(err)
+			}
+		}, manifestName},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := snapshotTo(t)
+			tc.damage(t, dir)
+			ix, err := ReadDir(dir, Options{})
+			if err == nil {
+				t.Fatalf("ReadDir loaded a damaged snapshot (N=%d)", ix.N())
+			}
+			if tc.name != "manifest missing" && tc.name != "shard file missing" &&
+				!errors.Is(err, ErrBadSnapshot) && !errors.Is(err, core.ErrBadIndexFile) {
+				t.Fatalf("error %v is not ErrBadSnapshot/ErrBadIndexFile", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotSwappedShardFiles: two structurally valid shard files in
+// each other's places must still be rejected (per-file CRCs differ).
+func TestSnapshotSwappedShardFiles(t *testing.T) {
+	dir := snapshotTo(t)
+	a := filepath.Join(dir, "shard-0000.bpidx")
+	b := filepath.Join(dir, "shard-0001.bpidx")
+	tmp := filepath.Join(dir, "x")
+	for _, mv := range [][2]string{{a, tmp}, {b, a}, {tmp, b}} {
+		if err := os.Rename(mv[0], mv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadDir(dir, Options{}); err == nil {
+		t.Fatal("ReadDir accepted swapped shard files")
+	}
+}
+
+// TestWriteDirLeavesNoStaging: after a successful snapshot, only the
+// committed directory remains (no .staging/.old debris).
+func TestWriteDirLeavesNoStaging(t *testing.T) {
+	sx, _ := buildMutated(t)
+	base := t.TempDir()
+	dir := filepath.Join(base, "snap")
+	for i := 0; i < 2; i++ { // fresh write, then replace
+		if err := sx.WriteDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("snapshot debris left behind: %v", names)
+	}
+}
+
+// TestSnapshotEmptyShardStaysInsertable is the regression test for the
+// pinned-M round trip: a snapshot with an empty shard slot must reopen
+// into an index that can still materialize that shard on Insert (the
+// cost model cannot fit a single point, so M must travel in the
+// manifest).
+func TestSnapshotEmptyShardStaysInsertable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points := genPoints(rng, 3, 6)
+	// M auto-derived, so Build pins it from the full dataset.
+	sx, err := Build(bregman.SquaredEuclidean{}, points, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for _, sz := range sx.ShardSizes() {
+		if sz == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatal("construction broken: 3 points filled all 8 shards")
+	}
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := sx.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	lx, err := ReadDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert until every shard slot has been materialized at least once.
+	for i := 0; i < 64; i++ {
+		if _, err := lx.Insert(genPoints(rng, 1, 6)[0]); err != nil {
+			t.Fatalf("Insert %d after reopen: %v", i, err)
+		}
+	}
+	for s, sz := range lx.ShardSizes() {
+		if sz == 0 {
+			t.Fatalf("shard %d still empty after 64 inserts", s)
+		}
+	}
+	if lx.M() != sx.M() {
+		t.Fatalf("reopened M = %d, original pinned %d", lx.M(), sx.M())
+	}
+}
+
+// TestReadDirFallsBackToOld simulates a crash inside WriteDir's commit
+// window: the destination directory is gone but the previous snapshot
+// sits at dir+".old" — ReadDir must load it.
+func TestReadDirFallsBackToOld(t *testing.T) {
+	sx, _ := buildMutated(t)
+	base := t.TempDir()
+	dir := filepath.Join(base, "snap")
+	if err := sx.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(dir, dir+".old"); err != nil {
+		t.Fatal(err)
+	}
+	lx, err := ReadDir(dir, Options{})
+	if err != nil {
+		t.Fatalf("ReadDir did not fall back to .old: %v", err)
+	}
+	if lx.N() != sx.N() || lx.Live() != sx.Live() {
+		t.Fatalf("fallback snapshot N=%d Live=%d, want %d/%d", lx.N(), lx.Live(), sx.N(), sx.Live())
+	}
+}
+
+// TestConcurrentWriteDirSerializes: simultaneous snapshots to the same
+// destination must not corrupt it (they serialize on the snapshot lock).
+func TestConcurrentWriteDirSerializes(t *testing.T) {
+	sx, _ := buildMutated(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = sx.WriteDir(dir)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent WriteDir %d: %v", i, err)
+		}
+	}
+	lx, err := ReadDir(dir, Options{})
+	if err != nil {
+		t.Fatalf("snapshot corrupted by concurrent writers: %v", err)
+	}
+	if lx.N() != sx.N() || lx.Live() != sx.Live() {
+		t.Fatalf("loaded N=%d Live=%d, want %d/%d", lx.N(), lx.Live(), sx.N(), sx.Live())
+	}
+}

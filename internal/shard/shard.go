@@ -1,0 +1,500 @@
+// Package shard multiplies the BrePartition core index horizontally: a
+// sharded index hash-partitions points across N independent core indexes
+// and answers queries scatter-gather — every query fans out to all shards
+// through per-shard engine worker pools, per-shard top-k answers are merged
+// into the global top-k, and mutations route to the single shard that owns
+// the point's id, so an Insert or Delete never locks more than one shard.
+//
+// This mirrors the paper's partitioned upper-bound pruning one level up:
+// the paper partitions *dimensions* and merges per-subspace bounds; this
+// layer partitions *points* and merges per-shard candidate heaps. Because
+// every shard answers its exact local top-k with the same (distance, id)
+// tie-break that the global brute-force oracle uses, the merged answer is
+// bit-for-bit the single-index answer (the property test pins this).
+//
+// Locking model: a mutation takes the global id-map lock (which serializes
+// mutations with each other and with snapshots) plus the owning shard's
+// lock — never another shard's, so a mutation does not contend with the
+// search work running inside other shards. Searches run lock-free against
+// the id map except for a brief shared read when merging (translating
+// local ids to global ids), which means queries overlap mutations except
+// during that final merge step. This favors the read-dominated workloads
+// the paper targets; sharding the id map itself is the upgrade path if
+// mutation rates ever approach query rates.
+//
+// Consistency model: each mutation is atomic (it is confined to one shard
+// plus the id map, both updated under locks), and a query observes every
+// shard either entirely before or entirely after any given mutation. A
+// query fanned across shards is NOT a global snapshot: two mutations to
+// two different shards may straddle it. Snapshots (WriteDir) quiesce
+// mutations via the id-map lock and are therefore globally consistent.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+	"brepartition/internal/partition"
+	"brepartition/internal/topk"
+)
+
+// Options configures a sharded index.
+type Options struct {
+	// Shards is the number of hash partitions (0 = 4).
+	Shards int
+	// Workers bounds each shard's engine worker pool (0 = GOMAXPROCS
+	// divided by the shard count, at least 1, so a saturated batch uses
+	// about GOMAXPROCS goroutines across all shards).
+	Workers int
+	// Core configures every per-shard core index. When Core.M is 0 the
+	// Theorem-4 cost model is fitted once on the full dataset and the
+	// resulting M pinned into every shard, so tiny shards do not derive
+	// degenerate partitionings from their own small samples.
+	Core core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) / o.Shards
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	return o
+}
+
+// loc is the owning shard and the point's id inside it.
+type loc struct {
+	shard int32
+	local int32
+}
+
+// Index is a sharded BrePartition index. All exported methods are safe for
+// concurrent use; see the package comment for the consistency model.
+type Index struct {
+	div bregman.Divergence
+	d   int
+	// Model is the globally fitted cost model when Core.M was derived
+	// (zero value otherwise).
+	Model partition.CostModel
+
+	opts Options
+
+	// mu guards the id maps, the tombstone set, the version counter, and
+	// the lazily created shard slots; it also serializes mutations against
+	// snapshots (WriteDir holds the read side for its whole duration,
+	// mutations the write side).
+	mu sync.RWMutex
+	// snapMu serializes WriteDir calls with each other: concurrent
+	// snapshots to the same destination would race on the shared
+	// .staging/.old commit paths. Always acquired before mu.
+	snapMu sync.Mutex
+	// shards[s] is nil until the first point routes to s.
+	shards  []*core.Index
+	engines []*engine.Engine
+	// locToGlobal[s][local] is the global id of shard s's local point;
+	// append-only and strictly increasing, so local id order within a
+	// shard is global id order — the invariant the exact tie-break merge
+	// relies on.
+	locToGlobal [][]int
+	// globalLoc[g] is the owner of global id g (every id ever assigned,
+	// tombstoned or not).
+	globalLoc []loc
+	deleted   []bool
+	nDeleted  int
+	version   uint64
+}
+
+// splitmix64 is the id-to-shard hash: cheap, stateless, and well mixed
+// even on the sequential ids Insert assigns.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shardFor returns the owning shard of a global id. Pure function of the
+// id, so routing never needs the map.
+func (ix *Index) shardFor(global int) int {
+	return int(splitmix64(uint64(global)) % uint64(len(ix.shards)))
+}
+
+// Build hash-partitions points across opts.Shards core indexes. Global ids
+// are the dataset row numbers, exactly as in core.Build.
+func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if len(points) == 0 {
+		return nil, core.ErrEmpty
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("shard: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+
+	ix := &Index{
+		div:         div,
+		d:           d,
+		opts:        opts,
+		shards:      make([]*core.Index, opts.Shards),
+		engines:     make([]*engine.Engine, opts.Shards),
+		locToGlobal: make([][]int, opts.Shards),
+		globalLoc:   make([]loc, len(points)),
+		deleted:     make([]bool, len(points)),
+	}
+
+	// Pin M globally before splitting, so every shard searches the same
+	// partition count the full dataset's cost model asks for.
+	if ix.opts.Core.M == 0 {
+		samples := ix.opts.Core.CostSamples
+		if samples <= 0 {
+			samples = 50
+		}
+		optK := ix.opts.Core.OptimizerK
+		if optK <= 0 {
+			optK = 1
+		}
+		model, err := partition.FitCostModel(div, points, samples, ix.opts.Core.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("shard: deriving M: %w", err)
+		}
+		ix.Model = model
+		m := model.OptimalM(optK)
+		if m < 1 {
+			m = 1
+		}
+		if m > d {
+			m = d
+		}
+		ix.opts.Core.M = m
+	}
+
+	// Scatter points to their owners, preserving global order per shard.
+	shardPoints := make([][][]float64, opts.Shards)
+	for g, p := range points {
+		s := ix.shardFor(g)
+		ix.globalLoc[g] = loc{shard: int32(s), local: int32(len(shardPoints[s]))}
+		ix.locToGlobal[s] = append(ix.locToGlobal[s], g)
+		shardPoints[s] = append(shardPoints[s], p)
+	}
+	for s, pts := range shardPoints {
+		if len(pts) == 0 {
+			continue
+		}
+		sub, err := core.Build(div, pts, ix.opts.Core)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		ix.shards[s] = sub
+		ix.engines[s] = ix.newEngine(sub)
+	}
+	return ix, nil
+}
+
+// newEngine wraps one shard in its query worker pool. Per-shard caches are
+// disabled: the public Engine layer caches merged results once, which is
+// strictly more useful than N partial caches.
+func (ix *Index) newEngine(sub *core.Index) *engine.Engine {
+	return engine.New(sub, engine.Config{Workers: ix.opts.Workers, CacheSize: -1})
+}
+
+// Shards returns the shard count.
+func (ix *Index) Shards() int { return len(ix.shards) }
+
+// Dim returns the indexed dimensionality.
+func (ix *Index) Dim() int { return ix.d }
+
+// Divergence returns the divergence the index was built with.
+func (ix *Index) Divergence() bregman.Divergence { return ix.div }
+
+// N returns the number of ids ever assigned (including tombstoned ones).
+func (ix *Index) N() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.globalLoc)
+}
+
+// Live returns the number of non-deleted points.
+func (ix *Index) Live() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.globalLoc) - ix.nDeleted
+}
+
+// Deleted reports whether global id g has been removed.
+func (ix *Index) Deleted(g int) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return g >= 0 && g < len(ix.deleted) && ix.deleted[g]
+}
+
+// Version counts mutations applied through this index; the engine result
+// cache keys on it exactly as with the core index.
+func (ix *Index) Version() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.version
+}
+
+// ShardSizes returns the number of ids owned by each shard (including
+// tombstoned ones) — balance diagnostics for tests and brebench.
+func (ix *Index) ShardSizes() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	sizes := make([]int, len(ix.locToGlobal))
+	for s, l2g := range ix.locToGlobal {
+		sizes[s] = len(l2g)
+	}
+	return sizes
+}
+
+// M returns the per-shard partition count (every shard uses the same
+// pinned M; see Options.Core).
+func (ix *Index) M() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, sub := range ix.shards {
+		if sub != nil {
+			return sub.M()
+		}
+	}
+	return 0
+}
+
+// snapshotEngines copies the engine slots (lazily filled by Insert) so the
+// scatter loop runs without holding the map lock.
+func (ix *Index) snapshotEngines() []*engine.Engine {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]*engine.Engine, len(ix.engines))
+	copy(out, ix.engines)
+	return out
+}
+
+// Search returns the exact k nearest neighbours of q across all shards:
+// ids and distances are identical to a single core index built over the
+// same points. Items carry global ids.
+func (ix *Index) Search(q []float64, k int) (core.Result, error) {
+	if k <= 0 {
+		return core.Result{}, core.ErrK
+	}
+	if len(q) != ix.d {
+		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
+	}
+	engines := ix.snapshotEngines()
+	futs := make([]*engine.Future, len(engines))
+	for s, eng := range engines {
+		if eng != nil {
+			futs[s] = eng.Submit(q, k)
+		}
+	}
+	return ix.gather(futs, k)
+}
+
+// SearchParallel is Search: the scatter across shards is already the
+// parallel axis, so the per-query worker hint is ignored. It exists so the
+// engine can drive a sharded backend through the same interface.
+func (ix *Index) SearchParallel(q []float64, k, workers int) (core.Result, error) {
+	return ix.Search(q, k)
+}
+
+// gather awaits the per-shard futures and merges their top-k heaps.
+func (ix *Index) gather(futs []*engine.Future, k int) (core.Result, error) {
+	perShard := make([]core.Result, len(futs))
+	var firstErr error
+	for s, f := range futs {
+		if f == nil {
+			continue
+		}
+		res, err := f.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		perShard[s] = res
+	}
+	if firstErr != nil {
+		return core.Result{}, firstErr
+	}
+	return ix.merge(perShard, k), nil
+}
+
+// merge combines per-shard results into the global top-k. Every shard
+// contributed its exact local top-k with ties broken by local id — and
+// local id order is global id order within a shard — so sorting the union
+// by (distance, global id) and truncating reproduces exactly the answer a
+// single index over all points would give.
+func (ix *Index) merge(perShard []core.Result, k int) core.Result {
+	var out core.Result
+	total := 0
+	for _, r := range perShard {
+		total += len(r.Items)
+	}
+	all := make([]topk.Item, 0, total)
+
+	fl := firstLive(perShard)
+	ix.mu.RLock()
+	for s, r := range perShard {
+		for _, it := range r.Items {
+			all = append(all, topk.Item{ID: ix.locToGlobal[s][it.ID], Score: it.Score})
+		}
+		out.Stats = addStats(out.Stats, r.Stats, s == fl)
+	}
+	ix.mu.RUnlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score < all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out.Items = all
+	return out
+}
+
+// firstLive returns the index of the first shard that answered (its stats
+// seed the BoundTotal min).
+func firstLive(perShard []core.Result) int {
+	for s, r := range perShard {
+		if len(r.Items) > 0 || r.Stats.Candidates > 0 {
+			return s
+		}
+	}
+	return 0
+}
+
+// addStats folds one shard's work into the aggregate: work counters and
+// phase times sum (total cost across the fleet), BoundTotal keeps the
+// tightest per-shard bound, ApproxC stays 1 (sharded search is exact).
+func addStats(agg, s core.SearchStats, first bool) core.SearchStats {
+	agg.PageReads += s.PageReads
+	agg.Candidates += s.Candidates
+	agg.NodesVisited += s.NodesVisited
+	agg.LeavesVisited += s.LeavesVisited
+	agg.DistanceComps += s.DistanceComps
+	agg.FilterTime += s.FilterTime
+	agg.RefineTime += s.RefineTime
+	agg.ApproxC = 1
+	if first || (s.BoundTotal > 0 && s.BoundTotal < agg.BoundTotal) {
+		agg.BoundTotal = s.BoundTotal
+	}
+	return agg
+}
+
+// BatchSearch answers all queries, scatter-gathering each across every
+// shard with up to Workers concurrent queries per shard. Results arrive in
+// query order and match a sequential Search loop exactly.
+func (ix *Index) BatchSearch(queries [][]float64, k int) ([]core.Result, error) {
+	if k <= 0 {
+		return nil, core.ErrK
+	}
+	engines := ix.snapshotEngines()
+	futs := make([][]*engine.Future, len(queries))
+	for qi, q := range queries {
+		futs[qi] = make([]*engine.Future, len(engines))
+		for s, eng := range engines {
+			if eng != nil {
+				futs[qi][s] = eng.Submit(q, k)
+			}
+		}
+	}
+	out := make([]core.Result, len(queries))
+	var firstErr error
+	for qi := range futs {
+		res, err := ix.gather(futs[qi], k)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[qi] = res
+	}
+	return out, firstErr
+}
+
+// RangeSearch returns every point with D_f(x, q) ≤ r across all shards,
+// ascending by (distance, global id), with the summed work statistics.
+func (ix *Index) RangeSearch(q []float64, r float64) ([]topk.Item, core.SearchStats, error) {
+	var stats core.SearchStats
+	if len(q) != ix.d {
+		return nil, stats, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
+	}
+	engines := ix.snapshotEngines()
+	futs := make([]*engine.Future, len(engines))
+	for s, eng := range engines {
+		if eng != nil {
+			futs[s] = eng.SubmitRange(q, r)
+		}
+	}
+	res, err := ix.gather(futs, int(^uint(0)>>1)) // no truncation
+	return res.Items, res.Stats, err
+}
+
+// Insert adds a point, assigns it the next global id, and routes it to
+// the owning shard; no other shard's lock is taken (the global id-map
+// lock serializes mutations with each other, not with in-shard search
+// work). An empty shard slot is materialized as a fresh single-point core
+// index on first use.
+func (ix *Index) Insert(p []float64) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(p) != ix.d {
+		return 0, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(p), ix.d)
+	}
+	g := len(ix.globalLoc)
+	s := ix.shardFor(g)
+	var local int
+	if ix.shards[s] == nil {
+		copts := ix.opts.Core
+		if copts.M <= 0 {
+			// Build pins M > 0 and snapshots carry it, so this is only
+			// reachable through a legacy or hand-built Options value; the
+			// cost model cannot fit a single point, so fall back to M=1.
+			copts.M = 1
+		}
+		sub, err := core.Build(ix.div, [][]float64{append([]float64(nil), p...)}, copts)
+		if err != nil {
+			return 0, err
+		}
+		ix.shards[s] = sub
+		ix.engines[s] = ix.newEngine(sub)
+		local = 0
+	} else {
+		var err error
+		local, err = ix.shards[s].Insert(p)
+		if err != nil {
+			return 0, err
+		}
+	}
+	ix.globalLoc = append(ix.globalLoc, loc{shard: int32(s), local: int32(local)})
+	ix.locToGlobal[s] = append(ix.locToGlobal[s], g)
+	ix.deleted = append(ix.deleted, false)
+	ix.version++
+	return g, nil
+}
+
+// Delete tombstones global id g, reporting whether it was live. Like
+// Insert it takes the id-map lock plus the owning shard's lock only.
+func (ix *Index) Delete(g int) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if g < 0 || g >= len(ix.globalLoc) || ix.deleted[g] {
+		return false
+	}
+	l := ix.globalLoc[g]
+	ix.shards[l.shard].Delete(int(l.local))
+	ix.deleted[g] = true
+	ix.nDeleted++
+	ix.version++
+	return true
+}
