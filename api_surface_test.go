@@ -35,16 +35,37 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func(string) error = sx.WriteDir
 	var _ func() uint64 = sx.Version
 
-	// Both index kinds are Engine backends.
+	var dx *brepartition.DurableIndex
+	var _ func([]float64, int) (brepartition.Result, error) = dx.Search
+	var _ func([][]float64, int) ([]brepartition.Result, error) = dx.BatchSearch
+	var _ func([]float64, float64) ([]brepartition.Neighbor, brepartition.SearchStats, error) = dx.RangeSearch
+	var _ func([]float64) (int, error) = dx.Insert
+	var _ func(int) (bool, error) = dx.Delete
+	var _ func() error = dx.Sync
+	var _ func() error = dx.Checkpoint
+	var _ func() error = dx.Close
+	var _ func() uint64 = dx.LastLSN
+	var _ func() uint64 = dx.SyncedLSN
+	var _ func() uint64 = dx.Version
+
+	// All three index kinds are Engine backends.
 	var _ brepartition.Backend = idx
 	var _ brepartition.Backend = sx
+	var _ brepartition.Backend = dx
 	var _ func(brepartition.Backend, *brepartition.EngineOptions) *brepartition.Engine = brepartition.NewEngine
+
+	// The engine routes mutations as well as queries.
+	var eng *brepartition.Engine
+	var _ func([]float64) (int, error) = eng.Insert
+	var _ func(int) (bool, error) = eng.Delete
 
 	// Constructor shapes.
 	var _ func(brepartition.Divergence, [][]float64, *brepartition.Options) (*brepartition.Index, error) = brepartition.Build
 	var _ func(brepartition.Divergence, [][]float64, int, *brepartition.Options) (*brepartition.ShardedIndex, error) = brepartition.BuildSharded
 	var _ func(string) (*brepartition.ShardedIndex, error) = brepartition.OpenSharded
 	var _ func(string) (*brepartition.Index, error) = brepartition.ReadIndexFile
+	var _ func(brepartition.Divergence, [][]float64, string, *brepartition.DurableOptions) (*brepartition.DurableIndex, error) = brepartition.BuildDurable
+	var _ func(string, *brepartition.DurableOptions) (*brepartition.DurableIndex, error) = brepartition.OpenDurable
 }
 
 // TestShardedPublicRoundTrip drives the whole public sharded surface:

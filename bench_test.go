@@ -286,3 +286,57 @@ func BenchmarkShardedSearch(b *testing.B) {
 
 // fmt is referenced so the import stays when emit's debug path is unused.
 var _ = fmt.Sprintf
+
+// ---------------------------------------------------------------------------
+// Durable write path: per-mutation cost under the two extreme sync
+// policies. BenchmarkDurableInsertSynced pays one (group-committable)
+// fsync per insert; BenchmarkDurableInsertAsync shows the WAL append cost
+// alone. The gap between them is the price of crash-durability per
+// mutation; compare against BENCH_*.json to catch write-path regressions.
+// ---------------------------------------------------------------------------
+
+func benchDurable(b *testing.B, syncEvery int) *brepartition.DurableIndex {
+	b.Helper()
+	spec, err := dataset.PaperSpec("audio", 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.MustGenerate(spec)
+	div, err := brepartition.DivergenceByName(ds.Divergence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dx, err := brepartition.BuildDurable(div, ds.Points, b.TempDir(), &brepartition.DurableOptions{
+		Core:            brepartition.Options{M: 8},
+		SyncEvery:       syncEvery,
+		CheckpointBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dx.Close() })
+	benchDurablePoint = ds.Points[0]
+	return dx
+}
+
+var benchDurablePoint []float64
+
+func BenchmarkDurableInsertSynced(b *testing.B) {
+	dx := benchDurable(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dx.Insert(benchDurablePoint); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDurableInsertAsync(b *testing.B) {
+	dx := benchDurable(b, -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dx.Insert(benchDurablePoint); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

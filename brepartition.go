@@ -310,6 +310,149 @@ func (sx *ShardedIndex) Live() int { return sx.inner.Live() }
 func (sx *ShardedIndex) Version() uint64 { return sx.inner.Version() }
 
 // ---------------------------------------------------------------------------
+// Durable index: write-ahead logged mutations with crash recovery.
+// ---------------------------------------------------------------------------
+
+// DurableOptions configures a durable index: the sharded-index knobs
+// (Shards, Workers, Core) plus the durability policy — SyncEvery/
+// SyncInterval set how mutations are fsynced (0/1 = every mutation, group-
+// committed across concurrent mutators; N > 1 = every N mutations;
+// negative = only on Sync/Close or the interval), SegmentSize sets the WAL
+// segment roll threshold, and CheckpointBytes the WAL size that triggers a
+// background checkpoint (negative disables it; call Checkpoint yourself).
+type DurableOptions = shard.DurableOptions
+
+// DurableIndex is a ShardedIndex with a durable write path: every Insert
+// and Delete is appended to a segmented, checksummed write-ahead log
+// before it touches the index, and a background checkpointer folds the log
+// into a snapshot so recovery time stays bounded. With the default sync
+// policy a mutation is fsynced before the call returns — concurrent
+// mutators share one fsync (group commit) — and OpenDurable after a crash
+// recovers every acknowledged mutation exactly.
+//
+// A DurableIndex is safe for concurrent use and implements Backend, so a
+// NewEngine can serve queries over it and route mutations to it.
+type DurableIndex struct {
+	inner *shard.Durable
+}
+
+// BuildDurable builds a sharded index over points and makes it durable
+// under directory root: the initial snapshot and an empty WAL are written
+// before it returns. opts may be nil for defaults (4 shards, fsync every
+// mutation, 8 MiB segments, 32 MiB checkpoint threshold).
+func BuildDurable(div Divergence, points [][]float64, root string, opts *DurableOptions) (*DurableIndex, error) {
+	var o DurableOptions
+	if opts != nil {
+		o = *opts
+	}
+	inner, err := shard.BuildDurable(div, points, root, o)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableIndex{inner: inner}, nil
+}
+
+// OpenDurable recovers a durable index from root: the newest valid
+// snapshot is loaded (checksums verified, with the same crash-window
+// fallback as OpenSharded) and the WAL tail past the snapshot's
+// checkpoint is replayed. A torn record at the log's very end — the
+// footprint of a crash mid-append — is dropped; corruption anywhere else
+// fails with a descriptive error instead of serving an incomplete index.
+func OpenDurable(root string, opts *DurableOptions) (*DurableIndex, error) {
+	var o DurableOptions
+	if opts != nil {
+		o = *opts
+	}
+	inner, err := shard.OpenDurable(root, o)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableIndex{inner: inner}, nil
+}
+
+// Search returns the exact k nearest neighbours of q across all shards.
+func (dx *DurableIndex) Search(q []float64, k int) (Result, error) { return dx.inner.Search(q, k) }
+
+// SearchParallel is Search (the shard scatter is already the parallel
+// axis); it exists so an Engine can drive a durable backend.
+func (dx *DurableIndex) SearchParallel(q []float64, k, workers int) (Result, error) {
+	return dx.inner.SearchParallel(q, k, workers)
+}
+
+// BatchSearch answers all queries in query order.
+func (dx *DurableIndex) BatchSearch(queries [][]float64, k int) ([]Result, error) {
+	return dx.inner.BatchSearch(queries, k)
+}
+
+// RangeSearch returns every point with D_f(x, q) ≤ r across all shards.
+func (dx *DurableIndex) RangeSearch(q []float64, r float64) ([]Neighbor, SearchStats, error) {
+	items, stats, err := dx.inner.RangeSearch(q, r)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Score}
+	}
+	return out, stats, nil
+}
+
+// Insert logs the point to the WAL, applies it to the owning shard, and
+// returns its global id. Under the default sync policy the mutation is
+// crash-durable when Insert returns; only nil-error mutations are
+// acknowledged.
+func (dx *DurableIndex) Insert(p []float64) (int, error) { return dx.inner.Insert(p) }
+
+// Delete logs and applies a tombstone, reporting whether the id was live.
+// No-op deletes write no log record.
+func (dx *DurableIndex) Delete(id int) (bool, error) { return dx.inner.Delete(id) }
+
+// Sync fsyncs the WAL through the last appended mutation — after it
+// returns, every prior mutation is crash-durable regardless of policy.
+func (dx *DurableIndex) Sync() error { return dx.inner.Sync() }
+
+// Checkpoint snapshots the index, commits it atomically tagged with the
+// covered LSN, and truncates the WAL segments the snapshot absorbed.
+// The background checkpointer calls this automatically past
+// CheckpointBytes; explicit calls bound recovery time on demand.
+func (dx *DurableIndex) Checkpoint() error { return dx.inner.Checkpoint() }
+
+// Close stops the background checkpointer, fsyncs outstanding records,
+// and closes the WAL; the directory remains recoverable with OpenDurable.
+func (dx *DurableIndex) Close() error { return dx.inner.Close() }
+
+// LastLSN returns the highest appended WAL sequence number.
+func (dx *DurableIndex) LastLSN() uint64 { return dx.inner.LastLSN() }
+
+// SyncedLSN returns the highest WAL sequence number known durable.
+func (dx *DurableIndex) SyncedLSN() uint64 { return dx.inner.SyncedLSN() }
+
+// WALSize returns the live WAL bytes (the checkpoint trigger metric).
+func (dx *DurableIndex) WALSize() int64 { return dx.inner.WALSize() }
+
+// N returns the number of ids ever assigned (including tombstoned ones).
+func (dx *DurableIndex) N() int { return dx.inner.N() }
+
+// Live returns the number of non-deleted points.
+func (dx *DurableIndex) Live() int { return dx.inner.Live() }
+
+// Dim returns the indexed dimensionality.
+func (dx *DurableIndex) Dim() int { return dx.inner.Dim() }
+
+// M returns the per-shard partition count.
+func (dx *DurableIndex) M() int { return dx.inner.M() }
+
+// Shards returns the shard count.
+func (dx *DurableIndex) Shards() int { return dx.inner.Shards() }
+
+// ShardSizes returns how many ids each shard owns.
+func (dx *DurableIndex) ShardSizes() []int { return dx.inner.ShardSizes() }
+
+// Version counts the mutations applied so far (the Engine's result cache
+// keys on it).
+func (dx *DurableIndex) Version() uint64 { return dx.inner.Version() }
+
+// ---------------------------------------------------------------------------
 // Concurrent batch query engine.
 // ---------------------------------------------------------------------------
 
@@ -370,6 +513,15 @@ func (e *Engine) BatchSearch(queries [][]float64, k int) ([]Result, error) {
 // Submit enqueues one query and returns a Future immediately; Wait blocks
 // for the answer. Use it to pipeline query production with execution.
 func (e *Engine) Submit(q []float64, k int) *Future { return e.inner.Submit(q, k) }
+
+// Insert routes a point insertion through the engine to its backend (an
+// *Index, *ShardedIndex, or *DurableIndex). Cached results invalidate
+// automatically; the mutation is counted in Stats.
+func (e *Engine) Insert(p []float64) (int, error) { return e.inner.Insert(p) }
+
+// Delete routes a tombstone through the engine, reporting whether the id
+// was live; against a *DurableIndex a WAL failure surfaces as the error.
+func (e *Engine) Delete(id int) (bool, error) { return e.inner.Delete(id) }
 
 // Stats snapshots the engine's aggregate statistics.
 func (e *Engine) Stats() EngineStats { return e.inner.Stats() }

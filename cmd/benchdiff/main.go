@@ -1,0 +1,179 @@
+// Command benchdiff turns `go test -bench` output into a stable JSON
+// benchmark summary and gates on regressions against a committed baseline.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 200ms -count 3 -benchmem -run '^$' . | tee bench.txt
+//	benchdiff -in bench.txt -out BENCH_PR3.json -baseline BENCH_baseline.json -threshold 0.25
+//
+// With -count N the minimum ns/op across repetitions is kept — the
+// least-noise estimate of the true cost, which is what makes a 25% gate
+// usable on shared CI runners. Benchmarks present only on one side are
+// reported but never fail the gate (new benchmarks must be able to land,
+// and retired ones to leave). Exit status 1 means at least one benchmark
+// regressed past the threshold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's summary (the minimum across -count runs).
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// File is the JSON document benchdiff reads and writes.
+type File struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   123   456 ns/op   789 B/op   12 allocs/op`
+// (the -benchmem fields optional, the GOMAXPROCS suffix stripped).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return File{}, err
+	}
+	defer f.Close()
+	out := File{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		var bytesOp, allocs int64
+		if m[3] != "" {
+			bytesOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			allocs, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		cur, seen := out.Benchmarks[name]
+		if !seen || ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		if !seen || allocs < cur.AllocsPerOp {
+			cur.AllocsPerOp = allocs
+		}
+		if !seen || bytesOp < cur.BytesPerOp {
+			cur.BytesPerOp = bytesOp
+		}
+		cur.Runs++
+		out.Benchmarks[name] = cur
+	}
+	if err := sc.Err(); err != nil {
+		return File{}, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	return out, nil
+}
+
+func readJSON(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	in := flag.String("in", "", "go test -bench output to parse (required)")
+	out := flag.String("out", "", "JSON summary to write")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op growth before failing")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -in is required")
+		os.Exit(2)
+	}
+
+	cur, err := parse(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		doc, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+	if *baseline == "" {
+		return
+	}
+
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressed := 0
+	for _, name := range sortedNames(cur.Benchmarks) {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("NEW    %-40s %12.0f ns/op (no baseline)\n", name, c.NsPerOp)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok    "
+		if ratio > 1+*threshold {
+			status = "REGRESS"
+			regressed++
+		}
+		fmt.Printf("%s %-40s %12.0f → %12.0f ns/op (%+.1f%%)\n",
+			status, name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+	}
+	for _, name := range sortedNames(base.Benchmarks) {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Printf("GONE   %-40s (in baseline, not in run)\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressed, *threshold*100, *baseline)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: brepartition
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchM8-4         	      30	   7639420 ns/op	   81355 B/op	     416 allocs/op
+BenchmarkSearchM8-4         	      32	   7100000 ns/op	   81355 B/op	     410 allocs/op
+BenchmarkSearchM8-4         	      31	   7500000 ns/op	   81400 B/op	     416 allocs/op
+BenchmarkDistanceED192-4    	  998918	       240.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem              	     100	     50000 ns/op
+PASS
+ok  	brepartition	179.927s
+`
+
+func TestParseAggregatesMinAcrossCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	m8 := f.Benchmarks["BenchmarkSearchM8"]
+	if m8.NsPerOp != 7100000 {
+		t.Fatalf("min ns/op %v, want 7100000", m8.NsPerOp)
+	}
+	if m8.AllocsPerOp != 410 {
+		t.Fatalf("min allocs %d, want 410", m8.AllocsPerOp)
+	}
+	if m8.Runs != 3 {
+		t.Fatalf("runs %d, want 3", m8.Runs)
+	}
+	if ed := f.Benchmarks["BenchmarkDistanceED192"]; ed.NsPerOp != 240.7 {
+		t.Fatalf("fractional ns/op %v, want 240.7", ed.NsPerOp)
+	}
+	if nm := f.Benchmarks["BenchmarkNoMem"]; nm.NsPerOp != 50000 || nm.AllocsPerOp != 0 {
+		t.Fatalf("benchmem-less line parsed wrong: %+v", nm)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "none.txt")
+	if err := os.WriteFile(path, []byte("PASS\nok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parse(path); err == nil {
+		t.Fatal("empty bench output must be an error, not a silently green gate")
+	}
+}

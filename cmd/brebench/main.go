@@ -38,7 +38,7 @@ import (
 var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
-	"batch", "sharded",
+	"batch", "sharded", "durable",
 }
 
 func main() {
@@ -111,6 +111,8 @@ func run(env *experiments.Env, name string, workers, batch, shards int) ([]exper
 		return env.Batch(workers, batch), nil
 	case "sharded":
 		return env.Sharded(workers, batch, shards), nil
+	case "durable":
+		return env.Durable(batch), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

@@ -1,0 +1,123 @@
+package brepartition_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"brepartition"
+)
+
+func durablePoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(11))
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = 1.0 + 2*float64(i%3) + 0.25*rng.Float64()
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// TestDurablePublicRoundTrip drives the public durable API end to end:
+// build → mutate → crash-free reopen → identical answers, with an Engine
+// routing both queries and mutations over the durable backend.
+func TestDurablePublicRoundTrip(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "durable")
+	points := durablePoints(400, 12)
+	dx, err := brepartition.BuildDurable(brepartition.ItakuraSaito(), points, root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable index must answer exactly like a plain sharded build.
+	sx, err := brepartition.BuildSharded(brepartition.ItakuraSaito(), points, dx.Shards(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := points[17]
+	want, err := sx.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dx.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Items {
+		if got.Items[i] != want.Items[i] {
+			t.Fatalf("durable answer diverged at rank %d: %v != %v", i, got.Items[i], want.Items[i])
+		}
+	}
+
+	// Engine-routed mutations against the durable backend.
+	eng := brepartition.NewEngine(dx, nil)
+	extra := append([]float64(nil), q...)
+	id, err := eng.Insert(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 400 {
+		t.Fatalf("engine insert assigned %d, want 400", id)
+	}
+	ok, err := eng.Delete(3)
+	if err != nil || !ok {
+		t.Fatalf("engine delete: %v %v", ok, err)
+	}
+	if st := eng.Stats(); st.Mutations != 2 {
+		t.Fatalf("engine counted %d mutations, want 2", st.Mutations)
+	}
+	res, err := eng.BatchSearch([][]float64{q}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Items[0].Score != 0 {
+		t.Fatalf("engine query over durable backend: %+v", res[0].Items)
+	}
+
+	if dx.SyncedLSN() != dx.LastLSN() || dx.LastLSN() == 0 {
+		t.Fatalf("default policy must ack-sync every mutation: synced=%d last=%d",
+			dx.SyncedLSN(), dx.LastLSN())
+	}
+	if err := dx.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rx, err := brepartition.OpenDurable(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	if rx.N() != 401 || rx.Live() != 400 {
+		t.Fatalf("recovered N=%d Live=%d, want 401/400", rx.N(), rx.Live())
+	}
+	rres, err := rx.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Items[0].Score != 0 {
+		t.Fatalf("recovered index lost the engine-routed insert: %+v", rres.Items)
+	}
+	deleted := false
+	for _, nb := range brepartition.Neighbors(rres) {
+		if nb.ID == 3 {
+			deleted = true
+		}
+	}
+	if deleted {
+		t.Fatal("recovered index serves the deleted id")
+	}
+
+	// And it keeps mutating durably after recovery.
+	if _, err := rx.Insert(points[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,7 @@ package engine
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -41,6 +42,27 @@ type Backend interface {
 type rangeBackend interface {
 	RangeSearch(q []float64, r float64) ([]topk.Item, core.SearchStats, error)
 }
+
+// MutableBackend is the optional mutation surface. The engine routes
+// Insert/Delete through itself so services can hand one Engine handle to
+// both read and write paths: mutations are counted in the aggregate stats
+// and the result cache invalidates automatically (it keys on Version,
+// which every mutation advances).
+type MutableBackend interface {
+	Backend
+	Insert(p []float64) (int, error)
+	Delete(id int) bool
+}
+
+// durableDeleter is the Delete shape of a durability-wrapped index, which
+// also reports WAL errors. The engine prefers it over MutableBackend's
+// bool-only Delete when the backend offers it.
+type durableDeleter interface {
+	Delete(id int) (bool, error)
+}
+
+// ErrNoMutate reports Insert/Delete against a read-only backend.
+var ErrNoMutate = errors.New("engine: backend does not support mutations")
 
 // Config tunes the engine. The zero value asks for defaults.
 type Config struct {
@@ -84,12 +106,18 @@ type Engine struct {
 	mu         sync.Mutex
 	queries    int64
 	errors     int64
+	mutations  int64
 	pageReads  int64
 	candidates int64
 	started    time.Time // first submission
 	lastDone   time.Time // most recent completion
-	lat        []time.Duration
-	latNext    int
+	// lat is a fixed-size uniform reservoir (Vitter's Algorithm R) over
+	// every completed query's latency: long-running durable workloads see
+	// constant memory, and the percentiles estimate the whole run rather
+	// than just the most recent window.
+	lat     []time.Duration
+	latSeen int64 // completed queries offered to the reservoir
+	latRNG  *rand.Rand
 }
 
 // job is one queued unit of work: run answers it (a kNN search consulting
@@ -107,7 +135,7 @@ const maxLatSamples = 1 << 14
 // defaults.
 func New(ix Backend, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{ix: ix, cfg: cfg}
+	e := &Engine{ix: ix, cfg: cfg, latRNG: rand.New(rand.NewSource(1))}
 	if cfg.CacheSize > 0 {
 		e.cache = newResultCache(cfg.CacheSize)
 	}
@@ -216,6 +244,49 @@ func (e *Engine) BatchSearch(queries [][]float64, k int) ([]core.Result, error) 
 	return out, firstErr
 }
 
+// Insert routes a point insertion to the backend (which must be mutable:
+// a core index, a sharded index, or a durable index — all three share one
+// Insert signature). The result cache needs no explicit flush — it keys
+// on the backend Version, which the mutation advances.
+func (e *Engine) Insert(p []float64) (int, error) {
+	b, ok := e.ix.(interface {
+		Insert(p []float64) (int, error)
+	})
+	if !ok {
+		return 0, ErrNoMutate
+	}
+	id, err := b.Insert(p)
+	if err == nil {
+		e.mu.Lock()
+		e.mutations++
+		e.mu.Unlock()
+	}
+	return id, err
+}
+
+// Delete routes a tombstone to the backend, reporting whether the id was
+// live. Against a durable backend a WAL failure surfaces as the error.
+func (e *Engine) Delete(id int) (bool, error) {
+	var (
+		ok  bool
+		err error
+	)
+	switch b := e.ix.(type) {
+	case durableDeleter:
+		ok, err = b.Delete(id)
+	case MutableBackend:
+		ok = b.Delete(id)
+	default:
+		return false, ErrNoMutate
+	}
+	if ok && err == nil {
+		e.mu.Lock()
+		e.mutations++
+		e.mu.Unlock()
+	}
+	return ok, err
+}
+
 // searchOne answers a single query, consulting the shared result cache;
 // cached reports whether the answer was served without searching.
 func (e *Engine) searchOne(q []float64, k int) (res core.Result, cached bool, err error) {
@@ -257,11 +328,14 @@ func (e *Engine) record(res core.Result, cached bool, err error, lat time.Durati
 		e.pageReads += int64(res.Stats.PageReads)
 		e.candidates += int64(res.Stats.Candidates)
 	}
+	e.latSeen++
 	if len(e.lat) < maxLatSamples {
 		e.lat = append(e.lat, lat)
-	} else {
-		e.lat[e.latNext] = lat
-		e.latNext = (e.latNext + 1) % maxLatSamples
+	} else if j := e.latRNG.Int63n(e.latSeen); j < maxLatSamples {
+		// Algorithm R: the i-th sample replaces a random slot with
+		// probability cap/i, keeping every completed query equally likely
+		// to be in the reservoir.
+		e.lat[j] = lat
 	}
 }
 
@@ -271,6 +345,9 @@ type Stats struct {
 	Queries int64
 	// Errors counts queries that returned an error.
 	Errors int64
+	// Mutations counts successful Insert/Delete calls routed through the
+	// engine.
+	Mutations int64
 	// CacheHits counts queries served from the shared result cache.
 	CacheHits int64
 	// PageReads and Candidates sum the per-query work of all non-cached
@@ -281,8 +358,10 @@ type Stats struct {
 	Wall time.Duration
 	// QPS is Queries / Wall.
 	QPS float64
-	// P50 and P99 are latency percentiles over a bounded reservoir of
-	// recent queries (cache hits included — they are real service time).
+	// P50 and P99 are latency percentiles over a fixed-size uniform
+	// reservoir sample of all completed queries (cache hits included —
+	// they are real service time); memory stays constant however long
+	// the engine runs.
 	P50, P99 time.Duration
 }
 
@@ -293,6 +372,7 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		Queries:    e.queries,
 		Errors:     e.errors,
+		Mutations:  e.mutations,
 		PageReads:  e.pageReads,
 		Candidates: e.candidates,
 	}

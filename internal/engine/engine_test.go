@@ -235,3 +235,98 @@ func TestPercentile(t *testing.T) {
 		t.Fatalf("empty percentile = %v, want 0", got)
 	}
 }
+
+// TestMutationRouting drives Insert/Delete through the engine: the
+// mutations must land on the backend, count in the stats, and invalidate
+// cached results via the version key.
+func TestMutationRouting(t *testing.T) {
+	ix, queries := buildIndex(t, 300, 16, 2)
+	e := New(ix, Config{Workers: 2, CacheSize: 64})
+	q := queries[0]
+
+	before, err := e.Submit(q, 5).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := e.Insert(append([]float64(nil), q...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 300 {
+		t.Fatalf("insert assigned id %d, want 300", id)
+	}
+	after, err := e.Submit(q, 5).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Items[0].ID != id || after.Items[0].Score != 0 {
+		t.Fatalf("inserted point not served (stale cache?): %+v", after.Items)
+	}
+	if sameAnswer(before, after) {
+		t.Fatal("mutation did not invalidate the cached result")
+	}
+
+	ok, err := e.Delete(id)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if ok, err := e.Delete(id); err != nil || ok {
+		t.Fatalf("double delete must be a no-op: %v %v", ok, err)
+	}
+	gone, err := e.Submit(q, 5).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range gone.Items {
+		if it.ID == id {
+			t.Fatal("deleted point still served")
+		}
+	}
+	if st := e.Stats(); st.Mutations != 2 {
+		t.Fatalf("stats count %d mutations, want 2", st.Mutations)
+	}
+}
+
+// readOnlyBackend implements only Backend.
+type readOnlyBackend struct{ Backend }
+
+func TestMutationRoutingReadOnly(t *testing.T) {
+	ix, _ := buildIndex(t, 50, 8, 2)
+	e := New(readOnlyBackend{ix}, Config{Workers: 1, CacheSize: -1})
+	if _, err := e.Insert([]float64{1}); err != ErrNoMutate {
+		t.Fatalf("want ErrNoMutate, got %v", err)
+	}
+	if _, err := e.Delete(0); err != ErrNoMutate {
+		t.Fatalf("want ErrNoMutate, got %v", err)
+	}
+}
+
+// TestLatencyReservoirBounded pushes far more samples than the reservoir
+// holds and checks memory stays capped while the sample keeps admitting
+// late arrivals (uniform over the whole run, not a frozen prefix).
+func TestLatencyReservoirBounded(t *testing.T) {
+	e := New(readOnlyBackend{}, Config{Workers: 1, CacheSize: -1})
+	for i := 0; i < 3*maxLatSamples; i++ {
+		e.record(core.Result{}, false, nil, time.Duration(i))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.lat) != maxLatSamples {
+		t.Fatalf("reservoir holds %d samples, want exactly %d", len(e.lat), maxLatSamples)
+	}
+	if e.latSeen != 3*maxLatSamples {
+		t.Fatalf("latSeen %d, want %d", e.latSeen, 3*maxLatSamples)
+	}
+	// With uniform sampling about 2/3 of slots come from the post-cap
+	// tail; a frozen prefix would keep zero.
+	late := 0
+	for _, v := range e.lat {
+		if v >= time.Duration(maxLatSamples) {
+			late++
+		}
+	}
+	if late < maxLatSamples/3 {
+		t.Fatalf("only %d/%d reservoir slots postdate the cap — sampling is not uniform", late, maxLatSamples)
+	}
+}

@@ -92,3 +92,23 @@ func TestComparisonCached(t *testing.T) {
 		t.Fatal("comparison not cached between Fig11 and Fig12")
 	}
 }
+
+func TestDurableShape(t *testing.T) {
+	e := tinyEnv()
+	tables := e.Durable(16)
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want policy + recovery", len(tables))
+	}
+	if len(tables[0].Rows) != 4 {
+		t.Fatalf("got %d policy rows, want 4", len(tables[0].Rows))
+	}
+	if len(tables[1].Rows) != 3 {
+		t.Fatalf("got %d recovery rows, want 3", len(tables[1].Rows))
+	}
+	// Every policy must have acknowledged all mutations by its Sync.
+	for _, row := range tables[0].Rows {
+		if !strings.Contains(row[3], "16/16") {
+			t.Fatalf("policy %q did not settle: synced/last = %q", row[0], row[3])
+		}
+	}
+}

@@ -25,11 +25,17 @@ import (
 //
 //	magic u32 | version u32 | divergence string | shardCount u32
 //	totalGlobal u32 (ids ever assigned) | coreM u32 (pinned partition count)
+//	meta blob: metaLen u32 | metaLen bytes   (version ≥ 2 only)
 //	per shard: present u8; when present:
 //	    filename string | fileSize u64 | fileCRC u32
 //	    localCount u32 | locToGlobal: localCount × global id u32
 //	deletedCount u32 | deleted global ids u32...
 //	crc32 of everything above
+//
+// The meta blob is opaque to this package: the durable layer stores its
+// checkpoint LSN there, so the "which WAL records does this snapshot
+// already contain" fact is committed by the same atomic rename as the
+// snapshot itself — there is no window where they can disagree.
 //
 // WriteDir stages the whole snapshot in a sibling ".staging" directory and
 // commits it with directory renames, so the destination path never holds a
@@ -39,8 +45,9 @@ import (
 const (
 	manifestName           = "manifest.bps"
 	manifestMagic   uint32 = 0x5A4BD5E2
-	manifestVer     uint32 = 1
+	manifestVer     uint32 = 2
 	maxShardsOnDisk        = 1 << 16
+	maxMetaBytes           = 1 << 16
 )
 
 // ErrBadSnapshot reports a structurally invalid or corrupt snapshot
@@ -58,6 +65,16 @@ func shardFileName(s int) string { return fmt.Sprintf("shard-%04d.bpidx", s) }
 // commit renames, so the guarantees hold across power loss, not just
 // process crashes.
 func (ix *Index) WriteDir(dir string) (err error) {
+	return ix.WriteDirMeta(dir, nil)
+}
+
+// WriteDirMeta is WriteDir with an opaque meta blob (≤ 64 KiB) embedded in
+// the manifest; ReadDirMeta returns it. The blob commits atomically with
+// the snapshot — the durable layer's checkpoint LSN rides here.
+func (ix *Index) WriteDirMeta(dir string, meta []byte) (err error) {
+	if len(meta) > maxMetaBytes {
+		return fmt.Errorf("shard: meta blob %d bytes exceeds %d", len(meta), maxMetaBytes)
+	}
 	ix.snapMu.Lock()
 	defer ix.snapMu.Unlock()
 	ix.mu.RLock()
@@ -102,6 +119,8 @@ func (ix *Index) WriteDir(dir string) (err error) {
 	// must materialize lazily created shards with the same partitioning
 	// the original derived from the full dataset.
 	w.u32(uint32(ix.opts.Core.M))
+	w.u32(uint32(len(meta)))
+	w.buf = append(w.buf, meta...)
 	for s, sub := range ix.shards {
 		if sub == nil {
 			w.u8(0)
@@ -191,6 +210,14 @@ func syncPath(path string) error {
 // (a crash hit WriteDir's commit window between its two renames), ReadDir
 // falls back to it, so the last good snapshot stays loadable.
 func ReadDir(dir string, opts Options) (*Index, error) {
+	ix, _, err := ReadDirMeta(dir, opts)
+	return ix, err
+}
+
+// ReadDirMeta is ReadDir, additionally returning the opaque meta blob the
+// snapshot was written with (nil for snapshots written by WriteDir or by
+// the version-1 format).
+func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
 		if old, oerr := os.ReadFile(filepath.Join(dir+".old", manifestName)); oerr == nil {
@@ -198,33 +225,47 @@ func ReadDir(dir string, opts Options) (*Index, error) {
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(raw) < 4 {
-		return nil, fmt.Errorf("%w: manifest truncated", ErrBadSnapshot)
+		return nil, nil, fmt.Errorf("%w: manifest truncated", ErrBadSnapshot)
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrBadSnapshot)
+		return nil, nil, fmt.Errorf("%w: manifest checksum mismatch", ErrBadSnapshot)
 	}
 	r := &manifestReader{buf: body}
 	if r.u32() != manifestMagic {
-		return nil, fmt.Errorf("%w: bad manifest magic", ErrBadSnapshot)
+		return nil, nil, fmt.Errorf("%w: bad manifest magic", ErrBadSnapshot)
 	}
-	if v := r.u32(); v != manifestVer {
-		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrBadSnapshot, v)
+	ver := r.u32()
+	if ver != 1 && ver != manifestVer {
+		return nil, nil, fmt.Errorf("%w: unsupported manifest version %d", ErrBadSnapshot, ver)
 	}
 	divName := r.str()
 	div, err := bregman.ByName(divName)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	nShards := int(r.u32())
 	totalGlobal := int(r.u32())
 	coreM := int(r.u32())
 	if r.err != nil || nShards <= 0 || nShards > maxShardsOnDisk || totalGlobal < 0 ||
 		totalGlobal > len(body)/4 || coreM < 0 || coreM > 1<<20 {
-		return nil, fmt.Errorf("%w: bad manifest geometry", ErrBadSnapshot)
+		return nil, nil, fmt.Errorf("%w: bad manifest geometry", ErrBadSnapshot)
+	}
+	var meta []byte
+	if ver >= 2 {
+		n := int(r.u32())
+		if r.err != nil || n < 0 || n > maxMetaBytes {
+			return nil, nil, fmt.Errorf("%w: bad meta blob size", ErrBadSnapshot)
+		}
+		if n > 0 {
+			meta = append([]byte(nil), r.take(n)...)
+		}
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated meta blob", ErrBadSnapshot)
+		}
 	}
 
 	opts.Shards = nShards
@@ -249,13 +290,13 @@ func ReadDir(dir string, opts Options) (*Index, error) {
 		wantCRC := r.u32()
 		localCount := int(r.u32())
 		if r.err != nil || localCount < 0 || localCount > totalGlobal {
-			return nil, fmt.Errorf("%w: bad shard %d map size", ErrBadSnapshot, s)
+			return nil, nil, fmt.Errorf("%w: bad shard %d map size", ErrBadSnapshot, s)
 		}
 		l2g := make([]int, localCount)
 		for l := range l2g {
 			g := int(r.u32())
 			if r.err != nil || g < 0 || g >= totalGlobal || seen[g] {
-				return nil, fmt.Errorf("%w: shard %d maps invalid global id", ErrBadSnapshot, s)
+				return nil, nil, fmt.Errorf("%w: shard %d maps invalid global id", ErrBadSnapshot, s)
 			}
 			seen[g] = true
 			l2g[l] = g
@@ -264,37 +305,37 @@ func ReadDir(dir string, opts Options) (*Index, error) {
 		ix.locToGlobal[s] = l2g
 
 		if name != shardFileName(s) {
-			return nil, fmt.Errorf("%w: shard %d names unexpected file %q", ErrBadSnapshot, s, name)
+			return nil, nil, fmt.Errorf("%w: shard %d names unexpected file %q", ErrBadSnapshot, s, name)
 		}
 		path := filepath.Join(dir, name)
 		size, crc, err := fileChecksum(path)
 		if err != nil {
-			return nil, fmt.Errorf("%w: shard file %s: %v", ErrBadSnapshot, name, err)
+			return nil, nil, fmt.Errorf("%w: shard file %s: %v", ErrBadSnapshot, name, err)
 		}
 		if size != wantSize {
-			return nil, fmt.Errorf("%w: shard file %s: size %d, manifest says %d (truncated or overwritten)",
+			return nil, nil, fmt.Errorf("%w: shard file %s: size %d, manifest says %d (truncated or overwritten)",
 				ErrBadSnapshot, name, size, wantSize)
 		}
 		if crc != wantCRC {
-			return nil, fmt.Errorf("%w: shard file %s: checksum %08x, manifest says %08x (corrupt)",
+			return nil, nil, fmt.Errorf("%w: shard file %s: checksum %08x, manifest says %08x (corrupt)",
 				ErrBadSnapshot, name, crc, wantCRC)
 		}
 		sub, err := core.ReadFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("%w: shard file %s: %v", ErrBadSnapshot, name, err)
+			return nil, nil, fmt.Errorf("%w: shard file %s: %v", ErrBadSnapshot, name, err)
 		}
 		if sub.N() != localCount {
-			return nil, fmt.Errorf("%w: shard file %s holds %d points, manifest maps %d",
+			return nil, nil, fmt.Errorf("%w: shard file %s holds %d points, manifest maps %d",
 				ErrBadSnapshot, name, sub.N(), localCount)
 		}
 		if sub.Div.Name() != divName {
-			return nil, fmt.Errorf("%w: shard file %s divergence %q, manifest says %q",
+			return nil, nil, fmt.Errorf("%w: shard file %s divergence %q, manifest says %q",
 				ErrBadSnapshot, name, sub.Div.Name(), divName)
 		}
 		if ix.d == 0 {
 			ix.d = sub.Dim()
 		} else if sub.Dim() != ix.d {
-			return nil, fmt.Errorf("%w: shard file %s dimensionality %d, other shards have %d",
+			return nil, nil, fmt.Errorf("%w: shard file %s dimensionality %d, other shards have %d",
 				ErrBadSnapshot, name, sub.Dim(), ix.d)
 		}
 		ix.shards[s] = sub
@@ -302,18 +343,18 @@ func ReadDir(dir string, opts Options) (*Index, error) {
 	}
 	for g, ok := range seen {
 		if !ok {
-			return nil, fmt.Errorf("%w: global id %d owned by no shard", ErrBadSnapshot, g)
+			return nil, nil, fmt.Errorf("%w: global id %d owned by no shard", ErrBadSnapshot, g)
 		}
 	}
 
 	nDel := int(r.u32())
 	if r.err != nil || nDel < 0 || nDel > totalGlobal {
-		return nil, fmt.Errorf("%w: bad tombstone count", ErrBadSnapshot)
+		return nil, nil, fmt.Errorf("%w: bad tombstone count", ErrBadSnapshot)
 	}
 	for i := 0; i < nDel; i++ {
 		g := int(r.u32())
 		if r.err != nil || g < 0 || g >= totalGlobal || ix.deleted[g] {
-			return nil, fmt.Errorf("%w: invalid tombstone id", ErrBadSnapshot)
+			return nil, nil, fmt.Errorf("%w: invalid tombstone id", ErrBadSnapshot)
 		}
 		// Re-arm the shard-local tombstone: the core file stores deleted
 		// points with poisoned tuples and no tree presence, but its own
@@ -324,12 +365,12 @@ func ReadDir(dir string, opts Options) (*Index, error) {
 		ix.nDeleted++
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, r.err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, r.err)
 	}
 	if r.off != len(r.buf) {
-		return nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrBadSnapshot, len(r.buf)-r.off)
+		return nil, nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrBadSnapshot, len(r.buf)-r.off)
 	}
-	return ix, nil
+	return ix, meta, nil
 }
 
 // fileChecksum streams path once, returning its size and CRC32.

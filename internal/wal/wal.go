@@ -1,0 +1,709 @@
+// Package wal is a segmented, checksummed write-ahead log: the durability
+// substrate under the sharded index's mutation path. Mutations are encoded
+// as framed records, appended to the active segment, and made durable by
+// group commit — any number of concurrent committers pile up behind one
+// fsync, so the per-mutation durability cost is amortized across however
+// many mutations arrived while the previous fsync was in flight.
+//
+// Record framing (little-endian), designed so that the two failure modes
+// recovery must distinguish are structurally distinguishable:
+//
+//	u32 payloadLen | u32 headerCRC | u32 payloadCRC | payload
+//	payload = u64 LSN | u8 op | op data
+//
+// headerCRC is the CRC32 of the payloadLen field alone. Because the length
+// is independently checksummed, a torn write (the file simply ends early —
+// the only tear real filesystems produce on an append-only file) is
+// recognizable as a *truncated* frame: either fewer than 12 header bytes
+// remain, or the verified length says more payload than the file holds.
+// Anything else — a header whose own checksum fails, a fully present
+// payload whose checksum fails, an LSN that breaks the monotonic chain —
+// cannot be produced by a tear and is rejected as corruption. Torn tails
+// are tolerated only at the very end of the newest segment; everywhere
+// else a short frame is corruption too.
+//
+// Segments are named by the LSN of their first record (%016x.wal), sealed
+// (fsynced, closed) when they pass SegmentSize, and deleted by
+// TruncateBefore once a checkpoint covers them. LSNs start at 1 and
+// increase by exactly 1 per record across segment boundaries, which is
+// what lets replay verify it saw every record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is the mutation type carried by one record.
+type Op uint8
+
+const (
+	// OpInsert carries the assigned global id and the point's coordinates.
+	OpInsert Op = 1
+	// OpDelete carries the tombstoned global id.
+	OpDelete Op = 2
+)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	LSN   uint64
+	Op    Op
+	ID    int       // global id (assigned for inserts, tombstoned for deletes)
+	Point []float64 // insert payload; nil for deletes
+}
+
+// Options tunes a WAL.
+type Options struct {
+	// SegmentSize is the byte threshold past which the active segment is
+	// sealed and a fresh one started (0 = 8 MiB).
+	SegmentSize int64
+	// SyncEvery acknowledges a Commit only after the log is fsynced at
+	// least every N records: 1 (and 0, the default) fsyncs every commit —
+	// group-committed, so concurrent mutators still share one fsync; N > 1
+	// lets up to N-1 acknowledged records ride in the OS cache between
+	// fsyncs, trading a bounded crash window for throughput. Negative
+	// never syncs on commit (rely on SyncInterval or explicit Sync calls).
+	SyncEvery int
+	// SyncInterval, when positive, runs a background fsync at that period
+	// regardless of commit traffic.
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 8 << 20
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 1
+	}
+	return o
+}
+
+// ErrCorrupt reports structurally invalid WAL contents that a torn write
+// cannot explain — flipped bytes, broken LSN chains, short frames anywhere
+// but the newest segment's tail. Recovery refuses to guess past it.
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// ErrClosed reports use of a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+const (
+	headerSize    = 12
+	maxRecordSize = 1 << 26 // 64 MiB payload cap: sanity bound on lengths
+	segSuffix     = ".wal"
+)
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%016x%s", firstLSN, segSuffix)
+}
+
+// WAL is an append-only segmented log. All methods are safe for concurrent
+// use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	// mu guards the append path: the active file, its offset, and lastLSN.
+	mu      sync.Mutex
+	file    *os.File
+	offset  int64
+	lastLSN uint64 // highest LSN appended (not necessarily synced)
+	sealed  int64  // bytes living in sealed (already fsynced) segments
+	closed  bool
+
+	// syncMu serializes fsyncs; syncedLSN advances under it. Committers
+	// needing durability queue on syncMu — the first one in syncs the
+	// whole pile (group commit), the rest observe syncedLSN ≥ their LSN
+	// and return without touching the disk.
+	syncMu    sync.Mutex
+	syncedLSN atomic.Uint64
+
+	stop chan struct{} // closes the SyncInterval ticker goroutine
+	wg   sync.WaitGroup
+}
+
+// Create initializes an empty WAL in dir (created if absent, which must
+// then stay reserved for the WAL). Fails if dir already holds segments.
+func Create(dir string, opts Options) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) != 0 {
+		return nil, fmt.Errorf("wal: %s already holds %d segments", dir, len(segs))
+	}
+	w := &WAL{dir: dir, opts: opts.withDefaults()}
+	if err := w.openSegment(1); err != nil {
+		return nil, err
+	}
+	w.startTicker()
+	return w, nil
+}
+
+// Open recovers an existing WAL for appending: it replays every segment to
+// find the end of the valid record chain, truncates a torn tail if the
+// newest segment has one, and positions the next append after the last
+// valid record. Records themselves are delivered through Replay; Open only
+// establishes the write position. A WAL directory with no segments (all
+// truncated away, or freshly created) is valid and starts at nextLSN.
+func Open(dir string, nextLSN uint64, opts Options) (*WAL, error) {
+	w := &WAL{dir: dir, opts: opts.withDefaults()}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if nextLSN == 0 {
+			nextLSN = 1
+		}
+		if err := w.openSegment(nextLSN); err != nil {
+			return nil, err
+		}
+		w.startTicker()
+		return w, nil
+	}
+
+	// Walk all segments to find the last valid record and the byte offset
+	// it ends at in the final segment; scanSegment validates the chain.
+	last := segs[len(segs)-1]
+	for _, s := range segs[:len(segs)-1] {
+		end, err := scanSegment(filepath.Join(dir, s.name), s.firstLSN, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if end.nextLSN != nextFirst(segs, s) {
+			return nil, fmt.Errorf("%w: segment %s ends at lsn %d but %s begins at %d",
+				ErrCorrupt, s.name, end.nextLSN-1, segName(nextFirst(segs, s)), nextFirst(segs, s))
+		}
+		w.sealed += end.offset
+	}
+	end, err := scanSegment(filepath.Join(dir, last.name), last.firstLSN, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	prevLSN := end.nextLSN - 1
+
+	path := filepath.Join(dir, last.name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Drop the torn tail so appended records start at a clean frame
+	// boundary; the truncation is fsynced before any new append.
+	if info, err := f.Stat(); err == nil && info.Size() > end.offset {
+		if err := f.Truncate(end.offset); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(end.offset, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.file = f
+	w.offset = end.offset
+	w.lastLSN = prevLSN
+	w.syncedLSN.Store(prevLSN) // everything on disk at open is durable
+	w.startTicker()
+	return w, nil
+}
+
+func (w *WAL) startTicker() {
+	if w.opts.SyncInterval <= 0 {
+		return
+	}
+	w.stop = make(chan struct{})
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(w.opts.SyncInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.Sync() //nolint:errcheck // surfaced by the next Commit/Sync
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// openSegment creates the segment whose first record will carry firstLSN
+// and makes it the active file. Caller holds mu (or owns w exclusively).
+func (w *WAL) openSegment(firstLSN uint64) error {
+	path := filepath.Join(w.dir, segName(firstLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	// Persist the directory entry: a crash must not lose the file itself.
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.file = f
+	w.offset = 0
+	w.lastLSN = firstLSN - 1
+	return nil
+}
+
+// Append encodes rec (whose LSN is assigned here, not by the caller),
+// writes it to the active segment, and returns the assigned LSN. The
+// record is NOT durable until a Sync covering its LSN completes; use
+// Commit for policy-driven durability.
+func (w *WAL) Append(op Op, id int, point []float64) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	lsn := w.lastLSN + 1
+	frame := encodeRecord(lsn, op, id, point)
+	if _, err := w.file.Write(frame); err != nil {
+		return 0, err
+	}
+	w.lastLSN = lsn
+	w.offset += int64(len(frame))
+	if w.offset >= w.opts.SegmentSize {
+		if err := w.seal(); err != nil {
+			return lsn, err
+		}
+	}
+	return lsn, nil
+}
+
+// seal fsyncs and closes the active segment and opens the next one. Caller
+// holds mu. Everything in a sealed segment is durable, so syncedLSN
+// advances to the sealed segment's last record.
+func (w *WAL) seal() error {
+	if err := w.file.Sync(); err != nil {
+		return err
+	}
+	// Advance the watermark before Close: the fsync above made every
+	// record in this segment durable, and a concurrent SyncTo whose
+	// descriptor we are about to close must find the watermark already
+	// past its target when its own Sync fails.
+	w.advanceSynced(w.lastLSN)
+	if err := w.file.Close(); err != nil {
+		return err
+	}
+	w.sealed += w.offset
+	return w.openSegment(w.lastLSN + 1)
+}
+
+// Commit appends the record and applies the durability policy via Ack.
+// It returns the LSN and whether the record was durable at return.
+func (w *WAL) Commit(op Op, id int, point []float64) (uint64, bool, error) {
+	lsn, err := w.Append(op, id, point)
+	if err != nil {
+		return lsn, false, err
+	}
+	durable, err := w.Ack(lsn)
+	return lsn, durable, err
+}
+
+// Ack applies the SyncEvery policy to an already-appended record: with
+// SyncEvery ≤ 1 (treating 0 as the default 1) it returns only after an
+// fsync covers the record — group commit, the fsync is usually someone
+// else's; with SyncEvery = N it syncs once N records have accumulated
+// since the last sync; negative SyncEvery never syncs here. It reports
+// whether lsn was durable at return. Callers that append under their own
+// mutex (the durable index) call Ack outside it, so mutators pile up into
+// one shared fsync without blocking each other's appends.
+func (w *WAL) Ack(lsn uint64) (bool, error) {
+	switch {
+	case w.opts.SyncEvery == 1:
+		if err := w.SyncTo(lsn); err != nil {
+			return false, err
+		}
+		return true, nil
+	case w.opts.SyncEvery > 1:
+		if lsn >= w.syncedLSN.Load()+uint64(w.opts.SyncEvery) {
+			if err := w.SyncTo(lsn); err != nil {
+				return false, err
+			}
+		}
+		return w.syncedLSN.Load() >= lsn, nil
+	default:
+		return w.syncedLSN.Load() >= lsn, nil
+	}
+}
+
+// Sync fsyncs the log through the most recently appended record. It is the
+// group-commit entry point: concurrent callers share one fsync.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	target := w.lastLSN
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return w.SyncTo(target)
+}
+
+// SyncTo blocks until syncedLSN ≥ target (an LSN returned by Append). It
+// is the group-commit primitive: the first caller through syncMu performs
+// one fsync that covers every record appended before it ran; callers that
+// queued behind it find their target already durable and return without
+// touching the disk.
+func (w *WAL) SyncTo(target uint64) error {
+	if w.syncedLSN.Load() >= target {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.syncedLSN.Load() >= target {
+		return nil
+	}
+	w.mu.Lock()
+	f, last, closed := w.file, w.lastLSN, w.closed
+	w.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := f.Sync(); err != nil {
+		// A concurrent seal may have closed f out from under us — but a
+		// seal fsyncs first, so if the watermark now covers target the
+		// durability we came for exists regardless of this error.
+		if w.syncedLSN.Load() >= target {
+			return nil
+		}
+		return err
+	}
+	// Records appended after we sampled lastLSN may or may not have hit
+	// this fsync; advance only to what we know is covered.
+	w.advanceSynced(last)
+	return nil
+}
+
+// advanceSynced moves the durable watermark monotonically forward without
+// a lock (seal runs under mu and must not take syncMu; see syncTo).
+func (w *WAL) advanceSynced(lsn uint64) {
+	for {
+		cur := w.syncedLSN.Load()
+		if cur >= lsn || w.syncedLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// LastLSN returns the highest appended LSN (durable or not).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLSN
+}
+
+// SyncedLSN returns the highest LSN known durable.
+func (w *WAL) SyncedLSN() uint64 { return w.syncedLSN.Load() }
+
+// Size returns the total bytes across all live segments (sealed + active);
+// the checkpointer's trigger metric.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sealed + w.offset
+}
+
+// TruncateBefore deletes sealed segments every record of which has LSN
+// < lsn — storage made reclaimable by a checkpoint at lsn-1. The active
+// segment is never deleted.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	var freed int64
+	// Segment i's records are [firstLSN_i, firstLSN_{i+1}); the newest
+	// segment is active and always kept.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].firstLSN > lsn {
+			break
+		}
+		path := filepath.Join(w.dir, segs[i].name)
+		info, serr := os.Stat(path)
+		if serr == nil {
+			freed += info.Size()
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+	}
+	w.sealed -= freed
+	return syncDir(w.dir)
+}
+
+// Close fsyncs and closes the WAL. Appended records become durable.
+func (w *WAL) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		w.wg.Wait()
+		w.stop = nil
+	}
+	if err := w.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.file.Close()
+}
+
+// Replay streams every valid record with LSN ≥ fromLSN, in LSN order,
+// through fn; fn returning an error aborts the replay with that error. A
+// torn tail in the newest segment ends the replay cleanly; corruption
+// anywhere else returns ErrCorrupt. Replay of a live WAL observes records
+// appended before the call; do not replay while appending.
+func Replay(dir string, fromLSN uint64, fn func(Record) error) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		final := i == len(segs)-1
+		end, err := scanSegment(filepath.Join(dir, s.name), s.firstLSN, final, func(r Record) error {
+			if r.LSN < fromLSN {
+				return nil
+			}
+			return fn(r)
+		})
+		if err != nil {
+			return err
+		}
+		if !final && end.nextLSN != segs[i+1].firstLSN {
+			return fmt.Errorf("%w: segment %s ends at lsn %d but %s begins at %d",
+				ErrCorrupt, s.name, end.nextLSN-1, segs[i+1].name, segs[i+1].firstLSN)
+		}
+	}
+	return nil
+}
+
+type segment struct {
+	name     string
+	firstLSN uint64
+}
+
+func nextFirst(segs []segment, s segment) uint64 {
+	for i := range segs {
+		if segs[i].name == s.name && i+1 < len(segs) {
+			return segs[i+1].firstLSN
+		}
+	}
+	return 0
+}
+
+// listSegments returns dir's segments sorted by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != segSuffix {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(name, "%016x.wal", &first); err != nil || first == 0 {
+			return nil, fmt.Errorf("%w: unrecognized segment name %q", ErrCorrupt, name)
+		}
+		segs = append(segs, segment{name: name, firstLSN: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].firstLSN == segs[i-1].firstLSN {
+			return nil, fmt.Errorf("%w: duplicate segment lsn %d", ErrCorrupt, segs[i].firstLSN)
+		}
+	}
+	return segs, nil
+}
+
+// scanEnd is where a segment's valid record chain stops.
+type scanEnd struct {
+	offset  int64  // byte offset just past the last valid record
+	nextLSN uint64 // LSN the next record would carry
+}
+
+// scanSegment walks one segment's records, verifying framing, checksums,
+// and the LSN chain (first record must carry firstLSN, then +1 each). fn,
+// when non-nil, receives each valid record. tornOK tolerates an incomplete
+// trailing frame (the newest segment only); a short frame elsewhere, or
+// any checksum/chain violation, is ErrCorrupt.
+func scanSegment(path string, firstLSN uint64, tornOK bool, fn func(Record) error) (scanEnd, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return scanEnd{}, err
+	}
+	off := int64(0)
+	lsn := firstLSN
+	for {
+		rest := buf[off:]
+		if len(rest) == 0 {
+			return scanEnd{offset: off, nextLSN: lsn}, nil
+		}
+		if len(rest) < headerSize {
+			return tornTail(path, off, lsn, tornOK, "truncated frame header")
+		}
+		payloadLen := binary.LittleEndian.Uint32(rest[0:4])
+		headerCRC := binary.LittleEndian.Uint32(rest[4:8])
+		payloadCRC := binary.LittleEndian.Uint32(rest[8:12])
+		if crc32.ChecksumIEEE(rest[0:4]) != headerCRC {
+			// The length field itself is damaged: a tear cannot do this
+			// (it only shortens the file), except by cutting the header
+			// mid-way — and that case was caught above. Zero-filled tails
+			// (filesystems that allocate but lose the write) are the one
+			// benign shape: all-zero remainder counts as torn.
+			if tornOK && allZero(rest) {
+				return tornTail(path, off, lsn, tornOK, "zero-filled tail")
+			}
+			return scanEnd{}, fmt.Errorf("%w: %s: record lsn %d at offset %d: header checksum mismatch",
+				ErrCorrupt, filepath.Base(path), lsn, off)
+		}
+		if payloadLen < 9 || payloadLen > maxRecordSize {
+			return scanEnd{}, fmt.Errorf("%w: %s: record lsn %d at offset %d: implausible length %d",
+				ErrCorrupt, filepath.Base(path), lsn, off, payloadLen)
+		}
+		if len(rest) < headerSize+int(payloadLen) {
+			// Verified length, missing payload bytes: a genuine torn
+			// append (the write stopped partway through the frame).
+			return tornTail(path, off, lsn, tornOK, "truncated frame payload")
+		}
+		payload := rest[headerSize : headerSize+int(payloadLen)]
+		if crc32.ChecksumIEEE(payload) != payloadCRC {
+			return scanEnd{}, fmt.Errorf("%w: %s: record lsn %d at offset %d: payload checksum mismatch",
+				ErrCorrupt, filepath.Base(path), lsn, off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return scanEnd{}, fmt.Errorf("%w: %s: record at offset %d: %v",
+				ErrCorrupt, filepath.Base(path), off, err)
+		}
+		if rec.LSN != lsn {
+			return scanEnd{}, fmt.Errorf("%w: %s: record at offset %d carries lsn %d, chain expects %d",
+				ErrCorrupt, filepath.Base(path), off, rec.LSN, lsn)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return scanEnd{}, err
+			}
+		}
+		off += int64(headerSize + int(payloadLen))
+		lsn++
+	}
+}
+
+// tornTail resolves an incomplete trailing frame: tolerated (the scan ends
+// at the last whole record) only in the newest segment.
+func tornTail(path string, off int64, lsn uint64, tornOK bool, why string) (scanEnd, error) {
+	if tornOK {
+		return scanEnd{offset: off, nextLSN: lsn}, nil
+	}
+	return scanEnd{}, fmt.Errorf("%w: %s: %s at offset %d (lsn %d) in a sealed segment",
+		ErrCorrupt, filepath.Base(path), why, off, lsn)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeRecord frames one record.
+func encodeRecord(lsn uint64, op Op, id int, point []float64) []byte {
+	payloadLen := 8 + 1 + 8 // lsn + op + id
+	if op == OpInsert {
+		payloadLen += 4 + 8*len(point)
+	}
+	frame := make([]byte, headerSize+payloadLen)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[0:4]))
+	p := frame[headerSize:]
+	binary.LittleEndian.PutUint64(p[0:8], lsn)
+	p[8] = byte(op)
+	binary.LittleEndian.PutUint64(p[9:17], uint64(int64(id)))
+	if op == OpInsert {
+		binary.LittleEndian.PutUint32(p[17:21], uint32(len(point)))
+		for i, v := range point {
+			binary.LittleEndian.PutUint64(p[21+8*i:29+8*i], math.Float64bits(v))
+		}
+	}
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(p))
+	return frame
+}
+
+// decodePayload parses a checksum-verified payload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 17 {
+		return Record{}, fmt.Errorf("payload %d bytes, want ≥ 17", len(p))
+	}
+	rec := Record{
+		LSN: binary.LittleEndian.Uint64(p[0:8]),
+		Op:  Op(p[8]),
+		ID:  int(int64(binary.LittleEndian.Uint64(p[9:17]))),
+	}
+	switch rec.Op {
+	case OpDelete:
+		if len(p) != 17 {
+			return Record{}, fmt.Errorf("delete payload %d bytes, want 17", len(p))
+		}
+	case OpInsert:
+		if len(p) < 21 {
+			return Record{}, fmt.Errorf("insert payload %d bytes, want ≥ 21", len(p))
+		}
+		dim := int(binary.LittleEndian.Uint32(p[17:21]))
+		if dim < 0 || len(p) != 21+8*dim {
+			return Record{}, fmt.Errorf("insert payload %d bytes, dim %d wants %d", len(p), dim, 21+8*dim)
+		}
+		rec.Point = make([]float64, dim)
+		for i := range rec.Point {
+			rec.Point[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[21+8*i : 29+8*i]))
+		}
+	default:
+		return Record{}, fmt.Errorf("unknown op %d", rec.Op)
+	}
+	return rec, nil
+}
+
+// syncDir fsyncs a directory so entry creations/removals are durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,422 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustCreate(t *testing.T, opts Options) (*WAL, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, dir
+}
+
+func collect(t *testing.T, dir string, from uint64) []Record {
+	t.Helper()
+	var recs []Record
+	if err := Replay(dir, from, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendSyncReplayRoundTrip(t *testing.T) {
+	w, dir := mustCreate(t, Options{})
+	for i := 0; i < 10; i++ {
+		var lsn uint64
+		var err error
+		if i%2 == 0 {
+			lsn, _, err = w.Commit(OpInsert, i, []float64{float64(i), 1.5, -2.25})
+		} else {
+			lsn, _, err = w.Commit(OpDelete, i-1, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d, want %d", lsn, i+1)
+		}
+	}
+	if got := w.SyncedLSN(); got != 10 {
+		t.Fatalf("synced %d, want 10", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := collect(t, dir, 1)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d: lsn %d", i, r.LSN)
+		}
+		if i%2 == 0 {
+			if r.Op != OpInsert || r.ID != i || len(r.Point) != 3 || r.Point[0] != float64(i) || r.Point[2] != -2.25 {
+				t.Fatalf("record %d mismatched: %+v", i, r)
+			}
+		} else if r.Op != OpDelete || r.ID != i-1 || r.Point != nil {
+			t.Fatalf("record %d mismatched: %+v", i, r)
+		}
+	}
+
+	// fromLSN filters the already-checkpointed prefix.
+	if tail := collect(t, dir, 8); len(tail) != 3 || tail[0].LSN != 8 {
+		t.Fatalf("tail replay from 8: %+v", tail)
+	}
+}
+
+func TestSegmentRollAndTruncateBefore(t *testing.T) {
+	w, dir := mustCreate(t, Options{SegmentSize: 128})
+	for i := 0; i < 40; i++ {
+		if _, _, err := w.Commit(OpInsert, i, []float64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected ≥3 segments after rolling, got %d", len(segs))
+	}
+	if recs := collect(t, dir, 1); len(recs) != 40 {
+		t.Fatalf("replayed %d records across segments, want 40", len(recs))
+	}
+
+	// Checkpoint at LSN 20: segments entirely below 21 are reclaimable.
+	if err := w.TruncateBefore(21); err != nil {
+		t.Fatal(err)
+	}
+	after, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(segs) {
+		t.Fatalf("truncate removed nothing: %d → %d segments", len(segs), len(after))
+	}
+	// Everything from the surviving segments' start replays intact.
+	recs := collect(t, dir, after[0].firstLSN)
+	if recs[len(recs)-1].LSN != 40 {
+		t.Fatalf("last lsn %d, want 40", recs[len(recs)-1].LSN)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN != recs[i-1].LSN+1 {
+			t.Fatalf("lsn gap after truncate: %d → %d", recs[i-1].LSN, recs[i].LSN)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenContinuesChain(t *testing.T) {
+	w, dir := mustCreate(t, Options{SegmentSize: 256})
+	for i := 0; i < 25; i++ {
+		if _, _, err := w.Commit(OpInsert, i, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, 0, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastLSN() != 25 || w2.SyncedLSN() != 25 {
+		t.Fatalf("reopen: last=%d synced=%d, want 25/25", w2.LastLSN(), w2.SyncedLSN())
+	}
+	lsn, _, err := w2.Commit(OpDelete, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 26 {
+		t.Fatalf("post-reopen lsn %d, want 26", lsn)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, dir, 1)
+	if len(recs) != 26 || recs[25].Op != OpDelete || recs[25].ID != 3 {
+		t.Fatalf("post-reopen replay: %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+// TestTornTailTolerated truncates the newest segment at every byte
+// boundary inside the final record: replay and reopen must both settle on
+// the whole-record prefix, and the reopened WAL must append cleanly.
+func TestTornTailTolerated(t *testing.T) {
+	w, dir := mustCreate(t, Options{})
+	for i := 0; i < 3; i++ {
+		if _, _, err := w.Commit(OpInsert, i, []float64{float64(i), 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(full) / 3
+
+	for cut := len(full) - 1; cut > len(full)-recLen; cut-- {
+		if err := os.WriteFile(segPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs := collect(t, dir, 1)
+		if len(recs) != 2 {
+			t.Fatalf("cut=%d: replayed %d records, want 2", cut, len(recs))
+		}
+		w2, err := Open(dir, 0, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if w2.LastLSN() != 2 {
+			t.Fatalf("cut=%d: last lsn %d, want 2", cut, w2.LastLSN())
+		}
+		if _, _, err := w2.Commit(OpDelete, 0, nil); err != nil {
+			t.Fatalf("cut=%d: append after torn-tail recovery: %v", cut, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs = collect(t, dir, 1)
+		if len(recs) != 3 || recs[2].Op != OpDelete {
+			t.Fatalf("cut=%d: after repair replayed %+v", cut, recs)
+		}
+		if err := os.WriteFile(segPath, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestZeroFilledTailTolerated emulates a filesystem that allocated blocks
+// but lost the write: trailing zeros read as a torn tail, not corruption.
+func TestZeroFilledTailTolerated(t *testing.T) {
+	w, dir := mustCreate(t, Options{})
+	for i := 0; i < 2; i++ {
+		if _, _, err := w.Commit(OpInsert, i, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	buf, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath, append(buf, make([]byte, 64)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, dir, 1); len(recs) != 2 {
+		t.Fatalf("replayed %d, want 2", len(recs))
+	}
+	w2, err := Open(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastLSN() != 2 {
+		t.Fatalf("last lsn %d, want 2", w2.LastLSN())
+	}
+	w2.Close()
+}
+
+// TestCorruptionRejected flips one byte in every interesting region and
+// demands ErrCorrupt — never a silently shortened replay.
+func TestCorruptionRejected(t *testing.T) {
+	build := func(t *testing.T, segSize int64) string {
+		w, dir := mustCreate(t, Options{SegmentSize: segSize})
+		for i := 0; i < 12; i++ {
+			if _, _, err := w.Commit(OpInsert, i, []float64{float64(i), 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("payload flip mid-segment", func(t *testing.T) {
+		dir := build(t, 1<<20) // single segment
+		segPath := filepath.Join(dir, segName(1))
+		buf, _ := os.ReadFile(segPath)
+		buf[len(buf)/2] ^= 0x40
+		os.WriteFile(segPath, buf, 0o644)
+		err := Replay(dir, 1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+		if _, err := Open(dir, 0, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open: want ErrCorrupt, got %v", err)
+		}
+	})
+
+	t.Run("length field flip", func(t *testing.T) {
+		dir := build(t, 1<<20)
+		segPath := filepath.Join(dir, segName(1))
+		buf, _ := os.ReadFile(segPath)
+		buf[0] ^= 0x04 // first record's payloadLen
+		os.WriteFile(segPath, buf, 0o644)
+		err := Replay(dir, 1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+
+	t.Run("short frame in sealed segment", func(t *testing.T) {
+		dir := build(t, 64) // many sealed segments
+		segs, err := listSegments(dir)
+		if err != nil || len(segs) < 2 {
+			t.Fatalf("need sealed segments: %v (%d)", err, len(segs))
+		}
+		segPath := filepath.Join(dir, segs[0].name)
+		buf, _ := os.ReadFile(segPath)
+		os.WriteFile(segPath, buf[:len(buf)-3], 0o644)
+		err = Replay(dir, 1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt for sealed-segment tear, got %v", err)
+		}
+	})
+
+	t.Run("missing segment breaks chain", func(t *testing.T) {
+		dir := build(t, 64)
+		segs, err := listSegments(dir)
+		if err != nil || len(segs) < 3 {
+			t.Fatalf("need ≥3 segments: %v (%d)", err, len(segs))
+		}
+		os.Remove(filepath.Join(dir, segs[1].name))
+		err = Replay(dir, 1, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt for missing segment, got %v", err)
+		}
+	})
+}
+
+// TestGroupCommit drives many concurrent committers and checks (a) every
+// acknowledged record is durable and replayable, (b) the fsync count is
+// far below the record count — the whole point of group commit.
+func TestGroupCommit(t *testing.T) {
+	w, dir := mustCreate(t, Options{})
+	const (
+		goroutines = 8
+		perG       = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_, durable, err := w.Commit(OpInsert, g*perG+i, []float64{float64(g), float64(i)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !durable {
+					errs <- fmt.Errorf("SyncEvery=1 commit not durable at return")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if w.SyncedLSN() != goroutines*perG {
+		t.Fatalf("synced %d, want %d", w.SyncedLSN(), goroutines*perG)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, r := range collect(t, dir, 1) {
+		seen[r.ID] = true
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("replayed %d unique ids, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestSyncEveryNAndInterval(t *testing.T) {
+	w, _ := mustCreate(t, Options{SyncEvery: 8})
+	var lastDurable bool
+	for i := 0; i < 20; i++ {
+		_, durable, err := w.Commit(OpInsert, i, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastDurable = durable
+	}
+	_ = lastDurable // durability under SyncEvery=N is best-effort between syncs
+	if w.SyncedLSN() < 8 {
+		t.Fatalf("SyncEvery=8 never synced: %d", w.SyncedLSN())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.SyncedLSN() != 20 {
+		t.Fatalf("explicit sync: %d, want 20", w.SyncedLSN())
+	}
+	w.Close()
+
+	// Interval-only policy: the ticker must advance the watermark with no
+	// commit-path syncs at all.
+	w2, _ := mustCreate(t, Options{SyncEvery: -1, SyncInterval: 5 * time.Millisecond})
+	if _, _, err := w2.Commit(OpInsert, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w2.SyncedLSN() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("SyncInterval ticker never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w2.Close()
+}
+
+func TestCreateRefusesNonEmpty(t *testing.T) {
+	w, dir := mustCreate(t, Options{})
+	w.Close()
+	if _, err := Create(dir, Options{}); err == nil {
+		t.Fatal("Create over an existing WAL must fail")
+	}
+}
+
+func TestClosedWAL(t *testing.T) {
+	w, _ := mustCreate(t, Options{})
+	w.Close()
+	if _, _, err := w.Commit(OpInsert, 0, []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
