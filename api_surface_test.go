@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"brepartition"
+	"brepartition/internal/topk"
 )
 
 // TestPublicAPISurface pins the public method signatures with compile-time
@@ -17,6 +18,7 @@ func TestPublicAPISurface(t *testing.T) {
 	var idx *brepartition.Index
 	var _ func() time.Duration = idx.BuildTime
 	var _ func([]float64, int) (brepartition.Result, error) = idx.Search
+	var _ func([]topk.Item, []float64, int) (brepartition.Result, error) = idx.SearchAppend
 	var _ func([]float64, int, float64) (brepartition.Result, error) = idx.SearchApprox
 	var _ func([]float64, int, int) (brepartition.Result, error) = idx.SearchParallel
 	var _ func([]float64, float64) ([]brepartition.Neighbor, brepartition.SearchStats, error) = idx.RangeSearch

@@ -41,6 +41,7 @@ import (
 	"brepartition/internal/engine"
 	"brepartition/internal/scan"
 	"brepartition/internal/shard"
+	"brepartition/internal/topk"
 )
 
 // Divergence describes a decomposable Bregman divergence. Use the provided
@@ -89,8 +90,9 @@ type Neighbor struct {
 }
 
 // Build constructs an index over points (each a d-dimensional row inside
-// div's domain). opts may be nil for defaults. Points are referenced, not
-// copied; do not mutate them afterwards.
+// div's domain). opts may be nil for defaults. The coordinates are copied
+// into the index's flat storage arenas; the caller's slices are not
+// retained.
 func Build(div Divergence, points [][]float64, opts *Options) (*Index, error) {
 	var o Options
 	if opts != nil {
@@ -106,6 +108,15 @@ func Build(div Divergence, points [][]float64, opts *Options) (*Index, error) {
 // Search returns the exact k nearest neighbours of q under D_f(x, q).
 func (ix *Index) Search(q []float64, k int) (Result, error) {
 	return ix.inner.Search(q, k)
+}
+
+// SearchAppend is Search appending the result items to dst, the
+// steady-state zero-allocation query path: every internal buffer comes
+// from a pooled per-query context, so passing the previous result's
+// truncated Items slice (res.Items[:0]) makes repeated queries allocate
+// nothing at all. Result.Items is the extended dst.
+func (ix *Index) SearchAppend(dst []topk.Item, q []float64, k int) (Result, error) {
+	return ix.inner.SearchAppend(dst, q, k)
 }
 
 // SearchApprox returns k neighbours that are the exact kNN with probability

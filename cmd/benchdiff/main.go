@@ -4,7 +4,7 @@
 // Usage:
 //
 //	go test -bench . -benchtime 200ms -count 3 -benchmem -run '^$' . | tee bench.txt
-//	benchdiff -in bench.txt -out BENCH_PR3.json -baseline BENCH_baseline.json -threshold 0.25
+//	benchdiff -in bench.txt -out BENCH_current.json -baseline BENCH_baseline.json -threshold 0.25
 //
 // With -count N the minimum ns/op across repetitions is kept — the
 // least-noise estimate of the true cost, which is what makes a 25% gate

@@ -18,18 +18,23 @@
 //
 // Flags:
 //
-//	-scale f    multiply dataset cardinalities (default 1)
-//	-queries n  queries per measurement (default 10; paper uses 50)
-//	-seed n     RNG seed (default 1)
-//	-workers n  max engine query workers for batch (default GOMAXPROCS)
-//	-batch n    batch size for the batch/sharded experiments (default 256)
-//	-shards n   shard count for the sharded experiment (default 4)
+//	-scale f      multiply dataset cardinalities (default 1)
+//	-queries n    queries per measurement (default 10; paper uses 50)
+//	-seed n       RNG seed (default 1)
+//	-workers n    max engine query workers for batch (default GOMAXPROCS)
+//	-batch n      batch size for the batch/sharded experiments (default 256)
+//	-shards n     shard count for the sharded experiment (default 4)
+//	-cpuprofile f write a pprof CPU profile of the experiment run to f
+//	              (inspect with `go tool pprof`; the hot-path budget lives
+//	              in the kernel layer — see DESIGN.md, "Kernel & memory
+//	              layout")
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"brepartition/internal/experiments"
@@ -48,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max engine query workers for batch (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 256, "batch size for the batch/sharded experiments")
 	shards := flag.Int("shards", 4, "shard count for the sharded experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -55,6 +61,32 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brebench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "brebench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		stopped := false
+		stopProfile = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "brebench: -cpuprofile:", err)
+			}
+		}
+		// Flushed on the normal path and, explicitly, before the error
+		// exit below — os.Exit skips defers.
+		defer stopProfile()
 	}
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
@@ -75,6 +107,7 @@ func main() {
 		tables, err := run(env, name, *workers, *batch, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "brebench:", err)
+			stopProfile()
 			os.Exit(1)
 		}
 		for i := range tables {

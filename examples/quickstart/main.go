@@ -62,6 +62,20 @@ func main() {
 	}
 	fmt.Println("exact result verified (query row ranked first).")
 
+	// Zero-allocation steady state: SearchAppend reuses the previous
+	// result's buffer, and every internal scratch comes from a pooled
+	// per-query context — tight query loops allocate nothing per query.
+	// (Reuse a dedicated buffer: recycling res.Items here would overwrite
+	// the result we still compare against below.)
+	var hot brepartition.Result
+	for i := 0; i < 3; i++ {
+		hot, err = idx.SearchAppend(hot.Items[:0], points[20+i], k)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("zero-alloc loop answered, last top hit row=%d\n", hot.Items[0].ID)
+
 	// Batch mode: for query-heavy workloads, an Engine answers many
 	// queries concurrently (bounded worker pool + shared result cache)
 	// and aggregates service statistics. Results are identical to calling

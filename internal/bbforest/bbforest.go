@@ -14,6 +14,7 @@ import (
 	"brepartition/internal/bregman"
 	"brepartition/internal/disk"
 	"brepartition/internal/partition"
+	"brepartition/internal/stampset"
 )
 
 // Config collects construction parameters.
@@ -73,30 +74,75 @@ func Build(div bregman.Divergence, points [][]float64, parts [][]int, cfg Config
 // M returns the number of subspaces.
 func (f *Forest) M() int { return len(f.Trees) }
 
+// SearchScratch bundles every reusable buffer one candidate-union query
+// needs — the geodesic projector, the explicit DFS stack, the epoch-stamped
+// candidate dedup set, and the candidate accumulator — so a pooled scratch
+// makes the whole filter phase allocation-free in steady state. The zero
+// value is ready to use.
+type SearchScratch struct {
+	proj  bbtree.Projector
+	stack []int
+	seen  stampset.Set // ids already emitted for this query
+	cands []int
+}
+
 // CandidateUnion performs the filter step of Algorithm 6: a range query
 // with radius radii[i] in every subspace tree, charging the I/O of each
 // visited leaf's points to sess and returning the de-duplicated candidate
 // union (Theorem 3's C = C₁ ∪ … ∪ C_M at leaf granularity).
 func (f *Forest) CandidateUnion(q []float64, radii []float64, sess *disk.Session) ([]int, bbtree.Stats) {
+	var sc SearchScratch
+	cands, st := f.CandidateUnionCtx(q, radii, sess, &sc)
+	// The scratch dies with this call; copy the candidates out of it.
+	out := make([]int, len(cands))
+	copy(out, cands)
+	return out, st
+}
+
+// CandidateUnionCtx is CandidateUnion with caller-pooled scratch: the
+// returned candidate slice aliases sc's buffer and is valid only until the
+// scratch's next query. The traversal is iterative (no per-query closures),
+// so a warm scratch performs the entire filter phase without allocating.
+func (f *Forest) CandidateUnionCtx(q []float64, radii []float64, sess *disk.Session, sc *SearchScratch) ([]int, bbtree.Stats) {
 	if len(radii) != len(f.Trees) {
 		panic("bbforest: radii/subspace count mismatch")
 	}
 	var total bbtree.Stats
-	seen := make([]bool, f.Store.Len())
-	var out []int
+	sc.seen.Begin(f.Store.Len())
+	sc.cands = sc.cands[:0]
 	for i, tree := range f.Trees {
-		st := tree.RangeLeaves(q, radii[i], func(node *bbtree.Node) {
-			for _, id := range node.IDs {
-				sess.Prefetch(id)
-				if !seen[id] {
-					seen[id] = true
-					out = append(out, id)
-				}
+		if len(tree.Nodes) == 0 {
+			continue
+		}
+		r := radii[i]
+		sc.proj.Bind(tree, q)
+		work := sc.stack[:0]
+		work = append(work, 0)
+		for len(work) > 0 {
+			idx := work[len(work)-1]
+			work = work[:len(work)-1]
+			node := &tree.Nodes[idx]
+			total.NodesVisited++
+			lb := sc.proj.LowerBound(node)
+			total.BoundComps++
+			if lb > r {
+				continue
 			}
-		})
-		total.Add(st)
+			if node.IsLeaf() {
+				total.LeavesVisited++
+				for _, id := range node.IDs {
+					sess.Prefetch(id)
+					if sc.seen.TryMark(id) {
+						sc.cands = append(sc.cands, id)
+					}
+				}
+				continue
+			}
+			work = append(work, node.Right, node.Left)
+		}
+		sc.stack = work
 	}
-	return out, total
+	return sc.cands, total
 }
 
 // CandidatesPerSubspace runs the same filter but keeps each subspace's

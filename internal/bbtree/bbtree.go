@@ -12,6 +12,12 @@
 //
 // lower-bounds min{D_f(x,y) : x ∈ B(µ,R)} for every θ ∈ (0,1), so a
 // finite bisection yields a *provably safe* bound and search stays exact.
+//
+// Storage and evaluation are kernelized: each tree keeps its subspace
+// coordinates in one flat row-major arena (id-major rows) and evaluates
+// every distance — k-means assignment, leaf scans, the geodesic bisection —
+// through the monomorphized divergence kernel chosen at construction, so
+// the innermost loops never cross the bregman.Divergence interface.
 package bbtree
 
 import (
@@ -19,6 +25,7 @@ import (
 	"math/rand"
 
 	"brepartition/internal/bregman"
+	"brepartition/internal/kernel"
 	"brepartition/internal/topk"
 )
 
@@ -72,8 +79,14 @@ type Tree struct {
 	// Nodes[0] is the root (when the tree is non-empty).
 	Nodes []Node
 
-	cfg Config
-	pts [][]float64 // subspace coordinates, indexed by dataset id
+	cfg  Config
+	kern kernel.Kernel
+	// flat holds the subspace coordinates as id-major rows of width subDim:
+	// flat[id*subDim : (id+1)*subDim]. live[id] reports whether the id is
+	// indexed (false after Delete, or for gap ids padded by Insert).
+	flat   []float64
+	live   []bool
+	subDim int
 }
 
 // Stats aggregates work counters for one query.
@@ -121,14 +134,17 @@ func gatherInto(dst, p []float64, dims []int) []float64 {
 
 // Build constructs the tree over points (full-dimensional dataset rows),
 // restricted to the subspace dims (nil for all dimensions). The points are
-// gathered once into subspace coordinates owned by the tree.
+// gathered once into the tree's flat subspace arena.
 func Build(div bregman.Divergence, points [][]float64, dims []int, cfg Config) *Tree {
 	cfg = cfg.withDefaults()
 	n := len(points)
-	t := &Tree{Div: div, Dims: dims, cfg: cfg}
-	t.pts = make([][]float64, n)
+	t := &Tree{Div: div, Dims: dims, cfg: cfg, kern: kernel.For(div)}
+	t.setSubDim(points)
+	t.flat = make([]float64, n*t.subDim)
+	t.live = make([]bool, n)
 	for i, p := range points {
-		t.pts[i] = Gather(p, dims)
+		gatherInto(t.rowAt(i), p, dims)
+		t.live[i] = true
 	}
 	if n == 0 {
 		return t
@@ -146,31 +162,42 @@ func Build(div bregman.Divergence, points [][]float64, dims []int, cfg Config) *
 // taken as-is and the subspace coordinates are re-gathered from points.
 // It is the inverse of walking Tree.Nodes during serialization.
 func Rehydrate(div bregman.Divergence, points [][]float64, dims []int, nodes []Node) *Tree {
-	t := &Tree{Div: div, Dims: dims, Nodes: nodes, cfg: Config{}.withDefaults()}
-	t.pts = make([][]float64, len(points))
+	t := &Tree{Div: div, Dims: dims, Nodes: nodes, cfg: Config{}.withDefaults(), kern: kernel.For(div)}
+	t.setSubDim(points)
+	t.flat = make([]float64, len(points)*t.subDim)
+	t.live = make([]bool, len(points))
 	for i, p := range points {
-		t.pts[i] = Gather(p, dims)
+		gatherInto(t.rowAt(i), p, dims)
+		t.live[i] = true
 	}
 	return t
 }
 
-// SubDim returns the subspace dimensionality. Deleted points have nil
-// coordinate slots, so it reports the first live point's width (the Dims
-// length when a subspace restriction is set).
-func (t *Tree) SubDim() int {
-	if t.Dims != nil {
-		return len(t.Dims)
+// setSubDim fixes the subspace width from the restriction or the data.
+func (t *Tree) setSubDim(points [][]float64) {
+	switch {
+	case t.Dims != nil:
+		t.subDim = len(t.Dims)
+	case len(points) > 0:
+		t.subDim = len(points[0])
+	default:
+		t.subDim = 0
 	}
-	for _, p := range t.pts {
-		if p != nil {
-			return len(p)
-		}
-	}
-	return 0
 }
 
-// Len returns the number of indexed points.
-func (t *Tree) Len() int { return len(t.pts) }
+// rowAt returns id's subspace row as a capacity-clamped arena view. It is
+// valid for any id < Len(), live or not (tombstoned rows keep their last
+// coordinates and are simply never referenced by a leaf).
+func (t *Tree) rowAt(id int) []float64 {
+	off := id * t.subDim
+	return t.flat[off : off+t.subDim : off+t.subDim]
+}
+
+// SubDim returns the subspace dimensionality.
+func (t *Tree) SubDim() int { return t.subDim }
+
+// Len returns the number of indexed ids (including tombstoned ones).
+func (t *Tree) Len() int { return len(t.live) }
 
 // Root returns the root node index, or -1 for an empty tree.
 func (t *Tree) Root() int {
@@ -191,8 +218,18 @@ func (t *Tree) NumLeaves() int {
 	return c
 }
 
-// SubPoint returns the tree-local (subspace) coordinates of dataset id.
-func (t *Tree) SubPoint(id int) []float64 { return t.pts[id] }
+// SubPoint returns the tree-local (subspace) coordinates of dataset id as
+// an arena view, or nil when the id is not live (deleted or never seen).
+func (t *Tree) SubPoint(id int) []float64 {
+	if id < 0 || id >= len(t.live) || !t.live[id] {
+		return nil
+	}
+	return t.rowAt(id)
+}
+
+// Kernel returns the monomorphized divergence kernel the tree evaluates
+// with.
+func (t *Tree) Kernel() kernel.Kernel { return t.kern }
 
 // build recursively constructs the subtree over ids and returns its node
 // index.
@@ -200,7 +237,7 @@ func (t *Tree) build(ids []int, depth int, rng *rand.Rand) int {
 	center := t.centroid(ids)
 	radius := 0.0
 	for _, id := range ids {
-		if d := bregman.Distance(t.Div, t.pts[id], center); d > radius {
+		if d := t.kern.Distance(t.rowAt(id), center); d > radius {
 			radius = d
 		}
 	}
@@ -231,10 +268,10 @@ func (t *Tree) build(ids []int, depth int, rng *rand.Rand) int {
 // minimizer of Σ D_f(x, µ) over µ for any Bregman divergence (Banerjee et
 // al. 2005), which is what makes Bregman k-means well-defined.
 func (t *Tree) centroid(ids []int) []float64 {
-	d := t.SubDim()
+	d := t.subDim
 	c := make([]float64, d)
 	for _, id := range ids {
-		p := t.pts[id]
+		p := t.rowAt(id)
 		for j := range c {
 			c[j] += p[j]
 		}
@@ -250,10 +287,10 @@ func (t *Tree) centroid(ids []int) []float64 {
 // degenerate (all points identical), in which case the caller keeps a leaf.
 func (t *Tree) split(ids []int, rng *rand.Rand) (left, right []int, ok bool) {
 	// Seed centers with two distinct points.
-	c0 := t.pts[ids[rng.Intn(len(ids))]]
+	c0 := t.rowAt(ids[rng.Intn(len(ids))])
 	var c1 []float64
 	for attempts := 0; attempts < 16; attempts++ {
-		cand := t.pts[ids[rng.Intn(len(ids))]]
+		cand := t.rowAt(ids[rng.Intn(len(ids))])
 		if !equalVec(cand, c0) {
 			c1 = cand
 			break
@@ -263,14 +300,14 @@ func (t *Tree) split(ids []int, rng *rand.Rand) (left, right []int, ok bool) {
 		// Fall back to the farthest point from c0.
 		far, farD := -1, -1.0
 		for _, id := range ids {
-			if d := bregman.Distance(t.Div, t.pts[id], c0); d > farD {
+			if d := t.kern.Distance(t.rowAt(id), c0); d > farD {
 				farD, far = d, id
 			}
 		}
 		if farD <= 0 {
 			return nil, nil, false
 		}
-		c1 = t.pts[far]
+		c1 = t.rowAt(far)
 	}
 	ctr0 := append([]float64(nil), c0...)
 	ctr1 := append([]float64(nil), c1...)
@@ -280,8 +317,9 @@ func (t *Tree) split(ids []int, rng *rand.Rand) (left, right []int, ok bool) {
 		changed := false
 		n0, n1 := 0, 0
 		for i, id := range ids {
-			d0 := bregman.Distance(t.Div, t.pts[id], ctr0)
-			d1 := bregman.Distance(t.Div, t.pts[id], ctr1)
+			row := t.rowAt(id)
+			d0 := t.kern.Distance(row, ctr0)
+			d1 := t.kern.Distance(row, ctr1)
 			a := byte(0)
 			if d1 < d0 {
 				a = 1
@@ -305,7 +343,7 @@ func (t *Tree) split(ids []int, rng *rand.Rand) (left, right []int, ok bool) {
 			}
 			far, farD := -1, -1.0
 			for i, id := range ids {
-				if d := bregman.Distance(t.Div, t.pts[id], full); d > farD {
+				if d := t.kern.Distance(t.rowAt(id), full); d > farD {
 					farD, far = d, i
 				}
 			}
@@ -320,12 +358,12 @@ func (t *Tree) split(ids []int, rng *rand.Rand) (left, right []int, ok bool) {
 			changed = true
 		}
 		// Recompute centers as means.
-		d := t.SubDim()
+		d := t.subDim
 		sum0 := make([]float64, d)
 		sum1 := make([]float64, d)
 		n0, n1 = 0, 0
 		for i, id := range ids {
-			p := t.pts[id]
+			p := t.rowAt(id)
 			if assign[i] == 0 {
 				for j := range sum0 {
 					sum0[j] += p[j]
@@ -376,55 +414,61 @@ func equalVec(a, b []float64) bool {
 // Bounds: dual-geodesic projection (the "secant method" of §5.1/[35]).
 // ---------------------------------------------------------------------------
 
-// projector holds per-query scratch space for bound computations.
-type projector struct {
-	t        *Tree
-	q        []float64 // query in subspace coordinates
-	gq       []float64 // ∇f(q)
-	gmix, xt []float64
+// Projector computes node lower bounds for one query against one tree,
+// owning the scratch vectors the geodesic bisection needs. A zero
+// Projector is ready for Bind; rebinding reuses the scratch, so a pooled
+// projector makes repeated queries allocation-free.
+type Projector struct {
+	t       *Tree
+	kern    kernel.Kernel
+	q       []float64 // query in subspace coordinates
+	gq      []float64 // ∇f(q)
+	gmu     []float64 // ∇f(center), refreshed per node
+	scratch []float64 // generic-kernel geodesic scratch
 }
 
-func (t *Tree) newProjector(qFull []float64) *projector {
-	d := t.SubDim()
-	p := &projector{
-		t:    t,
-		q:    make([]float64, d),
-		gq:   make([]float64, d),
-		gmix: make([]float64, d),
-		xt:   make([]float64, d),
-	}
+// Bind points the projector at tree and gathers the full-dimensional query
+// qFull into the tree's subspace, reusing the scratch buffers.
+func (p *Projector) Bind(t *Tree, qFull []float64) {
+	d := t.subDim
+	p.t = t
+	p.kern = t.kern
+	p.q = grow(p.q, d)
+	p.gq = grow(p.gq, d)
+	p.gmu = grow(p.gmu, d)
+	p.scratch = grow(p.scratch, d)
 	gatherInto(p.q, qFull, t.Dims)
-	bregman.GradVec(t.Div, p.gq, p.q)
-	return p
+	p.kern.GradVec(p.gq, p.q)
 }
 
-// lowerBound returns a provable lower bound on min{D_f(x, q) : x ∈ ball of
+// grow returns a slice of length n, reusing buf's backing array when it is
+// large enough.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// LowerBound returns a provable lower bound on min{D_f(x, q) : x ∈ ball of
 // node}. It never overestimates: when the geometry or arithmetic is
-// uncertain it returns 0 (no pruning).
-func (p *projector) lowerBound(node *Node) float64 {
-	div := p.t.Div
-	dq := bregman.Distance(div, p.q, node.Center)
+// uncertain it returns the best finite bound found so far (0 in the worst
+// case — no pruning).
+func (p *Projector) LowerBound(node *Node) float64 {
+	dq := p.kern.Distance(p.q, node.Center)
 	if dq <= node.Radius {
 		return 0 // query inside the ball
 	}
-	gm := p.gmix[:len(p.q)]
-	xt := p.xt[:len(p.q)]
-	gmu := make([]float64, len(p.q))
-	bregman.GradVec(div, gmu, node.Center)
+	p.kern.GradVec(p.gmu, node.Center)
 
 	best := 0.0
 	lo, hi := 0.0, 1.0
 	for iter := 0; iter < p.t.cfg.BisectIters; iter++ {
 		theta := (lo + hi) / 2
-		for j := range gm {
-			gm[j] = (1-theta)*p.gq[j] + theta*gmu[j]
-		}
-		bregman.GradInvVec(div, xt, gm)
-		if !finiteVec(xt) {
+		dQ, dMu, ok := p.kern.GeodesicStep(p.gq, p.gmu, p.q, node.Center, theta, p.scratch)
+		if !ok {
 			return best
 		}
-		dMu := bregman.Distance(div, xt, node.Center)
-		dQ := bregman.Distance(div, xt, p.q)
 		// Weak-duality lower bound, valid for every θ in (0,1).
 		lb := dQ + theta/(1-theta)*(dMu-node.Radius)
 		if !math.IsNaN(lb) && lb > best {
@@ -442,14 +486,15 @@ func (p *projector) lowerBound(node *Node) float64 {
 	return best
 }
 
-func finiteVec(v []float64) bool {
-	for _, x := range v {
-		if math.IsInf(x, 0) || math.IsNaN(x) {
-			return false
-		}
-	}
-	return true
+// newProjector is the legacy single-query constructor (tests use it).
+func (t *Tree) newProjector(qFull []float64) *Projector {
+	p := &Projector{}
+	p.Bind(t, qFull)
+	return p
 }
+
+// lowerBound is the legacy name for LowerBound.
+func (p *Projector) lowerBound(node *Node) float64 { return p.LowerBound(node) }
 
 // ---------------------------------------------------------------------------
 // Exact kNN (Cayton 2008 style best-first search).
@@ -486,7 +531,7 @@ func (t *Tree) KNNVisit(q []float64, k int, onLeaf func(*Node)) ([]topk.Item, St
 				onLeaf(node)
 			}
 			for _, id := range node.IDs {
-				d := bregman.Distance(t.Div, t.pts[id], proj.q)
+				d := t.kern.Distance(t.rowAt(id), proj.q)
 				st.DistanceComps++
 				sel.Offer(id, d)
 			}
@@ -494,7 +539,7 @@ func (t *Tree) KNNVisit(q []float64, k int, onLeaf func(*Node)) ([]topk.Item, St
 		}
 		for _, child := range []int{node.Left, node.Right} {
 			cn := &t.Nodes[child]
-			lb := proj.lowerBound(cn)
+			lb := proj.LowerBound(cn)
 			st.BoundComps++
 			if thr, ok := sel.Threshold(); !ok || lb <= thr {
 				pq.Push(child, lb)
@@ -533,7 +578,7 @@ func (t *Tree) KNNBudget(q []float64, k, maxLeaves int, onLeaf func(*Node)) ([]t
 				onLeaf(node)
 			}
 			for _, id := range node.IDs {
-				d := bregman.Distance(t.Div, t.pts[id], proj.q)
+				d := t.kern.Distance(t.rowAt(id), proj.q)
 				st.DistanceComps++
 				sel.Offer(id, d)
 			}
@@ -541,7 +586,7 @@ func (t *Tree) KNNBudget(q []float64, k, maxLeaves int, onLeaf func(*Node)) ([]t
 		}
 		for _, child := range []int{node.Left, node.Right} {
 			cn := &t.Nodes[child]
-			lb := proj.lowerBound(cn)
+			lb := proj.LowerBound(cn)
 			st.BoundComps++
 			if thr, ok := sel.Threshold(); !ok || lb <= thr {
 				pq.Push(child, lb)
@@ -558,30 +603,49 @@ func (t *Tree) KNNBudget(q []float64, k, maxLeaves int, onLeaf func(*Node)) ([]t
 // RangeLeaves invokes visit for every leaf whose Bregman ball possibly
 // contains a point x with D_f(x, q) ≤ r. Following the paper's I/O model,
 // whole leaf clusters are treated as candidates; the caller refines.
+//
+// RangeLeaves allocates per-query scratch; the forest's pooled candidate
+// union (bbforest.CandidateUnionCtx) drives RangeLeavesProj with reused
+// state instead.
 func (t *Tree) RangeLeaves(q []float64, r float64, visit func(node *Node)) Stats {
+	var proj Projector
+	var stack []int
+	return t.RangeLeavesProj(q, r, &proj, &stack, visit)
+}
+
+// RangeLeavesProj is RangeLeaves with caller-owned traversal state: proj
+// is rebound to this tree/query and stack (grown as needed) holds the
+// explicit DFS worklist, so repeated queries allocate nothing. The visit
+// callback must not retain the node.
+func (t *Tree) RangeLeavesProj(q []float64, r float64, proj *Projector, stack *[]int, visit func(node *Node)) Stats {
 	var st Stats
 	if len(t.Nodes) == 0 {
 		return st
 	}
-	proj := t.newProjector(q)
-	var walk func(idx int)
-	walk = func(idx int) {
+	proj.Bind(t, q)
+	work := (*stack)[:0]
+	work = append(work, 0)
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
 		node := &t.Nodes[idx]
 		st.NodesVisited++
-		lb := proj.lowerBound(node)
+		lb := proj.LowerBound(node)
 		st.BoundComps++
 		if lb > r {
-			return
+			continue
 		}
 		if node.IsLeaf() {
 			st.LeavesVisited++
 			visit(node)
-			return
+			continue
 		}
-		walk(node.Left)
-		walk(node.Right)
+		// Push right first so the left child is explored first, matching
+		// the recursive traversal order (leaf visit order is part of the
+		// I/O accounting contract).
+		work = append(work, node.Right, node.Left)
 	}
-	walk(0)
+	*stack = work
 	return st
 }
 
@@ -594,7 +658,7 @@ func (t *Tree) RangeQuery(q []float64, r float64) ([]int, Stats) {
 	qSub := Gather(q, t.Dims)
 	st := t.RangeLeaves(q, r, func(node *Node) {
 		for _, id := range node.IDs {
-			if bregman.Distance(t.Div, t.pts[id], qSub) <= r {
+			if t.kern.Distance(t.rowAt(id), qSub) <= r {
 				out = append(out, id)
 			}
 		}
@@ -607,7 +671,7 @@ func (t *Tree) RangeQuery(q []float64, r float64) ([]int, Stats) {
 // the BB-forest writes to disk (§6: data organized by the reference tree's
 // leaves).
 func (t *Tree) LeafOrder() []int {
-	out := make([]int, 0, len(t.pts))
+	out := make([]int, 0, len(t.live))
 	var walk func(idx int)
 	walk = func(idx int) {
 		n := &t.Nodes[idx]

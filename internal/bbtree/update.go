@@ -1,7 +1,5 @@
 package bbtree
 
-import "brepartition/internal/bregman"
-
 // Insert adds the point with dataset id (full-dimensional coordinates p)
 // to the tree: it descends to the closer child at every split and appends
 // to the reached leaf, widening every ball on the path so the covering
@@ -9,11 +7,17 @@ import "brepartition/internal/bregman"
 // The tree is not rebalanced; radii only grow, so all pruning bounds stay
 // sound (they may merely become looser until a rebuild).
 func (t *Tree) Insert(id int, p []float64) {
-	sub := Gather(p, t.Dims)
-	for len(t.pts) <= id {
-		t.pts = append(t.pts, nil)
+	if t.subDim == 0 && t.Dims == nil && len(t.live) == 0 {
+		// First point of an empty unrestricted tree fixes the width.
+		t.subDim = len(p)
 	}
-	t.pts[id] = sub
+	for len(t.live) <= id {
+		t.live = append(t.live, false)
+		t.flat = append(t.flat, make([]float64, t.subDim)...)
+	}
+	sub := t.rowAt(id)
+	gatherInto(sub, p, t.Dims)
+	t.live[id] = true
 
 	if len(t.Nodes) == 0 {
 		t.Nodes = append(t.Nodes, Node{
@@ -25,15 +29,15 @@ func (t *Tree) Insert(id int, p []float64) {
 	idx := 0
 	for {
 		node := &t.Nodes[idx]
-		if d := bregman.Distance(t.Div, sub, node.Center); d > node.Radius {
+		if d := t.kern.Distance(sub, node.Center); d > node.Radius {
 			node.Radius = d
 		}
 		if node.IsLeaf() {
 			node.IDs = append(node.IDs, id)
 			return
 		}
-		dl := bregman.Distance(t.Div, sub, t.Nodes[node.Left].Center)
-		dr := bregman.Distance(t.Div, sub, t.Nodes[node.Right].Center)
+		dl := t.kern.Distance(sub, t.Nodes[node.Left].Center)
+		dr := t.kern.Distance(sub, t.Nodes[node.Right].Center)
 		if dl <= dr {
 			idx = node.Left
 		} else {
@@ -46,10 +50,10 @@ func (t *Tree) Insert(id int, p []float64) {
 // whether it was present. Ball radii are left unchanged — they remain
 // valid (if loose) upper bounds — so no bound ever becomes unsound.
 func (t *Tree) Delete(id int) bool {
-	if id < 0 || id >= len(t.pts) || t.pts[id] == nil {
+	if id < 0 || id >= len(t.live) || !t.live[id] {
 		return false
 	}
-	sub := t.pts[id]
+	sub := t.rowAt(id)
 	// Descend like a lookup, but the point may be in either child when
 	// radii have grown; walk all subtrees whose ball can contain it.
 	var found bool
@@ -59,7 +63,7 @@ func (t *Tree) Delete(id int) bool {
 			return
 		}
 		node := &t.Nodes[idx]
-		if bregman.Distance(t.Div, sub, node.Center) > node.Radius {
+		if t.kern.Distance(sub, node.Center) > node.Radius {
 			return
 		}
 		if node.IsLeaf() {
@@ -79,7 +83,7 @@ func (t *Tree) Delete(id int) bool {
 		walk(0)
 	}
 	if found {
-		t.pts[id] = nil
+		t.live[id] = false
 	}
 	return found
 }

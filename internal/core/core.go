@@ -23,6 +23,7 @@ import (
 	"brepartition/internal/bbtree"
 	"brepartition/internal/bregman"
 	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
 	"brepartition/internal/partition"
 	"brepartition/internal/scan"
 	"brepartition/internal/topk"
@@ -105,6 +106,14 @@ type Index struct {
 	// (unlike the Points slice header, which Insert rewrites), so Dim
 	// stays lock-free.
 	d int
+	// kern is the monomorphized divergence kernel every distance on the
+	// search path evaluates through; picked once at construction.
+	kern kernel.Kernel
+
+	// ctxPool recycles per-query search contexts (scratch vectors,
+	// selector, candidate buffers, disk session) so steady-state searches
+	// allocate nothing but their result slice.
+	ctxPool sync.Pool
 
 	// mu guards every mutable structure reachable from the index (Points,
 	// Tuples, deleted, the BB-forest trees and the disk store layout).
@@ -114,6 +123,32 @@ type Index struct {
 	// result cache) use it to detect staleness.
 	version uint64
 }
+
+// searchContext is the pooled per-query state. Every buffer is reused
+// across queries; epoch stamping (in the session and the forest scratch)
+// replaces clearing.
+type searchContext struct {
+	triples []transform.QueryTriple
+	radii   []float64
+	sel     *topk.Selector
+	sess    *disk.Session
+	scratch bbforest.SearchScratch
+	dist    []float64
+}
+
+// getCtx fetches a warm context from the pool (or makes a cold one).
+func (ix *Index) getCtx() *searchContext {
+	if c, ok := ix.ctxPool.Get().(*searchContext); ok {
+		return c
+	}
+	return &searchContext{sel: topk.New(1), dist: make([]float64, scan.RefineChunk)}
+}
+
+func (ix *Index) putCtx(c *searchContext) { ix.ctxPool.Put(c) }
+
+// Kernel returns the monomorphized divergence kernel the index searches
+// with.
+func (ix *Index) Kernel() kernel.Kernel { return ix.kern }
 
 // SearchStats reports the work of one query, the quantities plotted in the
 // paper's figures.
@@ -165,12 +200,25 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 		}
 	}
 
-	ix := &Index{Div: div, Points: points, opts: opts, d: d}
+	// Copy the coordinates into one row-major arena: Points[i] stays a
+	// []float64 row for every existing consumer, but the rows are
+	// physically contiguous in id order, so ground-truth scans and the
+	// tuple transform stream cache-linearly. (Points appended later by
+	// Insert live outside the arena until a rebuild.)
+	arena := make([]float64, len(points)*d)
+	rows := make([][]float64, len(points))
+	for i, p := range points {
+		off := i * d
+		copy(arena[off:], p)
+		rows[i] = arena[off : off+d : off+d]
+	}
+
+	ix := &Index{Div: div, Points: rows, opts: opts, d: d, kern: kernel.For(div)}
 
 	// Step 1 (Line 2): number of partitions.
 	m := opts.M
 	if m <= 0 {
-		model, err := partition.FitCostModel(div, points, opts.CostSamples, opts.Seed)
+		model, err := partition.FitCostModel(div, rows, opts.CostSamples, opts.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: deriving M: %w", err)
 		}
@@ -188,19 +236,26 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 	if opts.DisablePCCP {
 		ix.Parts = partition.Equal(d, m)
 	} else {
-		ix.Parts = partition.PCCP(points, m, opts.PCCPSample, opts.Seed)
+		ix.Parts = partition.PCCP(rows, m, opts.PCCPSample, opts.Seed)
 	}
 
-	// Step 3 (Lines 4–7): offline tuple transform.
-	ix.Tuples = make([][]transform.PointTuple, len(points))
-	for i, p := range points {
-		ix.Tuples[i] = transform.PTransform(div, p, ix.Parts)
+	// Step 3 (Lines 4–7): offline tuple transform, into one flat backing
+	// (row views per point) so Algorithm 4's O(n·M) bound scan streams.
+	tupleArena := make([]transform.PointTuple, len(rows)*len(ix.Parts))
+	ix.Tuples = make([][]transform.PointTuple, len(rows))
+	for i, p := range rows {
+		off := i * len(ix.Parts)
+		row := tupleArena[off : off+len(ix.Parts) : off+len(ix.Parts)]
+		for s, dims := range ix.Parts {
+			row[s] = transform.PTransformSub(div, p, dims)
+		}
+		ix.Tuples[i] = row
 	}
 
 	// Step 4 (Line 8): BB-forest.
 	fcfg := bbforest.Config{Tree: opts.Tree, Disk: opts.Disk}
 	fcfg.Tree.Seed = opts.Seed
-	forest, err := bbforest.Build(div, points, ix.Parts, fcfg)
+	forest, err := bbforest.Build(div, rows, ix.Parts, fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -236,9 +291,20 @@ func (ix *Index) Version() uint64 {
 
 // Search runs Algorithm 6 and returns the exact kNN of q.
 func (ix *Index) Search(q []float64, k int) (Result, error) {
+	return ix.SearchAppend(nil, q, k)
+}
+
+// SearchAppend is Search appending the result items to dst: with a reused
+// dst of sufficient capacity, a warm index answers the query without
+// allocating a single byte (the pooled context supplies every scratch
+// buffer). Result.Items is the extended dst.
+func (ix *Index) SearchAppend(dst []topk.Item, q []float64, k int) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.search(q, k, 0)
+	ctx := ix.getCtx()
+	res, err := ix.search(ctx, dst, q, k, 0)
+	ix.putCtx(ctx)
+	return res, err
 }
 
 // SearchApprox runs the §8 extension: exact radii are tightened by the
@@ -250,11 +316,16 @@ func (ix *Index) SearchApprox(q []float64, k int, p float64) (Result, error) {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.search(q, k, p)
+	ctx := ix.getCtx()
+	res, err := ix.search(ctx, nil, q, k, p)
+	ix.putCtx(ctx)
+	return res, err
 }
 
-// search runs Algorithm 6; the caller must hold ix.mu (read side).
-func (ix *Index) search(q []float64, k int, p float64) (Result, error) {
+// search runs Algorithm 6 with pooled per-query state; the caller must
+// hold ix.mu (read side) and hand the context back to the pool afterwards.
+// Result items are appended to dst.
+func (ix *Index) search(ctx *searchContext, dst []topk.Item, q []float64, k int, p float64) (Result, error) {
 	if k <= 0 {
 		return Result{}, ErrK
 	}
@@ -267,8 +338,17 @@ func (ix *Index) search(q []float64, k int, p float64) (Result, error) {
 
 	filterStart := time.Now()
 	// Lines 2–4: query transform and searching bounds.
-	triples := transform.QTransform(ix.Div, q, ix.Parts)
-	bounds := transform.QBDetermine(ix.Tuples, triples, k)
+	ctx.triples = transform.QTransformAppend(ctx.triples[:0], ix.Div, q, ix.Parts)
+	kb := k
+	if n := len(ix.Tuples); kb > n {
+		kb = n
+	}
+	ctx.sel.ResetK(kb)
+	if cap(ctx.radii) < len(ctx.triples) {
+		ctx.radii = make([]float64, len(ctx.triples))
+	}
+	ctx.radii = ctx.radii[:len(ctx.triples)]
+	bounds := transform.QBDetermineInto(ix.Tuples, ctx.triples, ctx.sel, ctx.radii)
 
 	radii := bounds.Radii
 	c := 1.0
@@ -284,24 +364,32 @@ func (ix *Index) search(q []float64, k int, p float64) (Result, error) {
 			return Result{}, err
 		}
 		if c < 1 {
-			radii = approx.ScaledRadii(ix.Tuples[bounds.PointID], triples, c)
+			radii = approx.ScaledRadii(ix.Tuples[bounds.PointID], ctx.triples, c)
 		}
 	}
 
 	// Lines 5–7: range queries over the BB-forest.
-	sess := ix.Forest.Store.NewSession()
-	cands, ts := ix.Forest.CandidateUnion(q, radii, sess)
+	if ctx.sess == nil {
+		ctx.sess = ix.Forest.Store.NewSession()
+	} else {
+		ctx.sess.Reset(ix.Forest.Store)
+	}
+	cands, ts := ix.Forest.CandidateUnionCtx(q, radii, ctx.sess, &ctx.scratch)
 	filterTime := time.Since(filterStart)
 
 	// Line 8: refinement.
 	refineStart := time.Now()
-	items := scan.Refine(ix.Div, sess, cands, q, k)
+	if kr := min(k, len(cands)); kr > 0 {
+		ctx.sel.ResetK(kr)
+		scan.RefineCtx(ix.kern, ctx.sess, cands, q, ctx.sel, ctx.dist)
+		dst = ctx.sel.AppendItems(dst)
+	}
 	refineTime := time.Since(refineStart)
 
 	return Result{
-		Items: items,
+		Items: dst,
 		Stats: SearchStats{
-			PageReads:     sess.PageReads(),
+			PageReads:     ctx.sess.PageReads(),
 			Candidates:    len(cands),
 			BoundTotal:    bounds.Total,
 			ApproxC:       c,

@@ -14,6 +14,7 @@ import (
 	"brepartition/internal/bbtree"
 	"brepartition/internal/bregman"
 	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
 	"brepartition/internal/transform"
 )
 
@@ -194,17 +195,23 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 		}
 		parts[i] = dims
 	}
+	// Rebuild the id-major coordinate and tuple arenas (the flat SoA layout
+	// Build produces); Points/Tuples rows are views into them.
+	arena := make([]float64, n*d)
 	points := make([][]float64, n)
 	for i := range points {
-		p := make([]float64, d)
+		off := i * d
+		p := arena[off : off+d : off+d]
 		for j := range p {
 			p[j] = r.f64()
 		}
 		points[i] = p
 	}
+	tupleArena := make([]transform.PointTuple, n*m)
 	tuples := make([][]transform.PointTuple, n)
 	for i := range tuples {
-		tu := make([]transform.PointTuple, m)
+		off := i * m
+		tu := tupleArena[off : off+m : off+m]
 		for s := range tu {
 			tu[s] = transform.PointTuple{Alpha: r.f64(), Gamma: r.f64()}
 		}
@@ -289,6 +296,7 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 		Forest: &bbforest.Forest{Trees: trees, Parts: parts, Store: store},
 		opts:   Options{Disk: disk.Config{PageSize: pageSize, IOPS: 50_000}},
 		d:      d,
+		kern:   kernel.For(div),
 	}
 	return ix, nil
 }

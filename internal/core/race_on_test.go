@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which sync.Pool deliberately drops items (to expose races) and
+// allocation-count assertions become meaningless.
+const raceEnabled = true

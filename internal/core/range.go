@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"brepartition/internal/bbtree"
@@ -16,7 +16,8 @@ import (
 // ascending by distance. It reuses the filter machinery: each subspace is
 // probed with the full radius r (a subspace distance can never exceed the
 // full-space distance for decomposable generators, so the per-subspace
-// candidate sets are complete), and candidates are verified exactly.
+// candidate sets are complete), and candidates are verified exactly
+// through the index's monomorphized kernel with the pooled query context.
 func (ix *Index) RangeSearch(q []float64, r float64) ([]topk.Item, SearchStats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -30,28 +31,32 @@ func (ix *Index) RangeSearch(q []float64, r float64) ([]topk.Item, SearchStats, 
 	if r < 0 {
 		return nil, stats, nil
 	}
-	radii := make([]float64, ix.M())
-	for i := range radii {
-		radii[i] = r
+	ctx := ix.getCtx()
+	defer ix.putCtx(ctx)
+	if cap(ctx.radii) < ix.M() {
+		ctx.radii = make([]float64, ix.M())
 	}
-	sess := ix.Forest.Store.NewSession()
-	cands, ts := ix.Forest.CandidateUnion(q, radii, sess)
+	ctx.radii = ctx.radii[:ix.M()]
+	for i := range ctx.radii {
+		ctx.radii[i] = r
+	}
+	if ctx.sess == nil {
+		ctx.sess = ix.Forest.Store.NewSession()
+	} else {
+		ctx.sess.Reset(ix.Forest.Store)
+	}
+	cands, ts := ix.Forest.CandidateUnionCtx(q, ctx.radii, ctx.sess, &ctx.scratch)
 
 	var out []topk.Item
 	for _, id := range cands {
-		p := sess.Point(id)
-		if d := bregman.Distance(ix.Div, p, q); d <= r {
+		p := ctx.sess.Point(id)
+		if d := ix.kern.Distance(p, q); d <= r {
 			out = append(out, topk.Item{ID: id, Score: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
+	slices.SortFunc(out, topk.Compare)
 	stats = SearchStats{
-		PageReads:     sess.PageReads(),
+		PageReads:     ctx.sess.PageReads(),
 		Candidates:    len(cands),
 		NodesVisited:  ts.NodesVisited,
 		LeavesVisited: ts.LeavesVisited,

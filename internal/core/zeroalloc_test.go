@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/topk"
+)
+
+// TestSearchSteadyStateZeroAlloc is the allocation contract of the kernel
+// refactor: once the pooled per-query context and the caller's result
+// buffer are warm, an exact Search performs zero heap allocations — the
+// whole filter-refine pipeline (query transform, Algorithm-4 bound scan,
+// BB-forest traversal with geodesic bisection, disk-session accounting,
+// block refinement, result sort) runs out of reused memory.
+func TestSearchSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	for _, div := range []bregman.Divergence{bregman.SquaredEuclidean{}, bregman.Exponential{}} {
+		rng := rand.New(rand.NewSource(7))
+		n, d := 400, 12
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = 0.1 + rng.Float64()
+			}
+			points[i] = p
+		}
+		ix, err := Build(div, points, Options{M: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := points[5]
+		const k = 10
+
+		// Warm the pool, the session stamps, and the result buffer.
+		var dst []topk.Item
+		for i := 0; i < 3; i++ {
+			res, err := ix.SearchAppend(dst[:0], q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst = res.Items
+		}
+		want, _ := ix.Search(q, k)
+
+		allocs := testing.AllocsPerRun(200, func() {
+			res, err := ix.SearchAppend(dst[:0], q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst = res.Items
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: steady-state SearchAppend allocates %.1f times per op, want 0", div.Name(), allocs)
+		}
+
+		// The zero-alloc path answers exactly like the allocating one.
+		if len(dst) != len(want.Items) {
+			t.Fatalf("%s: SearchAppend returned %d items, Search %d", div.Name(), len(dst), len(want.Items))
+		}
+		for i := range dst {
+			if dst[i] != want.Items[i] {
+				t.Fatalf("%s: item %d: SearchAppend %v != Search %v", div.Name(), i, dst[i], want.Items[i])
+			}
+		}
+	}
+}
+
+// TestSearchAppendReusesDst pins the append contract: items land at dst's
+// length and the backing array is reused when capacity suffices.
+func TestSearchAppendReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	points := make([][]float64, 100)
+	for i := range points {
+		p := make([]float64, 6)
+		for j := range p {
+			p[j] = 0.1 + rng.Float64()
+		}
+		points[i] = p
+	}
+	ix, err := Build(bregman.SquaredEuclidean{}, points, Options{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ix.SearchAppend(nil, points[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Items) != 5 {
+		t.Fatalf("got %d items, want 5", len(first.Items))
+	}
+	buf := first.Items
+	second, err := ix.SearchAppend(buf[:0], points[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &second.Items[0] != &buf[:1][0] {
+		t.Fatal("SearchAppend did not reuse the caller's backing array")
+	}
+	// Appending after existing items preserves the prefix.
+	prefix := append([]topk.Item(nil), second.Items...)
+	third, err := ix.SearchAppend(second.Items, points[2], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third.Items) != len(prefix)+4 {
+		t.Fatalf("append length %d, want %d", len(third.Items), len(prefix)+4)
+	}
+	for i := range prefix {
+		if third.Items[i] != prefix[i] {
+			t.Fatal("SearchAppend clobbered the dst prefix")
+		}
+	}
+}

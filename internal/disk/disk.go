@@ -6,7 +6,14 @@
 // per-query Session counts the *distinct* pages touched, so that candidate
 // reuse across subspaces — the point of PCCP — shows up as fewer reads.
 //
-// Two backings are provided: an in-memory page array (used by benchmarks)
+// Storage is a single row-major float64 arena in slot (layout) order: a
+// page is literally a contiguous arena segment, so candidate refinement
+// over a leaf cluster streams cache-linearly and can hand whole slot runs
+// to the batched divergence kernels (kernel.FlatBlock views). Sessions are
+// poolable: Reset rebinds one to a store with epoch-stamped page tracking,
+// so steady-state queries do per-query I/O accounting without allocating.
+//
+// Two backings are provided: the in-memory page arena (used by benchmarks)
 // and a real file with per-page checksums (used by the persistence tests
 // and the failure-injection suite). Both share the same layout and
 // accounting code paths.
@@ -22,6 +29,9 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+
+	"brepartition/internal/kernel"
+	"brepartition/internal/stampset"
 )
 
 // Config describes the simulated device.
@@ -56,7 +66,9 @@ type Store struct {
 	perPage int   // points per page
 	slotOf  []int // point id -> slot (position in layout order)
 	idAt    []int // slot -> point id
-	points  [][]float64
+	// arena holds the coordinates in slot-major row order:
+	// arena[slot*dim : (slot+1)*dim] is the point stored at slot.
+	arena []float64
 
 	// totalPageReads accumulates across all sessions; atomic because
 	// concurrent queries each run their own session against one store.
@@ -65,7 +77,8 @@ type Store struct {
 
 // NewStore builds an in-memory store over points, placing them on pages in
 // the order given by layout (layout[slot] = point id). A nil layout means
-// identity. Points are referenced, not copied.
+// identity. Point coordinates are copied into the store's flat arena; the
+// caller's slices are not retained.
 func NewStore(points [][]float64, layout []int, cfg Config) (*Store, error) {
 	n := len(points)
 	if n == 0 {
@@ -98,12 +111,14 @@ func NewStore(points [][]float64, layout []int, cfg Config) (*Store, error) {
 		slotOf[i] = -1
 	}
 	idAt := make([]int, n)
+	arena := make([]float64, n*dim)
 	for slot, id := range layout {
 		if id < 0 || id >= n || slotOf[id] != -1 {
 			return nil, ErrBadLayout
 		}
 		slotOf[id] = slot
 		idAt[slot] = id
+		copy(arena[slot*dim:], points[id])
 	}
 	return &Store{
 		cfg:     cfg,
@@ -112,7 +127,7 @@ func NewStore(points [][]float64, layout []int, cfg Config) (*Store, error) {
 		perPage: perPage,
 		slotOf:  slotOf,
 		idAt:    idAt,
-		points:  points,
+		arena:   arena,
 	}, nil
 }
 
@@ -143,19 +158,46 @@ func (s *Store) Address(id int) (page, offset int) {
 	return slot / s.perPage, slot % s.perPage
 }
 
+// Slot returns the layout position of point id — consecutive slots are
+// physically adjacent in the arena, the property the run-batched
+// refinement exploits.
+func (s *Store) Slot(id int) int {
+	if id < 0 || id >= s.n {
+		panic(ErrOutOfRange)
+	}
+	return s.slotOf[id]
+}
+
+// IDAtSlot returns the point id stored at a layout slot.
+func (s *Store) IDAtSlot(slot int) int { return s.idAt[slot] }
+
+// rowAt returns the arena view of the point at slot.
+func (s *Store) rowAt(slot int) []float64 {
+	off := slot * s.dim
+	return s.arena[off : off+s.dim : off+s.dim]
+}
+
+// SlotBlock returns the points stored at slots [lo, hi) as one contiguous
+// row-major block — a zero-copy kernel.FlatBlock view into the arena. No
+// I/O is charged; use Session.SlotBlock on query paths.
+func (s *Store) SlotBlock(lo, hi int) kernel.FlatBlock {
+	return kernel.FlatBlock{Data: s.arena[lo*s.dim : hi*s.dim], Dim: s.dim, N: hi - lo}
+}
+
 // TotalPageReads returns the store-lifetime page read count across all
 // sessions.
 func (s *Store) TotalPageReads() int64 { return s.totalPageReads.Load() }
 
 // Append adds a point at the tail of the layout (the overflow region of
 // the last page, or a fresh page), supporting incremental inserts. The new
-// point's id is the previous Len().
+// point's id is the previous Len(). The coordinates are copied into the
+// arena.
 func (s *Store) Append(p []float64) error {
 	if len(p) != s.dim {
 		return fmt.Errorf("disk: append dim %d, want %d", len(p), s.dim)
 	}
 	slot := s.n
-	s.points = append(s.points, p)
+	s.arena = append(s.arena, p...)
 	s.slotOf = append(s.slotOf, slot)
 	s.idAt = append(s.idAt, s.n)
 	s.n++
@@ -163,52 +205,86 @@ func (s *Store) Append(p []float64) error {
 }
 
 // RawPoint returns point id without any I/O accounting (for construction
-// and for ground-truth scans that the paper does not charge I/O to).
+// and for ground-truth scans that the paper does not charge I/O to). The
+// returned slice is a read-only view into the store's arena.
 func (s *Store) RawPoint(id int) []float64 {
 	if id < 0 || id >= s.n {
 		panic(ErrOutOfRange)
 	}
-	return s.points[id]
+	return s.rowAt(s.slotOf[id])
 }
 
 // Session is a per-query I/O accounting context: the first access to each
 // page within a session costs one read; later accesses are buffer hits,
 // reproducing the paper's per-query distinct-page I/O metric.
+//
+// Sessions are reusable: Reset rebinds one to a store and starts a new
+// accounting epoch without releasing the page-tracking memory, so pooled
+// query contexts account I/O with zero steady-state allocation.
 type Session struct {
 	store *Store
-	seen  map[int]struct{}
+	seen  stampset.Set // pages read in the current epoch
 	reads int
 	hits  int
 }
 
 // NewSession starts a fresh per-query accounting context.
 func (s *Store) NewSession() *Session {
-	return &Session{store: s, seen: make(map[int]struct{})}
+	sess := &Session{}
+	sess.Reset(s)
+	return sess
+}
+
+// Reset rebinds the session to store and starts a new accounting epoch,
+// reusing the page-tracking buffer. It must be called before a session is
+// reused for a new query (NewSession calls it internally).
+func (sess *Session) Reset(s *Store) {
+	sess.store = s
+	sess.reads = 0
+	sess.hits = 0
+	sess.seen.Begin(s.NumPages())
+}
+
+// Store returns the store the session is bound to.
+func (ss *Session) Store() *Store { return ss.store }
+
+// charge records a touch of page, returning true when it cost a read.
+func (sess *Session) charge(page int) bool {
+	if sess.seen.TryMark(page) {
+		sess.reads++
+		sess.store.totalPageReads.Add(1)
+		return true
+	}
+	sess.hits++
+	return false
 }
 
 // Point fetches point id, charging a page read if its page was not yet
-// touched in this session.
+// touched in this session. The returned slice is a view into the arena.
 func (ss *Session) Point(id int) []float64 {
-	page := ss.store.PageOf(id)
-	if _, ok := ss.seen[page]; !ok {
-		ss.seen[page] = struct{}{}
-		ss.reads++
-		ss.store.totalPageReads.Add(1)
-	} else {
-		ss.hits++
-	}
-	return ss.store.points[id]
+	slot := ss.store.slotOf[id]
+	ss.charge(slot / ss.store.perPage)
+	return ss.store.rowAt(slot)
 }
 
 // Prefetch charges the read for the page containing id (if new) without
-// returning data — used when a leaf cluster is loaded wholesale.
+// returning data — used when a leaf cluster is loaded wholesale. Unlike
+// Point it does not count repeat touches as buffer hits.
 func (ss *Session) Prefetch(id int) {
-	page := ss.store.PageOf(id)
-	if _, ok := ss.seen[page]; !ok {
-		ss.seen[page] = struct{}{}
+	if ss.seen.TryMark(ss.store.PageOf(id)) {
 		ss.reads++
 		ss.store.totalPageReads.Add(1)
 	}
+}
+
+// SlotBlock returns the contiguous rows at slots [lo, hi), charging every
+// page the range touches (first touch per session, as always). It is the
+// batched analogue of Point for slot runs discovered during refinement.
+func (ss *Session) SlotBlock(lo, hi int) kernel.FlatBlock {
+	for page := lo / ss.store.perPage; page <= (hi-1)/ss.store.perPage; page++ {
+		ss.charge(page)
+	}
+	return ss.store.SlotBlock(lo, hi)
 }
 
 // PageReads returns the distinct pages read so far in this session.
@@ -251,15 +327,14 @@ func (s *Store) WriteFile(path string) (err error) {
 	pageBuf := make([]byte, 0, s.perPage*s.dim*8)
 	for p := 0; p < s.NumPages(); p++ {
 		pageBuf = pageBuf[:0]
-		for off := 0; off < s.perPage; off++ {
-			slot := p*s.perPage + off
-			if slot >= s.n {
-				break
-			}
-			pt := s.points[s.idAt[slot]]
-			for _, v := range pt {
-				pageBuf = binary.LittleEndian.AppendUint64(pageBuf, math.Float64bits(v))
-			}
+		lo := p * s.perPage
+		hi := lo + s.perPage
+		if hi > s.n {
+			hi = s.n
+		}
+		// Pages are contiguous arena segments; serialize the rows directly.
+		for _, v := range s.arena[lo*s.dim : hi*s.dim] {
+			pageBuf = binary.LittleEndian.AppendUint64(pageBuf, math.Float64bits(v))
 		}
 		var crc [4]byte
 		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(pageBuf))

@@ -11,6 +11,13 @@
 // mutated concurrently and each query sees one consistent snapshot. Cached
 // results are tagged with the index version observed during the search and
 // are never served across a mutation.
+//
+// Hot-path cost model: each worker's query runs through the backend's
+// pooled per-query SearchContext and the monomorphized divergence kernel
+// the index picked at build time (internal/kernel), so a saturated batch
+// performs no interface dispatch in its distance loops and no steady-state
+// allocation beyond each query's result slice — the engine's own overhead
+// is one job, one future, and the shared-cache bookkeeping per query.
 package engine
 
 import (

@@ -8,6 +8,7 @@ import (
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
+	"brepartition/internal/kernel"
 	"brepartition/internal/scan"
 	"brepartition/internal/topk"
 )
@@ -145,7 +146,7 @@ func TestConcurrentBatchWithMutation(t *testing.T) {
 	sel := func(q []float64) []topk.Item {
 		s := topk.New(k)
 		for _, id := range idOf {
-			s.Offer(id, bregman.Distance(div, live[id], q))
+			s.Offer(id, kernel.For(div).Distance(live[id], q))
 		}
 		return s.Items()
 	}

@@ -1,0 +1,582 @@
+// Package kernel provides monomorphized Bregman-divergence distance kernels
+// over flat, row-major point storage. It is the hot inner layer of the
+// search path: every distance the system evaluates in bulk — BB-tree leaf
+// scans, node-bound geodesic projections, candidate refinement, brute-force
+// ground truth — goes through a concrete (non-interface) kernel chosen once
+// per index or per query, instead of paying two virtual calls (Phi, Grad)
+// per coordinate per point through the bregman.Divergence interface.
+//
+// Numerical contract: every kernel reproduces bregman.Distance's arithmetic
+// bit for bit — the same per-coordinate expression φ(x)−φ(y)−φ′(y)(x−y)
+// with inlined generator math, summed left to right and clamped at 0 — with
+// one documented exception: the squared-Euclidean kernel uses the fused
+// closed form Σ(x−y)², which differs from the scalar three-term expansion
+// by rounding (≈1 ULP on benign data). All search paths route through the
+// same kernel, so results stay internally consistent; the property tests in
+// kernel_test.go pin bit equality for every other divergence and a tight
+// relative tolerance for L2.
+package kernel
+
+import (
+	"math"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/vecmath"
+)
+
+// FlatBlock is a contiguous row-major block of N points with Dim
+// coordinates each: point i occupies Data[i*Dim : (i+1)*Dim]. It is the
+// storage format of the disk store's page arena and the BB-tree's subspace
+// arena, and the unit the batched kernels stream over.
+type FlatBlock struct {
+	Data []float64
+	Dim  int
+	N    int
+}
+
+// Row returns point i's coordinates as a full-capacity-clamped view into
+// the block (appends can never bleed into the next row).
+func (b FlatBlock) Row(i int) []float64 {
+	off := i * b.Dim
+	return b.Data[off : off+b.Dim : off+b.Dim]
+}
+
+// Slice returns the sub-block of rows [lo, hi).
+func (b FlatBlock) Slice(lo, hi int) FlatBlock {
+	return FlatBlock{Data: b.Data[lo*b.Dim : hi*b.Dim], Dim: b.Dim, N: hi - lo}
+}
+
+// Flatten copies points into a fresh row-major block. All rows must share
+// one dimensionality; Flatten panics otherwise (a programming error on the
+// construction path).
+func Flatten(points [][]float64) FlatBlock {
+	if len(points) == 0 {
+		return FlatBlock{}
+	}
+	dim := len(points[0])
+	data := make([]float64, len(points)*dim)
+	for i, p := range points {
+		if len(p) != dim {
+			panic("kernel: ragged point set")
+		}
+		copy(data[i*dim:], p)
+	}
+	return FlatBlock{Data: data, Dim: dim, N: len(points)}
+}
+
+// Kernel is one divergence's batched evaluation surface. Implementations
+// are concrete structs so every method body is a tight scalar loop the
+// compiler can unroll and bounds-check-eliminate; the interface is crossed
+// once per block or per vector, never per coordinate.
+//
+// All methods follow bregman's conventions: Distance computes D_f(x, y)
+// (first argument is the data point), no domain checking is performed
+// (callers validate at the API boundary), and negative roundoff is clamped
+// to 0 exactly as bregman.Distance does.
+type Kernel interface {
+	// Name returns the underlying divergence's registry name.
+	Name() string
+	// Divergence returns the divergence this kernel evaluates.
+	Divergence() bregman.Divergence
+
+	// Distance computes D_f(x, y). It panics on a length mismatch, like
+	// bregman.Distance.
+	Distance(x, y []float64) float64
+
+	// DistancesTo evaluates the query against a block in one pass:
+	// out[i] = D_f(block.Row(i), q) for i < block.N. len(out) must be at
+	// least block.N and q's length must equal block.Dim.
+	DistancesTo(q []float64, block FlatBlock, out []float64)
+
+	// GradVec writes ∇f(y) into dst element-wise (dst must be pre-sized).
+	GradVec(dst, y []float64)
+
+	// GradInvVec writes (∇f)⁻¹(g) into dst element-wise.
+	GradInvVec(dst, g []float64)
+
+	// GeodesicStep evaluates the dual-space geodesic point
+	// x(θ) = (∇f)⁻¹((1−θ)·gq + θ·gmu) and returns its divergences to the
+	// query and the ball center, dQ = D_f(x(θ), q) and dMu = D_f(x(θ), mu),
+	// without materializing x(θ) (concrete kernels keep it in registers).
+	// ok is false when x(θ) is not finite, in which case the caller must
+	// abandon the bound (matching bbtree's finiteVec guard). scratch, when
+	// the implementation needs it (the generic fallback), must have
+	// len ≥ len(q); concrete kernels ignore it.
+	GeodesicStep(gq, gmu, q, mu []float64, theta float64, scratch []float64) (dQ, dMu float64, ok bool)
+}
+
+// For returns the monomorphized kernel for div when one is registered
+// (squared Euclidean, Mahalanobis, Itakura–Saito, exponential, generalized
+// KL, Shannon entropy, Burg entropy), and the generic interface-dispatching
+// fallback otherwise. The choice is made once; hot loops never re-dispatch.
+func For(div bregman.Divergence) Kernel {
+	switch d := div.(type) {
+	case bregman.SquaredEuclidean:
+		return l2Kernel{}
+	case bregman.Mahalanobis:
+		return mahalanobisKernel{w: d.W}
+	case bregman.ItakuraSaito:
+		return isKernel{}
+	case bregman.Exponential:
+		return expKernel{}
+	case bregman.GeneralizedKL:
+		return gklKernel{}
+	case bregman.ShannonEntropy:
+		return shannonKernel{}
+	case bregman.BurgEntropy:
+		return burgKernel{}
+	default:
+		return Generic(div)
+	}
+}
+
+// Generic wraps any bregman.Divergence in the interface-dispatching
+// fallback kernel. It is bit-identical to the scalar helpers in package
+// bregman (it calls them), at the old per-coordinate virtual-call cost.
+func Generic(div bregman.Divergence) Kernel { return genericKernel{div: div} }
+
+// clamp0 applies bregman.Distance's non-negativity clamp.
+func clamp0(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// finite2 reports whether both accumulators are finite; an infinite or NaN
+// geodesic point surfaces as a non-finite divergence on at least one side.
+func finite2(a, b float64) bool {
+	return !math.IsInf(a, 0) && !math.IsNaN(a) && !math.IsInf(b, 0) && !math.IsNaN(b)
+}
+
+// ---------------------------------------------------------------------------
+// Squared Euclidean: φ(t) = t². The one kernel allowed to deviate from the
+// scalar op order — the fused closed form Σ(x−y)² runs in 3 FLOPs per
+// coordinate instead of 8 and is exact at x = y.
+// ---------------------------------------------------------------------------
+
+type l2Kernel struct{}
+
+func (l2Kernel) Name() string                   { return "l2" }
+func (l2Kernel) Divergence() bregman.Divergence { return bregman.SquaredEuclidean{} }
+
+func (l2Kernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	var s float64
+	for j, xv := range x {
+		d := xv - y[j]
+		s += d * d
+	}
+	return s
+}
+
+func (k l2Kernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		row := block.Data[i*dim : (i+1)*dim]
+		var s float64
+		for j, xv := range row {
+			d := xv - q[j]
+			s += d * d
+		}
+		out[i] = s
+	}
+}
+
+func (l2Kernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = 2 * v
+	}
+}
+
+func (l2Kernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = v / 2
+	}
+}
+
+func (k l2Kernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	for j := range q {
+		xt := ((1-theta)*gq[j] + theta*gmu[j]) / 2
+		dq := xt - q[j]
+		dm := xt - mu[j]
+		dQ += dq * dq
+		dMu += dm * dm
+	}
+	return dQ, dMu, finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Mahalanobis (uniform diagonal weight): φ(t) = w·t². Scalar op order kept
+// bit-identical to bregman.Distance.
+// ---------------------------------------------------------------------------
+
+type mahalanobisKernel struct{ w float64 }
+
+func (mahalanobisKernel) Name() string                     { return "mahalanobis" }
+func (k mahalanobisKernel) Divergence() bregman.Divergence { return bregman.Mahalanobis{W: k.w} }
+
+func (k mahalanobisKernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	w := k.w
+	var s float64
+	for j, xv := range x {
+		yv := y[j]
+		s += w*xv*xv - w*yv*yv - 2*w*yv*(xv-yv)
+	}
+	return clamp0(s)
+}
+
+func (k mahalanobisKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (k mahalanobisKernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = 2 * k.w * v
+	}
+}
+
+func (k mahalanobisKernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = v / (2 * k.w)
+	}
+}
+
+func (k mahalanobisKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	w := k.w
+	for j := range q {
+		xt := ((1-theta)*gq[j] + theta*gmu[j]) / (2 * w)
+		qv, mv := q[j], mu[j]
+		dQ += w*xt*xt - w*qv*qv - 2*w*qv*(xt-qv)
+		dMu += w*xt*xt - w*mv*mv - 2*w*mv*(xt-mv)
+	}
+	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Itakura–Saito: φ(t) = −log t, φ′(t) = −1/t. Bit-identical op order.
+// ---------------------------------------------------------------------------
+
+type isKernel struct{}
+
+func (isKernel) Name() string                   { return "is" }
+func (isKernel) Divergence() bregman.Divergence { return bregman.ItakuraSaito{} }
+
+func (isKernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	var s float64
+	for j, xv := range x {
+		yv := y[j]
+		s += -math.Log(xv) - (-math.Log(yv)) - (-1/yv)*(xv-yv)
+	}
+	return clamp0(s)
+}
+
+func (k isKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (isKernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = -1 / v
+	}
+}
+
+func (isKernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = -1 / v
+	}
+}
+
+func (isKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	for j := range q {
+		xt := -1 / ((1-theta)*gq[j] + theta*gmu[j])
+		if math.IsInf(xt, 0) || math.IsNaN(xt) {
+			return dQ, dMu, false
+		}
+		qv, mv := q[j], mu[j]
+		dQ += -math.Log(xt) - (-math.Log(qv)) - (-1/qv)*(xt-qv)
+		dMu += -math.Log(xt) - (-math.Log(mv)) - (-1/mv)*(xt-mv)
+	}
+	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Exponential: φ(t) = eᵗ, φ′(t) = eᵗ. Bit-identical op order.
+// ---------------------------------------------------------------------------
+
+type expKernel struct{}
+
+func (expKernel) Name() string                   { return "exp" }
+func (expKernel) Divergence() bregman.Divergence { return bregman.Exponential{} }
+
+func (expKernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	var s float64
+	for j, xv := range x {
+		ey := math.Exp(y[j])
+		s += math.Exp(xv) - ey - ey*(xv-y[j])
+	}
+	return clamp0(s)
+}
+
+func (k expKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	// The query-side exponentials are loop-invariant across the block; with
+	// math.Exp dominating the per-coordinate cost, hoisting them into a
+	// scratch-free rescan would still recompute them N times. They are
+	// recomputed here to preserve the exact scalar op order (bit
+	// compatibility beats the constant factor; see the package comment).
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (expKernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = math.Exp(v)
+	}
+}
+
+func (expKernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = math.Log(v)
+	}
+}
+
+func (expKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	for j := range q {
+		xt := math.Log((1-theta)*gq[j] + theta*gmu[j])
+		if math.IsInf(xt, 0) || math.IsNaN(xt) {
+			return dQ, dMu, false
+		}
+		ext := math.Exp(xt)
+		eq := math.Exp(q[j])
+		em := math.Exp(mu[j])
+		dQ += ext - eq - eq*(xt-q[j])
+		dMu += ext - em - em*(xt-mu[j])
+	}
+	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Generalized KL: φ(t) = t·log t − t, φ′(t) = log t. Bit-identical op order.
+// ---------------------------------------------------------------------------
+
+type gklKernel struct{}
+
+func (gklKernel) Name() string                   { return "gkl" }
+func (gklKernel) Divergence() bregman.Divergence { return bregman.GeneralizedKL{} }
+
+func (gklKernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	var s float64
+	for j, xv := range x {
+		yv := y[j]
+		s += (xv*math.Log(xv) - xv) - (yv*math.Log(yv) - yv) - math.Log(yv)*(xv-yv)
+	}
+	return clamp0(s)
+}
+
+func (k gklKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (gklKernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = math.Log(v)
+	}
+}
+
+func (gklKernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = math.Exp(v)
+	}
+}
+
+func (gklKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	for j := range q {
+		xt := math.Exp((1-theta)*gq[j] + theta*gmu[j])
+		if math.IsInf(xt, 0) || math.IsNaN(xt) {
+			return dQ, dMu, false
+		}
+		qv, mv := q[j], mu[j]
+		phiX := xt*math.Log(xt) - xt
+		dQ += phiX - (qv*math.Log(qv) - qv) - math.Log(qv)*(xt-qv)
+		dMu += phiX - (mv*math.Log(mv) - mv) - math.Log(mv)*(xt-mv)
+	}
+	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Shannon entropy: φ(t) = t·log t, φ′(t) = log t + 1. Bit-identical.
+// ---------------------------------------------------------------------------
+
+type shannonKernel struct{}
+
+func (shannonKernel) Name() string                   { return "shannon" }
+func (shannonKernel) Divergence() bregman.Divergence { return bregman.ShannonEntropy{} }
+
+func (shannonKernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	var s float64
+	for j, xv := range x {
+		yv := y[j]
+		s += xv*math.Log(xv) - yv*math.Log(yv) - (math.Log(yv)+1)*(xv-yv)
+	}
+	return clamp0(s)
+}
+
+func (k shannonKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (shannonKernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = math.Log(v) + 1
+	}
+}
+
+func (shannonKernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = math.Exp(v - 1)
+	}
+}
+
+func (shannonKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	for j := range q {
+		xt := math.Exp((1-theta)*gq[j] + theta*gmu[j] - 1)
+		if math.IsInf(xt, 0) || math.IsNaN(xt) {
+			return dQ, dMu, false
+		}
+		qv, mv := q[j], mu[j]
+		phiX := xt * math.Log(xt)
+		dQ += phiX - qv*math.Log(qv) - (math.Log(qv)+1)*(xt-qv)
+		dMu += phiX - mv*math.Log(mv) - (math.Log(mv)+1)*(xt-mv)
+	}
+	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Burg entropy: φ(t) = −log t + t − 1, φ′(t) = 1 − 1/t. Bit-identical.
+// ---------------------------------------------------------------------------
+
+type burgKernel struct{}
+
+func (burgKernel) Name() string                   { return "burg" }
+func (burgKernel) Divergence() bregman.Divergence { return bregman.BurgEntropy{} }
+
+func (burgKernel) Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("bregman: dimension mismatch")
+	}
+	var s float64
+	for j, xv := range x {
+		yv := y[j]
+		s += (-math.Log(xv) + xv - 1) - (-math.Log(yv) + yv - 1) - (1-1/yv)*(xv-yv)
+	}
+	return clamp0(s)
+}
+
+func (k burgKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (burgKernel) GradVec(dst, y []float64) {
+	for j, v := range y {
+		dst[j] = 1 - 1/v
+	}
+}
+
+func (burgKernel) GradInvVec(dst, g []float64) {
+	for j, v := range g {
+		dst[j] = 1 / (1 - v)
+	}
+}
+
+func (burgKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	for j := range q {
+		xt := 1 / (1 - ((1-theta)*gq[j] + theta*gmu[j]))
+		if math.IsInf(xt, 0) || math.IsNaN(xt) {
+			return dQ, dMu, false
+		}
+		qv, mv := q[j], mu[j]
+		phiX := -math.Log(xt) + xt - 1
+		dQ += phiX - (-math.Log(qv) + qv - 1) - (1-1/qv)*(xt-qv)
+		dMu += phiX - (-math.Log(mv) + mv - 1) - (1-1/mv)*(xt-mv)
+	}
+	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
+}
+
+// ---------------------------------------------------------------------------
+// Generic fallback: any bregman.Divergence, at interface-dispatch cost.
+// ---------------------------------------------------------------------------
+
+type genericKernel struct{ div bregman.Divergence }
+
+func (k genericKernel) Name() string                   { return k.div.Name() }
+func (k genericKernel) Divergence() bregman.Divergence { return k.div }
+
+func (k genericKernel) Distance(x, y []float64) float64 {
+	return bregman.Distance(k.div, x, y)
+}
+
+func (k genericKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	dim := block.Dim
+	for i := 0; i < block.N; i++ {
+		out[i] = bregman.Distance(k.div, block.Data[i*dim:(i+1)*dim], q)
+	}
+}
+
+func (k genericKernel) GradVec(dst, y []float64) {
+	bregman.GradVec(k.div, dst, y)
+}
+
+func (k genericKernel) GradInvVec(dst, g []float64) {
+	bregman.GradInvVec(k.div, dst, g)
+}
+
+func (k genericKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, scratch []float64) (dQ, dMu float64, ok bool) {
+	// The reference sequence the fused kernels collapse: interpolate in
+	// gradient space (alloc-free into the caller's scratch), invert, and
+	// measure both divergences from the materialized geodesic point.
+	xt := scratch[:len(q)]
+	vecmath.LerpInto(xt, gq, gmu, theta)
+	bregman.GradInvVec(k.div, xt, xt)
+	for _, v := range xt {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, 0, false
+		}
+	}
+	dQ = bregman.Distance(k.div, xt, q)
+	dMu = bregman.Distance(k.div, xt, mu)
+	return dQ, dMu, finite2(dQ, dMu)
+}

@@ -1,0 +1,247 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"brepartition/internal/bregman"
+)
+
+// domainEdgeValues returns coordinates that probe a divergence's numeric
+// edges: tiny/huge magnitudes and values hugging the domain boundary. For
+// positive-domain generators that is (0, ∞) approached from above; for
+// full-line generators the exp-overflow band ±700 is avoided just enough
+// to keep the scalar reference finite (overflow behaviour is fuzzed
+// separately, where both paths may return Inf together).
+func domainEdgeValues(div bregman.Divergence) []float64 {
+	lo, _ := div.Domain()
+	if lo == 0 {
+		return []float64{
+			1e-300, 1e-12, 1e-3, 0.5, 1, 2, 1e3, 1e12, 1e300,
+			math.Nextafter(0, 1) * 1e10, 1 + 1e-15,
+		}
+	}
+	return []float64{
+		-700, -30, -1, -1e-12, 0, 1e-12, 1, 30, 700,
+		math.Nextafter(1, 2), -math.Pi,
+	}
+}
+
+// ulpClose reports |a−b| within a few ULPs of the computation's working
+// magnitude. scale is the largest intermediate term that entered the sums
+// (for L2, Σx²+Σy²): the scalar three-term expansion loses exactly those
+// ULPs to cancellation, so the fused form may differ — in either direction
+// — by rounding at that magnitude, never more.
+func ulpClose(a, b, scale float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return (math.IsNaN(a) && math.IsNaN(b)) ||
+			(math.IsInf(a, 1) && math.IsInf(b, 1)) ||
+			(math.IsInf(a, -1) && math.IsInf(b, -1))
+	}
+	tol := 1e-12 * math.Max(1, math.Max(scale, math.Max(math.Abs(a), math.Abs(b))))
+	return math.Abs(a-b) <= tol
+}
+
+// sumSquares is the L2 cancellation magnitude of a pair of vectors.
+func sumSquares(x, y []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	for _, v := range y {
+		s += v * v
+	}
+	return s
+}
+
+// TestKernelMatchesScalarOracle pins the numerical contract: for every
+// registered divergence, kernel.Distance and kernel.DistancesTo agree with
+// bregman.Distance over domain-edge coordinate combinations — bit for bit
+// for every kernel except L2, whose fused closed form is held to a ≤1e-12
+// relative (documented-ULP) tolerance.
+func TestKernelMatchesScalarOracle(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		vals := domainEdgeValues(div)
+		exact := kern.Name() != "l2" // fused L2 is ULP-compatible only
+
+		var points [][]float64
+		for _, a := range vals {
+			for _, b := range vals {
+				points = append(points, []float64{a, b})
+			}
+		}
+		block := Flatten(points)
+		out := make([]float64, block.N)
+
+		for _, q := range points {
+			kern.DistancesTo(q, block, out)
+			for i, x := range points {
+				want := bregman.Distance(div, x, q)
+				got := kern.Distance(x, q)
+				if got != out[i] && !(math.IsNaN(got) && math.IsNaN(out[i])) {
+					t.Fatalf("%s: Distance(%v,%v)=%v but DistancesTo gave %v",
+						kern.Name(), x, q, got, out[i])
+				}
+				if exact {
+					if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+						t.Fatalf("%s: kernel %v != scalar %v for x=%v q=%v (want bit equality)",
+							kern.Name(), got, want, x, q)
+					}
+				} else if !ulpClose(got, want, sumSquares(x, q)) {
+					t.Fatalf("%s: kernel %v vs scalar %v beyond ULP tolerance for x=%v q=%v",
+						kern.Name(), got, want, x, q)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelGradVecsMatchScalar pins GradVec/GradInvVec against the
+// bregman helpers, bit for bit for every kernel (the gradient math is
+// identical in all of them, fused L2 included).
+func TestKernelGradVecsMatchScalar(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		y := domainEdgeValues(div)
+		got := make([]float64, len(y))
+		want := make([]float64, len(y))
+
+		kern.GradVec(got, y)
+		bregman.GradVec(div, want, y)
+		for j := range y {
+			if got[j] != want[j] && !(math.IsNaN(got[j]) && math.IsNaN(want[j])) {
+				t.Fatalf("%s: GradVec[%d] = %v, scalar %v (y=%v)", kern.Name(), j, got[j], want[j], y[j])
+			}
+		}
+
+		kern.GradInvVec(got, want) // want currently holds ∇f(y)
+		bregman.GradInvVec(div, want, want)
+		for j := range y {
+			if got[j] != want[j] && !(math.IsNaN(got[j]) && math.IsNaN(want[j])) {
+				t.Fatalf("%s: GradInvVec[%d] = %v, scalar %v", kern.Name(), j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestKernelGeodesicStepMatchesScalar replays the BB-tree bound bisection's
+// inner step and checks the fused kernels against the reference sequence
+// (interpolate in gradient space, invert, measure both divergences) that
+// the generic fallback still executes literally.
+func TestKernelGeodesicStepMatchesScalar(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		gen := Generic(div)
+		exact := kern.Name() != "l2"
+
+		var vals []float64
+		lo, _ := div.Domain()
+		if lo == 0 {
+			vals = []float64{1e-3, 0.25, 1, 3, 1e2}
+		} else {
+			vals = []float64{-3, -0.5, 0, 1, 2.5}
+		}
+		d := len(vals)
+		q := make([]float64, d)
+		mu := make([]float64, d)
+		for j := range q {
+			q[j] = vals[j]
+			mu[j] = vals[(j+2)%d]
+		}
+		gq := make([]float64, d)
+		gmu := make([]float64, d)
+		kern.GradVec(gq, q)
+		kern.GradVec(gmu, mu)
+		scratch := make([]float64, d)
+
+		for _, theta := range []float64{0.015625, 0.25, 0.5, 0.75, 0.984375} {
+			dQ, dMu, ok := kern.GeodesicStep(gq, gmu, q, mu, theta, scratch)
+			wQ, wMu, wok := gen.GeodesicStep(gq, gmu, q, mu, theta, scratch)
+			if ok != wok {
+				t.Fatalf("%s θ=%v: ok=%v, generic ok=%v", kern.Name(), theta, ok, wok)
+			}
+			if !ok {
+				continue
+			}
+			if exact {
+				if dQ != wQ || dMu != wMu {
+					t.Fatalf("%s θ=%v: fused (%v,%v) != scalar (%v,%v)",
+						kern.Name(), theta, dQ, dMu, wQ, wMu)
+				}
+			} else if !ulpClose(dQ, wQ, sumSquares(q, mu)) || !ulpClose(dMu, wMu, sumSquares(q, mu)) {
+				t.Fatalf("%s θ=%v: fused (%v,%v) vs scalar (%v,%v) beyond tolerance",
+					kern.Name(), theta, dQ, dMu, wQ, wMu)
+			}
+		}
+	}
+}
+
+// TestFlatBlockViews pins Row/Slice/Flatten geometry.
+func TestFlatBlockViews(t *testing.T) {
+	pts := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}
+	b := Flatten(pts)
+	if b.N != 4 || b.Dim != 3 || len(b.Data) != 12 {
+		t.Fatalf("Flatten geometry: N=%d Dim=%d len=%d", b.N, b.Dim, len(b.Data))
+	}
+	for i, p := range pts {
+		row := b.Row(i)
+		for j := range p {
+			if row[j] != p[j] {
+				t.Fatalf("Row(%d)[%d] = %v, want %v", i, j, row[j], p[j])
+			}
+		}
+		if cap(row) != b.Dim {
+			t.Fatalf("Row(%d) capacity %d leaks into the next row", i, cap(row))
+		}
+	}
+	sub := b.Slice(1, 3)
+	if sub.N != 2 || sub.Row(0)[0] != 4 || sub.Row(1)[2] != 9 {
+		t.Fatalf("Slice(1,3) wrong rows: %+v", sub)
+	}
+	if Flatten(nil).N != 0 {
+		t.Fatal("Flatten(nil) should be empty")
+	}
+}
+
+// TestForPicksConcreteKernels pins the registry dispatch: every built-in
+// divergence gets its monomorphized kernel, everything else the generic
+// fallback.
+func TestForPicksConcreteKernels(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		if kern.Name() != div.Name() {
+			t.Fatalf("For(%s).Name() = %s", div.Name(), kern.Name())
+		}
+		if kern.Divergence().Name() != div.Name() {
+			t.Fatalf("For(%s).Divergence() mismatch", div.Name())
+		}
+		_, generic := kern.(genericKernel)
+		if lp, isLp := div.(bregman.LpNorm); isLp {
+			if !generic {
+				t.Fatalf("LpNorm(%v) should fall back to the generic kernel", lp.P)
+			}
+		} else if generic {
+			t.Fatalf("%s should have a monomorphized kernel", div.Name())
+		}
+	}
+}
+
+// TestKernelDimensionMismatchPanics pins Distance's panic contract (same
+// as bregman.Distance).
+func TestKernelDimensionMismatchPanics(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic on dimension mismatch", kern.Name())
+				}
+			}()
+			kern.Distance([]float64{1, 2}, []float64{1})
+		}()
+	}
+}

@@ -1,11 +1,18 @@
 // Package scan provides brute-force exact kNN under Bregman divergences —
 // the ground truth every index is validated against — and the shared
 // candidate-refinement step of the filter-refine frameworks.
+//
+// All distance evaluation goes through the monomorphized kernels of
+// internal/kernel, picked once per call (or passed in by callers that
+// already hold one), so the inner loops never dispatch through the
+// bregman.Divergence interface; candidate runs that are physically
+// adjacent in the disk store's arena are evaluated block-at-a-time.
 package scan
 
 import (
 	"brepartition/internal/bregman"
 	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
 	"brepartition/internal/topk"
 )
 
@@ -18,12 +25,43 @@ func KNN(div bregman.Divergence, points [][]float64, q []float64, k int) []topk.
 	if k > len(points) {
 		k = len(points)
 	}
+	kern := kernel.For(div)
 	sel := topk.New(k)
 	for id, p := range points {
-		sel.Offer(id, bregman.Distance(div, p, q))
+		sel.Offer(id, kern.Distance(p, q))
 	}
 	return sel.Items()
 }
+
+// KNNBlock is KNN over a flat row-major block: the kernel streams the
+// whole block cache-linearly in chunks. Row indices are the returned ids.
+func KNNBlock(kern kernel.Kernel, block kernel.FlatBlock, q []float64, k int) []topk.Item {
+	if k <= 0 || block.N == 0 {
+		return nil
+	}
+	if k > block.N {
+		k = block.N
+	}
+	sel := topk.New(k)
+	var out [RefineChunk]float64
+	for lo := 0; lo < block.N; lo += RefineChunk {
+		hi := lo + RefineChunk
+		if hi > block.N {
+			hi = block.N
+		}
+		sub := block.Slice(lo, hi)
+		kern.DistancesTo(q, sub, out[:sub.N])
+		for i := 0; i < sub.N; i++ {
+			sel.Offer(lo+i, out[i])
+		}
+	}
+	return sel.Items()
+}
+
+// RefineChunk bounds the per-run distance buffer: long slot runs are
+// evaluated in chunks of this many points so the buffer stays small and
+// resident.
+const RefineChunk = 256
 
 // Refine evaluates the exact distance of every candidate id and returns the
 // k nearest, reading points through sess so the I/O of the refinement phase
@@ -37,11 +75,40 @@ func Refine(div bregman.Divergence, sess *disk.Session, candidates []int, q []fl
 		k = len(candidates)
 	}
 	sel := topk.New(k)
-	for _, id := range candidates {
-		p := sess.Point(id)
-		sel.Offer(id, bregman.Distance(div, p, q))
-	}
+	var buf [RefineChunk]float64
+	RefineCtx(kernel.For(div), sess, candidates, q, sel, buf[:])
 	return sel.Items()
+}
+
+// RefineCtx is the pooled-context refinement: distances of all candidates
+// are offered into sel (which the caller has sized and reset), using dist
+// (len ≥ 1) as the block evaluation buffer. Candidates whose disk slots
+// are physically consecutive — whole leaf clusters discovered by the
+// filter — are evaluated per arena block with kern.DistancesTo instead of
+// point-at-a-time, streaming the refinement cache-linearly. It performs no
+// allocation.
+func RefineCtx(kern kernel.Kernel, sess *disk.Session, candidates []int, q []float64, sel *topk.Selector, dist []float64) {
+	store := sess.Store()
+	for i := 0; i < len(candidates); {
+		id := candidates[i]
+		slot := store.Slot(id)
+		// Extend the run while slots stay consecutive (bounded by the
+		// distance buffer).
+		j := i + 1
+		for j < len(candidates) && j-i < len(dist) && store.Slot(candidates[j]) == slot+(j-i) {
+			j++
+		}
+		if j-i >= 2 {
+			block := sess.SlotBlock(slot, slot+(j-i))
+			kern.DistancesTo(q, block, dist[:j-i])
+			for t := i; t < j; t++ {
+				sel.Offer(candidates[t], dist[t-i])
+			}
+		} else {
+			sel.Offer(id, kern.Distance(sess.Point(id), q))
+		}
+		i = j
+	}
 }
 
 // RefineInMemory is Refine without I/O accounting, for memory-resident use.
@@ -52,18 +119,20 @@ func RefineInMemory(div bregman.Divergence, points [][]float64, candidates []int
 	if k > len(candidates) {
 		k = len(candidates)
 	}
+	kern := kernel.For(div)
 	sel := topk.New(k)
 	for _, id := range candidates {
-		sel.Offer(id, bregman.Distance(div, points[id], q))
+		sel.Offer(id, kern.Distance(points[id], q))
 	}
 	return sel.Items()
 }
 
 // Range returns all ids with D_f(x, q) ≤ r by brute force.
 func Range(div bregman.Divergence, points [][]float64, q []float64, r float64) []int {
+	kern := kernel.For(div)
 	var out []int
 	for id, p := range points {
-		if bregman.Distance(div, p, q) <= r {
+		if kern.Distance(p, q) <= r {
 			out = append(out, id)
 		}
 	}

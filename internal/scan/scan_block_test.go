@@ -1,0 +1,114 @@
+package scan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
+	"brepartition/internal/topk"
+)
+
+// TestKNNBlockMatchesKNN pins the block ground-truth scan against the
+// row-at-a-time scan for every registered divergence, including result
+// order and chunk boundaries (n chosen to straddle RefineChunk).
+func TestKNNBlockMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, d := RefineChunk+37, 9
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = 0.1 + rng.Float64()
+		}
+		points[i] = p
+	}
+	q := points[n/2]
+	for _, div := range bregman.All() {
+		kern := kernel.For(div)
+		block := kernel.Flatten(points)
+		want := KNN(div, points, q, 12)
+		got := KNNBlock(kern, block, q, 12)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: KNNBlock diverged\ngot  %v\nwant %v", div.Name(), got, want)
+		}
+	}
+}
+
+// TestRefineCtxMatchesRefine pins the run-batched refinement (contiguous
+// slot runs evaluated per block) against the legacy per-point Refine over
+// a layout that deliberately mixes contiguous runs with scattered
+// singletons, and checks the I/O accounting agrees on distinct pages.
+func TestRefineCtxMatchesRefine(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, d := 64, 5
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = 0.1 + rng.Float64()
+		}
+		points[i] = p
+	}
+	// A layout that is not the identity, so slot order != id order.
+	layout := rng.Perm(n)
+	store, err := disk.NewStore(points, layout, disk.Config{PageSize: 4 * d * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := points[0]
+
+	// Candidates: two whole slot runs + scattered ids, in filter order.
+	var cands []int
+	for slot := 8; slot < 20; slot++ {
+		cands = append(cands, store.IDAtSlot(slot))
+	}
+	cands = append(cands, store.IDAtSlot(3), store.IDAtSlot(40), store.IDAtSlot(1))
+	for slot := 48; slot < 56; slot++ {
+		cands = append(cands, store.IDAtSlot(slot))
+	}
+
+	for _, div := range bregman.All() {
+		kern := kernel.For(div)
+		sessA := store.NewSession()
+		want := Refine(div, sessA, cands, q, 7)
+
+		sessB := store.NewSession()
+		sel := topk.New(7)
+		dist := make([]float64, RefineChunk)
+		RefineCtx(kern, sessB, cands, q, sel, dist)
+		got := sel.Items()
+
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: RefineCtx diverged\ngot  %v\nwant %v", div.Name(), got, want)
+		}
+		if sessA.PageReads() != sessB.PageReads() {
+			t.Fatalf("%s: page reads diverged: %d vs %d", div.Name(), sessA.PageReads(), sessB.PageReads())
+		}
+	}
+}
+
+// TestRefineCtxTinyDistBuffer pins the chunking path: a 1-slot buffer
+// forces every candidate down the single-point branch.
+func TestRefineCtxTinyDistBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	points := make([][]float64, 16)
+	for i := range points {
+		points[i] = []float64{0.1 + rng.Float64(), 0.1 + rng.Float64()}
+	}
+	store, err := disk.NewStore(points, nil, disk.Config{PageSize: 4 * 2 * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []int{0, 1, 2, 3, 8, 9, 10}
+	div := bregman.SquaredEuclidean{}
+	want := Refine(div, store.NewSession(), cands, points[5], 4)
+
+	sel := topk.New(4)
+	RefineCtx(kernel.For(div), store.NewSession(), cands, points[5], sel, make([]float64, 1))
+	if !reflect.DeepEqual(sel.Items(), want) {
+		t.Fatalf("tiny-buffer RefineCtx diverged\ngot  %v\nwant %v", sel.Items(), want)
+	}
+}

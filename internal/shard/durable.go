@@ -180,8 +180,20 @@ func OpenDurable(root string, opts DurableOptions) (*Durable, error) {
 		return nil, err
 	}
 
+	// Track the newest mutation the recovered state contains so Version()
+	// can be seeded below. Every WAL record is one mutation, so the final
+	// version equals the last intact record's LSN (the checkpoint LSN when
+	// the tail is empty) — the same value the pre-crash index reported.
+	// Seeding cannot rely on counting replay side effects: records the
+	// snapshot already absorbed (checkpoint staging overlap) are skipped
+	// idempotently, yet their mutations ARE in the recovered state.
+	lastLSN := ckptLSN
+
 	walDir := filepath.Join(root, walSubdir)
 	err = wal.Replay(walDir, ckptLSN+1, func(rec wal.Record) error {
+		if rec.LSN > lastLSN {
+			lastLSN = rec.LSN
+		}
 		switch rec.Op {
 		case wal.OpInsert:
 			switch {
@@ -212,6 +224,14 @@ func OpenDurable(root string, opts DurableOptions) (*Durable, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Seed the mutation counter: without this a checkpoint-folded state
+	// would reopen at Version 0 (or, with staging overlap, below the
+	// pre-crash value) and an engine result cache keyed on
+	// (version, query) could alias two different index states.
+	ix.mu.Lock()
+	ix.version = lastLSN
+	ix.mu.Unlock()
 
 	w, err := wal.Open(walDir, ckptLSN+1, opts.walOptions())
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
+	"brepartition/internal/kernel"
 	"brepartition/internal/scan"
 )
 
@@ -174,7 +175,7 @@ func TestShardedConcurrentMutationOracle(t *testing.T) {
 		if !ok {
 			t.Fatalf("range returned dead or unknown id %d", it.ID)
 		}
-		if want := bregman.Distance(div, p, queries[0]); it.Score != want {
+		if want := kernel.For(div).Distance(p, queries[0]); it.Score != want {
 			t.Fatalf("id %d: range distance %v, brute force %v", it.ID, it.Score, want)
 		}
 	}

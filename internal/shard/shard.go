@@ -33,7 +33,7 @@ package shard
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"brepartition/internal/bregman"
@@ -351,12 +351,10 @@ func (ix *Index) merge(perShard []core.Result, k int) core.Result {
 	}
 	ix.mu.RUnlock()
 
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score < all[j].Score
-		}
-		return all[i].ID < all[j].ID
-	})
+	// topk.Compare is the same (distance, global id) order every shard's
+	// local answer used, so the merged truncation is exact; SortFunc keeps
+	// the per-query merge allocation-free.
+	slices.SortFunc(all, topk.Compare)
 	if len(all) > k {
 		all = all[:k]
 	}

@@ -7,6 +7,7 @@ import (
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
+	"brepartition/internal/kernel"
 	"brepartition/internal/scan"
 	"brepartition/internal/topk"
 )
@@ -110,7 +111,7 @@ func TestShardedRangeSearchMatchesBruteForce(t *testing.T) {
 		}
 		var want []topk.Item
 		for id, p := range points {
-			if dist := bregman.Distance(div, p, q); dist <= r {
+			if dist := kernel.For(div).Distance(p, q); dist <= r {
 				want = append(want, topk.Item{ID: id, Score: dist})
 			}
 		}
@@ -177,7 +178,7 @@ func TestShardedMutationOracle(t *testing.T) {
 	oracle := func(q []float64, k int) []topk.Item {
 		sel := topk.New(k)
 		for _, r := range live {
-			sel.Offer(r.id, bregman.Distance(div, r.p, q))
+			sel.Offer(r.id, kernel.For(div).Distance(r.p, q))
 		}
 		return sel.Items()
 	}

@@ -1,0 +1,42 @@
+// Package stampset provides an epoch-stamped membership set over a dense
+// integer key space: Begin starts a new generation in O(1) instead of
+// clearing, so pooled per-query structures (the disk session's page
+// tracking, the candidate-union dedup set) reset without touching — or
+// allocating — memory. The wraparound edge case (a uint32 epoch lapping
+// stale stamps) lives here, once.
+package stampset
+
+// Set is an epoch-stamped set of integers in [0, n). The zero value is
+// ready for Begin.
+type Set struct {
+	stamps []uint32
+	epoch  uint32
+}
+
+// Begin starts a new, empty generation covering keys [0, n), growing the
+// stamp array as needed (never shrinking — pooled callers keep capacity).
+func (s *Set) Begin(n int) {
+	if len(s.stamps) < n {
+		s.stamps = append(s.stamps, make([]uint32, n-len(s.stamps))...)
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps from 2³²−1 generations ago would alias
+		for i := range s.stamps {
+			s.stamps[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// TryMark adds i to the current generation, reporting true the first time
+// i is marked since Begin (false for repeats).
+func (s *Set) TryMark(i int) bool {
+	if s.stamps[i] == s.epoch {
+		return false
+	}
+	s.stamps[i] = s.epoch
+	return true
+}
+
+// Contains reports whether i was marked in the current generation.
+func (s *Set) Contains(i int) bool { return s.stamps[i] == s.epoch }

@@ -1,0 +1,70 @@
+package stampset
+
+import "testing"
+
+func TestBasicMarking(t *testing.T) {
+	var s Set
+	s.Begin(4)
+	if !s.TryMark(2) {
+		t.Fatal("first mark should report true")
+	}
+	if s.TryMark(2) {
+		t.Fatal("second mark should report false")
+	}
+	if !s.Contains(2) || s.Contains(3) {
+		t.Fatal("Contains disagrees with marks")
+	}
+	s.Begin(4)
+	if s.Contains(2) {
+		t.Fatal("Begin must empty the set")
+	}
+	if !s.TryMark(2) {
+		t.Fatal("mark after Begin should be fresh")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	var s Set
+	s.Begin(2)
+	s.TryMark(1)
+	s.Begin(8) // grow mid-life
+	for i := 0; i < 8; i++ {
+		if s.Contains(i) {
+			t.Fatalf("grown set contains %d", i)
+		}
+		if !s.TryMark(i) {
+			t.Fatalf("fresh mark of %d failed", i)
+		}
+	}
+}
+
+func TestBeginIsAllocFreeWhenWarm(t *testing.T) {
+	var s Set
+	s.Begin(64)
+	if n := testing.AllocsPerRun(100, func() {
+		s.Begin(64)
+		s.TryMark(7)
+	}); n != 0 {
+		t.Fatalf("warm Begin allocates %.1f times per run, want 0", n)
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	var s Set
+	s.Begin(3)
+	s.TryMark(0)
+	s.epoch = ^uint32(0) // force the next Begin to wrap
+	s.stamps[1] = 0      // a stamp that would alias epoch 0 if not cleared
+	s.Begin(3)
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	for i := 0; i < 3; i++ {
+		if s.Contains(i) {
+			t.Fatalf("wrapped set contains %d", i)
+		}
+	}
+	if !s.TryMark(1) {
+		t.Fatal("mark after wrap should be fresh")
+	}
+}

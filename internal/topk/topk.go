@@ -4,7 +4,7 @@
 // maintenance.
 package topk
 
-import "sort"
+import "slices"
 
 // Item pairs a candidate identifier with its score (a distance or bound).
 type Item struct {
@@ -78,19 +78,73 @@ func (s *Selector) Offer(id int, score float64) bool {
 // Items returns the retained items sorted ascending by score (ties broken
 // by ID for determinism). The selector remains usable afterwards.
 func (s *Selector) Items() []Item {
-	out := make([]Item, len(s.heap))
-	copy(out, s.heap)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
+	return s.AppendItems(nil)
+}
+
+// AppendItems appends the retained items to dst sorted ascending by score
+// (ties broken by ID) and returns the extended slice. With a dst of
+// sufficient capacity it performs no allocation — the zero-alloc search
+// path hands it a reused buffer. The selector remains usable afterwards.
+func (s *Selector) AppendItems(dst []Item) []Item {
+	base := len(dst)
+	dst = append(dst, s.heap...)
+	slices.SortFunc(dst[base:], Compare)
+	return dst
+}
+
+// Compare orders ascending by (Score, ID) — the deterministic result
+// order every search surface uses. As a named function (not a closure) it
+// keeps sorting with slices.SortFunc allocation-free.
+func Compare(a, b Item) int {
+	switch {
+	case a.Score < b.Score:
+		return -1
+	case a.Score > b.Score:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxItem returns the retained item with the largest (Score, ID) — once
+// the selector is full, the k-th smallest overall with the same tie-break
+// Items uses — without sorting. The heap root pins the max score; ties on
+// it are resolved by the highest ID with one O(k) scan. ok is false while
+// the selector is empty.
+func (s *Selector) MaxItem() (it Item, ok bool) {
+	if len(s.heap) == 0 {
+		return Item{}, false
+	}
+	best := s.heap[0]
+	for _, cand := range s.heap[1:] {
+		if cand.Score == best.Score && cand.ID > best.ID {
+			best = cand
 		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	}
+	return best, true
 }
 
 // Reset empties the selector, retaining capacity.
 func (s *Selector) Reset() { s.heap = s.heap[:0] }
+
+// ResetK empties the selector and changes its capacity to k, reusing the
+// backing array when possible; the alloc-free reuse path for pooled
+// per-query selectors. k must be positive.
+func (s *Selector) ResetK(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	s.k = k
+	if cap(s.heap) < k {
+		s.heap = make([]Item, 0, k)
+	} else {
+		s.heap = s.heap[:0]
+	}
+}
 
 func (s *Selector) up(i int) {
 	for i > 0 {

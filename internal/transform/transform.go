@@ -64,11 +64,16 @@ func PTransformSub(div bregman.Divergence, x []float64, dims []int) PointTuple {
 
 // QTransform is Algorithm 3: transform a query into one triple per subspace.
 func QTransform(div bregman.Divergence, y []float64, parts [][]int) []QueryTriple {
-	out := make([]QueryTriple, len(parts))
-	for i, dims := range parts {
-		out[i] = QTransformSub(div, y, dims)
+	return QTransformAppend(nil, div, y, parts)
+}
+
+// QTransformAppend is QTransform appending into dst — with sufficient
+// capacity it allocates nothing (the pooled search context's path).
+func QTransformAppend(dst []QueryTriple, div bregman.Divergence, y []float64, parts [][]int) []QueryTriple {
+	for _, dims := range parts {
+		dst = append(dst, QTransformSub(div, y, dims))
 	}
-	return out
+	return dst
 }
 
 // QTransformSub computes the triple of a single subspace.
@@ -121,10 +126,21 @@ func QBDetermine(tuples [][]PointTuple, q []QueryTriple, k int) Bounds {
 	if n == 0 {
 		return Bounds{}
 	}
-	if k > n {
-		k = n
+	sel := topk.New(min(k, n))
+	return QBDetermineInto(tuples, q, sel, make([]float64, len(q)))
+}
+
+// QBDetermineInto is QBDetermine with caller-owned state: sel (already
+// sized to the effective k, reusable via ResetK) selects the k-th smallest
+// summed bound, and radii (len == number of subspaces) receives the
+// selected point's per-subspace components. The returned Bounds aliases
+// radii. With a pooled selector and radii buffer it allocates nothing:
+// the k-th smallest item is read off the selector's max-heap root instead
+// of a sorted copy.
+func QBDetermineInto(tuples [][]PointTuple, q []QueryTriple, sel *topk.Selector, radii []float64) Bounds {
+	if len(tuples) == 0 {
+		return Bounds{}
 	}
-	sel := topk.New(k)
 	for i, pt := range tuples {
 		var total float64
 		for j := range q {
@@ -132,10 +148,8 @@ func QBDetermine(tuples [][]PointTuple, q []QueryTriple, k int) Bounds {
 		}
 		sel.Offer(i, total)
 	}
-	items := sel.Items()
-	kth := items[len(items)-1]
+	kth, _ := sel.MaxItem()
 
-	radii := make([]float64, len(q))
 	for j := range q {
 		radii[j] = UBCompute(tuples[kth.ID][j], q[j])
 	}

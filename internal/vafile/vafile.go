@@ -23,6 +23,7 @@ import (
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
 	"brepartition/internal/topk"
 )
 
@@ -195,7 +196,11 @@ func (idx *Index) Search(q []float64, k int) ([]topk.Item, Stats) {
 	}
 	tau, _ := ubSel.Threshold()
 
-	// Phase 2: verify survivors, charging their page reads.
+	// Phase 2: verify survivors, charging their page reads. Survivors are
+	// visited in ascending id order over the store's identity layout, so
+	// the reads stream the flat arena linearly; the kernel is picked once,
+	// outside the loop.
+	kern := kernel.For(idx.div)
 	sess := idx.store.NewSession()
 	sel := topk.New(k)
 	for i := 0; i < idx.n; i++ {
@@ -205,7 +210,7 @@ func (idx *Index) Search(q []float64, k int) ([]topk.Item, Stats) {
 		st.Candidates++
 		p := sess.Point(i)
 		st.DistanceComps++
-		sel.Offer(i, bregman.Distance(idx.div, p, q))
+		sel.Offer(i, kern.Distance(p, q))
 	}
 	st.PageReads = sess.PageReads() + idx.vaPages
 	return sel.Items(), st

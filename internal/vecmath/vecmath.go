@@ -114,7 +114,10 @@ func Pearson(a, b []float64) float64 {
 	return r
 }
 
-// AddScaled sets dst = a + s*b and returns dst. dst may alias a.
+// AddScaled sets dst = a + s*b and returns dst. dst may alias a. A nil dst
+// allocates; callers on hot paths pass a correctly sized dst, which is
+// honored as-is (too-short non-nil dst panics rather than silently
+// allocating a replacement).
 func AddScaled(dst, a []float64, s float64, b []float64) []float64 {
 	if len(a) != len(b) {
 		panic(ErrLengthMismatch)
@@ -122,13 +125,23 @@ func AddScaled(dst, a []float64, s float64, b []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(a))
 	}
-	for i := range a {
-		dst[i] = a[i] + s*b[i]
-	}
+	AddScaledInto(dst, a, s, b)
 	return dst
 }
 
-// Lerp sets dst[i] = (1-t)*a[i] + t*b[i] and returns dst.
+// AddScaledInto is the alloc-free variant: dst must already have a's
+// length (it panics otherwise, never allocates).
+func AddScaledInto(dst, a []float64, s float64, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	for i := range a {
+		dst[i] = a[i] + s*b[i]
+	}
+}
+
+// Lerp sets dst[i] = (1-t)*a[i] + t*b[i] and returns dst. dst may alias
+// either input; nil dst allocates, any other dst is honored as-is.
 func Lerp(dst, a, b []float64, t float64) []float64 {
 	if len(a) != len(b) {
 		panic(ErrLengthMismatch)
@@ -136,10 +149,43 @@ func Lerp(dst, a, b []float64, t float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(a))
 	}
+	LerpInto(dst, a, b, t)
+	return dst
+}
+
+// LerpInto is the alloc-free variant of Lerp: dst must already have the
+// inputs' length (it panics otherwise, never allocates).
+func LerpInto(dst, a, b []float64, t float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
 	for i := range a {
 		dst[i] = (1-t)*a[i] + t*b[i]
 	}
+}
+
+// Sub sets dst = a − b and returns dst. dst may alias either input; nil
+// dst allocates, any other dst is honored as-is.
+func Sub(dst, a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	SubInto(dst, a, b)
 	return dst
+}
+
+// SubInto is the alloc-free variant of Sub: dst must already have the
+// inputs' length (it panics otherwise, never allocates).
+func SubInto(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(ErrLengthMismatch)
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
 }
 
 // Clone returns a fresh copy of a.

@@ -1,0 +1,93 @@
+package vecmath
+
+import (
+	"testing"
+)
+
+// TestDstHonored pins the satellite fix: a caller-provided dst is always
+// used as the destination (returned as-is), nil dst allocates, and the
+// Into variants never allocate.
+func TestDstHonored(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	dst := make([]float64, 3)
+
+	if got := AddScaled(dst, a, 2, b); &got[0] != &dst[0] {
+		t.Fatal("AddScaled ignored caller dst")
+	}
+	if dst[2] != 3+2*30 {
+		t.Fatalf("AddScaled wrong value: %v", dst)
+	}
+	if got := Lerp(dst, a, b, 0.5); &got[0] != &dst[0] {
+		t.Fatal("Lerp ignored caller dst")
+	}
+	if dst[0] != 5.5 {
+		t.Fatalf("Lerp wrong value: %v", dst)
+	}
+	if got := Sub(dst, b, a); &got[0] != &dst[0] {
+		t.Fatal("Sub ignored caller dst")
+	}
+	if dst[1] != 18 {
+		t.Fatalf("Sub wrong value: %v", dst)
+	}
+
+	// nil dst allocates a fresh result.
+	if got := Sub(nil, b, a); len(got) != 3 || got[0] != 9 {
+		t.Fatalf("Sub(nil,...) = %v", got)
+	}
+}
+
+// TestIntoVariantsZeroAlloc asserts the alloc-free contract of the Into
+// family — the buffers the pooled SearchContext reuses.
+func TestIntoVariantsZeroAlloc(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	dst := make([]float64, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		AddScaledInto(dst, a, 0.5, b)
+		LerpInto(dst, a, b, 0.25)
+		SubInto(dst, a, b)
+	}); n != 0 {
+		t.Fatalf("Into variants allocate %.1f times per run, want 0", n)
+	}
+	if dst[0] != -3 {
+		t.Fatalf("SubInto wrong value: %v", dst)
+	}
+}
+
+// TestIntoVariantsPanicOnBadDst pins the panic-over-silent-alloc contract:
+// a wrong-length dst is a programming error, not a reallocation request.
+func TestIntoVariantsPanicOnBadDst(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	short := make([]float64, 2)
+	for name, f := range map[string]func(){
+		"AddScaledInto": func() { AddScaledInto(short, a, 1, b) },
+		"LerpInto":      func() { LerpInto(short, a, b, 0.5) },
+		"SubInto":       func() { SubInto(short, a, b) },
+		"Sub mismatch":  func() { Sub(nil, a, b[:2]) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic on length mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestLerpAliasing pins that dst may alias the inputs.
+func TestLerpAliasing(t *testing.T) {
+	a := []float64{2, 4}
+	b := []float64{4, 8}
+	LerpInto(a, a, b, 0.5)
+	if a[0] != 3 || a[1] != 6 {
+		t.Fatalf("aliased LerpInto = %v", a)
+	}
+	SubInto(b, b, []float64{1, 1})
+	if b[0] != 3 || b[1] != 7 {
+		t.Fatalf("aliased SubInto = %v", b)
+	}
+}
