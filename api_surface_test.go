@@ -1,6 +1,8 @@
 package brepartition_test
 
 import (
+	"context"
+	"net/http"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -30,6 +32,7 @@ func TestPublicAPISurface(t *testing.T) {
 
 	var sx *brepartition.ShardedIndex
 	var _ func([]float64, int) (brepartition.Result, error) = sx.Search
+	var _ func([]float64, int, float64) (brepartition.Result, error) = sx.SearchApprox
 	var _ func([][]float64, int) ([]brepartition.Result, error) = sx.BatchSearch
 	var _ func([]float64, float64) ([]brepartition.Neighbor, brepartition.SearchStats, error) = sx.RangeSearch
 	var _ func([]float64) (int, error) = sx.Insert
@@ -39,6 +42,7 @@ func TestPublicAPISurface(t *testing.T) {
 
 	var dx *brepartition.DurableIndex
 	var _ func([]float64, int) (brepartition.Result, error) = dx.Search
+	var _ func([]float64, int, float64) (brepartition.Result, error) = dx.SearchApprox
 	var _ func([][]float64, int) ([]brepartition.Result, error) = dx.BatchSearch
 	var _ func([]float64, float64) ([]brepartition.Neighbor, brepartition.SearchStats, error) = dx.RangeSearch
 	var _ func([]float64) (int, error) = dx.Insert
@@ -56,10 +60,16 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ brepartition.Backend = dx
 	var _ func(brepartition.Backend, *brepartition.EngineOptions) *brepartition.Engine = brepartition.NewEngine
 
-	// The engine routes mutations as well as queries.
+	// The engine routes mutations as well as queries, and has explicit
+	// lifecycle semantics for serving layers.
 	var eng *brepartition.Engine
 	var _ func([]float64) (int, error) = eng.Insert
 	var _ func(int) (bool, error) = eng.Delete
+	var _ func([]float64, int, float64) *brepartition.Future = eng.SubmitApprox
+	var _ func([]float64, float64) *brepartition.Future = eng.SubmitRange
+	var _ func() int = eng.QueueDepth
+	var _ func() = eng.Drain
+	var _ func() error = eng.Close
 
 	// Constructor shapes.
 	var _ func(brepartition.Divergence, [][]float64, *brepartition.Options) (*brepartition.Index, error) = brepartition.Build
@@ -68,6 +78,25 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func(string) (*brepartition.Index, error) = brepartition.ReadIndexFile
 	var _ func(brepartition.Divergence, [][]float64, string, *brepartition.DurableOptions) (*brepartition.DurableIndex, error) = brepartition.BuildDurable
 	var _ func(string, *brepartition.DurableOptions) (*brepartition.DurableIndex, error) = brepartition.OpenDurable
+
+	// The serving layer: server constructor + handler, remote client.
+	var _ func(string, *brepartition.DurableOptions, *brepartition.ServerOptions) (*brepartition.Server, error) = brepartition.NewServer
+	var srv *brepartition.Server
+	var _ func() http.Handler = srv.Handler
+	var _ func() brepartition.EngineStats = srv.Stats
+	var _ func() error = srv.Reload
+	var _ func() error = srv.Close
+
+	var _ func(string, *brepartition.ClientOptions) *brepartition.Client = brepartition.NewClient
+	var cl *brepartition.Client
+	var _ func(context.Context, []float64, int) ([]brepartition.Neighbor, error) = cl.Search
+	var _ func(context.Context, [][]float64, int) ([][]brepartition.Neighbor, error) = cl.BatchSearch
+	var _ func(context.Context, []float64, int, float64) ([]brepartition.Neighbor, error) = cl.SearchApprox
+	var _ func(context.Context, []float64, float64) ([]brepartition.Neighbor, error) = cl.RangeSearch
+	var _ func(context.Context, []float64) (int, error) = cl.Insert
+	var _ func(context.Context, int) (bool, error) = cl.Delete
+	var _ func(context.Context) error = cl.Reload
+	var _ func(context.Context) error = cl.Checkpoint
 }
 
 // TestShardedPublicRoundTrip drives the whole public sharded surface:

@@ -263,6 +263,14 @@ func (sx *ShardedIndex) SearchParallel(q []float64, k, workers int) (Result, err
 	return sx.inner.SearchParallel(q, k, workers)
 }
 
+// SearchApprox returns k neighbours that are the exact kNN with
+// probability at least p ∈ (0,1]: each shard runs its approximate search
+// with guarantee p^(1/shards), so the independent per-shard guarantees
+// compose back to ≥ p. p = 1 is exact search, bit-identical to Search.
+func (sx *ShardedIndex) SearchApprox(q []float64, k int, p float64) (Result, error) {
+	return sx.inner.SearchApprox(q, k, p)
+}
+
 // BatchSearch answers all queries, scatter-gathering each across every
 // shard concurrently. Results arrive in query order and match a
 // sequential Search loop.
@@ -388,6 +396,13 @@ func (dx *DurableIndex) Search(q []float64, k int) (Result, error) { return dx.i
 // axis); it exists so an Engine can drive a durable backend.
 func (dx *DurableIndex) SearchParallel(q []float64, k, workers int) (Result, error) {
 	return dx.inner.SearchParallel(q, k, workers)
+}
+
+// SearchApprox returns k neighbours that are the exact kNN with
+// probability at least p (per-shard guarantees compose; see
+// ShardedIndex.SearchApprox).
+func (dx *DurableIndex) SearchApprox(q []float64, k int, p float64) (Result, error) {
+	return dx.inner.SearchApprox(q, k, p)
 }
 
 // BatchSearch answers all queries in query order.
@@ -534,11 +549,34 @@ func (e *Engine) Insert(p []float64) (int, error) { return e.inner.Insert(p) }
 // was live; against a *DurableIndex a WAL failure surfaces as the error.
 func (e *Engine) Delete(id int) (bool, error) { return e.inner.Delete(id) }
 
+// SubmitApprox enqueues one approximate query (probability guarantee
+// p ∈ (0,1]) and returns its Future; approx results bypass the result
+// cache.
+func (e *Engine) SubmitApprox(q []float64, k int, p float64) *Future {
+	return e.inner.SubmitApprox(q, k, p)
+}
+
+// SubmitRange enqueues one range query: the Future resolves to every
+// point with D_f(x, q) ≤ r, ascending.
+func (e *Engine) SubmitRange(q []float64, r float64) *Future { return e.inner.SubmitRange(q, r) }
+
 // Stats snapshots the engine's aggregate statistics.
 func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
 
 // Workers returns the effective query-level concurrency bound.
 func (e *Engine) Workers() int { return e.inner.Workers() }
+
+// QueueDepth returns the number of submitted queries not yet picked up
+// by a worker — the backlog admission control sheds on.
+func (e *Engine) QueueDepth() int { return e.inner.QueueDepth() }
+
+// Drain blocks until every submitted query has completed and all workers
+// are idle; the engine stays usable afterwards.
+func (e *Engine) Drain() { e.inner.Drain() }
+
+// Close drains the engine and rejects every later submission: its Future
+// resolves immediately with an error. The backend index is not touched.
+func (e *Engine) Close() error { return e.inner.Close() }
 
 // BatchSearch is a convenience one-shot batch: it answers all queries with
 // k neighbours each using workers concurrent queries (0 = GOMAXPROCS) and

@@ -7,14 +7,18 @@
 //	brebench all
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-// fig14, fig15, fig15-uniform, batch, sharded.
+// fig14, fig15, fig15-uniform, batch, sharded, durable, serve.
 //
-// The batch and sharded experiments go beyond the paper: batch replays one
-// batch of queries through the concurrent engine at several worker counts
-// and reports throughput (QPS), p50/p99 latency, and the speedup over a
-// sequential Search loop; sharded compares the single index against the
-// hash-partitioned scatter-gather index at -shards partitions (answers are
-// verified identical first) and times the snapshot round trip.
+// The batch, sharded, durable, and serve experiments go beyond the
+// paper: batch replays one batch of queries through the concurrent
+// engine at several worker counts and reports throughput (QPS), p50/p99
+// latency, and the speedup over a sequential Search loop; sharded
+// compares the single index against the hash-partitioned scatter-gather
+// index at -shards partitions (answers are verified identical first) and
+// times the snapshot round trip; durable measures the WAL'd write path
+// under several sync policies; serve drives the breserved HTTP stack
+// with an open-loop load generator across an offered-rate ladder and
+// reports achieved QPS, shed rate, and served-request latency.
 //
 // Flags:
 //
@@ -43,7 +47,7 @@ import (
 var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
-	"batch", "sharded", "durable",
+	"batch", "sharded", "durable", "serve",
 }
 
 func main() {
@@ -146,6 +150,8 @@ func run(env *experiments.Env, name string, workers, batch, shards int) ([]exper
 		return env.Sharded(workers, batch, shards), nil
 	case "durable":
 		return env.Durable(batch), nil
+	case "serve":
+		return env.Serve(workers), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

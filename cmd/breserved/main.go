@@ -1,0 +1,176 @@
+// Command breserved serves a durable BrePartition index over HTTP: exact
+// kNN, probabilistically-guaranteed approximate, and range search plus
+// write-ahead-logged Insert/Delete, behind request coalescing, admission
+// control, Prometheus metrics, and hot snapshot reload (see
+// internal/server and DESIGN.md, "Serving").
+//
+// Usage:
+//
+//	breserved -index durable/                          # serve an existing durable root
+//	breserved -index durable/ -bootstrap sift.bin      # build it first from a bregen file
+//	breserved -index durable/ -addr :7600 -sync 1
+//
+// Endpoints: POST /v1/{search,approx,range,insert,delete} (JSON),
+// POST /v1/frame (binary), POST /admin/{reload,checkpoint},
+// GET /healthz, GET /metrics.
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight HTTP
+// requests finish, pending coalesced batches dispatch and complete, and
+// the WAL is synced and closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"brepartition"
+	"brepartition/internal/dataset"
+)
+
+func main() {
+	addr := flag.String("addr", ":7600", "listen address (host:port; port 0 picks a free port)")
+	index := flag.String("index", "", "durable index root directory (required)")
+	bootstrap := flag.String("bootstrap", "", "bregen dataset file: build the durable index from it when -index does not exist yet")
+	div := flag.String("div", "", "expected divergence name; refuse to serve an index built with another (empty = serve whatever the snapshot carries)")
+	shards := flag.Int("shards", 0, "shard count when bootstrapping (0 = 4)")
+	m := flag.Int("m", 0, "partitions when bootstrapping (0 = derive via Theorem 4; set explicitly when the cost-model fit fails on a dataset)")
+	syncEvery := flag.Int("sync", 0, "fsync policy: 0/1 every mutation (group commit), N>1 every N, negative async")
+	syncInterval := flag.Duration("sync-interval", 0, "async fsync interval (with -sync < 0)")
+	workers := flag.Int("workers", 0, "engine query workers (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "result cache entries (0 = 1024, negative disables)")
+	coalesceBatch := flag.Int("coalesce-batch", 0, "coalescing window size trigger (0 = 16, 1 disables)")
+	coalesceDelay := flag.Duration("coalesce-delay", 0, "coalescing window max delay (0 = 1ms)")
+	maxInFlight := flag.Int("max-inflight", 0, "search admission limit; excess sheds 429 (0 = 4×GOMAXPROCS)")
+	maxMutations := flag.Int("max-mutations", 0, "mutation admission limit (0 = 64)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 2s)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+	flag.Parse()
+
+	if *index == "" {
+		fmt.Fprintln(os.Stderr, "breserved: missing -index")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Resolve -div up front: a typo fails fast with the registered names
+	// enumerated rather than after a long index load.
+	var wantDiv brepartition.Divergence
+	if *div != "" {
+		var err error
+		wantDiv, err = brepartition.DivergenceByName(*div)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	dopts := &brepartition.DurableOptions{
+		Shards:       *shards,
+		SyncEvery:    *syncEvery,
+		SyncInterval: *syncInterval,
+	}
+	dopts.Core.M = *m
+
+	if *bootstrap != "" {
+		if _, err := os.Stat(*index); errors.Is(err, os.ErrNotExist) {
+			if err := bootstrapIndex(*bootstrap, *index, wantDiv, dopts); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "breserved: -index %s already exists, ignoring -bootstrap\n", *index)
+		}
+	}
+
+	sopts := &brepartition.ServerOptions{
+		CoalesceBatch: *coalesceBatch,
+		CoalesceDelay: *coalesceDelay,
+		MaxInFlight:   *maxInFlight,
+		MaxMutations:  *maxMutations,
+		Timeout:       *timeout,
+	}
+	sopts.Engine.Workers = *workers
+	sopts.Engine.CacheSize = *cache
+
+	srv, err := brepartition.NewServer(*index, dopts, sopts)
+	if err != nil {
+		fail(err)
+	}
+
+	// Sanity-gate the divergence: serving ISD traffic from an L2 index is
+	// a silent-wrong-answers bug, so refuse loudly.
+	if wantDiv != nil && srv.Divergence().Name() != wantDiv.Name() {
+		srv.Close()
+		fail(fmt.Errorf("index %s was built with divergence %q, -div asked for %q",
+			*index, srv.Divergence().Name(), wantDiv.Name()))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("breserved: listening on %s (index %s)\n", ln.Addr(), *index)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("breserved: draining")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "breserved: shutdown:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Println("breserved: stopped")
+}
+
+// bootstrapIndex builds a durable index at root from a bregen dataset
+// file.
+func bootstrapIndex(dataPath, root string, wantDiv brepartition.Divergence, dopts *brepartition.DurableOptions) error {
+	ds, err := dataset.ReadFile(dataPath)
+	if err != nil {
+		return err
+	}
+	div, err := brepartition.DivergenceByName(ds.Divergence)
+	if err != nil {
+		return err
+	}
+	if wantDiv != nil && wantDiv.Name() != div.Name() {
+		return fmt.Errorf("breserved: dataset %s uses divergence %q, -div asked for %q",
+			dataPath, div.Name(), wantDiv.Name())
+	}
+	fmt.Printf("breserved: bootstrapping %s from %s: n=%d d=%d divergence=%s\n",
+		root, dataPath, ds.N(), ds.Dim(), div.Name())
+	start := time.Now()
+	dx, err := brepartition.BuildDurable(div, ds.Points, root, dopts)
+	if err != nil {
+		return err
+	}
+	if err := dx.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("breserved: bootstrap done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "breserved:", err)
+	os.Exit(1)
+}

@@ -1,11 +1,19 @@
 package brepartition_test
 
 import (
+	"bufio"
+	"context"
+	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"brepartition"
 )
 
 // TestCommandsEndToEnd builds the CLI tools and pipes a dataset from
@@ -49,5 +57,209 @@ func TestCommandsEndToEnd(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("breknn output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// breservedPoints builds a deterministic in-domain point set for the
+// serving e2e test.
+func breservedPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		base := 1.0 + 2*float64(i%5)
+		for j := range p {
+			p[j] = base + rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestBreservedEndToEnd is the serving-layer acceptance test: it builds
+// a durable index, starts the real breserved binary on a random port,
+// drives it through the public client over both protocols, hot-reloads
+// the snapshot, and pins every answer bit-identically against the
+// in-process Index.Search oracle — then checks the SIGTERM drain.
+// Skipped with -short (it shells out to the Go toolchain).
+func TestBreservedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping breserved end-to-end test")
+	}
+	dir := t.TempDir()
+	root := filepath.Join(dir, "durable")
+	pts := breservedPoints(320, 8, 17)
+	queries := breservedPoints(10, 8, 91)
+
+	// Durable index on disk for the server; plain index in process as
+	// the oracle (sharded answers are pinned bit-identical to it).
+	dx, err := brepartition.BuildDurable(brepartition.ItakuraSaito(), pts, root,
+		&brepartition.DurableOptions{Shards: 3, Core: brepartition.Options{M: 4, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := brepartition.Build(brepartition.ItakuraSaito(), pts, &brepartition.Options{M: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(dir, "breserved")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/breserved")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building breserved: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-index", root, "-div", "is")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The first stdout line announces the bound address.
+	scanner := bufio.NewScanner(stdout)
+	var baseURL string
+	lines := make(chan string, 16)
+	go func() {
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line := <-lines:
+		const marker = "listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("unexpected first line: %q", line)
+		}
+		addr := strings.Fields(line[i+len(marker):])[0]
+		baseURL = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("breserved never announced its address")
+	}
+
+	ctx := context.Background()
+	const k = 6
+	check := func(c *brepartition.Client, label string) {
+		t.Helper()
+		for _, q := range queries {
+			want, err := oracle.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Search(ctx, q, k)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !reflect.DeepEqual(got, brepartition.Neighbors(want)) {
+				t.Fatalf("%s: remote answer != in-process oracle\ngot  %v\nwant %v",
+					label, got, brepartition.Neighbors(want))
+			}
+		}
+		batch, err := c.BatchSearch(ctx, queries, k)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for i, q := range queries {
+			want, _ := oracle.Search(q, k)
+			if !reflect.DeepEqual(batch[i], brepartition.Neighbors(want)) {
+				t.Fatalf("%s: batch query %d drifted", label, i)
+			}
+		}
+	}
+
+	jsonClient := brepartition.NewClient(baseURL, nil)
+	defer jsonClient.Close()
+	binClient := brepartition.NewClient(baseURL, &brepartition.ClientOptions{Binary: true})
+	defer binClient.Close()
+	check(jsonClient, "json")
+	check(binClient, "binary")
+
+	// Durable insert through the wire, mirrored into the oracle.
+	newPt := breservedPoints(1, 8, 301)[0]
+	remoteID, err := jsonClient.Insert(ctx, newPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localID, err := oracle.Insert(newPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteID != localID {
+		t.Fatalf("remote id %d != oracle id %d", remoteID, localID)
+	}
+
+	// Hot checkpoint-reload, then re-verify both protocols: answers must
+	// be identical across the swap, including the freshly inserted point.
+	if err := jsonClient.Reload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	check(jsonClient, "json post-reload")
+	check(binClient, "binary post-reload")
+	got, err := binClient.Search(ctx, newPt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != remoteID || got[0].Distance != 0 {
+		t.Fatalf("inserted point lost across reload: %+v", got)
+	}
+
+	h, err := jsonClient.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.N != len(pts)+1 || h.Version != 1 {
+		t.Fatalf("health after reload: %+v", h)
+	}
+
+	// Graceful drain: SIGTERM → clean exit. Drain stdout to EOF BEFORE
+	// cmd.Wait: Wait closes the pipe and can discard the final lines.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var sawStop bool
+	timeout := time.After(30 * time.Second)
+drain:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break drain // pipe EOF: the process is exiting
+			}
+			if strings.Contains(line, "stopped") {
+				sawStop = true
+			}
+		case <-timeout:
+			t.Fatal("breserved did not drain within 30s of SIGTERM")
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		killed = true
+		if err != nil {
+			t.Fatalf("breserved exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("breserved did not exit within 30s of SIGTERM")
+	}
+	if !sawStop {
+		t.Fatal("drain did not reach the stopped message")
 	}
 }

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 
@@ -209,4 +211,43 @@ func main() {
 	dst := deng.Stats()
 	fmt.Printf("engine over durable index: %d queries, %d mutations routed\n",
 		dst.Queries, dst.Mutations)
+	deng.Close()
+	recovered.Close()
+
+	// Serving over the network: NewServer puts the durable directory
+	// behind HTTP (request coalescing, admission control, /metrics,
+	// hot /admin/reload — see cmd/breserved for the daemon) and a Client
+	// talks to it with pooled connections; answers are bit-identical to
+	// the in-process index. ClientOptions{Binary: true} switches from
+	// JSON to the compact length-prefixed protocol.
+	srv, err := brepartition.NewServer(durableRoot, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler()) // or http.ListenAndServe(":7600", srv.Handler())
+	ctx := context.Background()
+	cl := brepartition.NewClient(hs.URL, &brepartition.ClientOptions{Binary: true})
+	before, err := cl.Search(ctx, query, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Reload(ctx); err != nil { // hot checkpoint + swap, queries keep flowing
+		log.Fatal(err)
+	}
+	after, err := cl.Search(ctx, query, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if before[0] != after[0] {
+		log.Fatal("hot reload changed the answer")
+	}
+	health, err := cl.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served over HTTP: top hit id=%d dist=%.4f from %d live points, identical across hot reload\n",
+		after[0].ID, after[0].Distance, health.Live)
+	cl.Close()
+	hs.Close()
+	srv.Close()
 }

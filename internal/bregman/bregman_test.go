@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -253,5 +254,30 @@ func TestGradVecGradInvVecRoundTrip(t *testing.T) {
 				t.Fatalf("%s: round trip %v -> %v", div.Name(), y[j], back[j])
 			}
 		}
+	}
+}
+
+// TestByNameUnknownEnumeratesRegistry pins the actionable error contract:
+// a typo'd divergence name tells the caller exactly what IS registered,
+// and everything Names lists resolves.
+func TestByNameUnknownEnumeratesRegistry(t *testing.T) {
+	_, err := ByName("euclidean")
+	if err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered name %q", err, name)
+		}
+		div, rerr := ByName(name)
+		if rerr != nil {
+			t.Fatalf("Names() entry %q does not resolve: %v", name, rerr)
+		}
+		if got := div.Name(); got != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, got)
+		}
+	}
+	if !strings.Contains(err.Error(), `"euclidean"`) {
+		t.Fatalf("error does not echo the bad name: %q", err)
 	}
 }

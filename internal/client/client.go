@@ -1,0 +1,317 @@
+// Package client is the Go client for a breserved server: a thin,
+// connection-reusing wrapper over net/http that speaks both the JSON
+// routes and the length-prefixed binary protocol of internal/wire.
+//
+// One Client is safe for concurrent use and keeps a pooled transport, so
+// concurrent requests multiplex over warm keep-alive connections instead
+// of paying a dial + handshake each. BatchSearch submits many queries in
+// one request — the server answers them through its batch engine — and
+// single-query Search calls lean on the server-side coalescing window
+// instead of client-side batching.
+//
+// Load-shed (429) and deadline (504) responses surface as typed errors
+// (ErrOverloaded with its Retry-After hint, ErrDeadline) so callers can
+// implement honest backoff.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"brepartition/internal/wire"
+)
+
+// ErrOverloaded reports a 429 load-shed; errors.Is matches it and
+// errors.As an *OverloadedError carrying the server's Retry-After hint.
+var ErrOverloaded = errors.New("client: server overloaded")
+
+// ErrDeadline reports a request that missed its deadline server-side
+// (504).
+var ErrDeadline = errors.New("client: request deadline exceeded")
+
+// OverloadedError carries the Retry-After hint of a 429.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("client: server overloaded (retry after %v)", e.RetryAfter)
+}
+
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// Options tunes a client. The zero value asks for defaults.
+type Options struct {
+	// Timeout is the per-request deadline forwarded to the server via
+	// X-Timeout-Ms and enforced locally through the request context
+	// (0 = 5s). Per-call contexts with earlier deadlines win.
+	Timeout time.Duration
+	// Binary switches search/approx/range/insert/delete to the binary
+	// /v1/frame protocol (the JSON routes are the default).
+	Binary bool
+	// MaxIdleConns caps pooled keep-alive connections to the server
+	// (0 = 32).
+	MaxIdleConns int
+	// HTTPClient overrides the transport entirely (tests, middleware);
+	// when set, MaxIdleConns is ignored.
+	HTTPClient *http.Client
+}
+
+// Client talks to one breserved server.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	binary  bool
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:7600"). opts may be the zero value.
+func New(baseURL string, opts Options) *Client {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.MaxIdleConns <= 0 {
+		opts.MaxIdleConns = 32
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = opts.MaxIdleConns
+		tr.MaxIdleConnsPerHost = opts.MaxIdleConns
+		hc = &http.Client{Transport: tr}
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{base: baseURL, hc: hc, timeout: opts.Timeout, binary: opts.Binary}
+}
+
+// Close releases pooled idle connections.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// do posts body to path and decodes the response envelope, mapping 429
+// and 504 to their typed errors and other non-2xx statuses to the
+// server's error message.
+func (c *Client) do(ctx context.Context, path, contentType string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("X-Timeout-Ms", strconv.FormatInt(c.timeout.Milliseconds(), 10))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// JSON inflates several-fold over the binary encoding, so the body
+	// bound sits well above wire.MaxFrame; reaching it is an error, never
+	// a silent truncation.
+	const maxRespBody = 256 << 20
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > maxRespBody {
+		return nil, fmt.Errorf("client: response body exceeds %d bytes", maxRespBody)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return out, nil
+	case http.StatusTooManyRequests:
+		retry := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return nil, &OverloadedError{RetryAfter: retry}
+	case http.StatusGatewayTimeout:
+		return nil, ErrDeadline
+	default:
+		var er wire.ErrorResponse
+		if json.Unmarshal(out, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("client: server: %s", er.Error)
+		}
+		// Binary routes answer errors as frames.
+		if r, ferr := wire.ReadResponse(bytes.NewReader(out)); ferr == nil && r.Err != "" {
+			return nil, fmt.Errorf("client: server: %s", r.Err)
+		}
+		return nil, fmt.Errorf("client: server returned status %d", resp.StatusCode)
+	}
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, reqBody, respBody any) error {
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	out, err := c.do(ctx, path, "application/json", raw)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(out, respBody)
+}
+
+func (c *Client) frame(ctx context.Context, req wire.Request) (wire.Response, error) {
+	raw, err := wire.AppendRequest(nil, req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	out, err := c.do(ctx, "/v1/frame", "application/octet-stream", raw)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := wire.ReadResponse(bytes.NewReader(out))
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if resp.Err != "" {
+		return wire.Response{}, fmt.Errorf("client: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Search returns the exact k nearest neighbours of q.
+func (c *Client) Search(ctx context.Context, q []float64, k int) ([]wire.Item, error) {
+	results, err := c.searchOp(ctx, wire.OpSearch, "/v1/search",
+		wire.SearchRequest{Q: q, K: k},
+		wire.Request{Op: wire.OpSearch, K: k, Queries: [][]float64{q}})
+	if err != nil {
+		return nil, err
+	}
+	return results[0].Items, nil
+}
+
+// BatchSearch submits all queries in one request; results arrive in
+// query order, each the exact kNN answer.
+func (c *Client) BatchSearch(ctx context.Context, queries [][]float64, k int) ([]wire.Result, error) {
+	return c.searchOp(ctx, wire.OpSearch, "/v1/search",
+		wire.SearchRequest{Queries: queries, K: k},
+		wire.Request{Op: wire.OpSearch, K: k, Queries: queries})
+}
+
+// SearchApprox returns k neighbours that are the exact kNN with
+// probability at least p ∈ (0,1].
+func (c *Client) SearchApprox(ctx context.Context, q []float64, k int, p float64) ([]wire.Item, error) {
+	results, err := c.searchOp(ctx, wire.OpApprox, "/v1/approx",
+		wire.SearchRequest{Q: q, K: k, P: p},
+		wire.Request{Op: wire.OpApprox, K: k, Param: p, Queries: [][]float64{q}})
+	if err != nil {
+		return nil, err
+	}
+	return results[0].Items, nil
+}
+
+// RangeSearch returns every point within distance r of q, ascending.
+func (c *Client) RangeSearch(ctx context.Context, q []float64, r float64) ([]wire.Item, error) {
+	results, err := c.searchOp(ctx, wire.OpRange, "/v1/range",
+		wire.SearchRequest{Q: q, R: r},
+		wire.Request{Op: wire.OpRange, Param: r, Queries: [][]float64{q}})
+	if err != nil {
+		return nil, err
+	}
+	return results[0].Items, nil
+}
+
+// searchOp routes one search-class call through the configured protocol.
+func (c *Client) searchOp(ctx context.Context, op wire.Op, path string, jreq wire.SearchRequest, breq wire.Request) ([]wire.Result, error) {
+	want := len(breq.Queries)
+	var results []wire.Result
+	if c.binary {
+		resp, err := c.frame(ctx, breq)
+		if err != nil {
+			return nil, err
+		}
+		results = resp.Results
+	} else {
+		var sr wire.SearchResponse
+		if err := c.postJSON(ctx, path, jreq, &sr); err != nil {
+			return nil, err
+		}
+		results = sr.Results
+	}
+	if len(results) != want {
+		return nil, fmt.Errorf("client: server answered %d results for %d queries", len(results), want)
+	}
+	return results, nil
+}
+
+// Insert durably adds a point and returns its global id.
+func (c *Client) Insert(ctx context.Context, p []float64) (int, error) {
+	if c.binary {
+		resp, err := c.frame(ctx, wire.Request{Op: wire.OpInsert, Queries: [][]float64{p}})
+		if err != nil {
+			return 0, err
+		}
+		return int(resp.Value), nil
+	}
+	var ir wire.InsertResponse
+	if err := c.postJSON(ctx, "/v1/insert", wire.InsertRequest{P: p}, &ir); err != nil {
+		return 0, err
+	}
+	return ir.ID, nil
+}
+
+// Delete durably tombstones id, reporting whether it was live.
+func (c *Client) Delete(ctx context.Context, id int) (bool, error) {
+	if c.binary {
+		resp, err := c.frame(ctx, wire.Request{Op: wire.OpDelete, ID: id})
+		if err != nil {
+			return false, err
+		}
+		return resp.Value == 1, nil
+	}
+	var dr wire.DeleteResponse
+	if err := c.postJSON(ctx, "/v1/delete", wire.DeleteRequest{ID: id}, &dr); err != nil {
+		return false, err
+	}
+	return dr.Deleted, nil
+}
+
+// Reload asks the server to checkpoint and hot-swap its snapshot,
+// returning the post-swap admin view.
+func (c *Client) Reload(ctx context.Context) (wire.AdminResponse, error) {
+	var ar wire.AdminResponse
+	err := c.postJSON(ctx, "/admin/reload", struct{}{}, &ar)
+	return ar, err
+}
+
+// Checkpoint asks the server to fold its WAL into the snapshot.
+func (c *Client) Checkpoint(ctx context.Context) (wire.AdminResponse, error) {
+	var ar wire.AdminResponse
+	err := c.postJSON(ctx, "/admin/checkpoint", struct{}{}, &ar)
+	return ar, err
+}
+
+// Health fetches /healthz. A degraded server (non-200) returns the
+// parsed Health alongside an error.
+func (c *Client) Health(ctx context.Context) (wire.Health, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return wire.Health{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return wire.Health{}, err
+	}
+	defer resp.Body.Close()
+	var h wire.Health
+	if derr := json.NewDecoder(resp.Body).Decode(&h); derr != nil {
+		return wire.Health{}, derr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("client: unhealthy (%d): %s", resp.StatusCode, h.Status)
+	}
+	return h, nil
+}

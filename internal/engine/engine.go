@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -48,6 +49,13 @@ type Backend interface {
 // the backend to implement it (both core and shard indexes do).
 type rangeBackend interface {
 	RangeSearch(q []float64, r float64) ([]topk.Item, core.SearchStats, error)
+}
+
+// approxBackend is the optional probabilistic-guarantee surface;
+// SubmitApprox requires the backend to implement it (core, shard, and
+// durable indexes all do).
+type approxBackend interface {
+	SearchApprox(q []float64, k int, p float64) (core.Result, error)
 }
 
 // MutableBackend is the optional mutation surface. The engine routes
@@ -108,7 +116,9 @@ type Engine struct {
 
 	qmu     sync.Mutex
 	queue   []job
-	running int // worker goroutines alive, ≤ cfg.Workers
+	running int        // worker goroutines alive, ≤ cfg.Workers
+	idle    *sync.Cond // broadcast when queue empties and running drops to 0
+	closed  bool       // Close called: new submissions fail with ErrClosed
 
 	mu         sync.Mutex
 	queries    int64
@@ -143,6 +153,7 @@ const maxLatSamples = 1 << 14
 func New(ix Backend, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{ix: ix, cfg: cfg, latRNG: rand.New(rand.NewSource(1))}
+	e.idle = sync.NewCond(&e.qmu)
 	if cfg.CacheSize > 0 {
 		e.cache = newResultCache(cfg.CacheSize)
 	}
@@ -163,6 +174,19 @@ type Future struct {
 func (f *Future) Wait() (core.Result, error) {
 	<-f.done
 	return f.res, f.err
+}
+
+// WaitContext is Wait with a deadline: if ctx expires first it returns
+// the context's error while the query keeps running to completion in the
+// background (its work is already scheduled; a later Wait still gets the
+// answer). Serving layers use this to honor per-request deadlines.
+func (f *Future) WaitContext(ctx context.Context) (core.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
 }
 
 // Submit enqueues one query and returns immediately. The query runs as
@@ -189,6 +213,27 @@ func (e *Engine) SubmitRange(q []float64, r float64) *Future {
 // ErrNoRange reports a SubmitRange against a backend without RangeSearch.
 var ErrNoRange = errors.New("engine: backend does not support range queries")
 
+// ErrNoApprox reports a SubmitApprox against a backend without
+// SearchApprox.
+var ErrNoApprox = errors.New("engine: backend does not support approximate search")
+
+// ErrClosed reports a submission against a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// SubmitApprox enqueues one approximate query with probability guarantee
+// p ∈ (0,1]. Approx results bypass the result cache (it is keyed on exact
+// kNN queries) and require the backend to support SearchApprox.
+func (e *Engine) SubmitApprox(q []float64, k int, p float64) *Future {
+	ab, ok := e.ix.(approxBackend)
+	return e.submit(func() (core.Result, bool, error) {
+		if !ok {
+			return core.Result{}, false, ErrNoApprox
+		}
+		res, err := ab.SearchApprox(q, k, p)
+		return res, false, err
+	})
+}
+
 func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
 	e.mu.Lock()
 	if e.started.IsZero() {
@@ -198,6 +243,12 @@ func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
 
 	f := &Future{done: make(chan struct{})}
 	e.qmu.Lock()
+	if e.closed {
+		e.qmu.Unlock()
+		f.err = ErrClosed
+		close(f.done)
+		return f
+	}
 	e.queue = append(e.queue, job{run: run, f: f})
 	if e.running < e.cfg.Workers {
 		e.running++
@@ -207,6 +258,48 @@ func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
 	return f
 }
 
+// QueueDepth returns the number of submitted queries not yet picked up by
+// a worker — the backlog an admission-control layer sheds on.
+func (e *Engine) QueueDepth() int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return len(e.queue)
+}
+
+// InFlight returns the number of worker goroutines currently executing
+// queries.
+func (e *Engine) InFlight() int {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return e.running
+}
+
+// Drain blocks until every submitted query has completed and all workers
+// have gone idle. Queries submitted while Drain waits are drained too; it
+// is the caller's job to stop submitting first (Close does both).
+func (e *Engine) Drain() {
+	e.qmu.Lock()
+	for len(e.queue) > 0 || e.running > 0 {
+		e.idle.Wait()
+	}
+	e.qmu.Unlock()
+}
+
+// Close marks the engine closed — every later Submit resolves its Future
+// immediately with ErrClosed — and drains in-flight queries: when Close
+// returns, no engine goroutine is running and every previously returned
+// Future is resolved. Close is idempotent; the backend index is not
+// touched (it may outlive the engine or be shared).
+func (e *Engine) Close() error {
+	e.qmu.Lock()
+	e.closed = true
+	for len(e.queue) > 0 || e.running > 0 {
+		e.idle.Wait()
+	}
+	e.qmu.Unlock()
+	return nil
+}
+
 // worker drains the queue one job at a time and exits when it is empty.
 func (e *Engine) worker() {
 	for {
@@ -214,6 +307,9 @@ func (e *Engine) worker() {
 		if len(e.queue) == 0 {
 			e.queue = nil // release the drained backing array
 			e.running--
+			if e.running == 0 {
+				e.idle.Broadcast()
+			}
 			e.qmu.Unlock()
 			return
 		}
@@ -370,13 +466,22 @@ type Stats struct {
 	// they are real service time); memory stays constant however long
 	// the engine runs.
 	P50, P99 time.Duration
+	// QueueDepth and InFlight snapshot the scheduler at Stats time:
+	// submitted-but-not-started queries and queries currently executing.
+	QueueDepth int
+	InFlight   int
 }
 
 // Stats snapshots the aggregate statistics.
 func (e *Engine) Stats() Stats {
+	e.qmu.Lock()
+	depth, inflight := len(e.queue), e.running
+	e.qmu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Stats{
+		QueueDepth: depth,
+		InFlight:   inflight,
 		Queries:    e.queries,
 		Errors:     e.errors,
 		Mutations:  e.mutations,

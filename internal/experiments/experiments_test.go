@@ -112,3 +112,22 @@ func TestDurableShape(t *testing.T) {
 		}
 	}
 }
+
+func TestServeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the open-loop generator runs wall-clock windows")
+	}
+	e := tinyEnv()
+	tables := e.Serve(2)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	if len(tables[0].Rows) != 4 {
+		t.Fatalf("got %d rate rows, want 4", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %v has %d columns, want 5", row, len(row))
+		}
+	}
+}

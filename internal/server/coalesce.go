@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+)
+
+// coalescer is the request micro-batcher: concurrent single-query search
+// requests land in a per-k bucket, and the bucket dispatches as one
+// engine.BatchSearch call when either trigger fires — it reaches maxBatch
+// queries (size trigger) or its oldest query has waited maxDelay (time
+// trigger). Under open-loop load the window fills in well under maxDelay
+// and the server amortizes scheduler wakeups and stats bookkeeping across
+// the whole batch; an isolated request pays at most maxDelay of extra
+// latency.
+//
+// Buckets are keyed by k because one BatchSearch call answers one k;
+// mixed-k traffic coalesces per k independently.
+type coalescer struct {
+	eng      *engine.Engine
+	maxBatch int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	buckets map[int]*bucket
+	closed  bool
+
+	// batches counts dispatched BatchSearch calls, folded the queries
+	// they carried: folded/batches is the realized mean batch size.
+	batches counter
+	folded  counter
+}
+
+// qresult is one coalesced query's answer, delivered on a buffered
+// channel so a flush never blocks on an abandoned (timed-out) request.
+type qresult struct {
+	res core.Result
+	err error
+}
+
+type bucket struct {
+	k       int
+	queries [][]float64
+	waiters []chan qresult
+	timer   *time.Timer
+}
+
+func newCoalescer(eng *engine.Engine, maxBatch int, maxDelay time.Duration) *coalescer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &coalescer{
+		eng:      eng,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		buckets:  make(map[int]*bucket),
+	}
+}
+
+// search answers one query through the coalescing window, honoring ctx:
+// when the deadline fires first the request abandons its slot (the query
+// still completes inside its batch; only the response is given up).
+func (c *coalescer) search(ctx context.Context, q []float64, k int) (core.Result, error) {
+	w := c.submit(q, k)
+	select {
+	case r := <-w:
+		return r.res, r.err
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
+}
+
+func (c *coalescer) submit(q []float64, k int) chan qresult {
+	w := make(chan qresult, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		w <- qresult{err: engine.ErrClosed}
+		return w
+	}
+	b := c.buckets[k]
+	if b == nil {
+		b = &bucket{k: k}
+		c.buckets[k] = b
+	}
+	b.queries = append(b.queries, q)
+	b.waiters = append(b.waiters, w)
+	switch {
+	case len(b.queries) >= c.maxBatch:
+		// Size trigger: detach and dispatch now.
+		c.detachLocked(b)
+		c.mu.Unlock()
+		go c.flush(b)
+	case len(b.queries) == 1 && c.maxDelay <= 0:
+		// Windowless configuration: every query dispatches immediately
+		// (coalescing still folds whatever arrived in the same instant,
+		// which with len==1 dispatch is just this query).
+		c.detachLocked(b)
+		c.mu.Unlock()
+		go c.flush(b)
+	case len(b.queries) == 1:
+		// First query arms the time trigger for the bucket.
+		b.timer = time.AfterFunc(c.maxDelay, func() { c.fire(b) })
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+	}
+	return w
+}
+
+// detachLocked removes b from the bucket map (callers hold c.mu) and
+// disarms its timer so the time trigger cannot double-dispatch.
+func (c *coalescer) detachLocked(b *bucket) {
+	if c.buckets[b.k] == b {
+		delete(c.buckets, b.k)
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+}
+
+// fire is the time trigger: dispatch b unless the size trigger (or
+// close) already did.
+func (c *coalescer) fire(b *bucket) {
+	c.mu.Lock()
+	if c.buckets[b.k] != b {
+		c.mu.Unlock()
+		return
+	}
+	c.detachLocked(b)
+	c.mu.Unlock()
+	c.flush(b)
+}
+
+// flush folds the bucket into one engine.BatchSearch call and fans the
+// answers back out. Per-query geometry was validated before submit, so a
+// batch error is systemic and shared by every member.
+func (c *coalescer) flush(b *bucket) {
+	c.batches.Add(1)
+	c.folded.Add(int64(len(b.queries)))
+	results, err := c.eng.BatchSearch(b.queries, b.k)
+	for i, w := range b.waiters {
+		if err != nil {
+			w <- qresult{err: err}
+			continue
+		}
+		w <- qresult{res: results[i]}
+	}
+}
+
+// close dispatches every pending bucket synchronously (their waiters get
+// real answers) and fails all later submissions with engine.ErrClosed.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pending := make([]*bucket, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		pending = append(pending, b)
+	}
+	for _, b := range pending {
+		c.detachLocked(b)
+	}
+	c.mu.Unlock()
+	for _, b := range pending {
+		c.flush(b)
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+)
+
+func coalesceFixture(t *testing.T, maxBatch int, maxDelay time.Duration) (*coalescer, *core.Index, [][]float64) {
+	t.Helper()
+	pts := testPoints(300, 8, 9)
+	ix, err := core.Build(bregman.ItakuraSaito{}, pts, core.Options{M: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(ix, engine.Config{Workers: 4, CacheSize: -1})
+	return newCoalescer(eng, maxBatch, maxDelay), ix, testPoints(32, 8, 51)
+}
+
+// TestCoalescerFoldsConcurrentSingles pins the size trigger: maxBatch
+// concurrent submissions dispatch as one engine batch, answers match a
+// direct Search, and the fold counters record the amortization.
+func TestCoalescerFoldsConcurrentSingles(t *testing.T) {
+	const batch = 8
+	c, ix, queries := coalesceFixture(t, batch, time.Hour) // time trigger unreachable
+	queries = queries[:batch]
+
+	var wg sync.WaitGroup
+	results := make([]core.Result, len(queries))
+	errs := make([]error, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q []float64) {
+			defer wg.Done()
+			results[i], errs[i] = c.search(context.Background(), q, 5)
+		}(i, q)
+	}
+	wg.Wait()
+	for i, q := range queries {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		want, _ := ix.Search(q, 5)
+		if !reflect.DeepEqual(results[i].Items, want.Items) {
+			t.Fatalf("query %d drifted through the coalescer", i)
+		}
+	}
+	if got := c.batches.Load(); got != 1 {
+		t.Fatalf("dispatched %d batches, want 1 (size trigger)", got)
+	}
+	if got := c.folded.Load(); got != batch {
+		t.Fatalf("folded %d queries, want %d", got, batch)
+	}
+}
+
+// TestCoalescerTimeTrigger pins the max-delay trigger: a lone query is
+// answered after roughly maxDelay without needing the window to fill,
+// and different k values use separate buckets.
+func TestCoalescerTimeTrigger(t *testing.T) {
+	c, ix, queries := coalesceFixture(t, 1024, 10*time.Millisecond)
+	start := time.Now()
+	res, err := c.search(context.Background(), queries[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("time trigger took %v", elapsed)
+	}
+	want, _ := ix.Search(queries[0], 3)
+	if !reflect.DeepEqual(res.Items, want.Items) {
+		t.Fatal("lone query drifted")
+	}
+
+	// Distinct k → distinct buckets → two dispatches.
+	var wg sync.WaitGroup
+	for _, k := range []int{2, 4} {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if _, err := c.search(context.Background(), queries[1], k); err != nil {
+				t.Error(err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if got := c.batches.Load(); got != 3 {
+		t.Fatalf("dispatched %d batches, want 3 (1 lone + 2 per-k)", got)
+	}
+}
+
+// TestCoalescerContextAbandon pins the deadline interaction: an expired
+// context abandons the wait without blocking the flush or leaking.
+func TestCoalescerContextAbandon(t *testing.T) {
+	c, _, queries := coalesceFixture(t, 1024, 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := c.search(ctx, queries[0], 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The bucket still flushes on its timer without a receiver.
+	time.Sleep(100 * time.Millisecond)
+	if got := c.batches.Load(); got != 1 {
+		t.Fatalf("abandoned bucket dispatched %d batches, want 1", got)
+	}
+}
+
+// TestCoalescerClose pins drain semantics: close dispatches pending
+// buckets so their waiters get real answers, and later submissions fail
+// with engine.ErrClosed.
+func TestCoalescerClose(t *testing.T) {
+	c, ix, queries := coalesceFixture(t, 1024, time.Hour)
+	done := make(chan struct{})
+	var res core.Result
+	var err error
+	go func() {
+		res, err = c.search(context.Background(), queries[0], 3)
+		close(done)
+	}()
+	// Wait for the query to enter the window, then close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.buckets)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never entered the window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.close()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ix.Search(queries[0], 3)
+	if !reflect.DeepEqual(res.Items, want.Items) {
+		t.Fatal("drained query lost its answer")
+	}
+	if _, err := c.search(context.Background(), queries[1], 3); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	c.close() // idempotent
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// counter is a monotonic atomic counter.
+type counter struct{ atomic.Int64 }
+
+// routeCounters counts requests per route. The route set is fixed at
+// construction (New registers every handler), so increments are plain
+// lock-free atomics — concurrent map reads of a map that is never
+// written after init are safe, and the hot path shares no mutex.
+type routeCounters struct {
+	m map[string]*counter
+}
+
+func newRouteCounters(routes ...string) routeCounters {
+	m := make(map[string]*counter, len(routes))
+	for _, r := range routes {
+		m[r] = &counter{}
+	}
+	return routeCounters{m: m}
+}
+
+func (rc *routeCounters) inc(route string) {
+	if c := rc.m[route]; c != nil {
+		c.Add(1)
+	}
+}
+
+func (rc *routeCounters) snapshot() map[string]int64 {
+	out := make(map[string]int64, len(rc.m))
+	for k, c := range rc.m {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// metrics is the server's observability state beyond what the engine
+// already aggregates.
+type metrics struct {
+	requests  routeCounters
+	deadlines counter // requests answered 504
+	reloads   counter // successful hot reloads
+}
+
+// handleMetrics renders the Prometheus text exposition format by hand —
+// the format is trivially stable and a client dependency is not worth a
+// new module requirement. Engine statistics (QPS, reservoir percentiles,
+// cache hits) are folded in so one scrape shows the whole serving
+// picture: load, latency, shed, queue depth, coalescing efficiency, and
+// index/WAL state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	emit := func(help, typ, name string, lines ...string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+	g := func(name string, v float64) string { return fmt.Sprintf("%s %g", name, v) }
+
+	reqs := s.m.requests.snapshot()
+	routes := make([]string, 0, len(reqs))
+	for route := range reqs {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	lines := make([]string, len(routes))
+	for i, route := range routes {
+		lines[i] = fmt.Sprintf(`breserved_requests_total{route=%q} %d`, route, reqs[route])
+	}
+	emit("Requests received, by route.", "counter", "breserved_requests_total", lines...)
+
+	emit("Requests shed with 429, by admission class.", "counter", "breserved_shed_total",
+		fmt.Sprintf(`breserved_shed_total{class="search"} %d`, s.searchGate.shed.Load()),
+		fmt.Sprintf(`breserved_shed_total{class="mutation"} %d`, s.mutGate.shed.Load()),
+		fmt.Sprintf(`breserved_shed_total{class="admin"} %d`, s.adminGate.shed.Load()))
+
+	emit("Admitted requests currently in flight, by admission class.", "gauge", "breserved_inflight",
+		fmt.Sprintf(`breserved_inflight{class="search"} %d`, s.searchGate.inUse()),
+		fmt.Sprintf(`breserved_inflight{class="mutation"} %d`, s.mutGate.inUse()),
+		fmt.Sprintf(`breserved_inflight{class="admin"} %d`, s.adminGate.inUse()))
+
+	emit("Engine scheduler backlog: submitted queries not yet running.", "gauge",
+		"breserved_queue_depth", g("breserved_queue_depth", float64(st.QueueDepth)))
+	emit("Engine queries currently executing.", "gauge",
+		"breserved_engine_inflight", g("breserved_engine_inflight", float64(st.InFlight)))
+	emit("Requests that missed their deadline (504).", "counter",
+		"breserved_deadline_total", g("breserved_deadline_total", float64(s.m.deadlines.Load())))
+
+	emit("Completed engine queries (errors and cache hits included).", "counter",
+		"breserved_engine_queries_total", g("breserved_engine_queries_total", float64(st.Queries)))
+	emit("Engine queries that returned an error.", "counter",
+		"breserved_engine_errors_total", g("breserved_engine_errors_total", float64(st.Errors)))
+	emit("Mutations routed through the engine.", "counter",
+		"breserved_engine_mutations_total", g("breserved_engine_mutations_total", float64(st.Mutations)))
+	emit("Queries served from the shared result cache.", "counter",
+		"breserved_engine_cache_hits_total", g("breserved_engine_cache_hits_total", float64(st.CacheHits)))
+	hitRate := 0.0
+	if st.Queries > 0 {
+		hitRate = float64(st.CacheHits) / float64(st.Queries)
+	}
+	emit("Cache hits per completed query.", "gauge",
+		"breserved_engine_cache_hit_rate", g("breserved_engine_cache_hit_rate", hitRate))
+	emit("Completed queries per second of engine wall time.", "gauge",
+		"breserved_engine_qps", g("breserved_engine_qps", st.QPS))
+	emit("Engine latency reservoir percentiles, in seconds.", "gauge", "breserved_engine_latency_seconds",
+		fmt.Sprintf(`breserved_engine_latency_seconds{quantile="0.5"} %g`, st.P50.Seconds()),
+		fmt.Sprintf(`breserved_engine_latency_seconds{quantile="0.99"} %g`, st.P99.Seconds()))
+
+	emit("Micro-batches dispatched by the request coalescer.", "counter",
+		"breserved_coalesce_batches_total", g("breserved_coalesce_batches_total", float64(s.co.batches.Load())))
+	emit("Single-query requests folded into micro-batches.", "counter",
+		"breserved_coalesce_queries_total", g("breserved_coalesce_queries_total", float64(s.co.folded.Load())))
+
+	emit("Successful hot snapshot reloads.", "counter",
+		"breserved_reload_total", g("breserved_reload_total", float64(s.m.reloads.Load())))
+	emit("Ids ever assigned by the index.", "gauge",
+		"breserved_index_ids", g("breserved_index_ids", float64(s.h.N())))
+	emit("Live (non-tombstoned) points.", "gauge",
+		"breserved_index_live", g("breserved_index_live", float64(s.h.Live())))
+	emit("Mutation counter (WAL LSN after recovery).", "counter",
+		"breserved_index_version", g("breserved_index_version", float64(s.h.Version())))
+	emit("Live write-ahead-log bytes (checkpoint trigger metric).", "gauge",
+		"breserved_wal_bytes", g("breserved_wal_bytes", float64(s.h.WALSize())))
+}

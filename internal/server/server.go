@@ -1,0 +1,612 @@
+// Package server is the breserved network serving layer: it puts a
+// durable sharded BrePartition index behind HTTP with the three things a
+// production front-end needs beyond marshalling —
+//
+//   - request coalescing: concurrent single-query /v1/search requests are
+//     folded into engine.BatchSearch calls by a micro-batching window
+//     (size and max-delay triggers), so open-loop traffic gets the batch
+//     engine's throughput instead of one worker wakeup per request;
+//   - admission control: per-class bounded in-flight gates (search,
+//     mutation, admin) that shed excess load with 429 + Retry-After
+//     instead of queueing without bound, plus a per-request deadline
+//     (default or X-Timeout-Ms) enforced with 504;
+//   - observability and operability: /metrics in Prometheus text format
+//     (QPS, p50/p99 from the engine's latency reservoir, cache hit rate,
+//     shed counts, queue depth), /healthz, and /admin/reload — a hot
+//     checkpoint-and-swap of the underlying snapshot through
+//     shard.Handle that never drops an in-flight query.
+//
+// Wire surface: compact JSON on per-route endpoints (/v1/search,
+// /v1/approx, /v1/range, /v1/insert, /v1/delete) and the length-prefixed
+// binary protocol of internal/wire on /v1/frame. Answers are bit-identical
+// to in-process Index.Search over the same state (the e2e oracle test
+// pins this, including across reloads).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"brepartition/internal/approx"
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+	"brepartition/internal/shard"
+	"brepartition/internal/wire"
+)
+
+// Config tunes the serving layer. The zero value asks for defaults.
+type Config struct {
+	// CoalesceBatch is the micro-batch size trigger: a coalescing bucket
+	// holding this many queries dispatches immediately (0 = 16, 1
+	// effectively disables coalescing).
+	CoalesceBatch int
+	// CoalesceDelay is the micro-batch time trigger: the oldest query in
+	// a bucket waits at most this long before the bucket dispatches
+	// (0 = 1ms; negative dispatches every query immediately).
+	CoalesceDelay time.Duration
+	// MaxInFlight bounds concurrently admitted search-class requests
+	// (search/approx/range, JSON or binary); excess load is shed with
+	// 429 (0 = 4×GOMAXPROCS).
+	MaxInFlight int
+	// MaxMutations bounds concurrently admitted mutation requests
+	// (0 = 64).
+	MaxMutations int
+	// Timeout is the default per-request deadline (0 = 2s). Clients may
+	// lower or raise it per request with X-Timeout-Ms, capped at
+	// MaxTimeout (0 = 30s).
+	Timeout    time.Duration
+	MaxTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses, rounded
+	// up to whole seconds as the header requires (0 = 1s).
+	RetryAfter time.Duration
+	// Engine tunes the query engine the server builds over the handle
+	// (workers, sub-workers, result-cache size).
+	Engine engine.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.CoalesceBatch == 0 {
+		c.CoalesceBatch = 16
+	}
+	if c.CoalesceDelay == 0 {
+		c.CoalesceDelay = time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxMutations <= 0 {
+		c.MaxMutations = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// gate is one admission-control class: a bounded in-flight semaphore
+// whose overflow is shed, never queued.
+type gate struct {
+	sem  chan struct{}
+	shed counter
+}
+
+func newGate(capacity int) *gate { return &gate{sem: make(chan struct{}, capacity)} }
+
+func (g *gate) tryAcquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+		g.shed.Add(1)
+		return false
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// inUse reports the currently admitted requests (a queue-depth gauge).
+func (g *gate) inUse() int { return len(g.sem) }
+
+// Server serves one swappable durable index. Create with New, expose
+// Handler() through net/http, Close when draining.
+type Server struct {
+	h      *shard.Handle
+	reopen func() (*shard.Durable, error)
+	cfg    Config
+	eng    *engine.Engine
+	co     *coalescer
+	mux    *http.ServeMux
+
+	searchGate *gate
+	mutGate    *gate
+	adminGate  *gate
+
+	m metrics
+}
+
+// New builds a server over an open handle. reopen is the snapshot opener
+// /admin/reload swaps in — normally a closure over shard.OpenDurable on
+// the same root directory; nil disables reloads (503).
+func New(h *shard.Handle, reopen func() (*shard.Durable, error), cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		h:          h,
+		reopen:     reopen,
+		cfg:        cfg,
+		eng:        engine.New(h, cfg.Engine),
+		searchGate: newGate(cfg.MaxInFlight),
+		mutGate:    newGate(cfg.MaxMutations),
+		adminGate:  newGate(1),
+	}
+	s.m.requests = newRouteCounters(
+		"search", "approx", "range", "insert", "delete", "frame",
+		"reload", "checkpoint")
+	s.co = newCoalescer(s.eng, cfg.CoalesceBatch, cfg.CoalesceDelay)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/search", s.route("search", s.searchGate, s.handleSearch))
+	s.mux.HandleFunc("POST /v1/approx", s.route("approx", s.searchGate, s.handleApprox))
+	s.mux.HandleFunc("POST /v1/range", s.route("range", s.searchGate, s.handleRange))
+	s.mux.HandleFunc("POST /v1/insert", s.route("insert", s.mutGate, s.handleInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.route("delete", s.mutGate, s.handleDelete))
+	s.mux.HandleFunc("POST /v1/frame", s.handleFrame)
+	s.mux.HandleFunc("POST /admin/reload", s.route("reload", s.adminGate, s.handleReload))
+	s.mux.HandleFunc("POST /admin/checkpoint", s.route("checkpoint", s.adminGate, s.handleCheckpoint))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the server's query engine (stats, tests).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close drains the serving pipeline: pending coalescing buckets dispatch
+// and complete, the engine stops accepting work and finishes in-flight
+// queries. The handle (and its WAL) belongs to the caller and is not
+// closed. In-flight HTTP requests should be drained first
+// (http.Server.Shutdown); later submissions fail with 503.
+func (s *Server) Close() error {
+	s.co.close()
+	return s.eng.Close()
+}
+
+// route wraps a handler with the shared per-request plumbing: request
+// counting, admission through the class gate, and the deadline context.
+func (s *Server) route(name string, g *gate, h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.inc(name)
+		if !g.tryAcquire() {
+			s.shed(w)
+			return
+		}
+		defer g.release()
+		ctx, cancel := s.deadline(r)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// deadline derives the per-request context: X-Timeout-Ms overrides the
+// default, capped at MaxTimeout.
+func (s *Server) deadline(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// shed answers a load-shed: 429 with a whole-seconds Retry-After hint,
+// the contract the acceptance test and well-behaved clients key on.
+func (s *Server) shed(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSONError(w, http.StatusTooManyRequests, "overloaded: in-flight limit reached, retry later")
+}
+
+// ---------------------------------------------------------------------------
+// JSON handlers.
+// ---------------------------------------------------------------------------
+
+// maxJSONBody bounds a JSON request body (same trust boundary as
+// wire.MaxFrame).
+const maxJSONBody = wire.MaxFrame
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxJSONBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, wire.ErrorResponse{Error: msg})
+}
+
+// errStatus maps an engine/index error to an HTTP status: caller
+// mistakes are 400, deadlines 504, a draining server 503, everything
+// else 500.
+func (s *Server) errStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrDim), errors.Is(err, core.ErrK),
+		errors.Is(err, bregman.ErrDomain), errors.Is(err, approx.ErrGuarantee),
+		errors.Is(err, wire.ErrFrame):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.deadlines.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req wire.SearchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	queries, single, ok := normalizeQueries(w, req)
+	if !ok {
+		return
+	}
+	results, err := s.searchMany(r, queries, req.K, single)
+	if err != nil {
+		writeJSONError(w, s.errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: results})
+}
+
+// normalizeQueries folds the single-vs-batch JSON shape into one query
+// list and validates geometry up front, so nothing invalid enters the
+// coalescer.
+func normalizeQueries(w http.ResponseWriter, req wire.SearchRequest) ([][]float64, bool, bool) {
+	if (req.Q == nil) == (req.Queries == nil) {
+		writeJSONError(w, http.StatusBadRequest, `exactly one of "q" and "queries" must be set`)
+		return nil, false, false
+	}
+	queries := req.Queries
+	single := false
+	if req.Q != nil {
+		queries, single = [][]float64{req.Q}, true
+	}
+	if len(queries) == 0 || len(queries) > wire.MaxBatch {
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("need between 1 and %d queries, got %d", wire.MaxBatch, len(queries)))
+		return nil, false, false
+	}
+	return queries, single, true
+}
+
+// validate rejects geometry and coordinate problems before any query is
+// scheduled, so coalesced batches cannot fail on one bad member.
+func (s *Server) validate(queries [][]float64, k int) error {
+	if k <= 0 {
+		return core.ErrK
+	}
+	dim := s.h.Dim()
+	for _, q := range queries {
+		if len(q) != dim {
+			return fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), dim)
+		}
+		for _, v := range q {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite coordinate", wire.ErrFrame)
+			}
+		}
+	}
+	return nil
+}
+
+// searchMany answers exact kNN for every query: single queries go
+// through the coalescing window, batches straight to the engine (the
+// client already batched them).
+func (s *Server) searchMany(r *http.Request, queries [][]float64, k int, single bool) ([]wire.Result, error) {
+	if err := s.validate(queries, k); err != nil {
+		return nil, err
+	}
+	if single {
+		res, err := s.co.search(r.Context(), queries[0], k)
+		if err != nil {
+			return nil, err
+		}
+		return []wire.Result{toWire(res)}, nil
+	}
+	futs := make([]*engine.Future, len(queries))
+	for i, q := range queries {
+		futs[i] = s.eng.Submit(q, k)
+	}
+	return s.await(r, futs)
+}
+
+// await resolves engine futures under the request deadline.
+func (s *Server) await(r *http.Request, futs []*engine.Future) ([]wire.Result, error) {
+	out := make([]wire.Result, len(futs))
+	for i, f := range futs {
+		res, err := f.WaitContext(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = toWire(res)
+	}
+	return out, nil
+}
+
+func toWire(res core.Result) wire.Result {
+	items := make([]wire.Item, len(res.Items))
+	for i, it := range res.Items {
+		items[i] = wire.Item{ID: it.ID, Distance: it.Score}
+	}
+	return wire.Result{Items: items}
+}
+
+func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request) {
+	var req wire.SearchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	queries, _, ok := normalizeQueries(w, req)
+	if !ok {
+		return
+	}
+	results, err := s.approxMany(r, queries, req.K, req.P)
+	if err != nil {
+		writeJSONError(w, s.errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: results})
+}
+
+func (s *Server) approxMany(r *http.Request, queries [][]float64, k int, p float64) ([]wire.Result, error) {
+	if err := s.validate(queries, k); err != nil {
+		return nil, err
+	}
+	if !(p > 0 && p <= 1) {
+		return nil, approx.ErrGuarantee
+	}
+	futs := make([]*engine.Future, len(queries))
+	for i, q := range queries {
+		futs[i] = s.eng.SubmitApprox(q, k, p)
+	}
+	return s.await(r, futs)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req wire.SearchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	queries, _, ok := normalizeQueries(w, req)
+	if !ok {
+		return
+	}
+	results, err := s.rangeMany(r, queries, req.R)
+	if err != nil {
+		writeJSONError(w, s.errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: results})
+}
+
+func (s *Server) rangeMany(r *http.Request, queries [][]float64, radius float64) ([]wire.Result, error) {
+	if err := s.validate(queries, 1); err != nil { // k unused; validate geometry
+		return nil, err
+	}
+	if !(radius >= 0) || math.IsInf(radius, 1) {
+		return nil, fmt.Errorf("%w: radius must be finite and non-negative", wire.ErrFrame)
+	}
+	futs := make([]*engine.Future, len(queries))
+	for i, q := range queries {
+		futs[i] = s.eng.SubmitRange(q, radius)
+	}
+	return s.await(r, futs)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req wire.InsertRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.insertOne(req.P)
+	if err != nil {
+		writeJSONError(w, s.errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.InsertResponse{ID: id})
+}
+
+func (s *Server) insertOne(p []float64) (int, error) {
+	if err := s.validate([][]float64{p}, 1); err != nil {
+		return 0, err
+	}
+	return s.eng.Insert(p)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req wire.DeleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	deleted, err := s.eng.Delete(req.ID)
+	if err != nil {
+		writeJSONError(w, s.errStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: deleted})
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol: one endpoint, op-dispatched, same gates as JSON.
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.inc("frame")
+	req, err := wire.ReadRequest(io.LimitReader(r.Body, wire.MaxFrame+4))
+	if err != nil {
+		s.writeFrameError(w, 0, http.StatusBadRequest, err)
+		return
+	}
+	g := s.searchGate
+	if req.Op == wire.OpInsert || req.Op == wire.OpDelete {
+		g = s.mutGate
+	}
+	if !g.tryAcquire() {
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.writeFrameError(w, req.Op, http.StatusTooManyRequests,
+			errors.New("overloaded: in-flight limit reached, retry later"))
+		return
+	}
+	defer g.release()
+	ctx, cancel := s.deadline(r)
+	defer cancel()
+	r = r.WithContext(ctx)
+
+	resp := wire.Response{Op: req.Op}
+	status := http.StatusOK
+	var results []wire.Result
+	switch req.Op {
+	case wire.OpSearch:
+		results, err = s.searchMany(r, req.Queries, req.K, len(req.Queries) == 1)
+		resp.Results = results
+	case wire.OpApprox:
+		results, err = s.approxMany(r, req.Queries, req.K, req.Param)
+		resp.Results = results
+	case wire.OpRange:
+		results, err = s.rangeMany(r, req.Queries, req.Param)
+		resp.Results = results
+	case wire.OpInsert:
+		var id int
+		id, err = s.insertOne(req.Queries[0])
+		resp.Value = int64(id)
+	case wire.OpDelete:
+		var deleted bool
+		deleted, err = s.eng.Delete(req.ID)
+		if deleted {
+			resp.Value = 1
+		}
+	}
+	if err != nil {
+		s.writeFrameError(w, req.Op, s.errStatus(err), err)
+		return
+	}
+	frame, err := wire.AppendResponse(nil, resp)
+	if err != nil {
+		s.writeFrameError(w, req.Op, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(status)
+	w.Write(frame)
+}
+
+// writeFrameError answers a binary request with an error frame; the HTTP
+// status is set too so the shed/deadline contracts hold across both
+// protocols.
+func (s *Server) writeFrameError(w http.ResponseWriter, op wire.Op, status int, err error) {
+	frame, ferr := wire.AppendResponse(nil, wire.Response{Op: op, Err: err.Error()})
+	if ferr != nil {
+		writeJSONError(w, http.StatusInternalServerError, ferr.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(status)
+	w.Write(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Admin, health, metrics.
+// ---------------------------------------------------------------------------
+
+// Reload checkpoints and hot-swaps the snapshot (the /admin/reload
+// operation); both the HTTP handler and in-process embedders route
+// through here so the reload counter stays truthful.
+func (s *Server) Reload() error {
+	if s.reopen == nil {
+		return errors.New("server: reload not configured")
+	}
+	if err := s.h.Reload(s.reopen); err != nil {
+		return err
+	}
+	s.m.reloads.Add(1)
+	return nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.reopen == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "reload not configured")
+		return
+	}
+	if err := s.Reload(); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.AdminResponse{Version: s.h.Version(), WALBytes: s.h.WALSize()})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.h.Checkpoint(); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.AdminResponse{Version: s.h.Version(), WALBytes: s.h.WALSize()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := wire.Health{
+		Status:   "ok",
+		N:        s.h.N(),
+		Live:     s.h.Live(),
+		Dim:      s.h.Dim(),
+		M:        s.h.M(),
+		Shards:   s.h.Shards(),
+		Version:  s.h.Version(),
+		WALBytes: s.h.WALSize(),
+	}
+	status := http.StatusOK
+	if err := s.h.Err(); err != nil {
+		h.Status = "degraded: " + err.Error()
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

@@ -453,6 +453,16 @@ func (d *Durable) SearchParallel(q []float64, k, workers int) (core.Result, erro
 	return d.ix.SearchParallel(q, k, workers)
 }
 
+// SearchApprox answers k neighbours that are the exact kNN with
+// probability at least p (per-shard guarantees compose; see
+// Index.SearchApprox).
+func (d *Durable) SearchApprox(q []float64, k int, p float64) (core.Result, error) {
+	return d.ix.SearchApprox(q, k, p)
+}
+
+// Divergence returns the divergence the index was built with.
+func (d *Durable) Divergence() bregman.Divergence { return d.ix.Divergence() }
+
 // BatchSearch answers all queries in query order.
 func (d *Durable) BatchSearch(queries [][]float64, k int) ([]core.Result, error) {
 	return d.ix.BatchSearch(queries, k)

@@ -32,10 +32,12 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"sync"
 
+	"brepartition/internal/approx"
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
@@ -306,6 +308,42 @@ func (ix *Index) Search(q []float64, k int) (core.Result, error) {
 // engine can drive a sharded backend through the same interface.
 func (ix *Index) SearchParallel(q []float64, k, workers int) (core.Result, error) {
 	return ix.Search(q, k)
+}
+
+// SearchApprox answers k neighbours that are the exact kNN with
+// probability at least p ∈ (0,1]. Each shard runs its §8 approximate
+// search with the per-shard guarantee p^(1/S): the global answer is exact
+// whenever every shard's local answer is, and shard failures are
+// independent, so the per-shard guarantees multiply back to ≥ p. p = 1
+// degenerates to exact search, bit-identical to Search.
+func (ix *Index) SearchApprox(q []float64, k int, p float64) (core.Result, error) {
+	if !(p > 0 && p <= 1) {
+		return core.Result{}, approx.ErrGuarantee
+	}
+	if k <= 0 {
+		return core.Result{}, core.ErrK
+	}
+	if len(q) != ix.d {
+		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
+	}
+	engines := ix.snapshotEngines()
+	live := 0
+	for _, eng := range engines {
+		if eng != nil {
+			live++
+		}
+	}
+	ps := p
+	if live > 1 {
+		ps = math.Pow(p, 1/float64(live))
+	}
+	futs := make([]*engine.Future, len(engines))
+	for s, eng := range engines {
+		if eng != nil {
+			futs[s] = eng.SubmitApprox(q, k, ps)
+		}
+	}
+	return ix.gather(futs, k)
 }
 
 // gather awaits the per-shard futures and merges their top-k heaps.

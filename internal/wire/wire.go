@@ -1,0 +1,413 @@
+// Package wire is the breserved network protocol: the JSON request and
+// response shapes served on the per-route HTTP endpoints, and a compact
+// length-prefixed binary framing for the single /v1/frame endpoint that
+// high-throughput clients use to avoid JSON costs on the hot search path.
+//
+// Binary framing (all integers little-endian):
+//
+//	frame    = u32 payloadLen | payload
+//	request  = u8 op | u8 zero | u16 zero | u32 k | f64 param | i64 id |
+//	           u32 nq | u32 dim | nq*dim × f64 coords
+//	response = u8 op | u8 status | u16 zero |
+//	           status 1: u32 msgLen | msg
+//	           status 0: i64 value | u32 nres |
+//	                     nres × (u32 nitems | nitems × (i64 id, f64 score))
+//
+// param carries the approx guarantee p (OpApprox) or the radius r
+// (OpRange) and must be zero otherwise; id is the OpDelete target; value
+// returns the assigned id (OpInsert) or 1/0 liveness (OpDelete).
+//
+// The decoder is a hard trust boundary: it never panics and never
+// allocates proportionally to a forged length field. Frames longer than
+// MaxFrame, truncated frames, inner counts inconsistent with the frame
+// length, non-zero reserved bytes, and non-finite (NaN/Inf) coordinates
+// are all rejected with an error wrapping ErrFrame (FuzzRequestDecode
+// pins the no-panic property).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Op is the binary-protocol request kind.
+type Op uint8
+
+const (
+	// OpSearch answers exact kNN for each of nq queries.
+	OpSearch Op = 1
+	// OpApprox answers kNN with probability guarantee param=p per query.
+	OpApprox Op = 2
+	// OpRange returns every point within distance param=r of each query.
+	OpRange Op = 3
+	// OpInsert durably inserts the single carried point; value = new id.
+	OpInsert Op = 4
+	// OpDelete durably tombstones id; value = 1 if it was live.
+	OpDelete Op = 5
+)
+
+// Limits the decoder enforces before trusting any length field.
+const (
+	// MaxFrame bounds one frame's payload bytes.
+	MaxFrame = 16 << 20
+	// MaxBatch bounds the queries carried by one frame.
+	MaxBatch = 1 << 16
+	// MaxDim bounds the coordinate dimensionality.
+	MaxDim = 1 << 20
+)
+
+// ErrFrame is wrapped by every decoding error.
+var ErrFrame = errors.New("wire: bad frame")
+
+// reqHeader is the fixed-size prefix of a request payload.
+const reqHeader = 1 + 1 + 2 + 4 + 8 + 8 + 4 + 4
+
+// Request is one decoded binary request.
+type Request struct {
+	Op    Op
+	K     int
+	Param float64 // p (OpApprox) or r (OpRange); 0 otherwise
+	ID    int     // OpDelete target
+	// Queries holds nq rows of dim coordinates: the search/approx/range
+	// queries, or the single OpInsert point.
+	Queries [][]float64
+}
+
+// Item is one (id, distance) answer pair.
+type Item struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+// Result is one query's answer items, ascending by (distance, id).
+type Result struct {
+	Items []Item `json:"items"`
+}
+
+// Response is one decoded binary response.
+type Response struct {
+	Op      Op
+	Err     string // non-empty = the request failed
+	Value   int64  // OpInsert id / OpDelete liveness
+	Results []Result
+}
+
+// AppendRequest appends req's binary frame (length prefix included) to
+// dst, validating the same invariants DecodeRequest enforces so a client
+// cannot emit a frame its server would reject.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	nq := len(req.Queries)
+	dim := 0
+	if nq > 0 {
+		dim = len(req.Queries[0])
+	}
+	if err := validateShape(req.Op, nq, dim); err != nil {
+		return nil, err
+	}
+	for _, q := range req.Queries {
+		if len(q) != dim {
+			return nil, fmt.Errorf("%w: ragged query rows (%d vs %d)", ErrFrame, len(q), dim)
+		}
+		for _, v := range q {
+			if !finite(v) {
+				return nil, fmt.Errorf("%w: non-finite coordinate %v", ErrFrame, v)
+			}
+		}
+	}
+	if !finite(req.Param) {
+		return nil, fmt.Errorf("%w: non-finite param %v", ErrFrame, req.Param)
+	}
+	payload := reqHeader + 8*nq*dim
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrFrame, payload)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	dst = append(dst, byte(req.Op), 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(req.K))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Param))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(req.ID)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(nq))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
+	for _, q := range req.Queries {
+		for _, v := range q {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// ReadRequest reads one length-prefixed request frame from r. Truncated
+// prefixes and truncated payloads return an ErrFrame-wrapped error (or
+// io.EOF when the stream ends cleanly before the prefix).
+func ReadRequest(r io.Reader) (Request, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(payload)
+}
+
+// DecodeRequest decodes one request payload (the bytes after the length
+// prefix).
+func DecodeRequest(payload []byte) (Request, error) {
+	if len(payload) < reqHeader {
+		return Request{}, fmt.Errorf("%w: request payload of %d bytes, header needs %d", ErrFrame, len(payload), reqHeader)
+	}
+	op := Op(payload[0])
+	if payload[1] != 0 || payload[2] != 0 || payload[3] != 0 {
+		return Request{}, fmt.Errorf("%w: non-zero reserved bytes", ErrFrame)
+	}
+	k := int(int32(binary.LittleEndian.Uint32(payload[4:8])))
+	param := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:16]))
+	id := int64(binary.LittleEndian.Uint64(payload[16:24]))
+	nq := int(binary.LittleEndian.Uint32(payload[24:28]))
+	dim := int(binary.LittleEndian.Uint32(payload[28:32]))
+	if err := validateShape(op, nq, dim); err != nil {
+		return Request{}, err
+	}
+	if len(payload) != reqHeader+8*nq*dim {
+		return Request{}, fmt.Errorf("%w: payload %d bytes, %d×%d coords need %d",
+			ErrFrame, len(payload), nq, dim, reqHeader+8*nq*dim)
+	}
+	if !finite(param) {
+		return Request{}, fmt.Errorf("%w: non-finite param", ErrFrame)
+	}
+	req := Request{Op: op, K: k, Param: param, ID: int(id)}
+	if nq > 0 {
+		flat := make([]float64, nq*dim)
+		req.Queries = make([][]float64, nq)
+		for i := 0; i < nq*dim; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(payload[reqHeader+8*i:]))
+			if !finite(v) {
+				return Request{}, fmt.Errorf("%w: non-finite coordinate at %d", ErrFrame, i)
+			}
+			flat[i] = v
+		}
+		for i := range req.Queries {
+			req.Queries[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+	}
+	return req, nil
+}
+
+// validateShape enforces the per-op query geometry shared by the encoder
+// and the decoder.
+func validateShape(op Op, nq, dim int) error {
+	if nq < 0 || nq > MaxBatch || dim < 0 || dim > MaxDim {
+		return fmt.Errorf("%w: geometry %d×%d out of bounds", ErrFrame, nq, dim)
+	}
+	switch op {
+	case OpSearch, OpApprox, OpRange:
+		if nq < 1 || dim < 1 {
+			return fmt.Errorf("%w: op %d needs at least one query", ErrFrame, op)
+		}
+	case OpInsert:
+		if nq != 1 || dim < 1 {
+			return fmt.Errorf("%w: insert carries exactly one point", ErrFrame)
+		}
+	case OpDelete:
+		if nq != 0 || dim != 0 {
+			return fmt.Errorf("%w: delete carries no points", ErrFrame)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrFrame, op)
+	}
+	return nil
+}
+
+// AppendResponse appends resp's binary frame (length prefix included) to
+// dst.
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
+	payload := 4
+	if resp.Err != "" {
+		payload += 4 + len(resp.Err)
+	} else {
+		payload += 8 + 4
+		for _, r := range resp.Results {
+			payload += 4 + 16*len(r.Items)
+		}
+	}
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("%w: response of %d bytes exceeds MaxFrame", ErrFrame, payload)
+	}
+	if len(resp.Results) > MaxBatch {
+		return nil, fmt.Errorf("%w: %d results exceed MaxBatch", ErrFrame, len(resp.Results))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	status := byte(0)
+	if resp.Err != "" {
+		status = 1
+	}
+	dst = append(dst, byte(resp.Op), status, 0, 0)
+	if resp.Err != "" {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Err)))
+		return append(dst, resp.Err...), nil
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.Value))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Results)))
+	for _, r := range resp.Results {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Items)))
+		for _, it := range r.Items {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(it.ID)))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(it.Distance))
+		}
+	}
+	return dst, nil
+}
+
+// ReadResponse reads one length-prefixed response frame from r.
+func ReadResponse(r io.Reader) (Response, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(payload)
+}
+
+// DecodeResponse decodes one response payload.
+func DecodeResponse(payload []byte) (Response, error) {
+	if len(payload) < 4 {
+		return Response{}, fmt.Errorf("%w: response payload of %d bytes", ErrFrame, len(payload))
+	}
+	resp := Response{Op: Op(payload[0])}
+	status := payload[1]
+	if payload[2] != 0 || payload[3] != 0 || status > 1 {
+		return Response{}, fmt.Errorf("%w: bad response status bytes", ErrFrame)
+	}
+	b := payload[4:]
+	if status == 1 {
+		if len(b) < 4 {
+			return Response{}, fmt.Errorf("%w: truncated error message length", ErrFrame)
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		if n != len(b)-4 {
+			return Response{}, fmt.Errorf("%w: error message length %d vs %d bytes", ErrFrame, n, len(b)-4)
+		}
+		resp.Err = string(b[4:])
+		if resp.Err == "" {
+			return Response{}, fmt.Errorf("%w: error status with empty message", ErrFrame)
+		}
+		return resp, nil
+	}
+	if len(b) < 12 {
+		return Response{}, fmt.Errorf("%w: truncated response header", ErrFrame)
+	}
+	resp.Value = int64(binary.LittleEndian.Uint64(b))
+	nres := int(binary.LittleEndian.Uint32(b[8:12]))
+	if nres < 0 || nres > MaxBatch {
+		return Response{}, fmt.Errorf("%w: %d results out of bounds", ErrFrame, nres)
+	}
+	b = b[12:]
+	resp.Results = make([]Result, 0, min(nres, 1024))
+	for i := 0; i < nres; i++ {
+		if len(b) < 4 {
+			return Response{}, fmt.Errorf("%w: truncated result %d", ErrFrame, i)
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if n < 0 || 16*n > len(b) {
+			return Response{}, fmt.Errorf("%w: result %d claims %d items, %d bytes left", ErrFrame, i, n, len(b))
+		}
+		items := make([]Item, n)
+		for j := range items {
+			items[j].ID = int(int64(binary.LittleEndian.Uint64(b)))
+			items[j].Distance = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+			b = b[16:]
+		}
+		resp.Results = append(resp.Results, Result{Items: items})
+	}
+	if len(b) != 0 {
+		return Response{}, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(b))
+	}
+	return resp, nil
+}
+
+// readFrame reads one u32 length prefix and its payload. A clean EOF
+// before the prefix propagates as io.EOF so stream consumers can stop;
+// everything else truncated maps to ErrFrame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated length prefix: %v", ErrFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(pre[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload (%d expected): %v", ErrFrame, n, err)
+	}
+	return payload, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ---------------------------------------------------------------------------
+// JSON shapes (the per-route HTTP endpoints).
+// ---------------------------------------------------------------------------
+
+// SearchRequest is the /v1/search, /v1/approx, and /v1/range JSON body.
+// Q carries one query, Queries a batch (exactly one of the two); K is the
+// neighbour count, P the approx guarantee, R the range radius.
+type SearchRequest struct {
+	Q       []float64   `json:"q,omitempty"`
+	Queries [][]float64 `json:"queries,omitempty"`
+	K       int         `json:"k,omitempty"`
+	P       float64     `json:"p,omitempty"`
+	R       float64     `json:"r,omitempty"`
+}
+
+// SearchResponse is the JSON answer: one Result per query, in order.
+type SearchResponse struct {
+	Results []Result `json:"results"`
+}
+
+// InsertRequest is the /v1/insert JSON body.
+type InsertRequest struct {
+	P []float64 `json:"p"`
+}
+
+// InsertResponse returns the durably assigned id.
+type InsertResponse struct {
+	ID int `json:"id"`
+}
+
+// DeleteRequest is the /v1/delete JSON body.
+type DeleteRequest struct {
+	ID int `json:"id"`
+}
+
+// DeleteResponse reports whether the id was live.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Health is the /healthz JSON body.
+type Health struct {
+	Status   string `json:"status"`
+	N        int    `json:"n"`
+	Live     int    `json:"live"`
+	Dim      int    `json:"dim"`
+	M        int    `json:"m"`
+	Shards   int    `json:"shards"`
+	Version  uint64 `json:"version"`
+	WALBytes int64  `json:"walBytes"`
+}
+
+// AdminResponse is the /admin/reload and /admin/checkpoint JSON body.
+type AdminResponse struct {
+	Version  uint64 `json:"version"`
+	WALBytes int64  `json:"walBytes"`
+}

@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpSearch, K: 10, Queries: [][]float64{{1, 2, 3}, {4, 5, 6}}},
+		{Op: OpSearch, K: 1, Queries: [][]float64{{0.5}}},
+		{Op: OpApprox, K: 3, Param: 0.9, Queries: [][]float64{{1, 2}}},
+		{Op: OpRange, Param: 2.5, Queries: [][]float64{{1, 2, 3, 4}}},
+		{Op: OpInsert, Queries: [][]float64{{9, 8, 7}}},
+		{Op: OpDelete, ID: 42},
+		{Op: OpDelete, ID: -1}, // negative ids survive the trip (server rejects them)
+	}
+	for _, want := range cases {
+		frame, err := AppendRequest(nil, want)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		got, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if got.Op != want.Op || got.K != want.K || got.Param != want.Param || got.ID != want.ID {
+			t.Fatalf("header round trip: got %+v want %+v", got, want)
+		}
+		if len(got.Queries) != len(want.Queries) {
+			t.Fatalf("queries round trip: got %d want %d", len(got.Queries), len(want.Queries))
+		}
+		for i := range want.Queries {
+			for j := range want.Queries[i] {
+				if got.Queries[i][j] != want.Queries[i][j] {
+					t.Fatalf("coord [%d][%d] = %v, want %v", i, j, got.Queries[i][j], want.Queries[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Op: OpSearch, Results: []Result{
+			{Items: []Item{{ID: 3, Distance: 0.25}, {ID: 9, Distance: 1.5}}},
+			{Items: nil},
+		}},
+		{Op: OpInsert, Value: 1234},
+		{Op: OpDelete, Value: 0},
+		{Op: OpSearch, Err: "core: k must be positive"},
+	}
+	for _, want := range cases {
+		frame, err := AppendResponse(nil, want)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		got, err := ReadResponse(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if got.Op != want.Op || got.Err != want.Err || got.Value != want.Value {
+			t.Fatalf("header round trip: got %+v want %+v", got, want)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("results: got %d want %d", len(got.Results), len(want.Results))
+		}
+		for i, r := range want.Results {
+			if len(got.Results[i].Items) != len(r.Items) {
+				t.Fatalf("result %d items: got %d want %d", i, len(got.Results[i].Items), len(r.Items))
+			}
+			for j, it := range r.Items {
+				if got.Results[i].Items[j] != it {
+					t.Fatalf("item [%d][%d] = %+v, want %+v", i, j, got.Results[i].Items[j], it)
+				}
+			}
+		}
+	}
+}
+
+// mutate returns a copy of frame with the byte at i xor'd.
+func mutate(frame []byte, i int, x byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[i] ^= x
+	return out
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	good, err := AppendRequest(nil, Request{Op: OpSearch, K: 5, Queries: [][]float64{{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("encoder rejects", func(t *testing.T) {
+		bad := []Request{
+			{Op: OpSearch, K: 5}, // no queries
+			{Op: OpSearch, K: 5, Queries: [][]float64{{1}, {1, 2}}},   // ragged
+			{Op: OpSearch, K: 5, Queries: [][]float64{{math.NaN()}}},  // NaN coord
+			{Op: OpSearch, K: 5, Queries: [][]float64{{math.Inf(1)}}}, // Inf coord
+			{Op: OpApprox, K: 5, Param: math.NaN(), Queries: [][]float64{{1}}},
+			{Op: OpInsert, Queries: [][]float64{{1}, {2}}}, // two points
+			{Op: OpDelete, Queries: [][]float64{{1}}},      // point on delete
+			{Op: Op(99), Queries: [][]float64{{1}}},        // unknown op
+		}
+		for _, r := range bad {
+			if _, err := AppendRequest(nil, r); !errors.Is(err, ErrFrame) {
+				t.Fatalf("%+v: err = %v, want ErrFrame", r, err)
+			}
+		}
+	})
+
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 0; cut < len(good); cut++ {
+			_, err := ReadRequest(bytes.NewReader(good[:cut]))
+			if cut == 0 {
+				if err != io.EOF {
+					t.Fatalf("empty stream: err = %v, want io.EOF", err)
+				}
+				continue
+			}
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("cut at %d: err = %v, want ErrFrame", cut, err)
+			}
+		}
+	})
+
+	t.Run("oversized length prefix", func(t *testing.T) {
+		frame := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(frame, MaxFrame+1)
+		if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+
+	t.Run("forged inner counts", func(t *testing.T) {
+		// nq lives at payload offset 24 (frame offset 28): claim 2 queries
+		// while carrying coords for 1.
+		frame := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(frame[4+24:], 2)
+		if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+		// A huge nq must be rejected by bounds, not allocated.
+		frame = append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(frame[4+24:], math.MaxUint32)
+		if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+
+	t.Run("reserved bytes", func(t *testing.T) {
+		if _, err := ReadRequest(bytes.NewReader(mutate(good, 5, 1))); !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+
+	t.Run("NaN coordinate on the wire", func(t *testing.T) {
+		frame := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(frame[4+reqHeader:], math.Float64bits(math.NaN()))
+		if _, err := ReadRequest(bytes.NewReader(frame)); !errors.Is(err, ErrFrame) {
+			t.Fatalf("err = %v, want ErrFrame", err)
+		}
+	})
+}
+
+func TestDecodeResponseRejects(t *testing.T) {
+	good, err := AppendResponse(nil, Response{Op: OpSearch, Results: []Result{
+		{Items: []Item{{ID: 1, Distance: 2}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 4; cut < len(good); cut++ {
+		if _, err := ReadResponse(bytes.NewReader(good[:cut])); !errors.Is(err, ErrFrame) {
+			t.Fatalf("cut at %d: err = %v, want ErrFrame", cut, err)
+		}
+	}
+	// Forged item count inside an otherwise well-framed payload.
+	frame := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(frame[4+16:], math.MaxUint32/2)
+	if _, err := ReadResponse(bytes.NewReader(frame)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("forged item count: err = %v, want ErrFrame", err)
+	}
+	// Error status must carry a message.
+	bad, err := AppendResponse(nil, Response{Op: OpSearch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[4+1] = 1 // flip status to error; msgLen field absent
+	if _, err := ReadResponse(bytes.NewReader(bad)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("error status without message: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestErrorMessagesAreActionable(t *testing.T) {
+	_, err := DecodeRequest(make([]byte, 3))
+	if err == nil || !strings.Contains(err.Error(), "header needs") {
+		t.Fatalf("short payload error not descriptive: %v", err)
+	}
+}

@@ -1,0 +1,204 @@
+package brepartition
+
+import (
+	"context"
+	"net/http"
+
+	"brepartition/internal/client"
+	"brepartition/internal/server"
+	"brepartition/internal/shard"
+	"brepartition/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Network serving layer: breserved server + client (see cmd/breserved).
+// ---------------------------------------------------------------------------
+
+// ServerOptions tunes the serving layer: the request-coalescing window
+// (CoalesceBatch/CoalesceDelay), admission control (MaxInFlight,
+// MaxMutations, Timeout, RetryAfter), and the embedded query engine.
+type ServerOptions = server.Config
+
+// Server puts a durable index behind HTTP: kNN/approx/range search and
+// durable Insert/Delete over compact JSON routes plus a length-prefixed
+// binary endpoint, with request coalescing (concurrent single-query
+// requests fold into engine batch calls), admission control (bounded
+// in-flight queues shedding 429 + Retry-After), Prometheus /metrics,
+// /healthz, and /admin/reload — a hot checkpoint-and-swap of the
+// snapshot that never drops an in-flight query. Answers are bit-identical
+// to the in-process index.
+//
+// Serve it with net/http:
+//
+//	srv, err := brepartition.NewServer("durable/", nil, nil)
+//	http.ListenAndServe(":7600", srv.Handler())
+type Server struct {
+	inner  *server.Server
+	handle *shard.Handle
+}
+
+// NewServer opens the durable index under root (as OpenDurable does) and
+// builds the serving stack over it. dopts/sopts may be nil for defaults.
+func NewServer(root string, dopts *DurableOptions, sopts *ServerOptions) (*Server, error) {
+	var do DurableOptions
+	if dopts != nil {
+		do = *dopts
+	}
+	d, err := shard.OpenDurable(root, do)
+	if err != nil {
+		return nil, err
+	}
+	h := shard.NewHandle(d)
+	var so ServerOptions
+	if sopts != nil {
+		so = *sopts
+	}
+	reopen := func() (*shard.Durable, error) { return shard.OpenDurable(root, do) }
+	return &Server{inner: server.New(h, reopen, so), handle: h}, nil
+}
+
+// Handler returns the HTTP handler tree (routes under /v1, /admin,
+// /healthz, /metrics).
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Stats snapshots the embedded query engine's aggregate statistics.
+func (s *Server) Stats() EngineStats { return s.inner.Engine().Stats() }
+
+// Divergence returns the divergence the served index was built with.
+func (s *Server) Divergence() Divergence { return s.handle.Divergence() }
+
+// Reload checkpoints and hot-swaps the snapshot in process (the same
+// operation as POST /admin/reload; it counts in the reload metric too).
+func (s *Server) Reload() error { return s.inner.Reload() }
+
+// Close drains the serving pipeline (pending coalesced batches and
+// in-flight engine queries complete), then closes the durable index's
+// WAL. Drain in-flight HTTP requests first (http.Server.Shutdown).
+func (s *Server) Close() error {
+	err := s.inner.Close()
+	if cerr := s.handle.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ClientOptions tunes a Client: per-request Timeout, the Binary protocol
+// switch, and connection-pool sizing.
+type ClientOptions = client.Options
+
+// ErrOverloaded matches (errors.Is) a 429 load-shed response; errors.As
+// an *OverloadedError recovers the server's Retry-After hint for honest
+// backoff.
+var ErrOverloaded = client.ErrOverloaded
+
+// ErrDeadline matches a request that missed its deadline server-side
+// (504).
+var ErrDeadline = client.ErrDeadline
+
+// OverloadedError carries the Retry-After hint of a shed request.
+type OverloadedError = client.OverloadedError
+
+// RemoteResult is one remote query's answer items.
+type RemoteResult = wire.Result
+
+// Client talks to a breserved server with pooled keep-alive connections,
+// speaking either the JSON routes or the compact binary protocol
+// (ClientOptions.Binary). It is safe for concurrent use; overload (429)
+// and deadline (504) responses surface as client.ErrOverloaded /
+// client.ErrDeadline typed errors.
+type Client struct {
+	inner *client.Client
+}
+
+// NewClient creates a client for the breserved server at baseURL. opts
+// may be nil for defaults (JSON protocol, 5s timeout).
+func NewClient(baseURL string, opts *ClientOptions) *Client {
+	var o ClientOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &Client{inner: client.New(baseURL, o)}
+}
+
+func toNeighbors(items []wire.Item) []Neighbor {
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Distance: it.Distance}
+	}
+	return out
+}
+
+// Search returns the exact k nearest neighbours of q from the server;
+// ids and distances match the in-process Index.Search bit for bit.
+func (c *Client) Search(ctx context.Context, q []float64, k int) ([]Neighbor, error) {
+	items, err := c.inner.Search(ctx, q, k)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// BatchSearch submits all queries in one request; results arrive in
+// query order.
+func (c *Client) BatchSearch(ctx context.Context, queries [][]float64, k int) ([][]Neighbor, error) {
+	results, err := c.inner.BatchSearch(ctx, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(results))
+	for i, r := range results {
+		out[i] = toNeighbors(r.Items)
+	}
+	return out, nil
+}
+
+// SearchApprox returns k neighbours that are the exact kNN with
+// probability at least p ∈ (0,1].
+func (c *Client) SearchApprox(ctx context.Context, q []float64, k int, p float64) ([]Neighbor, error) {
+	items, err := c.inner.SearchApprox(ctx, q, k, p)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// RangeSearch returns every point within distance r of q, ascending.
+func (c *Client) RangeSearch(ctx context.Context, q []float64, r float64) ([]Neighbor, error) {
+	items, err := c.inner.RangeSearch(ctx, q, r)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// Insert durably adds a point server-side and returns its global id.
+func (c *Client) Insert(ctx context.Context, p []float64) (int, error) {
+	return c.inner.Insert(ctx, p)
+}
+
+// Delete durably tombstones id server-side, reporting whether it was
+// live.
+func (c *Client) Delete(ctx context.Context, id int) (bool, error) {
+	return c.inner.Delete(ctx, id)
+}
+
+// Checkpoint asks the server to fold its WAL into the snapshot.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	_, err := c.inner.Checkpoint(ctx)
+	return err
+}
+
+// Reload asks the server to checkpoint and hot-swap its snapshot without
+// dropping in-flight queries.
+func (c *Client) Reload(ctx context.Context) error {
+	_, err := c.inner.Reload(ctx)
+	return err
+}
+
+// Health fetches the server's /healthz view.
+func (c *Client) Health(ctx context.Context) (wire.Health, error) {
+	return c.inner.Health(ctx)
+}
+
+// Close releases pooled idle connections.
+func (c *Client) Close() { c.inner.Close() }

@@ -1,0 +1,111 @@
+package brepartition_test
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"brepartition"
+)
+
+func servingPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		base := 1.0 + 2*float64(i%5)
+		for j := range p {
+			p[j] = base + rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// servingFixture builds a durable index, serves it in-process, and
+// returns the client-visible base URL plus an exact in-process oracle.
+func servingFixture(t testing.TB, n int) (string, *brepartition.Index, [][]float64, *brepartition.Server) {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "durable")
+	pts := servingPoints(n, 8, 7)
+	dx, err := brepartition.BuildDurable(brepartition.ItakuraSaito(), pts, root,
+		&brepartition.DurableOptions{Shards: 3, Core: brepartition.Options{M: 4, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := brepartition.Build(brepartition.ItakuraSaito(), pts, &brepartition.Options{M: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := brepartition.NewServer(root, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts.URL, oracle, pts, srv
+}
+
+// TestServingPublicRoundTrip drives the whole public serving surface:
+// NewServer over a durable root, NewClient over both protocols, search
+// oracle equality, durable mutations, hot reload, and engine stats.
+func TestServingPublicRoundTrip(t *testing.T) {
+	url, oracle, pts, srv := servingFixture(t, 300)
+	queries := servingPoints(8, 8, 55)
+	ctx := context.Background()
+	const k = 5
+
+	for _, binary := range []bool{false, true} {
+		c := brepartition.NewClient(url, &brepartition.ClientOptions{Binary: binary})
+		defer c.Close()
+		for _, q := range queries {
+			want, err := oracle.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Search(ctx, q, k)
+			if err != nil {
+				t.Fatalf("binary=%v: %v", binary, err)
+			}
+			if !reflect.DeepEqual(got, brepartition.Neighbors(want)) {
+				t.Fatalf("binary=%v: remote != oracle", binary)
+			}
+		}
+	}
+
+	c := brepartition.NewClient(url, nil)
+	defer c.Close()
+	id, err := c.Insert(ctx, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != len(pts) {
+		t.Fatalf("insert id = %d, want %d", id, len(pts))
+	}
+	if err := c.Reload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Search(ctx, pts[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the original row and the inserted duplicate sit at distance 0.
+	if got[0].Distance != 0 || got[1].Distance != 0 {
+		t.Fatalf("inserted duplicate lost across reload: %+v", got)
+	}
+	if deleted, err := c.Delete(ctx, id); err != nil || !deleted {
+		t.Fatalf("delete: %v %v", deleted, err)
+	}
+	if h, err := c.Health(ctx); err != nil || h.Live != len(pts) {
+		t.Fatalf("health: %+v %v", h, err)
+	}
+	if st := srv.Stats(); st.Queries == 0 || st.Mutations != 2 {
+		t.Fatalf("server stats: %+v", st)
+	}
+}
