@@ -7,7 +7,8 @@
 //	brebench all
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-// fig14, fig15, fig15-uniform, batch, sharded, durable, serve.
+// fig14, fig15, fig15-uniform, batch, sharded, durable, serve,
+// buildscale.
 //
 // The batch, sharded, durable, and serve experiments go beyond the
 // paper: batch replays one batch of queries through the concurrent
@@ -18,7 +19,10 @@
 // times the snapshot round trip; durable measures the WAL'd write path
 // under several sync policies; serve drives the breserved HTTP stack
 // with an open-loop load generator across an offered-rate ladder and
-// reports achieved QPS, shed rate, and served-request latency.
+// reports achieved QPS, shed rate, and served-request latency; buildscale
+// times fresh index construction at several -buildworkers settings and
+// pins the parallel build's snapshot digest against the serial one
+// (parallel construction is bit-identical at any worker count).
 //
 // Flags:
 //
@@ -28,6 +32,7 @@
 //	-workers n    max engine query workers for batch (default GOMAXPROCS)
 //	-batch n      batch size for the batch/sharded experiments (default 256)
 //	-shards n     shard count for the sharded experiment (default 4)
+//	-buildworkers n max build workers for buildscale (default GOMAXPROCS)
 //	-cpuprofile f write a pprof CPU profile of the experiment run to f
 //	              (inspect with `go tool pprof`; the hot-path budget lives
 //	              in the kernel layer — see DESIGN.md, "Kernel & memory
@@ -47,7 +52,7 @@ import (
 var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
-	"batch", "sharded", "durable", "serve",
+	"batch", "sharded", "durable", "serve", "buildscale",
 }
 
 func main() {
@@ -57,6 +62,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max engine query workers for batch (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 256, "batch size for the batch/sharded experiments")
 	shards := flag.Int("shards", 4, "shard count for the sharded experiment")
+	buildWorkers := flag.Int("buildworkers", 0, "max build workers for buildscale (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Usage = usage
 	flag.Parse()
@@ -108,7 +114,7 @@ func main() {
 	}
 
 	for _, name := range wanted {
-		tables, err := run(env, name, *workers, *batch, *shards)
+		tables, err := run(env, name, *workers, *batch, *shards, *buildWorkers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "brebench:", err)
 			stopProfile()
@@ -120,7 +126,7 @@ func main() {
 	}
 }
 
-func run(env *experiments.Env, name string, workers, batch, shards int) ([]experiments.Table, error) {
+func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers int) ([]experiments.Table, error) {
 	switch name {
 	case "table4":
 		return env.Table4(), nil
@@ -152,6 +158,8 @@ func run(env *experiments.Env, name string, workers, batch, shards int) ([]exper
 		return env.Durable(batch), nil
 	case "serve":
 		return env.Serve(workers), nil
+	case "buildscale":
+		return env.BuildScale(buildWorkers), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

@@ -9,6 +9,7 @@ package bbforest
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"brepartition/internal/bbtree"
 	"brepartition/internal/bregman"
@@ -25,6 +26,11 @@ type Config struct {
 	// layout; -1 picks subspace 0 (deterministic stand-in for the paper's
 	// "randomly selected subspace").
 	ReferenceSubspace int
+	// Workers bounds total build concurrency: goroutines building whole
+	// subspace trees plus intra-tree subtree forks, all drawing on one
+	// shared limiter. 0 or 1 builds serially. The forest produced is
+	// bit-identical at every worker count (bbtree's per-node split RNG).
+	Workers int
 }
 
 // Forest is the BB-forest: M subspace BB-trees plus the shared page store.
@@ -49,10 +55,17 @@ func Build(div bregman.Divergence, points [][]float64, parts [][]int, cfg Config
 		ref = 0
 	}
 
+	// The calling goroutine is one worker; the limiter grants the extras.
+	// It is shared by the whole forest build, so tree-level workers and
+	// subtree forks together never exceed cfg.Workers goroutines.
+	lim := bbtree.NewLimiter(cfg.Workers - 1)
+
+	// The reference tree must finish first — its leaf order defines the
+	// disk layout — so it gets the whole worker budget to itself.
 	trees := make([]*bbtree.Tree, len(parts))
 	treeCfg := cfg.Tree
 	treeCfg.Seed = cfg.Tree.Seed + int64(ref)
-	trees[ref] = bbtree.Build(div, points, parts[ref], treeCfg)
+	trees[ref] = bbtree.BuildWithLimiter(div, points, parts[ref], treeCfg, lim)
 
 	layout := trees[ref].LeafOrder()
 	store, err := disk.NewStore(points, layout, cfg.Disk)
@@ -60,13 +73,42 @@ func Build(div bregman.Divergence, points [][]float64, parts [][]int, cfg Config
 		return nil, fmt.Errorf("bbforest: %w", err)
 	}
 
+	// Remaining trees: the caller builds subspace after subspace inline
+	// while spawned workers (each blocking for a limiter slot before
+	// touching work) drain the rest. Each tree's seed depends only on its
+	// subspace index, so assignment order cannot affect the output.
+	var wg sync.WaitGroup
+	next := make(chan int)
+	build := func(i int) {
+		tc := cfg.Tree
+		tc.Seed = cfg.Tree.Seed + int64(i)
+		trees[i] = bbtree.BuildWithLimiter(div, points, parts[i], tc, lim)
+	}
+	if lim != nil {
+		for w := 1; w < len(parts); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					build(i)
+					lim.Release()
+				}
+			}()
+		}
+	}
 	for i := range parts {
 		if i == ref {
 			continue
 		}
-		tc := cfg.Tree
-		tc.Seed = cfg.Tree.Seed + int64(i)
-		trees[i] = bbtree.Build(div, points, parts[i], tc)
+		if lim != nil && lim.TryAcquire() {
+			next <- i
+			continue
+		}
+		build(i)
+	}
+	if lim != nil {
+		close(next)
+		wg.Wait()
 	}
 	return &Forest{Trees: trees, Parts: parts, Store: store}, nil
 }

@@ -136,6 +136,15 @@ func gatherInto(dst, p []float64, dims []int) []float64 {
 // restricted to the subspace dims (nil for all dimensions). The points are
 // gathered once into the tree's flat subspace arena.
 func Build(div bregman.Divergence, points [][]float64, dims []int, cfg Config) *Tree {
+	return BuildWithLimiter(div, points, dims, cfg, nil)
+}
+
+// BuildWithLimiter is Build with subtree construction fanned across lim's
+// worker budget (nil builds serially). The resulting tree is bit-identical
+// to the serial build at any worker count: split randomness is derived per
+// node from (cfg.Seed, node path), never from shared RNG state, so
+// goroutine scheduling cannot influence the topology (see parallel.go).
+func BuildWithLimiter(div bregman.Divergence, points [][]float64, dims []int, cfg Config, lim *Limiter) *Tree {
 	cfg = cfg.withDefaults()
 	n := len(points)
 	t := &Tree{Div: div, Dims: dims, cfg: cfg, kern: kernel.For(div)}
@@ -153,8 +162,7 @@ func Build(div bregman.Divergence, points [][]float64, dims []int, cfg Config) *
 	for i := range ids {
 		ids[i] = i
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	t.build(ids, 0, rng)
+	t.Nodes = t.buildSubtree(ids, 0, 1, lim)
 	return t
 }
 
@@ -230,39 +238,6 @@ func (t *Tree) SubPoint(id int) []float64 {
 // Kernel returns the monomorphized divergence kernel the tree evaluates
 // with.
 func (t *Tree) Kernel() kernel.Kernel { return t.kern }
-
-// build recursively constructs the subtree over ids and returns its node
-// index.
-func (t *Tree) build(ids []int, depth int, rng *rand.Rand) int {
-	center := t.centroid(ids)
-	radius := 0.0
-	for _, id := range ids {
-		if d := t.kern.Distance(t.rowAt(id), center); d > radius {
-			radius = d
-		}
-	}
-	idx := len(t.Nodes)
-	t.Nodes = append(t.Nodes, Node{Center: center, Radius: radius, Left: -1, Right: -1})
-
-	if len(ids) <= t.cfg.LeafSize || depth >= t.cfg.MaxDepth {
-		own := make([]int, len(ids))
-		copy(own, ids)
-		t.Nodes[idx].IDs = own
-		return idx
-	}
-	left, right, ok := t.split(ids, rng)
-	if !ok {
-		own := make([]int, len(ids))
-		copy(own, ids)
-		t.Nodes[idx].IDs = own
-		return idx
-	}
-	l := t.build(left, depth+1, rng)
-	r := t.build(right, depth+1, rng)
-	t.Nodes[idx].Left = l
-	t.Nodes[idx].Right = r
-	return idx
-}
 
 // centroid returns the arithmetic mean of the ids' points — the exact
 // minimizer of Σ D_f(x, µ) over µ for any Bregman divergence (Banerjee et

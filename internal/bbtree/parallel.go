@@ -1,0 +1,149 @@
+// Parallel tree construction. The BB-tree's two subtrees are independent
+// after a split, so construction fans subtree builds across a bounded
+// worker pool — while producing a tree bit-identical to the serial build.
+//
+// Determinism invariant: the only randomness in construction is the
+// k-means seeding inside split, and each node draws it from its own RNG
+// seeded by (tree seed, node path) — root path 1, left child p<<1, right
+// child p<<1|1, mixed through splitmix64. RNG consumption is therefore a
+// pure function of the node's position, never of goroutine scheduling, so
+// any worker count (including zero, the serial path) yields byte-identical
+// nodes in the same preorder layout. Subtrees build into local arenas that
+// parents stitch together with index offsets, reproducing exactly the
+// preorder (node, left subtree, right subtree) that the serial recursion
+// appends.
+package bbtree
+
+import "math/rand"
+
+// minParallelIDs is the smallest subtree worth forking to another
+// goroutine; below it the spawn/join overhead exceeds the build work.
+const minParallelIDs = 256
+
+// Limiter is a counting semaphore bounding the *extra* goroutines a
+// parallel build may run beyond its calling goroutine. A nil Limiter
+// grants nothing, so every build path degrades to serial. One Limiter is
+// shared across a whole forest build: tree-level workers block in Acquire
+// until a slot frees, while intra-tree subtree forks use TryAcquire and
+// fall back to inline recursion — forks never wait, so holders cannot
+// deadlock on their own pool.
+type Limiter struct{ ch chan struct{} }
+
+// NewLimiter returns a Limiter granting n extra goroutines, or nil (the
+// serial no-op) when n <= 0.
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		return nil
+	}
+	return &Limiter{ch: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free. No-op on nil.
+func (l *Limiter) Acquire() {
+	if l != nil {
+		l.ch <- struct{}{}
+	}
+}
+
+// TryAcquire takes a slot without blocking; false when none is free (or
+// the limiter is nil).
+func (l *Limiter) TryAcquire() bool {
+	if l == nil {
+		return false
+	}
+	select {
+	case l.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire. No-op on nil.
+func (l *Limiter) Release() {
+	if l != nil {
+		<-l.ch
+	}
+}
+
+// splitmix64 is the standard finalizing mixer; consecutive tree seeds and
+// node paths land in uncorrelated RNG streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nodeSeed derives the split-RNG seed for the node at path from the tree
+// seed. path is the root-to-node bit string prefixed with a 1 (so depth is
+// encoded too); MaxDepth ≤ 48 keeps it well inside 64 bits.
+func nodeSeed(seed int64, path uint64) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ path))
+}
+
+// buildSubtree constructs the subtree over ids into a fresh local arena in
+// preorder (its root at index 0, children's Left/Right relative to the
+// arena) and returns it. When lim grants a slot and the left side is big
+// enough to amortize a goroutine, the two children build concurrently.
+func (t *Tree) buildSubtree(ids []int, depth int, path uint64, lim *Limiter) []Node {
+	center := t.centroid(ids)
+	radius := 0.0
+	for _, id := range ids {
+		if d := t.kern.Distance(t.rowAt(id), center); d > radius {
+			radius = d
+		}
+	}
+	node := Node{Center: center, Radius: radius, Left: -1, Right: -1}
+
+	if len(ids) <= t.cfg.LeafSize || depth >= t.cfg.MaxDepth {
+		node.IDs = append([]int(nil), ids...)
+		return []Node{node}
+	}
+	rng := rand.New(rand.NewSource(nodeSeed(t.cfg.Seed, path)))
+	left, right, ok := t.split(ids, rng)
+	if !ok {
+		node.IDs = append([]int(nil), ids...)
+		return []Node{node}
+	}
+
+	var ln, rn []Node
+	if len(left) >= minParallelIDs && lim.TryAcquire() {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer lim.Release()
+			ln = t.buildSubtree(left, depth+1, path<<1, lim)
+		}()
+		rn = t.buildSubtree(right, depth+1, path<<1|1, lim)
+		<-done
+	} else {
+		ln = t.buildSubtree(left, depth+1, path<<1, lim)
+		rn = t.buildSubtree(right, depth+1, path<<1|1, lim)
+	}
+	return stitch(node, ln, rn)
+}
+
+// stitch lays out (root, left subtree, right subtree) in one arena —
+// the exact preorder a serial recursion appending to a shared slice
+// produces — rebasing the children's intra-arena links.
+func stitch(root Node, ln, rn []Node) []Node {
+	out := make([]Node, 1+len(ln)+len(rn))
+	root.Left = 1
+	root.Right = 1 + len(ln)
+	out[0] = root
+	rebase(out[1:1+len(ln)], ln, 1)
+	rebase(out[1+len(ln):], rn, 1+len(ln))
+	return out
+}
+
+// rebase copies nodes into dst shifting child links by off.
+func rebase(dst, nodes []Node, off int) {
+	for i, n := range nodes {
+		if n.Left >= 0 {
+			n.Left += off
+			n.Right += off
+		}
+		dst[i] = n
+	}
+}

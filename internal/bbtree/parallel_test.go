@@ -1,0 +1,116 @@
+package bbtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"brepartition/internal/bregman"
+)
+
+// genPoints produces n domain-valid d-dimensional points for div from a
+// fixed seed, so every test in this file sees the same data for the same
+// (n, d, seed).
+func genPoints(div bregman.Divergence, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lo, _ := div.Domain()
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			if lo == 0 {
+				p[j] = 0.05 + rng.Float64()
+			} else {
+				p[j] = rng.NormFloat64()
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestParallelBuildBitIdentical pins the parallel-build determinism
+// invariant at the sizes where the subtree recursion changes shape: empty,
+// a single point, around LeafSize (64), around minParallelIDs (256, the
+// fork threshold), and powers of two ±1 where splits go maximally
+// unbalanced relative to the arena layout. At every size the tree built
+// with extra workers must equal the serial tree node for node.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	div := bregman.GeneralizedKL{}
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 255, 256, 257, 511, 512, 513, 1024, 1025} {
+		pts := genPoints(div, n, 6, 42)
+		cfg := Config{Seed: 7}
+		serial := Build(div, pts, nil, cfg)
+		for _, extra := range []int{1, 3, 7} {
+			par := BuildWithLimiter(div, pts, nil, cfg, NewLimiter(extra))
+			if !reflect.DeepEqual(serial.Nodes, par.Nodes) {
+				t.Fatalf("n=%d workers=%d: parallel tree differs from serial", n, extra+1)
+			}
+		}
+	}
+}
+
+// TestParallelBuildSubspaceBitIdentical repeats the determinism check with
+// a subspace restriction, the way bbforest builds per-partition trees.
+func TestParallelBuildSubspaceBitIdentical(t *testing.T) {
+	div := bregman.ItakuraSaito{}
+	pts := genPoints(div, 700, 8, 3)
+	cfg := Config{Seed: 99, LeafSize: 16}
+	dims := []int{1, 3, 6}
+	serial := Build(div, pts, dims, cfg)
+	par := BuildWithLimiter(div, pts, dims, cfg, NewLimiter(3))
+	if !reflect.DeepEqual(serial.Nodes, par.Nodes) {
+		t.Fatal("parallel subspace tree differs from serial")
+	}
+}
+
+// TestLimiterSemantics pins the nil-safety and non-blocking contract the
+// fork sites rely on.
+func TestLimiterSemantics(t *testing.T) {
+	if NewLimiter(0) != nil || NewLimiter(-3) != nil {
+		t.Fatal("NewLimiter(n<=0) must be nil (serial)")
+	}
+	var nilLim *Limiter
+	if nilLim.TryAcquire() {
+		t.Fatal("nil Limiter granted a slot")
+	}
+	nilLim.Acquire() // must not block or panic
+	nilLim.Release()
+
+	lim := NewLimiter(2)
+	if !lim.TryAcquire() || !lim.TryAcquire() {
+		t.Fatal("fresh Limiter(2) refused its budget")
+	}
+	if lim.TryAcquire() {
+		t.Fatal("Limiter over-granted")
+	}
+	lim.Release()
+	if !lim.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+// FuzzParallelBuildDeterminism fuzzes (n, seed, workers) over the same
+// invariant; the corpus seeds sit at the subtree-boundary sizes.
+func FuzzParallelBuildDeterminism(f *testing.F) {
+	f.Add(uint16(0), int64(1), uint8(2))
+	f.Add(uint16(1), int64(2), uint8(4))
+	f.Add(uint16(63), int64(3), uint8(3))
+	f.Add(uint16(65), int64(4), uint8(8))
+	f.Add(uint16(255), int64(5), uint8(2))
+	f.Add(uint16(257), int64(6), uint8(5))
+	f.Add(uint16(513), int64(7), uint8(4))
+	f.Fuzz(func(t *testing.T, n uint16, seed int64, workers uint8) {
+		if n > 1200 {
+			n = 1200
+		}
+		div := bregman.Exponential{}
+		pts := genPoints(div, int(n), 5, seed)
+		cfg := Config{Seed: seed}
+		serial := Build(div, pts, nil, cfg)
+		par := BuildWithLimiter(div, pts, nil, cfg, NewLimiter(int(workers)))
+		if !reflect.DeepEqual(serial.Nodes, par.Nodes) {
+			t.Fatalf("n=%d seed=%d workers=%d: parallel tree differs from serial", n, seed, workers)
+		}
+	})
+}

@@ -15,7 +15,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"brepartition/internal/approx"
@@ -56,6 +58,14 @@ type Options struct {
 	// Approx configures the βxy distribution fit for SearchApprox.
 	Approx approx.Config
 	Seed   int64
+	// BuildWorkers bounds the goroutines Build uses across every phase —
+	// point validation, arena copy, tuple transform, and BB-forest
+	// construction. 0 uses GOMAXPROCS; 1 forces the serial build. The
+	// index produced is bit-identical at every setting: tree randomness
+	// is derived per node, never from shared RNG state, and the failure
+	// contract matches the serial build (the error for the lowest-index
+	// bad point).
+	BuildWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +144,7 @@ type searchContext struct {
 	sess    *disk.Session
 	scratch bbforest.SearchScratch
 	dist    []float64
+	qprep   []float64
 }
 
 // getCtx fetches a warm context from the pool (or makes a cold one).
@@ -183,34 +194,31 @@ var (
 	ErrK     = errors.New("core: k must be positive")
 )
 
-// Build runs Algorithm 5.
+// Build runs Algorithm 5. Construction parallelizes across
+// opts.BuildWorkers goroutines but is fully deterministic: every worker
+// count (including 1, the serial build) produces a bit-identical index and
+// the identical error on bad input.
 func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if len(points) == 0 {
 		return nil, ErrEmpty
 	}
-	d := len(points[0])
-	for i, p := range points {
-		if len(p) != d {
-			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), d)
-		}
-		if err := bregman.CheckDomain(div, p); err != nil {
-			return nil, fmt.Errorf("core: point %d: %w", i, err)
-		}
+	workers := opts.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Copy the coordinates into one row-major arena: Points[i] stays a
-	// []float64 row for every existing consumer, but the rows are
-	// physically contiguous in id order, so ground-truth scans and the
-	// tuple transform stream cache-linearly. (Points appended later by
-	// Insert live outside the arena until a rebuild.)
+	// Validate every point and copy the coordinates into one row-major
+	// arena: Points[i] stays a []float64 row for every existing consumer,
+	// but the rows are physically contiguous in id order, so ground-truth
+	// scans and the tuple transform stream cache-linearly. (Points
+	// appended later by Insert live outside the arena until a rebuild.)
+	d := len(points[0])
 	arena := make([]float64, len(points)*d)
 	rows := make([][]float64, len(points))
-	for i, p := range points {
-		off := i * d
-		copy(arena[off:], p)
-		rows[i] = arena[off : off+d : off+d]
+	if err := validateAndCopy(div, points, rows, arena, d, workers); err != nil {
+		return nil, err
 	}
 
 	ix := &Index{Div: div, Points: rows, opts: opts, d: d, kern: kernel.For(div)}
@@ -236,24 +244,29 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 	if opts.DisablePCCP {
 		ix.Parts = partition.Equal(d, m)
 	} else {
-		ix.Parts = partition.PCCP(rows, m, opts.PCCPSample, opts.Seed)
+		ix.Parts = partition.PCCPWorkers(rows, m, opts.PCCPSample, opts.Seed, workers)
 	}
 
 	// Step 3 (Lines 4–7): offline tuple transform, into one flat backing
 	// (row views per point) so Algorithm 4's O(n·M) bound scan streams.
-	tupleArena := make([]transform.PointTuple, len(rows)*len(ix.Parts))
+	// Each point's tuples are independent, so the transform fans out over
+	// disjoint row ranges.
+	nparts := len(ix.Parts)
+	tupleArena := make([]transform.PointTuple, len(rows)*nparts)
 	ix.Tuples = make([][]transform.PointTuple, len(rows))
-	for i, p := range rows {
-		off := i * len(ix.Parts)
-		row := tupleArena[off : off+len(ix.Parts) : off+len(ix.Parts)]
-		for s, dims := range ix.Parts {
-			row[s] = transform.PTransformSub(div, p, dims)
+	parallelRanges(len(rows), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off := i * nparts
+			row := tupleArena[off : off+nparts : off+nparts]
+			for s, dims := range ix.Parts {
+				row[s] = transform.PTransformSub(div, rows[i], dims)
+			}
+			ix.Tuples[i] = row
 		}
-		ix.Tuples[i] = row
-	}
+	})
 
 	// Step 4 (Line 8): BB-forest.
-	fcfg := bbforest.Config{Tree: opts.Tree, Disk: opts.Disk}
+	fcfg := bbforest.Config{Tree: opts.Tree, Disk: opts.Disk, Workers: workers}
 	fcfg.Tree.Seed = opts.Seed
 	forest, err := bbforest.Build(div, rows, ix.Parts, fcfg)
 	if err != nil {
@@ -262,6 +275,78 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 	ix.Forest = forest
 	ix.BuildTime = time.Since(start)
 	return ix, nil
+}
+
+// buildChunk is the smallest per-goroutine work range of the parallel
+// build phases; inputs below it run inline on the calling goroutine.
+const buildChunk = 512
+
+// parallelRanges splits [0, n) into per-worker ranges and runs fn on each
+// concurrently. fn must touch only its own range. n below buildChunk (or a
+// single worker) runs inline.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n <= buildChunk {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < buildChunk {
+		chunk = buildChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// validateAndCopy checks every point's dimensionality and divergence
+// domain and copies it into the arena, fanning the scan across workers.
+// Any failure cancels the sibling workers (they observe the stop flag and
+// return without finishing their ranges), all goroutines are joined, and
+// the error returned is re-derived serially so it is exactly the one the
+// serial build reports — the lowest-index bad point — regardless of which
+// worker tripped first.
+func validateAndCopy(div bregman.Divergence, points, rows [][]float64, arena []float64, d, workers int) error {
+	var stop atomic.Bool
+	parallelRanges(len(points), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return
+			}
+			p := points[i]
+			if len(p) != d || bregman.CheckDomain(div, p) != nil {
+				stop.Store(true)
+				return
+			}
+			off := i * d
+			copy(arena[off:off+d], p)
+			rows[i] = arena[off : off+d : off+d]
+		}
+	})
+	if !stop.Load() {
+		return nil
+	}
+	// Failure path: serial rescan for the canonical first error. The cost
+	// is O(n) once, on a path that aborts the build anyway.
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		if err := bregman.CheckDomain(div, p); err != nil {
+			return fmt.Errorf("core: point %d: %w", i, err)
+		}
+	}
+	// Unreachable: the stop flag is only set by a failed check above.
+	return errors.New("core: point validation failed")
 }
 
 // M returns the number of partitions in use (immutable after Build).
@@ -377,11 +462,20 @@ func (ix *Index) search(ctx *searchContext, dst []topk.Item, q []float64, k int,
 	cands, ts := ix.Forest.CandidateUnionCtx(q, radii, ctx.sess, &ctx.scratch)
 	filterTime := time.Since(filterStart)
 
-	// Line 8: refinement.
+	// Line 8: refinement. The query's hoisted kernel terms live in the
+	// pooled context, so preparing them allocates nothing when warm.
 	refineStart := time.Now()
 	if kr := min(k, len(cands)); kr > 0 {
 		ctx.sel.ResetK(kr)
-		scan.RefineCtx(ix.kern, ctx.sess, cands, q, ctx.sel, ctx.dist)
+		var prep []float64
+		if n := ix.kern.QueryScratchLen(len(q)); n > 0 {
+			if cap(ctx.qprep) < n {
+				ctx.qprep = make([]float64, n)
+			}
+			prep = ctx.qprep[:n]
+			ix.kern.PrepQuery(prep, q)
+		}
+		scan.RefineCtx(ix.kern, ctx.sess, cands, q, ctx.sel, ctx.dist, prep)
 		dst = ctx.sel.AppendItems(dst)
 	}
 	refineTime := time.Since(refineStart)

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"brepartition/internal/bregman"
+)
+
+func domainPoints(div bregman.Divergence, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lo, _ := div.Domain()
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			if lo == 0 {
+				p[j] = 0.05 + rng.Float64()
+			} else {
+				p[j] = rng.NormFloat64()
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func snapshotBytes(t *testing.T, ix *Index, path string) []byte {
+	t.Helper()
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelBuildBitIdenticalToSerial is the determinism property the
+// parallel build promises: for every registered divergence and any worker
+// count, Build produces an index whose persisted snapshot is byte-for-byte
+// the serial one and whose search answers match item for item. It runs the
+// whole parallel machinery (validation fan-out, PCCP row striping, tuple
+// transform ranges, forest tree workers, subtree forks) under the race
+// detector in CI.
+func TestParallelBuildBitIdenticalToSerial(t *testing.T) {
+	dir := t.TempDir()
+	for _, div := range bregman.All() {
+		div := div
+		t.Run(div.Name(), func(t *testing.T) {
+			pts := domainPoints(div, 400, 8, 23)
+			opts := Options{M: 3, Seed: 5, BuildWorkers: 1}
+			serial, err := Build(div, pts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotBytes(t, serial, filepath.Join(dir, div.Name()+"-serial"))
+			wantRes, err := serial.Search(pts[7], 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 4, 8} {
+				opts.BuildWorkers = workers
+				par, err := Build(div, pts, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := snapshotBytes(t, par, filepath.Join(dir, fmt.Sprintf("%s-w%d", div.Name(), workers)))
+				if !bytes.Equal(want, got) {
+					t.Fatalf("workers=%d: snapshot differs from serial (%d vs %d bytes)", workers, len(got), len(want))
+				}
+				res, err := par.Search(pts[7], 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Items) != len(wantRes.Items) {
+					t.Fatalf("workers=%d: %d results, serial %d", workers, len(res.Items), len(wantRes.Items))
+				}
+				for i := range res.Items {
+					if res.Items[i] != wantRes.Items[i] {
+						t.Fatalf("workers=%d: result %d = %+v, serial %+v", workers, i, res.Items[i], wantRes.Items[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBuildErrorMatchesSerial pins error propagation through the
+// parallel validation pass: a bad point must fail the build with exactly
+// the serial error (the canonical lowest-index one), workers must not leak
+// — the goroutine count returns to its pre-build level — and siblings must
+// be cancelled rather than run to completion.
+func TestParallelBuildErrorMatchesSerial(t *testing.T) {
+	div := bregman.GeneralizedKL{}
+	base := domainPoints(div, 600, 8, 31)
+
+	cases := []struct {
+		name   string
+		mutate func(pts [][]float64)
+	}{
+		{"dimension-mismatch", func(pts [][]float64) { pts[137] = pts[137][:5] }},
+		{"domain-violation", func(pts [][]float64) { pts[402] = []float64{1, 1, 1, 1, -3, 1, 1, 1} }},
+		{"two-bad-points-lowest-wins", func(pts [][]float64) {
+			pts[550] = pts[550][:2]
+			pts[88] = []float64{-1, 1, 1, 1, 1, 1, 1, 1}
+		}},
+	}
+
+	before := runtime.NumGoroutine()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := make([][]float64, len(base))
+			for i, p := range base {
+				pts[i] = append([]float64(nil), p...)
+			}
+			tc.mutate(pts)
+
+			_, serialErr := Build(div, pts, Options{M: 3, Seed: 5, BuildWorkers: 1})
+			if serialErr == nil {
+				t.Fatal("serial build accepted a bad point")
+			}
+			for _, workers := range []int{2, 4, 8} {
+				_, parErr := Build(div, pts, Options{M: 3, Seed: 5, BuildWorkers: workers})
+				if parErr == nil {
+					t.Fatalf("workers=%d: parallel build accepted a bad point", workers)
+				}
+				if parErr.Error() != serialErr.Error() {
+					t.Fatalf("workers=%d: error %q, serial %q", workers, parErr, serialErr)
+				}
+			}
+		})
+	}
+
+	// No goroutine may outlive the failed builds. Poll briefly: the runtime
+	// needs a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after failed parallel builds: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBuildWorkersDefault pins the Options contract: zero means "use
+// GOMAXPROCS", and any explicit value is accepted without changing the
+// result (determinism is covered above; this just exercises the defaulting
+// path end to end).
+func TestBuildWorkersDefault(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := domainPoints(div, 300, 6, 11)
+	auto, err := Build(div, pts, Options{M: 2, Seed: 3}) // BuildWorkers: 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Build(div, pts, Options{M: 2, Seed: 3, BuildWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	a := snapshotBytes(t, auto, filepath.Join(dir, "auto"))
+	b := snapshotBytes(t, serial, filepath.Join(dir, "serial"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("default-worker build differs from serial build")
+	}
+}

@@ -19,34 +19,8 @@ func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
 	}
 	for _, div := range []bregman.Divergence{bregman.SquaredEuclidean{}, bregman.Exponential{}} {
-		rng := rand.New(rand.NewSource(7))
-		n, d := 400, 12
-		points := make([][]float64, n)
-		for i := range points {
-			p := make([]float64, d)
-			for j := range p {
-				p[j] = 0.1 + rng.Float64()
-			}
-			points[i] = p
-		}
-		ix, err := Build(div, points, Options{M: 3})
-		if err != nil {
-			t.Fatal(err)
-		}
-		q := points[5]
+		ix, dst, q := warmSearchState(t, div)
 		const k = 10
-
-		// Warm the pool, the session stamps, and the result buffer.
-		var dst []topk.Item
-		for i := 0; i < 3; i++ {
-			res, err := ix.SearchAppend(dst[:0], q, k)
-			if err != nil {
-				t.Fatal(err)
-			}
-			dst = res.Items
-		}
-		want, _ := ix.Search(q, k)
-
 		allocs := testing.AllocsPerRun(200, func() {
 			res, err := ix.SearchAppend(dst[:0], q, k)
 			if err != nil {
@@ -57,8 +31,27 @@ func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 		if allocs != 0 {
 			t.Fatalf("%s: steady-state SearchAppend allocates %.1f times per op, want 0", div.Name(), allocs)
 		}
+	}
+}
 
-		// The zero-alloc path answers exactly like the allocating one.
+// TestSearchAppendMatchesSearch is the answer half of the steady-state
+// contract, split out of the allocation count so it runs under the race
+// detector too (sync.Pool dropping items changes allocations, not
+// answers): the pooled zero-alloc path must return exactly what the
+// allocating Search does.
+func TestSearchAppendMatchesSearch(t *testing.T) {
+	for _, div := range []bregman.Divergence{bregman.SquaredEuclidean{}, bregman.Exponential{}} {
+		ix, dst, q := warmSearchState(t, div)
+		const k = 10
+		want, err := ix.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ix.SearchAppend(dst[:0], q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = res.Items
 		if len(dst) != len(want.Items) {
 			t.Fatalf("%s: SearchAppend returned %d items, Search %d", div.Name(), len(dst), len(want.Items))
 		}
@@ -68,6 +61,36 @@ func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 			}
 		}
 	}
+}
+
+// warmSearchState builds a small index and warms the pooled context, the
+// session stamps, and the caller's result buffer with a few queries.
+func warmSearchState(t *testing.T, div bregman.Divergence) (*Index, []topk.Item, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	n, d := 400, 12
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = 0.1 + rng.Float64()
+		}
+		points[i] = p
+	}
+	ix, err := Build(div, points, Options{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := points[5]
+	var dst []topk.Item
+	for i := 0; i < 3; i++ {
+		res, err := ix.SearchAppend(dst[:0], q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = res.Items
+	}
+	return ix, dst, q
 }
 
 // TestSearchAppendReusesDst pins the append contract: items land at dst's

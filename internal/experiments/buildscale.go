@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"brepartition/internal/core"
+)
+
+// BuildScale measures parallel index construction: a fresh build of the
+// BrePartition index at 1, an intermediate, and `workers` build workers,
+// reporting wall time, speedup over the serial build, and — because the
+// parallel build promises bit-identical output at any worker count — a
+// snapshot digest that must match the serial one at every row. It is not
+// a paper figure; it validates the build-parallelism contract on the
+// paper's workloads. Speedups above 1 worker require GOMAXPROCS > 1
+// (single-CPU machines report ~1.00x throughout, with the digests still
+// pinned equal).
+func (e *Env) BuildScale(workers int) []Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sweep := workerSweep(workers)
+	if workers > 1 && sweep[len(sweep)-1] < 4 {
+		// The determinism claim is most interesting with real fan-out;
+		// measure at least 4 workers when a sweep is requested.
+		sweep = append(sweep, 4)
+	}
+
+	var tables []Table
+	for _, name := range []string{"audio", "uniform"} {
+		ds := e.Dataset(name)
+		div := e.divergence(ds)
+		opts := core.Options{
+			Tree: e.treeCfg(),
+			Disk: e.diskCfg(ds),
+			Seed: e.cfg.Seed,
+		}
+
+		var serialWall time.Duration
+		var serialSum [sha256.Size]byte
+		tbl := Table{
+			Title: fmt.Sprintf("Build scaling — %s (n=%d, d=%d, GOMAXPROCS=%d)",
+				name, len(ds.Points), len(ds.Points[0]), runtime.GOMAXPROCS(0)),
+			Header: []string{"buildworkers", "wall", "speedup", "snapshot sha256", "identical"},
+		}
+		for _, w := range sweep { // workerSweep always starts at 1
+			opts.BuildWorkers = w
+			start := time.Now()
+			ix, err := core.Build(div, ds.Points, opts)
+			if err != nil {
+				panic(fmt.Sprintf("buildscale(%s, w=%d): %v", name, w, err))
+			}
+			wall := time.Since(start)
+			sum := snapshotDigest(ix)
+			if w == 1 {
+				serialWall, serialSum = wall, sum
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprintf("%d", w),
+				fmtDur(wall),
+				fmt.Sprintf("%.2fx", serialWall.Seconds()/wall.Seconds()),
+				fmt.Sprintf("%x", sum[:6]),
+				fmt.Sprintf("%v", bytes.Equal(sum[:], serialSum[:])),
+			})
+			if !bytes.Equal(sum[:], serialSum[:]) {
+				panic(fmt.Sprintf("buildscale(%s, w=%d): snapshot differs from serial build", name, w))
+			}
+		}
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+// snapshotDigest persists the index to a scratch file and hashes the
+// bytes; the persisted form omits build timing, so equal digests mean
+// equal indexes.
+func snapshotDigest(ix *core.Index) [sha256.Size]byte {
+	dir, err := os.MkdirTemp("", "buildscale")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "snap")
+	if err := ix.WriteFile(path); err != nil {
+		panic(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	return sha256.Sum256(b)
+}

@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"brepartition/internal/bregman"
+)
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, name, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: no panic, want %q", name, want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("%s: panicked with %v, want message containing %q", name, r, want)
+		}
+	}()
+	fn()
+}
+
+func contractBlock(div bregman.Divergence, n, d int) ([]float64, FlatBlock) {
+	rng := rand.New(rand.NewSource(17))
+	lo, _ := div.Domain()
+	gen := func() float64 {
+		if lo == 0 {
+			return 0.1 + rng.Float64()
+		}
+		return rng.NormFloat64()
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = gen()
+		}
+		pts[i] = p
+	}
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = gen()
+	}
+	return q, Flatten(pts)
+}
+
+// TestDistancesToContract pins the argument contract for every kernel,
+// generic fallback included: dimension mismatch, short out, truncated
+// block data, and an out that aliases the block or the query all panic
+// with a diagnostic message; an out longer than block.N is legal and only
+// out[:N] is written.
+func TestDistancesToContract(t *testing.T) {
+	divs := append(bregman.All(), bregman.LpNorm{P: 4})
+	for _, div := range divs {
+		kern := For(div)
+		q, block := contractBlock(div, 8, 5)
+		out := make([]float64, block.N)
+
+		mustPanic(t, kern.Name()+"/dim", "query length does not match block.Dim", func() {
+			kern.DistancesTo(q[:4], block, out)
+		})
+		mustPanic(t, kern.Name()+"/short-out", "out shorter than block.N", func() {
+			kern.DistancesTo(q, block, out[:block.N-1])
+		})
+		mustPanic(t, kern.Name()+"/short-data", "block data shorter than N*Dim", func() {
+			short := block
+			short.Data = short.Data[:len(short.Data)-1]
+			kern.DistancesTo(q, short, out)
+		})
+		mustPanic(t, kern.Name()+"/alias-block", "out aliases block or query memory", func() {
+			kern.DistancesTo(q, block, block.Data[:block.N])
+		})
+		mustPanic(t, kern.Name()+"/alias-query", "out aliases block or query memory", func() {
+			qs := make([]float64, block.Dim+block.N)
+			copy(qs, q)
+			// out starts at the query's last element: a one-cell overlap.
+			kern.DistancesTo(qs[:block.Dim], block, qs[block.Dim-1:block.Dim-1+block.N])
+		})
+
+		// Oversized out: only out[:N] may be written.
+		long := make([]float64, block.N+3)
+		const sentinel = -12345.5
+		for i := block.N; i < len(long); i++ {
+			long[i] = sentinel
+		}
+		kern.DistancesTo(q, block, long)
+		for i := block.N; i < len(long); i++ {
+			if long[i] != sentinel {
+				t.Fatalf("%s: DistancesTo wrote past out[:N] at %d", kern.Name(), i)
+			}
+		}
+		for i := 0; i < block.N; i++ {
+			if want := kern.Distance(block.Row(i), q); long[i] != want && !(math.IsNaN(long[i]) && math.IsNaN(want)) {
+				t.Fatalf("%s: oversized-out row %d = %v, want %v", kern.Name(), i, long[i], want)
+			}
+		}
+	}
+}
+
+// TestGradVecContract pins the gradient panic contract for a short dst.
+func TestGradVecContract(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		src := []float64{0.5, 1.5, 2.5}
+		mustPanic(t, kern.Name()+"/grad", "gradient dst shorter than input", func() {
+			kern.GradVec(make([]float64, 2), src)
+		})
+		mustPanic(t, kern.Name()+"/gradinv", "gradient dst shorter than input", func() {
+			kern.GradInvVec(make([]float64, 2), src)
+		})
+	}
+}
+
+// TestDistancePrepContract pins the hoisted-prep path: PrepQuery +
+// DistancePrep must reproduce Distance bit for bit (the prep only stores
+// values the plain path recomputes from the same inputs), and short
+// scratch or mismatched dimensions panic.
+func TestDistancePrepContract(t *testing.T) {
+	divs := append(bregman.All(), bregman.LpNorm{P: 4})
+	for _, div := range divs {
+		kern := For(div)
+		q, block := contractBlock(div, 8, 5)
+		scratch := make([]float64, kern.QueryScratchLen(len(q)))
+		kern.PrepQuery(scratch, q)
+		for i := 0; i < block.N; i++ {
+			x := block.Row(i)
+			got := kern.DistancePrep(x, q, scratch)
+			want := kern.Distance(x, q)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("%s: DistancePrep %v != Distance %v (row %d)", kern.Name(), got, want, i)
+			}
+		}
+		if n := kern.QueryScratchLen(len(q)); n > 0 {
+			mustPanic(t, kern.Name()+"/short-scratch", "scratch shorter than QueryScratchLen", func() {
+				kern.DistancePrep(block.Row(0), q, scratch[:n-1])
+			})
+		}
+		mustPanic(t, kern.Name()+"/prep-dim", "dimension mismatch", func() {
+			kern.DistancePrep(block.Row(0)[:4], q, scratch)
+		})
+	}
+}
+
+// TestDistancesToZeroAlloc pins that the hoisted block path allocates
+// nothing: the per-query prep lives on the stack. Unlike the pooled search
+// test this involves no sync.Pool, so it holds under the race detector too.
+func TestDistancesToZeroAlloc(t *testing.T) {
+	for _, div := range bregman.All() {
+		kern := For(div)
+		q, block := contractBlock(div, 64, 24)
+		out := make([]float64, block.N)
+		allocs := testing.AllocsPerRun(100, func() {
+			kern.DistancesTo(q, block, out)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: DistancesTo allocates %.1f per op, want 0", kern.Name(), allocs)
+		}
+	}
+}

@@ -8,17 +8,33 @@
 //
 // Numerical contract: every kernel reproduces bregman.Distance's arithmetic
 // bit for bit — the same per-coordinate expression φ(x)−φ(y)−φ′(y)(x−y)
-// with inlined generator math, summed left to right and clamped at 0 — with
-// one documented exception: the squared-Euclidean kernel uses the fused
-// closed form Σ(x−y)², which differs from the scalar three-term expansion
-// by rounding (≈1 ULP on benign data). All search paths route through the
-// same kernel, so results stay internally consistent; the property tests in
-// kernel_test.go pin bit equality for every other divergence and a tight
-// relative tolerance for L2.
+// with inlined generator math, summed left to right through a single
+// ordered accumulator and clamped at 0 — with one documented exception: the
+// squared-Euclidean kernel uses the fused closed form Σ(x−y)² with four
+// independent accumulator chains, which differs from the scalar three-term
+// expansion by rounding (≈1 ULP on benign data). All search paths route
+// through the same kernel, so results stay internally consistent; the
+// property tests in kernel_test.go pin bit equality for every other
+// divergence and a tight relative tolerance for L2.
+//
+// Two structural rules keep the contract honest while making the loops
+// fast:
+//
+//   - This file owns validation and dispatch; loops.go owns arithmetic.
+//     Every function in loops.go compiles with zero bounds checks
+//     (enforced by the ssa/check_bce CI step) and performs the
+//     per-coordinate expressions in the oracle's exact order.
+//   - Query-side subexpressions (log q, exp q, 1/q, …) are loop-invariant
+//     across a block scan or a refinement pass. PrepQuery hoists them once
+//     per query; DistancesTo and DistancePrep then read the precomputed
+//     values instead of recomputing them per point. Reading a stored
+//     float64 instead of re-deriving it from the same input is
+//     bit-identical, so hoisting never changes a result.
 package kernel
 
 import (
 	"math"
+	"unsafe"
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/vecmath"
@@ -65,8 +81,8 @@ func Flatten(points [][]float64) FlatBlock {
 }
 
 // Kernel is one divergence's batched evaluation surface. Implementations
-// are concrete structs so every method body is a tight scalar loop the
-// compiler can unroll and bounds-check-eliminate; the interface is crossed
+// are concrete structs so every method body dispatches straight into the
+// unrolled, bounds-check-free loops in loops.go; the interface is crossed
 // once per block or per vector, never per coordinate.
 //
 // All methods follow bregman's conventions: Distance computes D_f(x, y)
@@ -84,24 +100,58 @@ type Kernel interface {
 	Distance(x, y []float64) float64
 
 	// DistancesTo evaluates the query against a block in one pass:
-	// out[i] = D_f(block.Row(i), q) for i < block.N. len(out) must be at
-	// least block.N and q's length must equal block.Dim.
+	// out[i] = D_f(block.Row(i), q) for i < block.N, bit-identical to
+	// Distance(block.Row(i), q) for every kernel (including L2, whose
+	// Distance shares the same fused sum).
+	//
+	// Contract — violations panic, they do not silently misbehave:
+	//   - len(q) == block.Dim
+	//   - len(out) >= block.N; out may be longer, in which case only
+	//     out[:block.N] is written and the tail is left untouched
+	//   - len(block.Data) >= block.N*block.Dim
+	//   - out must not alias block.Data or q: implementations stream
+	//     block rows while writing out, so an aliasing destination would
+	//     corrupt later rows (or the query) before they are read.
 	DistancesTo(q []float64, block FlatBlock, out []float64)
 
-	// GradVec writes ∇f(y) into dst element-wise (dst must be pre-sized).
+	// QueryScratchLen returns the scratch length PrepQuery requires for a
+	// d-dimensional query; 0 when the kernel has no query-side invariants
+	// worth hoisting.
+	QueryScratchLen(d int) int
+
+	// PrepQuery precomputes the query-side invariants of Distance
+	// (log q, exp q, 1/q, …) into scratch, which must have
+	// len >= QueryScratchLen(len(q)). The layout is kernel-private; the
+	// result is consumed by DistancePrep for the same q.
+	PrepQuery(scratch, q []float64)
+
+	// DistancePrep computes D_f(x, q) bit-identically to Distance(x, q),
+	// reading the query-side terms from scratch as filled by PrepQuery.
+	// Callers amortize one PrepQuery over many DistancePrep calls when
+	// scanning one query against points not in flat-block form.
+	DistancePrep(x, q, scratch []float64) float64
+
+	// GradVec writes ∇f(y) into dst element-wise. dst must have
+	// len >= len(y) (panics otherwise); only dst[:len(y)] is written.
 	GradVec(dst, y []float64)
 
-	// GradInvVec writes (∇f)⁻¹(g) into dst element-wise.
+	// GradInvVec writes (∇f)⁻¹(g) into dst element-wise, under the same
+	// length contract as GradVec.
 	GradInvVec(dst, g []float64)
 
 	// GeodesicStep evaluates the dual-space geodesic point
 	// x(θ) = (∇f)⁻¹((1−θ)·gq + θ·gmu) and returns its divergences to the
 	// query and the ball center, dQ = D_f(x(θ), q) and dMu = D_f(x(θ), mu),
 	// without materializing x(θ) (concrete kernels keep it in registers).
-	// ok is false when x(θ) is not finite, in which case the caller must
-	// abandon the bound (matching bbtree's finiteVec guard). scratch, when
-	// the implementation needs it (the generic fallback), must have
-	// len ≥ len(q); concrete kernels ignore it.
+	// gq and gmu MUST be this kernel's GradVec outputs for q and mu
+	// respectively: the fused kernels reuse the transcendental values the
+	// gradients already hold (e.g. exp's gq[j] = e^q[j]) in place of
+	// recomputing them, which is bit-identical exactly because GradVec
+	// computed them from the same inputs. ok is false when x(θ) is not
+	// finite, in which case the caller must abandon the bound (matching
+	// bbtree's finiteVec guard). scratch, when the implementation needs
+	// it (the generic fallback), must have len >= len(q); concrete
+	// kernels ignore it.
 	GeodesicStep(gq, gmu, q, mu []float64, theta float64, scratch []float64) (dQ, dMu float64, ok bool)
 }
 
@@ -149,10 +199,69 @@ func finite2(a, b float64) bool {
 	return !math.IsInf(a, 0) && !math.IsNaN(a) && !math.IsInf(b, 0) && !math.IsNaN(b)
 }
 
+// hoistCap bounds the dimensionality served by the stack-resident prep
+// buffers in DistancesTo. Blocks with Dim above it (or with fewer than
+// hoistMinRows rows, where the prep pass wouldn't amortize) take the
+// per-row Distance fallback, which is bit-identical.
+const (
+	hoistCap     = 512
+	hoistMinRows = 4
+)
+
+// overlaps reports whether two slices share any backing memory.
+func overlaps(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	a0 := uintptr(unsafe.Pointer(&a[0]))
+	a1 := a0 + uintptr(len(a))*unsafe.Sizeof(a[0])
+	b0 := uintptr(unsafe.Pointer(&b[0]))
+	b1 := b0 + uintptr(len(b))*unsafe.Sizeof(b[0])
+	return a0 < b1 && b0 < a1
+}
+
+// checkDistancesTo enforces the DistancesTo contract documented on the
+// Kernel interface. The checks run once per block — never per coordinate —
+// so the hot loops can drop their own bounds checks safely.
+func checkDistancesTo(q []float64, block FlatBlock, out []float64) {
+	if len(q) != block.Dim {
+		panic("kernel: DistancesTo query length does not match block.Dim")
+	}
+	if len(out) < block.N {
+		panic("kernel: DistancesTo out shorter than block.N")
+	}
+	if len(block.Data) < block.N*block.Dim {
+		panic("kernel: DistancesTo block data shorter than N*Dim")
+	}
+	if overlaps(out, block.Data) || overlaps(out, q) {
+		panic("kernel: DistancesTo out aliases block or query memory")
+	}
+}
+
+// checkGrad enforces the GradVec/GradInvVec destination-length contract.
+func checkGrad(dst, src []float64) {
+	if len(dst) < len(src) {
+		panic("kernel: gradient dst shorter than input")
+	}
+}
+
+// checkPrep enforces DistancePrep's length contracts: x and q must match
+// (as in Distance) and scratch must hold the kernel's prepared terms.
+func checkPrep(x, q, scratch []float64, need int) {
+	if len(x) != len(q) {
+		panic("bregman: dimension mismatch")
+	}
+	if len(scratch) < need {
+		panic("kernel: DistancePrep scratch shorter than QueryScratchLen")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Squared Euclidean: φ(t) = t². The one kernel allowed to deviate from the
 // scalar op order — the fused closed form Σ(x−y)² runs in 3 FLOPs per
-// coordinate instead of 8 and is exact at x = y.
+// coordinate instead of 8 and is exact at x = y. Distance, DistancePrep and
+// DistancesTo all route through l2Sum, so they agree bit for bit with each
+// other even where they differ from the oracle by rounding.
 // ---------------------------------------------------------------------------
 
 type l2Kernel struct{}
@@ -164,47 +273,32 @@ func (l2Kernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	var s float64
-	for j, xv := range x {
-		d := xv - y[j]
-		s += d * d
-	}
-	return s
+	return l2Sum(x, y)
 }
 
-func (k l2Kernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		row := block.Data[i*dim : (i+1)*dim]
-		var s float64
-		for j, xv := range row {
-			d := xv - q[j]
-			s += d * d
-		}
-		out[i] = s
-	}
+func (l2Kernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	checkDistancesTo(q, block, out)
+	l2Block(block.Data, q, out[:block.N])
+}
+
+func (l2Kernel) QueryScratchLen(int) int  { return 0 }
+func (l2Kernel) PrepQuery(_, _ []float64) {}
+func (k l2Kernel) DistancePrep(x, q, _ []float64) float64 {
+	return k.Distance(x, q)
 }
 
 func (l2Kernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = 2 * v
-	}
+	checkGrad(dst, y)
+	gradScaleLoop(dst[:len(y)], y, 2)
 }
 
 func (l2Kernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = v / 2
-	}
+	checkGrad(dst, g)
+	gradInvScaleLoop(dst[:len(g)], g, 2)
 }
 
-func (k l2Kernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	for j := range q {
-		xt := ((1-theta)*gq[j] + theta*gmu[j]) / 2
-		dq := xt - q[j]
-		dm := xt - mu[j]
-		dQ += dq * dq
-		dMu += dm * dm
-	}
+func (l2Kernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
+	dQ, dMu = l2Geo(gq, gmu, q, mu, theta)
 	return dQ, dMu, finite2(dQ, dMu)
 }
 
@@ -222,42 +316,48 @@ func (k mahalanobisKernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	w := k.w
-	var s float64
-	for j, xv := range x {
-		yv := y[j]
-		s += w*xv*xv - w*yv*yv - 2*w*yv*(xv-yv)
-	}
-	return clamp0(s)
+	return clamp0(mahaSum(k.w, x, y))
 }
 
 func (k mahalanobisKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	checkDistancesTo(q, block, out)
+	if block.Dim <= hoistCap && block.N >= hoistMinRows {
+		var buf [2 * hoistCap]float64
+		p1, p2 := buf[:block.Dim], buf[hoistCap:hoistCap+block.Dim]
+		mahaPrep(k.w, p1, p2, q)
+		mahaBlock(k.w, block.Data, q, p1, p2, out[:block.N])
+		return
 	}
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Row(i), q)
+	}
+}
+
+func (mahalanobisKernel) QueryScratchLen(d int) int { return 2 * d }
+
+func (k mahalanobisKernel) PrepQuery(scratch, q []float64) {
+	d := len(q)
+	mahaPrep(k.w, scratch[:d], scratch[d:2*d], q)
+}
+
+func (k mahalanobisKernel) DistancePrep(x, q, scratch []float64) float64 {
+	d := len(q)
+	checkPrep(x, q, scratch, 2*d)
+	return clamp0(mahaPrepSum(k.w, x, q, scratch[:d], scratch[d:2*d]))
 }
 
 func (k mahalanobisKernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = 2 * k.w * v
-	}
+	checkGrad(dst, y)
+	gradScaleLoop(dst[:len(y)], y, 2*k.w)
 }
 
 func (k mahalanobisKernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = v / (2 * k.w)
-	}
+	checkGrad(dst, g)
+	gradInvScaleLoop(dst[:len(g)], g, 2*k.w)
 }
 
 func (k mahalanobisKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	w := k.w
-	for j := range q {
-		xt := ((1-theta)*gq[j] + theta*gmu[j]) / (2 * w)
-		qv, mv := q[j], mu[j]
-		dQ += w*xt*xt - w*qv*qv - 2*w*qv*(xt-qv)
-		dMu += w*xt*xt - w*mv*mv - 2*w*mv*(xt-mv)
-	}
+	dQ, dMu = mahaGeo(k.w, gq, gmu, q, mu, theta)
 	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
 }
 
@@ -274,48 +374,58 @@ func (isKernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	var s float64
-	for j, xv := range x {
-		yv := y[j]
-		s += -math.Log(xv) - (-math.Log(yv)) - (-1/yv)*(xv-yv)
-	}
-	return clamp0(s)
+	return clamp0(isSum(x, y))
 }
 
 func (k isKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	checkDistancesTo(q, block, out)
+	if block.Dim <= hoistCap && block.N >= hoistMinRows {
+		var buf [2 * hoistCap]float64
+		p1, p2 := buf[:block.Dim], buf[hoistCap:hoistCap+block.Dim]
+		isPrep(p1, p2, q)
+		isBlock(block.Data, q, p1, p2, out[:block.N])
+		return
 	}
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Row(i), q)
+	}
+}
+
+func (isKernel) QueryScratchLen(d int) int { return 2 * d }
+
+func (isKernel) PrepQuery(scratch, q []float64) {
+	d := len(q)
+	isPrep(scratch[:d], scratch[d:2*d], q)
+}
+
+func (isKernel) DistancePrep(x, q, scratch []float64) float64 {
+	d := len(q)
+	checkPrep(x, q, scratch, 2*d)
+	return clamp0(isPrepSum(x, q, scratch[:d], scratch[d:2*d]))
 }
 
 func (isKernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = -1 / v
-	}
+	checkGrad(dst, y)
+	gradNegInvLoop(dst[:len(y)], y)
 }
 
 func (isKernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = -1 / v
-	}
+	checkGrad(dst, g)
+	gradNegInvLoop(dst[:len(g)], g)
 }
 
 func (isKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	for j := range q {
-		xt := -1 / ((1-theta)*gq[j] + theta*gmu[j])
-		if math.IsInf(xt, 0) || math.IsNaN(xt) {
-			return dQ, dMu, false
-		}
-		qv, mv := q[j], mu[j]
-		dQ += -math.Log(xt) - (-math.Log(qv)) - (-1/qv)*(xt-qv)
-		dMu += -math.Log(xt) - (-math.Log(mv)) - (-1/mv)*(xt-mv)
+	dQ, dMu, ok = isGeo(gq, gmu, q, mu, theta)
+	if !ok {
+		return dQ, dMu, false
 	}
 	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
 }
 
 // ---------------------------------------------------------------------------
-// Exponential: φ(t) = eᵗ, φ′(t) = eᵗ. Bit-identical op order.
+// Exponential: φ(t) = eᵗ, φ′(t) = eᵗ. Bit-identical op order; the two
+// query-side exponentials per coordinate are hoisted by PrepQuery, halving
+// the math.Exp count on the block scan path.
 // ---------------------------------------------------------------------------
 
 type expKernel struct{}
@@ -327,49 +437,48 @@ func (expKernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	var s float64
-	for j, xv := range x {
-		ey := math.Exp(y[j])
-		s += math.Exp(xv) - ey - ey*(xv-y[j])
-	}
-	return clamp0(s)
+	return clamp0(expSum(x, y))
 }
 
 func (k expKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	// The query-side exponentials are loop-invariant across the block; with
-	// math.Exp dominating the per-coordinate cost, hoisting them into a
-	// scratch-free rescan would still recompute them N times. They are
-	// recomputed here to preserve the exact scalar op order (bit
-	// compatibility beats the constant factor; see the package comment).
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	checkDistancesTo(q, block, out)
+	if block.Dim <= hoistCap && block.N >= hoistMinRows {
+		var buf [hoistCap]float64
+		p1 := buf[:block.Dim]
+		expPrep(p1, q)
+		expBlock(block.Data, q, p1, out[:block.N])
+		return
 	}
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Row(i), q)
+	}
+}
+
+func (expKernel) QueryScratchLen(d int) int { return d }
+
+func (expKernel) PrepQuery(scratch, q []float64) {
+	expPrep(scratch[:len(q)], q)
+}
+
+func (expKernel) DistancePrep(x, q, scratch []float64) float64 {
+	checkPrep(x, q, scratch, len(q))
+	return clamp0(expPrepSum(x, q, scratch[:len(q)]))
 }
 
 func (expKernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = math.Exp(v)
-	}
+	checkGrad(dst, y)
+	gradExpLoop(dst[:len(y)], y)
 }
 
 func (expKernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = math.Log(v)
-	}
+	checkGrad(dst, g)
+	gradLogLoop(dst[:len(g)], g)
 }
 
 func (expKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	for j := range q {
-		xt := math.Log((1-theta)*gq[j] + theta*gmu[j])
-		if math.IsInf(xt, 0) || math.IsNaN(xt) {
-			return dQ, dMu, false
-		}
-		ext := math.Exp(xt)
-		eq := math.Exp(q[j])
-		em := math.Exp(mu[j])
-		dQ += ext - eq - eq*(xt-q[j])
-		dMu += ext - em - em*(xt-mu[j])
+	dQ, dMu, ok = expGeo(gq, gmu, q, mu, theta)
+	if !ok {
+		return dQ, dMu, false
 	}
 	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
 }
@@ -387,43 +496,50 @@ func (gklKernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	var s float64
-	for j, xv := range x {
-		yv := y[j]
-		s += (xv*math.Log(xv) - xv) - (yv*math.Log(yv) - yv) - math.Log(yv)*(xv-yv)
-	}
-	return clamp0(s)
+	return clamp0(gklSum(x, y))
 }
 
 func (k gklKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	checkDistancesTo(q, block, out)
+	if block.Dim <= hoistCap && block.N >= hoistMinRows {
+		var buf [2 * hoistCap]float64
+		p1, p2 := buf[:block.Dim], buf[hoistCap:hoistCap+block.Dim]
+		gklPrep(p1, p2, q)
+		gklBlock(block.Data, q, p1, p2, out[:block.N])
+		return
 	}
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Row(i), q)
+	}
+}
+
+func (gklKernel) QueryScratchLen(d int) int { return 2 * d }
+
+func (gklKernel) PrepQuery(scratch, q []float64) {
+	d := len(q)
+	gklPrep(scratch[:d], scratch[d:2*d], q)
+}
+
+func (gklKernel) DistancePrep(x, q, scratch []float64) float64 {
+	d := len(q)
+	checkPrep(x, q, scratch, 2*d)
+	return clamp0(gklPrepSum(x, q, scratch[:d], scratch[d:2*d]))
 }
 
 func (gklKernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = math.Log(v)
-	}
+	checkGrad(dst, y)
+	gradLogLoop(dst[:len(y)], y)
 }
 
 func (gklKernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = math.Exp(v)
-	}
+	checkGrad(dst, g)
+	gradExpLoop(dst[:len(g)], g)
 }
 
 func (gklKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	for j := range q {
-		xt := math.Exp((1-theta)*gq[j] + theta*gmu[j])
-		if math.IsInf(xt, 0) || math.IsNaN(xt) {
-			return dQ, dMu, false
-		}
-		qv, mv := q[j], mu[j]
-		phiX := xt*math.Log(xt) - xt
-		dQ += phiX - (qv*math.Log(qv) - qv) - math.Log(qv)*(xt-qv)
-		dMu += phiX - (mv*math.Log(mv) - mv) - math.Log(mv)*(xt-mv)
+	dQ, dMu, ok = gklGeo(gq, gmu, q, mu, theta)
+	if !ok {
+		return dQ, dMu, false
 	}
 	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
 }
@@ -441,43 +557,50 @@ func (shannonKernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	var s float64
-	for j, xv := range x {
-		yv := y[j]
-		s += xv*math.Log(xv) - yv*math.Log(yv) - (math.Log(yv)+1)*(xv-yv)
-	}
-	return clamp0(s)
+	return clamp0(shannonSum(x, y))
 }
 
 func (k shannonKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	checkDistancesTo(q, block, out)
+	if block.Dim <= hoistCap && block.N >= hoistMinRows {
+		var buf [2 * hoistCap]float64
+		p1, p2 := buf[:block.Dim], buf[hoistCap:hoistCap+block.Dim]
+		shannonPrep(p1, p2, q)
+		shannonBlock(block.Data, q, p1, p2, out[:block.N])
+		return
 	}
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Row(i), q)
+	}
+}
+
+func (shannonKernel) QueryScratchLen(d int) int { return 2 * d }
+
+func (shannonKernel) PrepQuery(scratch, q []float64) {
+	d := len(q)
+	shannonPrep(scratch[:d], scratch[d:2*d], q)
+}
+
+func (shannonKernel) DistancePrep(x, q, scratch []float64) float64 {
+	d := len(q)
+	checkPrep(x, q, scratch, 2*d)
+	return clamp0(shannonPrepSum(x, q, scratch[:d], scratch[d:2*d]))
 }
 
 func (shannonKernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = math.Log(v) + 1
-	}
+	checkGrad(dst, y)
+	gradLogP1Loop(dst[:len(y)], y)
 }
 
 func (shannonKernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = math.Exp(v - 1)
-	}
+	checkGrad(dst, g)
+	gradExpM1Loop(dst[:len(g)], g)
 }
 
 func (shannonKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	for j := range q {
-		xt := math.Exp((1-theta)*gq[j] + theta*gmu[j] - 1)
-		if math.IsInf(xt, 0) || math.IsNaN(xt) {
-			return dQ, dMu, false
-		}
-		qv, mv := q[j], mu[j]
-		phiX := xt * math.Log(xt)
-		dQ += phiX - qv*math.Log(qv) - (math.Log(qv)+1)*(xt-qv)
-		dMu += phiX - mv*math.Log(mv) - (math.Log(mv)+1)*(xt-mv)
+	dQ, dMu, ok = shannonGeo(gq, gmu, q, mu, theta)
+	if !ok {
+		return dQ, dMu, false
 	}
 	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
 }
@@ -495,43 +618,50 @@ func (burgKernel) Distance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("bregman: dimension mismatch")
 	}
-	var s float64
-	for j, xv := range x {
-		yv := y[j]
-		s += (-math.Log(xv) + xv - 1) - (-math.Log(yv) + yv - 1) - (1-1/yv)*(xv-yv)
-	}
-	return clamp0(s)
+	return clamp0(burgSum(x, y))
 }
 
 func (k burgKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
-	dim := block.Dim
-	for i := 0; i < block.N; i++ {
-		out[i] = k.Distance(block.Data[i*dim:(i+1)*dim], q)
+	checkDistancesTo(q, block, out)
+	if block.Dim <= hoistCap && block.N >= hoistMinRows {
+		var buf [2 * hoistCap]float64
+		p1, p2 := buf[:block.Dim], buf[hoistCap:hoistCap+block.Dim]
+		burgPrep(p1, p2, q)
+		burgBlock(block.Data, q, p1, p2, out[:block.N])
+		return
 	}
+	for i := 0; i < block.N; i++ {
+		out[i] = k.Distance(block.Row(i), q)
+	}
+}
+
+func (burgKernel) QueryScratchLen(d int) int { return 2 * d }
+
+func (burgKernel) PrepQuery(scratch, q []float64) {
+	d := len(q)
+	burgPrep(scratch[:d], scratch[d:2*d], q)
+}
+
+func (burgKernel) DistancePrep(x, q, scratch []float64) float64 {
+	d := len(q)
+	checkPrep(x, q, scratch, 2*d)
+	return clamp0(burgPrepSum(x, q, scratch[:d], scratch[d:2*d]))
 }
 
 func (burgKernel) GradVec(dst, y []float64) {
-	for j, v := range y {
-		dst[j] = 1 - 1/v
-	}
+	checkGrad(dst, y)
+	gradBurgLoop(dst[:len(y)], y)
 }
 
 func (burgKernel) GradInvVec(dst, g []float64) {
-	for j, v := range g {
-		dst[j] = 1 / (1 - v)
-	}
+	checkGrad(dst, g)
+	gradBurgInvLoop(dst[:len(g)], g)
 }
 
 func (burgKernel) GeodesicStep(gq, gmu, q, mu []float64, theta float64, _ []float64) (dQ, dMu float64, ok bool) {
-	for j := range q {
-		xt := 1 / (1 - ((1-theta)*gq[j] + theta*gmu[j]))
-		if math.IsInf(xt, 0) || math.IsNaN(xt) {
-			return dQ, dMu, false
-		}
-		qv, mv := q[j], mu[j]
-		phiX := -math.Log(xt) + xt - 1
-		dQ += phiX - (-math.Log(qv) + qv - 1) - (1-1/qv)*(xt-qv)
-		dMu += phiX - (-math.Log(mv) + mv - 1) - (1-1/mv)*(xt-mv)
+	dQ, dMu, ok = burgGeo(gq, gmu, q, mu, theta)
+	if !ok {
+		return dQ, dMu, false
 	}
 	return clamp0(dQ), clamp0(dMu), finite2(dQ, dMu)
 }
@@ -550,17 +680,27 @@ func (k genericKernel) Distance(x, y []float64) float64 {
 }
 
 func (k genericKernel) DistancesTo(q []float64, block FlatBlock, out []float64) {
+	checkDistancesTo(q, block, out)
 	dim := block.Dim
 	for i := 0; i < block.N; i++ {
 		out[i] = bregman.Distance(k.div, block.Data[i*dim:(i+1)*dim], q)
 	}
 }
 
+func (genericKernel) QueryScratchLen(int) int  { return 0 }
+func (genericKernel) PrepQuery(_, _ []float64) {}
+
+func (k genericKernel) DistancePrep(x, q, _ []float64) float64 {
+	return bregman.Distance(k.div, x, q)
+}
+
 func (k genericKernel) GradVec(dst, y []float64) {
+	checkGrad(dst, y)
 	bregman.GradVec(k.div, dst, y)
 }
 
 func (k genericKernel) GradInvVec(dst, g []float64) {
+	checkGrad(dst, g)
 	bregman.GradInvVec(k.div, dst, g)
 }
 

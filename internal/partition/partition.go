@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/transform"
@@ -88,12 +89,20 @@ func clampM(d, m int) int {
 // (0 means min(n, 2000)); seed fixes the random choice of each group's
 // first dimension, whose influence §9.3.3 measures.
 func PCCP(points [][]float64, m, sample int, seed int64) [][]int {
+	return PCCPWorkers(points, m, sample, seed, 1)
+}
+
+// PCCPWorkers is PCCP with the correlation matrix computed across workers
+// goroutines. Every matrix entry is an independent pair computation, so
+// the result is bit-identical at any worker count; the greedy grouping
+// that follows is untouched.
+func PCCPWorkers(points [][]float64, m, sample int, seed int64, workers int) [][]int {
 	d := len(points[0])
 	m = clampM(d, m)
 	if m == d {
 		return Equal(d, m)
 	}
-	corr := AbsCorrelationMatrix(points, sample, seed)
+	corr := AbsCorrelationMatrixWorkers(points, sample, seed, workers)
 	rng := rand.New(rand.NewSource(seed))
 
 	assigned := make([]bool, d)
@@ -155,6 +164,15 @@ func PCCP(points [][]float64, m, sample int, seed int64) [][]int {
 // AbsCorrelationMatrix computes |Pearson| between every pair of dimensions
 // over a sample of the points.
 func AbsCorrelationMatrix(points [][]float64, sample int, seed int64) [][]float64 {
+	return AbsCorrelationMatrixWorkers(points, sample, seed, 1)
+}
+
+// AbsCorrelationMatrixWorkers fans the pair computations of the matrix's
+// upper triangle across workers goroutines, striding rows so the work
+// (row a costs d−a pairs) balances. Each entry is computed independently
+// from the gathered columns — no shared accumulation — so the matrix is
+// bit-identical at every worker count.
+func AbsCorrelationMatrixWorkers(points [][]float64, sample int, seed int64, workers int) [][]float64 {
 	n := len(points)
 	d := len(points[0])
 	if sample <= 0 || sample > n {
@@ -177,14 +195,32 @@ func AbsCorrelationMatrix(points [][]float64, sample int, seed int64) [][]float6
 	for j := range corr {
 		corr[j] = make([]float64, d)
 	}
-	for a := 0; a < d; a++ {
-		corr[a][a] = 1
-		for b := a + 1; b < d; b++ {
-			c := math.Abs(vecmath.Pearson(cols[a], cols[b]))
-			corr[a][b] = c
-			corr[b][a] = c
+	fillRows := func(start, stride int) {
+		for a := start; a < d; a += stride {
+			corr[a][a] = 1
+			for b := a + 1; b < d; b++ {
+				c := math.Abs(vecmath.Pearson(cols[a], cols[b]))
+				corr[a][b] = c
+				corr[b][a] = c
+			}
 		}
 	}
+	if workers <= 1 || d < 8 {
+		fillRows(0, 1)
+		return corr
+	}
+	if workers > d {
+		workers = d
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fillRows(w, workers)
+		}(w)
+	}
+	wg.Wait()
 	return corr
 }
 

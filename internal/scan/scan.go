@@ -17,7 +17,10 @@ import (
 )
 
 // KNN returns the exact k nearest neighbours of q (ids and distances,
-// ascending) by scanning every point.
+// ascending) by scanning every point. The query-side terms of the
+// divergence are hoisted once (kernel.PrepQuery) and shared across the
+// whole scan — bit-identical to per-point Distance, at roughly half the
+// transcendental cost for the log/exp divergences.
 func KNN(div bregman.Divergence, points [][]float64, q []float64, k int) []topk.Item {
 	if k <= 0 || len(points) == 0 {
 		return nil
@@ -26,11 +29,24 @@ func KNN(div bregman.Divergence, points [][]float64, q []float64, k int) []topk.
 		k = len(points)
 	}
 	kern := kernel.For(div)
+	prep := prepFor(kern, q)
 	sel := topk.New(k)
 	for id, p := range points {
-		sel.Offer(id, kern.Distance(p, q))
+		sel.Offer(id, kern.DistancePrep(p, q, prep))
 	}
 	return sel.Items()
+}
+
+// prepFor allocates and fills a query-prep buffer for kern; nil when the
+// kernel hoists nothing (L2, generic), which DistancePrep accepts.
+func prepFor(kern kernel.Kernel, q []float64) []float64 {
+	n := kern.QueryScratchLen(len(q))
+	if n == 0 {
+		return nil
+	}
+	prep := make([]float64, n)
+	kern.PrepQuery(prep, q)
+	return prep
 }
 
 // KNNBlock is KNN over a flat row-major block: the kernel streams the
@@ -74,9 +90,10 @@ func Refine(div bregman.Divergence, sess *disk.Session, candidates []int, q []fl
 	if k > len(candidates) {
 		k = len(candidates)
 	}
+	kern := kernel.For(div)
 	sel := topk.New(k)
 	var buf [RefineChunk]float64
-	RefineCtx(kernel.For(div), sess, candidates, q, sel, buf[:])
+	RefineCtx(kern, sess, candidates, q, sel, buf[:], prepFor(kern, q))
 	return sel.Items()
 }
 
@@ -85,10 +102,13 @@ func Refine(div bregman.Divergence, sess *disk.Session, candidates []int, q []fl
 // (len ≥ 1) as the block evaluation buffer. Candidates whose disk slots
 // are physically consecutive — whole leaf clusters discovered by the
 // filter — are evaluated per arena block with kern.DistancesTo instead of
-// point-at-a-time, streaming the refinement cache-linearly. It performs no
-// allocation.
-func RefineCtx(kern kernel.Kernel, sess *disk.Session, candidates []int, q []float64, sel *topk.Selector, dist []float64) {
+// point-at-a-time, streaming the refinement cache-linearly. prep is the
+// query's kernel.PrepQuery output (or nil to forgo hoisting); isolated
+// candidates are evaluated through kern.DistancePrep when it is supplied.
+// RefineCtx performs no allocation.
+func RefineCtx(kern kernel.Kernel, sess *disk.Session, candidates []int, q []float64, sel *topk.Selector, dist []float64, prep []float64) {
 	store := sess.Store()
+	hoisted := prep != nil
 	for i := 0; i < len(candidates); {
 		id := candidates[i]
 		slot := store.Slot(id)
@@ -98,13 +118,16 @@ func RefineCtx(kern kernel.Kernel, sess *disk.Session, candidates []int, q []flo
 		for j < len(candidates) && j-i < len(dist) && store.Slot(candidates[j]) == slot+(j-i) {
 			j++
 		}
-		if j-i >= 2 {
+		switch {
+		case j-i >= 2:
 			block := sess.SlotBlock(slot, slot+(j-i))
 			kern.DistancesTo(q, block, dist[:j-i])
 			for t := i; t < j; t++ {
 				sel.Offer(candidates[t], dist[t-i])
 			}
-		} else {
+		case hoisted:
+			sel.Offer(id, kern.DistancePrep(sess.Point(id), q, prep))
+		default:
 			sel.Offer(id, kern.Distance(sess.Point(id), q))
 		}
 		i = j
@@ -120,9 +143,10 @@ func RefineInMemory(div bregman.Divergence, points [][]float64, candidates []int
 		k = len(candidates)
 	}
 	kern := kernel.For(div)
+	prep := prepFor(kern, q)
 	sel := topk.New(k)
 	for _, id := range candidates {
-		sel.Offer(id, kern.Distance(points[id], q))
+		sel.Offer(id, kern.DistancePrep(points[id], q, prep))
 	}
 	return sel.Items()
 }
@@ -130,9 +154,10 @@ func RefineInMemory(div bregman.Divergence, points [][]float64, candidates []int
 // Range returns all ids with D_f(x, q) ≤ r by brute force.
 func Range(div bregman.Divergence, points [][]float64, q []float64, r float64) []int {
 	kern := kernel.For(div)
+	prep := prepFor(kern, q)
 	var out []int
 	for id, p := range points {
-		if kern.Distance(p, q) <= r {
+		if kern.DistancePrep(p, q, prep) <= r {
 			out = append(out, id)
 		}
 	}

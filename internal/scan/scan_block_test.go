@@ -78,7 +78,7 @@ func TestRefineCtxMatchesRefine(t *testing.T) {
 		sessB := store.NewSession()
 		sel := topk.New(7)
 		dist := make([]float64, RefineChunk)
-		RefineCtx(kern, sessB, cands, q, sel, dist)
+		RefineCtx(kern, sessB, cands, q, sel, dist, prepFor(kern, q))
 		got := sel.Items()
 
 		if !reflect.DeepEqual(got, want) {
@@ -107,7 +107,7 @@ func TestRefineCtxTinyDistBuffer(t *testing.T) {
 	want := Refine(div, store.NewSession(), cands, points[5], 4)
 
 	sel := topk.New(4)
-	RefineCtx(kernel.For(div), store.NewSession(), cands, points[5], sel, make([]float64, 1))
+	RefineCtx(kernel.For(div), store.NewSession(), cands, points[5], sel, make([]float64, 1), nil)
 	if !reflect.DeepEqual(sel.Items(), want) {
 		t.Fatalf("tiny-buffer RefineCtx diverged\ngot  %v\nwant %v", sel.Items(), want)
 	}

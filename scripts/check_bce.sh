@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# check_bce.sh — fail if the compiler leaves a bounds check in a kernel
+# hot loop.
+#
+# internal/kernel/loops.go is written so that every slice access in the
+# distance/gradient/geodesic inner loops is provably in range (advance-by-
+# reslicing with constant-index heads, length-capped row views). This
+# script compiles the kernel package with -d=ssa/check_bce, which makes
+# the compiler report every bounds check it could NOT eliminate, and
+# fails if any such report lands in loops.go. Reports against kernel.go
+# are expected — that file is the validation layer, whose checks exist to
+# panic on contract violations.
+#
+# -a forces recompilation: a cache hit would skip the compiler and hide
+# the diagnostics.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go build -a -gcflags='brepartition/internal/kernel=-d=ssa/check_bce' ./internal/kernel/ 2>&1) || {
+    printf '%s\n' "$out"
+    echo "check_bce: go build failed" >&2
+    exit 1
+}
+
+hits=$(printf '%s\n' "$out" | grep 'loops\.go.*Found Is' || true)
+if [ -n "$hits" ]; then
+    echo "check_bce: bounds checks survive in kernel hot loops:" >&2
+    printf '%s\n' "$hits" >&2
+    exit 1
+fi
+echo "check_bce: internal/kernel/loops.go is bounds-check free"
