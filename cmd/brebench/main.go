@@ -8,7 +8,7 @@
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, fig15, fig15-uniform, batch, sharded, durable, serve,
-// buildscale.
+// buildscale, churn.
 //
 // The batch, sharded, durable, and serve experiments go beyond the
 // paper: batch replays one batch of queries through the concurrent
@@ -22,7 +22,11 @@
 // reports achieved QPS, shed rate, and served-request latency; buildscale
 // times fresh index construction at several -buildworkers settings and
 // pins the parallel build's snapshot digest against the serial one
-// (parallel construction is bit-identical at any worker count).
+// (parallel construction is bit-identical at any worker count); churn
+// soaks the sharded index through -rounds rounds of 50% turnover and
+// shows per-shard health decay and latency recovery after each
+// maintenance sweep, with every answer verified exact against a
+// brute-force oracle over the live set.
 //
 // Flags:
 //
@@ -31,7 +35,8 @@
 //	-seed n       RNG seed (default 1)
 //	-workers n    max engine query workers for batch (default GOMAXPROCS)
 //	-batch n      batch size for the batch/sharded experiments (default 256)
-//	-shards n     shard count for the sharded experiment (default 4)
+//	-shards n     shard count for the sharded/churn experiments (default 4)
+//	-rounds n     churn rounds for the churn experiment (default 2)
 //	-buildworkers n max build workers for buildscale (default GOMAXPROCS)
 //	-cpuprofile f write a pprof CPU profile of the experiment run to f
 //	              (inspect with `go tool pprof`; the hot-path budget lives
@@ -52,7 +57,7 @@ import (
 var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
-	"batch", "sharded", "durable", "serve", "buildscale",
+	"batch", "sharded", "durable", "serve", "buildscale", "churn",
 }
 
 func main() {
@@ -61,7 +66,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	workers := flag.Int("workers", 0, "max engine query workers for batch (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 256, "batch size for the batch/sharded experiments")
-	shards := flag.Int("shards", 4, "shard count for the sharded experiment")
+	shards := flag.Int("shards", 4, "shard count for the sharded/churn experiments")
+	rounds := flag.Int("rounds", 2, "turnover rounds for the churn experiment")
 	buildWorkers := flag.Int("buildworkers", 0, "max build workers for buildscale (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Usage = usage
@@ -114,7 +120,7 @@ func main() {
 	}
 
 	for _, name := range wanted {
-		tables, err := run(env, name, *workers, *batch, *shards, *buildWorkers)
+		tables, err := run(env, name, *workers, *batch, *shards, *buildWorkers, *rounds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "brebench:", err)
 			stopProfile()
@@ -126,7 +132,7 @@ func main() {
 	}
 }
 
-func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers int) ([]experiments.Table, error) {
+func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers, rounds int) ([]experiments.Table, error) {
 	switch name {
 	case "table4":
 		return env.Table4(), nil
@@ -160,6 +166,8 @@ func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers
 		return env.Serve(workers), nil
 	case "buildscale":
 		return env.BuildScale(buildWorkers), nil
+	case "churn":
+		return env.Churn(shards, rounds), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

@@ -11,8 +11,10 @@
 //	breserved -index durable/ -addr :7600 -sync 1
 //
 // Endpoints: POST /v1/{search,approx,range,insert,delete} (JSON),
-// POST /v1/frame (binary), POST /admin/{reload,checkpoint},
-// GET /healthz, GET /metrics.
+// POST /v1/frame (binary), POST /admin/{reload,checkpoint,compact},
+// GET /healthz, GET /metrics. With -maintain set, a background maintainer
+// sweeps per-shard health and compacts decayed shards online (queries
+// never block; see internal/maintain).
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight HTTP
 // requests finish, pending coalesced batches dispatch and complete, and
@@ -51,6 +53,10 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "search admission limit; excess sheds 429 (0 = 4×GOMAXPROCS)")
 	maxMutations := flag.Int("max-mutations", 0, "mutation admission limit (0 = 64)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 2s)")
+	maintain := flag.Duration("maintain", 0, "background shard-maintenance sweep interval (0 disables; POST /admin/compact still works)")
+	maintainMinLive := flag.Float64("maintain-min-live", 0, "compact a shard when its live/resident ratio drops below this (0 = 0.5)")
+	maintainMaxTail := flag.Float64("maintain-max-tail", 0, "compact a shard when its post-build insert fraction exceeds this (0 = 0.25)")
+	maintainMinPoints := flag.Int("maintain-min-points", 0, "never compact shards smaller than this (0 = 64)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 	flag.Parse()
 
@@ -88,11 +94,15 @@ func main() {
 	}
 
 	sopts := &brepartition.ServerOptions{
-		CoalesceBatch: *coalesceBatch,
-		CoalesceDelay: *coalesceDelay,
-		MaxInFlight:   *maxInFlight,
-		MaxMutations:  *maxMutations,
-		Timeout:       *timeout,
+		CoalesceBatch:     *coalesceBatch,
+		CoalesceDelay:     *coalesceDelay,
+		MaxInFlight:       *maxInFlight,
+		MaxMutations:      *maxMutations,
+		Timeout:           *timeout,
+		MaintainInterval:  *maintain,
+		MaintainMinLive:   *maintainMinLive,
+		MaintainMaxTail:   *maintainMaxTail,
+		MaintainMinPoints: *maintainMinPoints,
 	}
 	sopts.Engine.Workers = *workers
 	sopts.Engine.CacheSize = *cache

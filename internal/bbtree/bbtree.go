@@ -226,6 +226,30 @@ func (t *Tree) NumLeaves() int {
 	return c
 }
 
+// Depth returns the maximum node depth (root = 1), a health signal for
+// the maintainer: insert-by-descent never rebalances, so a tree whose
+// depth drifts far past the build-time depth is a rebuild candidate.
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	type frame struct{ idx, depth int }
+	stack := []frame{{0, 1}}
+	max := 0
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.depth > max {
+			max = f.depth
+		}
+		node := &t.Nodes[f.idx]
+		if !node.IsLeaf() {
+			stack = append(stack, frame{node.Left, f.depth + 1}, frame{node.Right, f.depth + 1})
+		}
+	}
+	return max
+}
+
 // SubPoint returns the tree-local (subspace) coordinates of dataset id as
 // an arena view, or nil when the id is not live (deleted or never seen).
 func (t *Tree) SubPoint(id int) []float64 {

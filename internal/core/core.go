@@ -112,6 +112,11 @@ type Index struct {
 	opts Options
 	// deleted marks tombstoned points (nil until the first Delete).
 	deleted []bool
+	// built is the number of points resident in the build-time arenas
+	// (ids < built are arena rows); points appended by Insert afterwards
+	// live outside both the row-major Points arena and the slot-major disk
+	// arena until a rebuild folds them back in.
+	built int
 	// d caches the dimensionality, truly immutable after construction
 	// (unlike the Points slice header, which Insert rewrites), so Dim
 	// stays lock-free.
@@ -221,7 +226,7 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 		return nil, err
 	}
 
-	ix := &Index{Div: div, Points: rows, opts: opts, d: d, kern: kernel.For(div)}
+	ix := &Index{Div: div, Points: rows, opts: opts, d: d, kern: kernel.For(div), built: len(rows)}
 
 	// Step 1 (Line 2): number of partitions.
 	m := opts.M
@@ -365,6 +370,51 @@ func (ix *Index) Dim() int { return ix.d }
 
 // dim is the internal alias used on paths that already hold ix.mu.
 func (ix *Index) dim() int { return ix.d }
+
+// TailLen returns the number of points appended by Insert since the last
+// build: rows living outside the slot-major arena, where refinement falls
+// off the zero-copy block path. A rebuild (Build over the live points)
+// folds the tail back in and resets this to zero.
+func (ix *Index) TailLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.Points) - ix.built
+}
+
+// MaxTreeDepth returns the deepest subspace BB-tree's depth — a structural
+// health signal: insert-by-descent never rebalances, so depth drifting far
+// past the built depth marks the index a rebuild candidate.
+func (ix *Index) MaxTreeDepth() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	max := 0
+	for _, t := range ix.Forest.Trees {
+		if d := t.Depth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// LiveSnapshot returns the ids and rows of every live point, ascending by
+// id. The rows alias the index's storage — point rows are never mutated
+// after insertion, so the snapshot stays coordinate-stable across
+// concurrent mutations — but callers must treat them as read-only.
+func (ix *Index) LiveSnapshot() (ids []int, points [][]float64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.Points)
+	ids = make([]int, 0, n)
+	points = make([][]float64, 0, n)
+	for id := 0; id < n; id++ {
+		if ix.deleted != nil && id < len(ix.deleted) && ix.deleted[id] {
+			continue
+		}
+		ids = append(ids, id)
+		points = append(points, ix.Points[id])
+	}
+	return ids, points
+}
 
 // Version returns the number of mutations (Insert/Delete) applied so far.
 // Two searches bracketed by equal Version values saw the same index state.

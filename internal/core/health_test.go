@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"brepartition/internal/disk"
+)
+
+// TestInsertStoreFailureLeavesIndexUntouched pins the ordering bug fixed
+// in this package: the store append is Insert's only fallible step, so it
+// must run before the id is published to any structure. A failing Append
+// must leave N, Live, Version, the tail, and search results exactly as
+// they were — no phantom id in the trees, no orphan tuple.
+func TestInsertStoreFailureLeavesIndexUntouched(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 4)
+	q := ds.Points[11]
+	before, err := ix.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, live, ver, tail := ix.N(), ix.Live(), ix.Version(), ix.TailLen()
+
+	// Swap in a store of the wrong width: Append now fails
+	// deterministically after Insert's own validation has passed.
+	wide := [][]float64{make([]float64, ix.Dim()+1)}
+	for j := range wide[0] {
+		wide[0][j] = 1
+	}
+	bad, err := disk.NewStore(wide, nil, disk.Config{PageSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ix.Forest.Store
+	ix.Forest.Store = bad
+	if _, err := ix.Insert(ds.Points[0]); err == nil {
+		t.Fatal("Insert succeeded against a store that rejects appends")
+	}
+	ix.Forest.Store = good
+
+	if ix.N() != n || ix.Live() != live || ix.Version() != ver || ix.TailLen() != tail {
+		t.Fatalf("failed Insert mutated the index: N %d→%d Live %d→%d Version %d→%d Tail %d→%d",
+			n, ix.N(), live, ix.Live(), ver, ix.Version(), tail, ix.TailLen())
+	}
+	after, err := ix.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Items {
+		if after.Items[i] != before.Items[i] {
+			t.Fatalf("rank %d changed after failed Insert: %v != %v",
+				i, after.Items[i], before.Items[i])
+		}
+	}
+
+	// The index must still accept a normal insert afterwards.
+	if _, err := ix.Insert(ds.Points[0]); err != nil {
+		t.Fatalf("Insert after recovered failure: %v", err)
+	}
+	if ix.N() != n+1 || ix.Version() != ver+1 {
+		t.Fatalf("recovery insert: N=%d Version=%d, want %d/%d",
+			ix.N(), ix.Version(), n+1, ver+1)
+	}
+}
+
+// TestTailLenTracksInserts pins the arena-tail health metric: a fresh
+// build is all-arena (tail 0), every Insert grows the tail by one, and a
+// rebuild over the live snapshot folds the tail back to zero.
+func TestTailLenTracksInserts(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 4)
+	if ix.TailLen() != 0 {
+		t.Fatalf("fresh build TailLen = %d, want 0", ix.TailLen())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ix.Insert(ds.Points[i]); err != nil {
+			t.Fatal(err)
+		}
+		if ix.TailLen() != i+1 {
+			t.Fatalf("after %d inserts TailLen = %d", i+1, ix.TailLen())
+		}
+	}
+	ix.Delete(3)
+	ix.Delete(601) // one of the tail points
+
+	ids, points := ix.LiveSnapshot()
+	if len(ids) != ix.Live() || len(points) != ix.Live() {
+		t.Fatalf("LiveSnapshot %d ids / %d points, Live() = %d",
+			len(ids), len(points), ix.Live())
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("LiveSnapshot ids not strictly increasing at %d: %d, %d",
+				i, ids[i-1], ids[i])
+		}
+	}
+	for _, id := range ids {
+		if ix.Deleted(id) {
+			t.Fatalf("LiveSnapshot returned deleted id %d", id)
+		}
+	}
+
+	rebuilt, err := Build(ix.Div, points, smallOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.TailLen() != 0 {
+		t.Fatalf("rebuild TailLen = %d, want 0 (tail not folded into arena)", rebuilt.TailLen())
+	}
+	if rebuilt.Forest.Store.Len() != len(points) {
+		t.Fatalf("rebuilt store holds %d rows, want %d (tombstones carried over)",
+			rebuilt.Forest.Store.Len(), len(points))
+	}
+}
+
+// TestPersistedIndexIsAllArena: loading a snapshot lands every point in
+// the arena — the tail metric restarts at zero.
+func TestPersistedIndexIsAllArena(t *testing.T) {
+	ix, ds := buildSmall(t, "ed", 3)
+	for i := 0; i < 5; i++ {
+		if _, err := ix.Insert(ds.Points[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.TailLen() != 5 {
+		t.Fatalf("TailLen = %d, want 5", ix.TailLen())
+	}
+	path := t.TempDir() + "/tail.bpi"
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TailLen() != 0 {
+		t.Fatalf("loaded TailLen = %d, want 0", loaded.TailLen())
+	}
+	if loaded.MaxTreeDepth() <= 0 {
+		t.Fatalf("MaxTreeDepth = %d, want > 0", loaded.MaxTreeDepth())
+	}
+}

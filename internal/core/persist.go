@@ -297,6 +297,7 @@ func ReadFileWith(path string, resolve func(name string) (bregman.Divergence, er
 		opts:   Options{Disk: disk.Config{PageSize: pageSize, IOPS: 50_000}},
 		d:      d,
 		kern:   kernel.For(div),
+		built:  n,
 	}
 	return ix, nil
 }

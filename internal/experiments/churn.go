@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"brepartition/internal/core"
+	"brepartition/internal/kernel"
+	"brepartition/internal/maintain"
+	"brepartition/internal/shard"
+	"brepartition/internal/topk"
+)
+
+// Churn soaks the sharded index under sustained turnover and shows what
+// the maintainer buys: after each churn round (delete half the live
+// points, insert replacements) the same query workload is replayed and
+// checked exact against a brute-force oracle over the live set, then
+// replayed again after a maintenance sweep. The health columns (worst
+// live ratio, worst tail fraction across shards) make the decay visible;
+// the latency columns make the recovery visible. Nothing here is
+// approximate — every phase's answers are verified bit-exact first, so
+// the table measures the cost of decay, never its correctness.
+func (e *Env) Churn(shards, rounds int) []Table {
+	if shards <= 0 {
+		shards = 4
+	}
+	if rounds <= 0 {
+		rounds = 2
+	}
+	k := e.cfg.Ks[0]
+	name := "uniform"
+	ds := e.Dataset(name)
+	div := e.divergence(ds)
+	queries := e.Queries(name)
+	rng := rand.New(rand.NewSource(e.cfg.Seed + 31))
+
+	sx, err := shard.Build(div, ds.Points, shard.Options{
+		Shards: shards,
+		Core: core.Options{
+			Tree: e.treeCfg(),
+			Disk: e.diskCfg(ds),
+			Seed: e.cfg.Seed,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("churn(%s): %v", name, err))
+	}
+
+	// Oracle model: live global id -> point. Replacement inserts reuse
+	// dataset rows (guaranteed in-domain for the divergence).
+	live := map[int][]float64{}
+	for g, p := range ds.Points {
+		live[g] = p
+	}
+
+	mnt := maintain.New(sx, maintain.Config{}) // loop off; swept via RunOnce
+	defer mnt.Close()
+
+	soak := Table{
+		Title: fmt.Sprintf("Churn soak — %s (k=%d, %d shards, %d rounds of 50%% turnover)",
+			name, k, shards, rounds),
+		Header: []string{"phase", "live", "worst liveRatio", "worst tail", "exact", "p50", "p99"},
+	}
+	actions := Table{
+		Title:  "Churn soak — maintenance sweeps",
+		Header: []string{"after round", "compacted", "tombstones dropped", "catch-up", "build wall"},
+	}
+
+	soak.Rows = append(soak.Rows, e.churnPhase("fresh build", sx, live, queries, k))
+
+	for round := 1; round <= rounds; round++ {
+		// 50% turnover: delete half the live set, insert fresh copies of
+		// the evicted rows (new global ids, same distribution).
+		ids := make([]int, 0, len(live))
+		for g := range live {
+			ids = append(ids, g)
+		}
+		sort.Ints(ids)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		evict := ids[:len(ids)/2]
+		for _, g := range evict {
+			if !sx.Delete(g) {
+				panic(fmt.Sprintf("churn: delete of live id %d refused", g))
+			}
+			p := live[g]
+			delete(live, g)
+			ng, err := sx.Insert(p)
+			if err != nil {
+				panic(fmt.Sprintf("churn: insert: %v", err))
+			}
+			live[ng] = p
+		}
+
+		soak.Rows = append(soak.Rows,
+			e.churnPhase(fmt.Sprintf("round %d decayed", round), sx, live, queries, k))
+
+		verBefore := sx.Version()
+		stats, err := mnt.RunOnce()
+		if err != nil {
+			panic(fmt.Sprintf("churn: maintenance sweep: %v", err))
+		}
+		if sx.Version() != verBefore {
+			panic("churn: compaction bumped Version — answers were supposed to be unchanged")
+		}
+		var dropped, catchUp int
+		var buildWall time.Duration
+		for _, st := range stats {
+			dropped += st.Dropped
+			catchUp += st.CatchUp
+			buildWall += st.BuildTime
+		}
+		actions.Rows = append(actions.Rows, []string{
+			itoa(round), itoa(len(stats)), itoa(dropped), itoa(catchUp), fmtDur(buildWall),
+		})
+
+		soak.Rows = append(soak.Rows,
+			e.churnPhase(fmt.Sprintf("round %d compacted", round), sx, live, queries, k))
+	}
+	return []Table{soak, actions}
+}
+
+// churnPhase replays the workload against the index in its current state,
+// verifies every answer exactly against the live-set oracle, and returns
+// one soak-table row.
+func (e *Env) churnPhase(phase string, sx *shard.Index, live map[int][]float64, queries [][]float64, k int) []string {
+	kern := kernel.For(sx.Divergence())
+	lats := make([]time.Duration, 0, len(queries))
+	for qi, q := range queries {
+		start := time.Now()
+		got, err := sx.Search(q, k)
+		lats = append(lats, time.Since(start))
+		if err != nil {
+			panic(fmt.Sprintf("churn %s query %d: %v", phase, qi, err))
+		}
+		want := oracleKNN(kern, live, q, k)
+		if len(got.Items) != len(want) {
+			panic(fmt.Sprintf("churn %s query %d: %d results, oracle has %d",
+				phase, qi, len(got.Items), len(want)))
+		}
+		for r := range want {
+			if got.Items[r] != want[r] {
+				panic(fmt.Sprintf("churn %s query %d rank %d: %v != oracle %v",
+					phase, qi, r, got.Items[r], want[r]))
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	worstLive, worstTail := 1.0, 0.0
+	for _, h := range sx.Health() {
+		if lr := h.LiveRatio(); lr < worstLive {
+			worstLive = lr
+		}
+		if tr := h.TailRatio(); tr > worstTail {
+			worstTail = tr
+		}
+	}
+	return []string{
+		phase,
+		itoa(sx.Live()),
+		fmt.Sprintf("%.3f", worstLive),
+		fmt.Sprintf("%.3f", worstTail),
+		fmt.Sprintf("%d/%d", len(queries), len(queries)),
+		fmtDur(lats[len(lats)/2]),
+		fmtDur(lats[len(lats)*99/100]),
+	}
+}
+
+// oracleKNN is the ground truth under churn: brute force over the live
+// map with global ids, the same kernel and tie-break order as the index.
+func oracleKNN(kern kernel.Kernel, live map[int][]float64, q []float64, k int) []topk.Item {
+	if k > len(live) {
+		k = len(live)
+	}
+	ids := make([]int, 0, len(live))
+	for g := range live {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	var prep []float64
+	if n := kern.QueryScratchLen(len(q)); n > 0 {
+		prep = make([]float64, n)
+		kern.PrepQuery(prep, q)
+	}
+	sel := topk.New(k)
+	for _, g := range ids {
+		sel.Offer(g, kern.DistancePrep(live[g], q, prep))
+	}
+	return sel.Items()
+}

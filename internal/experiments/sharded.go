@@ -75,8 +75,8 @@ func (e *Env) Sharded(workers, batchSize, shards int) []Table {
 		}
 
 		tbl := Table{
-			Title: fmt.Sprintf("Sharded scatter-gather — %s (batch=%d, k=%d, N=%d shards, sizes=%v)",
-				name, batchSize, k, shards, sx.ShardSizes()),
+			Title: fmt.Sprintf("Sharded scatter-gather — %s (batch=%d, k=%d, N=%d shards, live sizes=%v)",
+				name, batchSize, k, shards, sx.ShardLiveSizes()),
 			Header: []string{"mode", "wall", "QPS", "pageReads", "speedup"},
 		}
 

@@ -1,0 +1,182 @@
+// Package maintain keeps a long-lived sharded index healthy under churn —
+// the paper's future-work item (§10) taken to its operational conclusion.
+// The mutable paths are deliberately cheap-and-decaying: deletes tombstone
+// (dead tuples still feed the bound scan), inserts descend without
+// rebalancing (balls loosen, trees deepen), and appended points land at
+// the disk layout's tail, off the zero-copy block-refine path. Nothing in
+// the write path ever pays the rebuild cost — so something must, or a
+// write-heavy node degrades forever.
+//
+// The Maintainer is that something: it periodically sweeps per-shard
+// health (live ratio, arena-tail fraction) and compacts any shard past
+// its thresholds — an off-hot-path rebuild over the live points published
+// through the shard layer's generation swap, so queries never block and
+// answers never change. Compaction decisions are per shard: one hot shard
+// doesn't force a whole-index rebuild.
+package maintain
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brepartition/internal/shard"
+)
+
+// Target is what the maintainer sweeps and compacts: shard.Durable and
+// shard.Handle both implement it (and tests stub it).
+type Target interface {
+	Health() []shard.ShardHealth
+	CompactShard(s int) (shard.CompactStats, error)
+}
+
+// Config tunes the sweep. The zero value gives sane defaults with the
+// background loop disabled (call RunOnce, or set Interval).
+type Config struct {
+	// Interval between background sweeps; 0 disables the loop (RunOnce
+	// still works — the /admin/compact path).
+	Interval time.Duration
+	// MinLiveRatio compacts a shard when live/resident drops below it
+	// (0 = 0.5: compact once half the shard is tombstones; negative
+	// disables the criterion).
+	MinLiveRatio float64
+	// MaxTailRatio compacts a shard when the fraction of points appended
+	// since its last build exceeds it (0 = 0.25; negative disables).
+	MaxTailRatio float64
+	// MinPoints exempts shards smaller than this from compaction — tiny
+	// shards churn ratios wildly and rebuild in microseconds anyway
+	// (0 = 64; negative exempts nothing).
+	MinPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLiveRatio == 0 {
+		c.MinLiveRatio = 0.5
+	}
+	if c.MaxTailRatio == 0 {
+		c.MaxTailRatio = 0.25
+	}
+	if c.MinPoints == 0 {
+		c.MinPoints = 64
+	}
+	return c
+}
+
+// Stats is a snapshot of the maintainer's counters.
+type Stats struct {
+	// Sweeps counts completed health sweeps (RunOnce calls included).
+	Sweeps uint64
+	// Compactions counts shard compactions performed.
+	Compactions uint64
+	// Errors counts failed compaction attempts.
+	Errors uint64
+	// LastErr is the most recent compaction failure (nil when healthy).
+	LastErr error
+}
+
+// Maintainer watches a Target and compacts decayed shards. Create with
+// New; stop with Close. All methods are safe for concurrent use.
+type Maintainer struct {
+	t   Target
+	cfg Config
+
+	sweeps      atomic.Uint64
+	compactions atomic.Uint64
+	errs        atomic.Uint64
+
+	errMu   sync.Mutex
+	lastErr error
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates a maintainer over t and, when cfg.Interval > 0, starts its
+// background sweep loop.
+func New(t Target, cfg Config) *Maintainer {
+	m := &Maintainer{t: t, cfg: cfg.withDefaults(), stop: make(chan struct{})}
+	if m.cfg.Interval > 0 {
+		m.wg.Add(1)
+		go m.loop()
+	}
+	return m
+}
+
+func (m *Maintainer) loop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			// Errors are counted and kept for Stats; the loop keeps
+			// sweeping — one shard's failure must not strand the rest.
+			m.RunOnce()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// needsCompaction applies the thresholds to one shard's health.
+func (m *Maintainer) needsCompaction(h shard.ShardHealth) bool {
+	if m.cfg.MinPoints > 0 && h.N < m.cfg.MinPoints {
+		return false
+	}
+	if m.cfg.MinLiveRatio > 0 && h.LiveRatio() < m.cfg.MinLiveRatio {
+		return true
+	}
+	if m.cfg.MaxTailRatio > 0 && h.TailRatio() > m.cfg.MaxTailRatio {
+		return true
+	}
+	return false
+}
+
+// RunOnce sweeps every shard's health now and compacts the ones past
+// their thresholds, returning the compactions performed and the first
+// error (later shards are still attempted).
+func (m *Maintainer) RunOnce() ([]shard.CompactStats, error) {
+	defer m.sweeps.Add(1)
+	var compacted []shard.CompactStats
+	var firstErr error
+	for _, h := range m.t.Health() {
+		if !m.needsCompaction(h) {
+			continue
+		}
+		st, err := m.t.CompactShard(h.Shard)
+		if err != nil {
+			m.errs.Add(1)
+			m.errMu.Lock()
+			m.lastErr = err
+			m.errMu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		compacted = append(compacted, st)
+		m.compactions.Add(1)
+	}
+	return compacted, firstErr
+}
+
+// Stats snapshots the counters.
+func (m *Maintainer) Stats() Stats {
+	m.errMu.Lock()
+	lastErr := m.lastErr
+	m.errMu.Unlock()
+	return Stats{
+		Sweeps:      m.sweeps.Load(),
+		Compactions: m.compactions.Load(),
+		Errors:      m.errs.Load(),
+		LastErr:     lastErr,
+	}
+}
+
+// Close stops the background loop (if any) and waits for an in-flight
+// sweep to finish. Idempotent.
+func (m *Maintainer) Close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}

@@ -1,0 +1,210 @@
+package maintain
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
+	"brepartition/internal/shard"
+)
+
+// fakeTarget scripts per-shard health and records compaction calls.
+type fakeTarget struct {
+	mu        sync.Mutex
+	health    []shard.ShardHealth
+	compacted []int
+	fail      map[int]error
+}
+
+func (f *fakeTarget) Health() []shard.ShardHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]shard.ShardHealth(nil), f.health...)
+}
+
+func (f *fakeTarget) CompactShard(s int) (shard.CompactStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.fail[s]; err != nil {
+		return shard.CompactStats{}, err
+	}
+	f.compacted = append(f.compacted, s)
+	return shard.CompactStats{Shard: s}, nil
+}
+
+func (f *fakeTarget) calls() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.compacted...)
+}
+
+func TestThresholds(t *testing.T) {
+	ft := &fakeTarget{health: []shard.ShardHealth{
+		{Shard: 0, N: 1000, Live: 1000, Tail: 0},  // pristine: skip
+		{Shard: 1, N: 1000, Live: 400, Tail: 0},   // live ratio 0.4 < 0.5: compact
+		{Shard: 2, N: 1000, Live: 900, Tail: 300}, // tail ratio 0.3 > 0.25: compact
+		{Shard: 3, N: 10, Live: 2, Tail: 9},       // decayed but < MinPoints: skip
+		{Shard: 4, N: 1000, Live: 501, Tail: 249}, // both just inside: skip
+	}}
+	m := New(ft, Config{}) // defaults: 0.5 / 0.25 / 64, no loop
+	defer m.Close()
+
+	compacted, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ft.calls(), []int{1, 2}; len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("compacted %v, want %v", got, want)
+	}
+	if len(compacted) != 2 {
+		t.Fatalf("RunOnce reported %d compactions", len(compacted))
+	}
+	st := m.Stats()
+	if st.Sweeps != 1 || st.Compactions != 2 || st.Errors != 0 || st.LastErr != nil {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestThresholdsDisabled(t *testing.T) {
+	ft := &fakeTarget{health: []shard.ShardHealth{
+		{Shard: 0, N: 1000, Live: 1, Tail: 999}, // maximally decayed
+	}}
+	m := New(ft, Config{MinLiveRatio: -1, MaxTailRatio: -1})
+	defer m.Close()
+	if _, err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := ft.calls(); len(calls) != 0 {
+		t.Fatalf("disabled criteria still compacted %v", calls)
+	}
+
+	// MinPoints negative exempts nothing: a tiny decayed shard compacts.
+	ft2 := &fakeTarget{health: []shard.ShardHealth{
+		{Shard: 0, N: 4, Live: 1, Tail: 0},
+	}}
+	m2 := New(ft2, Config{MinPoints: -1})
+	defer m2.Close()
+	if _, err := m2.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := ft2.calls(); len(calls) != 1 {
+		t.Fatalf("MinPoints<0 did not compact the tiny shard: %v", calls)
+	}
+}
+
+func TestErrorsDoNotStrandLaterShards(t *testing.T) {
+	boom := errors.New("boom")
+	ft := &fakeTarget{
+		health: []shard.ShardHealth{
+			{Shard: 0, N: 1000, Live: 100},
+			{Shard: 1, N: 1000, Live: 100},
+			{Shard: 2, N: 1000, Live: 100},
+		},
+		fail: map[int]error{1: boom},
+	}
+	m := New(ft, Config{})
+	defer m.Close()
+	compacted, err := m.RunOnce()
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunOnce error = %v, want %v", err, boom)
+	}
+	if got := ft.calls(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("shards compacted around the failure: %v", got)
+	}
+	if len(compacted) != 2 {
+		t.Fatalf("reported %d compactions", len(compacted))
+	}
+	st := m.Stats()
+	if st.Errors != 1 || !errors.Is(st.LastErr, boom) || st.Compactions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	ft := &fakeTarget{health: []shard.ShardHealth{
+		{Shard: 0, N: 1000, Live: 100}, // always past threshold
+	}}
+	m := New(ft, Config{Interval: 2 * time.Millisecond})
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Sweeps < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop swept %d times in 5s", m.Stats().Sweeps)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if len(ft.calls()) == 0 {
+		t.Fatal("background sweeps never compacted")
+	}
+	settled := m.Stats().Sweeps
+	time.Sleep(10 * time.Millisecond)
+	if m.Stats().Sweeps != settled {
+		t.Fatal("loop still sweeping after Close")
+	}
+}
+
+// TestMaintainerRecoversRealIndex is the integration loop: churn a real
+// sharded index until it decays, let RunOnce repair it, and check the
+// health actually recovered with answers intact.
+func TestMaintainerRecoversRealIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	points := make([][]float64, 300)
+	for i := range points {
+		p := make([]float64, 6)
+		for j := range p {
+			p[j] = 0.5 + rng.Float64()
+		}
+		points[i] = p
+	}
+	sx, err := shard.Build(bregman.SquaredEuclidean{}, points, shard.Options{
+		Shards: 3, Core: core.Options{M: 2, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sx, Config{MinPoints: 1})
+	defer m.Close()
+
+	// Healthy index: a sweep is a no-op.
+	if _, err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Compactions != 0 {
+		t.Fatalf("sweep of a fresh index compacted %d shards", st.Compactions)
+	}
+
+	// Decay: delete 60% and replace, then sweep.
+	for g := 0; g < 180; g++ {
+		if !sx.Delete(g) {
+			t.Fatalf("Delete(%d) refused", g)
+		}
+		if _, err := sx.Insert(points[g]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compacted, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compacted) == 0 {
+		t.Fatal("decayed index swept without compactions")
+	}
+	for _, h := range sx.Health() {
+		if h.LiveRatio() < 0.99 || h.Tail != 0 {
+			t.Fatalf("shard %d not recovered: %+v", h.Shard, h)
+		}
+	}
+	q := points[200]
+	res, err := sx.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 3 || res.Items[0].Score != 0 {
+		t.Fatalf("post-maintenance search broken: %+v", res.Items)
+	}
+}

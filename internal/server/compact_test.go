@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"brepartition/internal/wire"
+)
+
+// TestServerAdminCompact drives the maintenance surface end to end over
+// HTTP: churn through /v1/{insert,delete}, watch the decay in /metrics,
+// force a targeted compaction and a threshold sweep through
+// /admin/compact, and check answers and Version survived it all.
+func TestServerAdminCompact(t *testing.T) {
+	s := newTestServer(t, 200, Config{MaintainMinPoints: 1})
+
+	// Decay: tombstone 120 ids and insert replacements.
+	for g := 0; g < 120; g++ {
+		resp, body := s.postJSON(t, "/v1/delete", wire.DeleteRequest{ID: g})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delete %d: %d %s", g, resp.StatusCode, body)
+		}
+		resp, body = s.postJSON(t, "/v1/insert", wire.InsertRequest{P: s.points[g]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert: %d %s", resp.StatusCode, body)
+		}
+	}
+	verBefore := s.handle.Version()
+
+	metrics := func() string {
+		resp, err := http.Get(s.ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	before := metrics()
+	for _, name := range []string{
+		"breserved_maintain_sweeps_total", "breserved_maintain_compactions_total",
+		"breserved_maintain_errors_total", "breserved_shard_live_ratio", "breserved_shard_tail_ratio",
+	} {
+		if !strings.Contains(before, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+
+	// Bad shard arguments are rejected before touching the index.
+	for _, arg := range []string{"?shard=99", "?shard=-1", "?shard=x"} {
+		resp, _ := s.postJSON(t, "/admin/compact"+arg, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("compact%s: status %d, want 400", arg, resp.StatusCode)
+		}
+	}
+
+	// Targeted compaction of shard 0: unconditional, reports its stats.
+	resp, body := s.postJSON(t, "/admin/compact?shard=0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact shard 0: %d %s", resp.StatusCode, body)
+	}
+	var cr wire.CompactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Compacted) != 1 || cr.Compacted[0].Shard != 0 {
+		t.Fatalf("targeted compaction response: %+v", cr)
+	}
+	if cr.Compacted[0].Dropped == 0 {
+		t.Fatalf("shard 0 compaction dropped no tombstones after churn: %+v", cr.Compacted[0])
+	}
+	if cr.Version != verBefore {
+		t.Fatalf("compaction moved Version %d→%d", verBefore, cr.Version)
+	}
+
+	// Threshold sweep cleans the remaining shards.
+	resp, body = s.postJSON(t, "/admin/compact", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact sweep: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Compacted) == 0 {
+		t.Fatal("sweep compacted nothing on a decayed index")
+	}
+	for _, h := range s.handle.Health() {
+		if h.Live != h.N || h.Tail != 0 {
+			t.Fatalf("shard %d still decayed after sweep: %+v", h.Shard, h)
+		}
+	}
+	if s.handle.Version() != verBefore {
+		t.Fatalf("sweep moved Version %d→%d", verBefore, s.handle.Version())
+	}
+
+	after := metrics()
+	if !strings.Contains(after, "breserved_maintain_sweeps_total 1") {
+		t.Fatalf("sweep counter not exported:\n%s", after)
+	}
+	if strings.Contains(after, "breserved_maintain_compactions_total 0\n") {
+		t.Fatal("compaction counter still zero after sweep")
+	}
+
+	// A search replayed after maintenance still answers (exactness against
+	// the oracle is the shard layer's tests' job; here we pin the HTTP
+	// surface stayed live and correct-shaped).
+	resp, body = s.postJSON(t, "/v1/search", wire.SearchRequest{Q: s.points[150], K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-compaction search: %d %s", resp.StatusCode, body)
+	}
+	var sr wire.SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 1 || len(sr.Results[0].Items) != 3 || sr.Results[0].Items[0].Distance != 0 {
+		t.Fatalf("post-compaction search answered %+v", sr.Results)
+	}
+}

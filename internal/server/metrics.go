@@ -130,4 +130,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"breserved_index_version", g("breserved_index_version", float64(s.h.Version())))
 	emit("Live write-ahead-log bytes (checkpoint trigger metric).", "gauge",
 		"breserved_wal_bytes", g("breserved_wal_bytes", float64(s.h.WALSize())))
+
+	ms := s.mnt.Stats()
+	emit("Maintainer health sweeps completed.", "counter",
+		"breserved_maintain_sweeps_total", g("breserved_maintain_sweeps_total", float64(ms.Sweeps)))
+	emit("Shard compactions performed by the maintainer and /admin/compact sweeps.", "counter",
+		"breserved_maintain_compactions_total", g("breserved_maintain_compactions_total", float64(ms.Compactions)))
+	emit("Shard compactions that failed.", "counter",
+		"breserved_maintain_errors_total", g("breserved_maintain_errors_total", float64(ms.Errors)))
+
+	health := s.h.Health()
+	liveLines := make([]string, len(health))
+	tailLines := make([]string, len(health))
+	for i, h := range health {
+		liveLines[i] = fmt.Sprintf(`breserved_shard_live_ratio{shard="%d"} %g`, h.Shard, h.LiveRatio())
+		tailLines[i] = fmt.Sprintf(`breserved_shard_tail_ratio{shard="%d"} %g`, h.Shard, h.TailRatio())
+	}
+	emit("Per-shard live/resident point ratio (compaction health input).", "gauge",
+		"breserved_shard_live_ratio", liveLines...)
+	emit("Per-shard fraction of points appended since the last rebuild.", "gauge",
+		"breserved_shard_tail_ratio", tailLines...)
 }

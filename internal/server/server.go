@@ -39,6 +39,7 @@ import (
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
+	"brepartition/internal/maintain"
 	"brepartition/internal/shard"
 	"brepartition/internal/wire"
 )
@@ -71,6 +72,17 @@ type Config struct {
 	// Engine tunes the query engine the server builds over the handle
 	// (workers, sub-workers, result-cache size).
 	Engine engine.Config
+	// MaintainInterval enables the background shard maintainer: every
+	// interval it sweeps per-shard health and compacts shards past their
+	// thresholds (0 disables the loop; POST /admin/compact still sweeps
+	// on demand).
+	MaintainInterval time.Duration
+	// MaintainMinLive, MaintainMaxTail, and MaintainMinPoints override
+	// the maintainer's compaction thresholds (zero keeps the maintain
+	// package defaults: 0.5, 0.25, 64).
+	MaintainMinLive   float64
+	MaintainMaxTail   float64
+	MaintainMinPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +142,7 @@ type Server struct {
 	cfg    Config
 	eng    *engine.Engine
 	co     *coalescer
+	mnt    *maintain.Maintainer
 	mux    *http.ServeMux
 
 	searchGate *gate
@@ -155,8 +168,16 @@ func New(h *shard.Handle, reopen func() (*shard.Durable, error), cfg Config) *Se
 	}
 	s.m.requests = newRouteCounters(
 		"search", "approx", "range", "insert", "delete", "frame",
-		"reload", "checkpoint")
+		"reload", "checkpoint", "compact")
 	s.co = newCoalescer(s.eng, cfg.CoalesceBatch, cfg.CoalesceDelay)
+	// The maintainer always exists (the /admin/compact sweep path); the
+	// background loop only runs when an interval is configured.
+	s.mnt = maintain.New(h, maintain.Config{
+		Interval:     cfg.MaintainInterval,
+		MinLiveRatio: cfg.MaintainMinLive,
+		MaxTailRatio: cfg.MaintainMaxTail,
+		MinPoints:    cfg.MaintainMinPoints,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/search", s.route("search", s.searchGate, s.handleSearch))
 	s.mux.HandleFunc("POST /v1/approx", s.route("approx", s.searchGate, s.handleApprox))
@@ -166,6 +187,7 @@ func New(h *shard.Handle, reopen func() (*shard.Durable, error), cfg Config) *Se
 	s.mux.HandleFunc("POST /v1/frame", s.handleFrame)
 	s.mux.HandleFunc("POST /admin/reload", s.route("reload", s.adminGate, s.handleReload))
 	s.mux.HandleFunc("POST /admin/checkpoint", s.route("checkpoint", s.adminGate, s.handleCheckpoint))
+	s.mux.HandleFunc("POST /admin/compact", s.route("compact", s.adminGate, s.handleCompact))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -183,6 +205,7 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 // closed. In-flight HTTP requests should be drained first
 // (http.Server.Shutdown); later submissions fail with 503.
 func (s *Server) Close() error {
+	s.mnt.Close()
 	s.co.close()
 	return s.eng.Close()
 }
@@ -590,6 +613,46 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.AdminResponse{Version: s.h.Version(), WALBytes: s.h.WALSize()})
+}
+
+// handleCompact runs shard maintenance on demand: with ?shard=N it
+// force-compacts that shard (no threshold check); without it, it sweeps
+// every shard's health and compacts the ones past the maintainer's
+// thresholds — the same decision the background loop makes.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	var done []shard.CompactStats
+	if arg := r.URL.Query().Get("shard"); arg != "" {
+		sh, err := strconv.Atoi(arg)
+		if err != nil || sh < 0 || sh >= s.h.Shards() {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad shard %q (have %d shards)", arg, s.h.Shards()))
+			return
+		}
+		st, err := s.h.CompactShard(sh)
+		if err != nil {
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		done = []shard.CompactStats{st}
+	} else {
+		var err error
+		done, err = s.mnt.RunOnce()
+		if err != nil {
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	resp := wire.CompactResponse{
+		Compacted: make([]wire.ShardCompaction, len(done)),
+		Version:   s.h.Version(),
+		WALBytes:  s.h.WALSize(),
+	}
+	for i, st := range done {
+		resp.Compacted[i] = wire.ShardCompaction{
+			Shard: st.Shard, Before: st.Before, After: st.After,
+			Dropped: st.Dropped, CatchUp: st.CatchUp,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -412,6 +412,34 @@ func (d *Durable) hook(stage string) {
 	}
 }
 
+// CompactShard rebuilds shard s over its live points off the hot path
+// (Index.CompactShard: queries never block, Version is untouched) and
+// folds the result into a checkpoint: the post-compaction snapshot drops
+// the reclaimed tombstones from the manifest and TruncateBefore reclaims
+// the WAL segments the snapshot covers.
+//
+// Durability: compaction itself writes nothing — it is logically
+// invisible, so the WAL needs no record of it. A crash at any point
+// recovers a consistent index: before the checkpoint's atomic snapshot
+// rename the disk still holds the pre-compaction shard (replay reproduces
+// the old state), after it the compacted one — never a hybrid, because
+// the only disk transition is WriteDirMeta's single rename.
+func (d *Durable) CompactShard(s int) (CompactStats, error) {
+	d.hook("compact-begin")
+	st, err := d.ix.CompactShard(s)
+	if err != nil {
+		return st, err
+	}
+	d.hook("compact-swapped")
+	if err := d.Checkpoint(); err != nil {
+		return st, fmt.Errorf("shard: post-compaction checkpoint: %w", err)
+	}
+	return st, nil
+}
+
+// Health snapshots every shard's structural health.
+func (d *Durable) Health() []ShardHealth { return d.ix.Health() }
+
 // Close stops the background checkpointer, fsyncs outstanding records,
 // and closes the WAL. The directory remains openable with OpenDurable.
 func (d *Durable) Close() error {
@@ -491,8 +519,11 @@ func (d *Durable) M() int { return d.ix.M() }
 // Shards returns the shard count.
 func (d *Durable) Shards() int { return d.ix.Shards() }
 
-// ShardSizes returns how many ids each shard owns.
+// ShardSizes returns how many ids each shard holds (incl. tombstones).
 func (d *Durable) ShardSizes() []int { return d.ix.ShardSizes() }
+
+// ShardLiveSizes returns how many live points each shard holds.
+func (d *Durable) ShardLiveSizes() []int { return d.ix.ShardLiveSizes() }
 
 // Deleted reports whether global id g is tombstoned.
 func (d *Durable) Deleted(g int) bool { return d.ix.Deleted(g) }

@@ -195,3 +195,21 @@ func (h *Handle) Checkpoint() error {
 	defer h.swapMu.RUnlock()
 	return h.cur.Load().Checkpoint()
 }
+
+// Health snapshots every shard's structural health (read path, but it
+// reports on the generation mutations land on, so it shares their lock).
+func (h *Handle) Health() []ShardHealth {
+	h.swapMu.RLock()
+	defer h.swapMu.RUnlock()
+	return h.cur.Load().Health()
+}
+
+// CompactShard rebuilds shard s over its live points and checkpoints the
+// result (Durable.CompactShard). It holds the shared swap lock like any
+// mutation, so a concurrent Reload cannot close the generation mid-swap;
+// queries are untouched throughout.
+func (h *Handle) CompactShard(s int) (CompactStats, error) {
+	h.swapMu.RLock()
+	defer h.swapMu.RUnlock()
+	return h.cur.Load().CompactShard(s)
+}

@@ -11,7 +11,6 @@ import (
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
-	"brepartition/internal/engine"
 )
 
 // A sharded snapshot is a directory: one core index file per non-empty
@@ -42,10 +41,15 @@ import (
 // half-written snapshot: a crash mid-write leaves only the stale previous
 // snapshot (or nothing) at dir, plus debris directories that the next
 // WriteDir clears.
+// Version 3 keeps the byte layout of version 2 but relaxes the ownership
+// invariant: a tombstoned global id may be owned by no shard ("gone" — its
+// point was reclaimed by compaction and the post-compaction checkpoint
+// dropped it from the snapshot). Live ids must still be owned by exactly
+// one shard, so tombstone GC and corruption stay distinguishable.
 const (
 	manifestName           = "manifest.bps"
 	manifestMagic   uint32 = 0x5A4BD5E2
-	manifestVer     uint32 = 2
+	manifestVer     uint32 = 3
 	maxShardsOnDisk        = 1 << 16
 	maxMetaBytes           = 1 << 16
 )
@@ -93,13 +97,13 @@ func (ix *Index) WriteDirMeta(dir string, meta []byte) (err error) {
 		size uint64
 		crc  uint32
 	}
-	files := make([]fileInfo, len(ix.shards))
-	for s, sub := range ix.shards {
-		if sub == nil {
+	files := make([]fileInfo, len(ix.slots))
+	for s, sl := range ix.slots {
+		if sl == nil {
 			continue
 		}
 		path := filepath.Join(staging, shardFileName(s))
-		if err := sub.WriteFile(path); err != nil {
+		if err := sl.sub.WriteFile(path); err != nil {
 			return fmt.Errorf("shard %d: %w", s, err)
 		}
 		size, crc, err := fileChecksum(path)
@@ -113,7 +117,7 @@ func (ix *Index) WriteDirMeta(dir string, meta []byte) (err error) {
 	w.u32(manifestMagic)
 	w.u32(manifestVer)
 	w.str(ix.div.Name())
-	w.u32(uint32(len(ix.shards)))
+	w.u32(uint32(len(ix.slots)))
 	w.u32(uint32(len(ix.globalLoc)))
 	// The pinned per-shard M travels with the snapshot: a reopened index
 	// must materialize lazily created shards with the same partitioning
@@ -121,8 +125,8 @@ func (ix *Index) WriteDirMeta(dir string, meta []byte) (err error) {
 	w.u32(uint32(ix.opts.Core.M))
 	w.u32(uint32(len(meta)))
 	w.buf = append(w.buf, meta...)
-	for s, sub := range ix.shards {
-		if sub == nil {
+	for s, sl := range ix.slots {
+		if sl == nil {
 			w.u8(0)
 			continue
 		}
@@ -130,8 +134,8 @@ func (ix *Index) WriteDirMeta(dir string, meta []byte) (err error) {
 		w.str(shardFileName(s))
 		w.u64(files[s].size)
 		w.u32(files[s].crc)
-		w.u32(uint32(len(ix.locToGlobal[s])))
-		for _, g := range ix.locToGlobal[s] {
+		w.u32(uint32(len(sl.l2g)))
+		for _, g := range sl.l2g {
 			w.u32(uint32(g))
 		}
 	}
@@ -239,7 +243,7 @@ func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 		return nil, nil, fmt.Errorf("%w: bad manifest magic", ErrBadSnapshot)
 	}
 	ver := r.u32()
-	if ver != 1 && ver != manifestVer {
+	if ver < 1 || ver > manifestVer {
 		return nil, nil, fmt.Errorf("%w: unsupported manifest version %d", ErrBadSnapshot, ver)
 	}
 	divName := r.str()
@@ -272,13 +276,11 @@ func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 	opts.Core.M = coreM
 	opts = opts.withDefaults()
 	ix := &Index{
-		div:         div,
-		opts:        opts,
-		shards:      make([]*core.Index, nShards),
-		engines:     make([]*engine.Engine, nShards),
-		locToGlobal: make([][]int, nShards),
-		globalLoc:   make([]loc, totalGlobal),
-		deleted:     make([]bool, totalGlobal),
+		div:       div,
+		opts:      opts,
+		slots:     make([]*slot, nShards),
+		globalLoc: make([]loc, totalGlobal),
+		deleted:   make([]bool, totalGlobal),
 	}
 	seen := make([]bool, totalGlobal)
 	for s := 0; s < nShards; s++ {
@@ -302,7 +304,6 @@ func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 			l2g[l] = g
 			ix.globalLoc[g] = loc{shard: int32(s), local: int32(l)}
 		}
-		ix.locToGlobal[s] = l2g
 
 		if name != shardFileName(s) {
 			return nil, nil, fmt.Errorf("%w: shard %d names unexpected file %q", ErrBadSnapshot, s, name)
@@ -338,13 +339,7 @@ func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 			return nil, nil, fmt.Errorf("%w: shard file %s dimensionality %d, other shards have %d",
 				ErrBadSnapshot, name, sub.Dim(), ix.d)
 		}
-		ix.shards[s] = sub
-		ix.engines[s] = ix.newEngine(sub)
-	}
-	for g, ok := range seen {
-		if !ok {
-			return nil, nil, fmt.Errorf("%w: global id %d owned by no shard", ErrBadSnapshot, g)
-		}
+		ix.slots[s] = &slot{sub: sub, eng: ix.newEngine(sub), l2g: l2g}
 	}
 
 	nDel := int(r.u32())
@@ -356,13 +351,26 @@ func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 		if r.err != nil || g < 0 || g >= totalGlobal || ix.deleted[g] {
 			return nil, nil, fmt.Errorf("%w: invalid tombstone id", ErrBadSnapshot)
 		}
-		// Re-arm the shard-local tombstone: the core file stores deleted
-		// points with poisoned tuples and no tree presence, but its own
-		// bitmap is not part of the core format.
-		l := ix.globalLoc[g]
-		ix.shards[l.shard].Delete(int(l.local))
+		if seen[g] {
+			// Re-arm the shard-local tombstone: the core file stores
+			// deleted points with poisoned tuples and no tree presence,
+			// but its own bitmap is not part of the core format.
+			l := ix.globalLoc[g]
+			ix.slots[l.shard].sub.Delete(int(l.local))
+		} else {
+			// Gone: a compaction reclaimed this tombstone's point, so no
+			// shard owns it anymore (version ≥ 3 writes these).
+			ix.globalLoc[g] = goneLoc
+		}
 		ix.deleted[g] = true
 		ix.nDeleted++
+	}
+	// Every id must be accounted for: owned by exactly one shard, or a
+	// compacted-away tombstone. An unowned live id is corruption.
+	for g, ok := range seen {
+		if !ok && !ix.deleted[g] {
+			return nil, nil, fmt.Errorf("%w: global id %d owned by no shard", ErrBadSnapshot, g)
+		}
 	}
 	if r.err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, r.err)

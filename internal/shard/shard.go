@@ -73,10 +73,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// loc is the owning shard and the point's id inside it.
+// loc is the owning shard and the point's id inside it. A compacted-away
+// tombstone — an id whose point no longer resides in any shard — is marked
+// gone (shard = -1); it stays in the global id space (N() counts it, its
+// tombstone survives snapshots) but owns no storage.
 type loc struct {
 	shard int32
 	local int32
+}
+
+// goneLoc marks a global id whose tombstoned point compaction reclaimed.
+var goneLoc = loc{shard: -1, local: -1}
+
+// slot is one shard generation: a core index, its query engine, and the
+// local→global id map for exactly that index. Compaction replaces a
+// shard's slot wholesale (under the id-map write lock); a query that
+// captured the old slot keeps searching and translating against it, so
+// swaps never block or misdirect in-flight queries. l2g is append-only
+// within a generation and strictly increasing, so local id order is
+// global id order — the invariant the exact tie-break merge relies on.
+type slot struct {
+	sub *core.Index
+	eng *engine.Engine
+	l2g []int
 }
 
 // Index is a sharded BrePartition index. All exported methods are safe for
@@ -99,16 +118,16 @@ type Index struct {
 	// snapshots to the same destination would race on the shared
 	// .staging/.old commit paths. Always acquired before mu.
 	snapMu sync.Mutex
-	// shards[s] is nil until the first point routes to s.
-	shards  []*core.Index
-	engines []*engine.Engine
-	// locToGlobal[s][local] is the global id of shard s's local point;
-	// append-only and strictly increasing, so local id order within a
-	// shard is global id order — the invariant the exact tie-break merge
-	// relies on.
-	locToGlobal [][]int
+	// compactMu serializes CompactShard calls: one off-path rebuild at a
+	// time, so a slot is only ever replaced by the compaction that
+	// snapshotted it. Always acquired before mu.
+	compactMu sync.Mutex
+	// slots[s] is the current generation of shard s, nil until the first
+	// point routes to s. The slice itself is fixed-size; entries are
+	// replaced only by CompactShard (and materialized by Insert).
+	slots []*slot
 	// globalLoc[g] is the owner of global id g (every id ever assigned,
-	// tombstoned or not).
+	// tombstoned or not); goneLoc once compaction reclaims a tombstone.
 	globalLoc []loc
 	deleted   []bool
 	nDeleted  int
@@ -127,7 +146,7 @@ func splitmix64(x uint64) uint64 {
 // shardFor returns the owning shard of a global id. Pure function of the
 // id, so routing never needs the map.
 func (ix *Index) shardFor(global int) int {
-	return int(splitmix64(uint64(global)) % uint64(len(ix.shards)))
+	return int(splitmix64(uint64(global)) % uint64(len(ix.slots)))
 }
 
 // Build hash-partitions points across opts.Shards core indexes. Global ids
@@ -145,14 +164,12 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 	}
 
 	ix := &Index{
-		div:         div,
-		d:           d,
-		opts:        opts,
-		shards:      make([]*core.Index, opts.Shards),
-		engines:     make([]*engine.Engine, opts.Shards),
-		locToGlobal: make([][]int, opts.Shards),
-		globalLoc:   make([]loc, len(points)),
-		deleted:     make([]bool, len(points)),
+		div:       div,
+		d:         d,
+		opts:      opts,
+		slots:     make([]*slot, opts.Shards),
+		globalLoc: make([]loc, len(points)),
+		deleted:   make([]bool, len(points)),
 	}
 
 	// Pin M globally before splitting, so every shard searches the same
@@ -183,10 +200,11 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 
 	// Scatter points to their owners, preserving global order per shard.
 	shardPoints := make([][][]float64, opts.Shards)
+	l2gs := make([][]int, opts.Shards)
 	for g, p := range points {
 		s := ix.shardFor(g)
 		ix.globalLoc[g] = loc{shard: int32(s), local: int32(len(shardPoints[s]))}
-		ix.locToGlobal[s] = append(ix.locToGlobal[s], g)
+		l2gs[s] = append(l2gs[s], g)
 		shardPoints[s] = append(shardPoints[s], p)
 	}
 	for s, pts := range shardPoints {
@@ -197,8 +215,7 @@ func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, er
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
-		ix.shards[s] = sub
-		ix.engines[s] = ix.newEngine(sub)
+		ix.slots[s] = &slot{sub: sub, eng: ix.newEngine(sub), l2g: l2gs[s]}
 	}
 	return ix, nil
 }
@@ -211,7 +228,7 @@ func (ix *Index) newEngine(sub *core.Index) *engine.Engine {
 }
 
 // Shards returns the shard count.
-func (ix *Index) Shards() int { return len(ix.shards) }
+func (ix *Index) Shards() int { return len(ix.slots) }
 
 // Dim returns the indexed dimensionality.
 func (ix *Index) Dim() int { return ix.d }
@@ -248,14 +265,33 @@ func (ix *Index) Version() uint64 {
 	return ix.version
 }
 
-// ShardSizes returns the number of ids owned by each shard (including
-// tombstoned ones) — balance diagnostics for tests and brebench.
+// ShardSizes returns the number of ids resident in each shard (including
+// shard-local tombstones; compacted-away ids count nowhere). Use
+// ShardLiveSizes for balance diagnostics — under deletes, resident counts
+// overstate the shards that happened to absorb the tombstones.
 func (ix *Index) ShardSizes() []int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	sizes := make([]int, len(ix.locToGlobal))
-	for s, l2g := range ix.locToGlobal {
-		sizes[s] = len(l2g)
+	sizes := make([]int, len(ix.slots))
+	for s, sl := range ix.slots {
+		if sl != nil {
+			sizes[s] = len(sl.l2g)
+		}
+	}
+	return sizes
+}
+
+// ShardLiveSizes returns the number of live (non-tombstoned) points each
+// shard holds — the balance diagnostic that stays meaningful under heavy
+// deletes, where ShardSizes counts dead weight.
+func (ix *Index) ShardLiveSizes() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	sizes := make([]int, len(ix.slots))
+	for s, sl := range ix.slots {
+		if sl != nil {
+			sizes[s] = sl.sub.Live()
+		}
 	}
 	return sizes
 }
@@ -265,21 +301,24 @@ func (ix *Index) ShardSizes() []int {
 func (ix *Index) M() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	for _, sub := range ix.shards {
-		if sub != nil {
-			return sub.M()
+	for _, sl := range ix.slots {
+		if sl != nil {
+			return sl.sub.M()
 		}
 	}
 	return 0
 }
 
-// snapshotEngines copies the engine slots (lazily filled by Insert) so the
-// scatter loop runs without holding the map lock.
-func (ix *Index) snapshotEngines() []*engine.Engine {
+// snapshotSlots copies the current shard generations so the scatter loop
+// runs without holding the map lock, and so gather/merge answer and
+// translate against exactly the generations the query was submitted to —
+// a compaction swap between submit and merge cannot misdirect the
+// local→global translation.
+func (ix *Index) snapshotSlots() []*slot {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := make([]*engine.Engine, len(ix.engines))
-	copy(out, ix.engines)
+	out := make([]*slot, len(ix.slots))
+	copy(out, ix.slots)
 	return out
 }
 
@@ -293,14 +332,14 @@ func (ix *Index) Search(q []float64, k int) (core.Result, error) {
 	if len(q) != ix.d {
 		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
 	}
-	engines := ix.snapshotEngines()
-	futs := make([]*engine.Future, len(engines))
-	for s, eng := range engines {
-		if eng != nil {
-			futs[s] = eng.Submit(q, k)
+	slots := ix.snapshotSlots()
+	futs := make([]*engine.Future, len(slots))
+	for s, sl := range slots {
+		if sl != nil {
+			futs[s] = sl.eng.Submit(q, k)
 		}
 	}
-	return ix.gather(futs, k)
+	return ix.gather(slots, futs, k)
 }
 
 // SearchParallel is Search: the scatter across shards is already the
@@ -326,10 +365,10 @@ func (ix *Index) SearchApprox(q []float64, k int, p float64) (core.Result, error
 	if len(q) != ix.d {
 		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
 	}
-	engines := ix.snapshotEngines()
+	slots := ix.snapshotSlots()
 	live := 0
-	for _, eng := range engines {
-		if eng != nil {
+	for _, sl := range slots {
+		if sl != nil {
 			live++
 		}
 	}
@@ -337,17 +376,17 @@ func (ix *Index) SearchApprox(q []float64, k int, p float64) (core.Result, error
 	if live > 1 {
 		ps = math.Pow(p, 1/float64(live))
 	}
-	futs := make([]*engine.Future, len(engines))
-	for s, eng := range engines {
-		if eng != nil {
-			futs[s] = eng.SubmitApprox(q, k, ps)
+	futs := make([]*engine.Future, len(slots))
+	for s, sl := range slots {
+		if sl != nil {
+			futs[s] = sl.eng.SubmitApprox(q, k, ps)
 		}
 	}
-	return ix.gather(futs, k)
+	return ix.gather(slots, futs, k)
 }
 
 // gather awaits the per-shard futures and merges their top-k heaps.
-func (ix *Index) gather(futs []*engine.Future, k int) (core.Result, error) {
+func (ix *Index) gather(slots []*slot, futs []*engine.Future, k int) (core.Result, error) {
 	perShard := make([]core.Result, len(futs))
 	var firstErr error
 	for s, f := range futs {
@@ -363,15 +402,19 @@ func (ix *Index) gather(futs []*engine.Future, k int) (core.Result, error) {
 	if firstErr != nil {
 		return core.Result{}, firstErr
 	}
-	return ix.merge(perShard, k), nil
+	return ix.merge(slots, perShard, k), nil
 }
 
 // merge combines per-shard results into the global top-k. Every shard
 // contributed its exact local top-k with ties broken by local id — and
 // local id order is global id order within a shard — so sorting the union
 // by (distance, global id) and truncating reproduces exactly the answer a
-// single index over all points would give.
-func (ix *Index) merge(perShard []core.Result, k int) core.Result {
+// single index over all points would give. Translation goes through the
+// slots the query was scattered to, under the id-map read lock: a slot's
+// l2g only ever grows within its generation (a compaction installs a new
+// slot object rather than touching the old one), so the captured map is
+// valid for every local id the old generation could have answered with.
+func (ix *Index) merge(slots []*slot, perShard []core.Result, k int) core.Result {
 	var out core.Result
 	total := 0
 	for _, r := range perShard {
@@ -383,7 +426,7 @@ func (ix *Index) merge(perShard []core.Result, k int) core.Result {
 	ix.mu.RLock()
 	for s, r := range perShard {
 		for _, it := range r.Items {
-			all = append(all, topk.Item{ID: ix.locToGlobal[s][it.ID], Score: it.Score})
+			all = append(all, topk.Item{ID: slots[s].l2g[it.ID], Score: it.Score})
 		}
 		out.Stats = addStats(out.Stats, r.Stats, s == fl)
 	}
@@ -436,20 +479,20 @@ func (ix *Index) BatchSearch(queries [][]float64, k int) ([]core.Result, error) 
 	if k <= 0 {
 		return nil, core.ErrK
 	}
-	engines := ix.snapshotEngines()
+	slots := ix.snapshotSlots()
 	futs := make([][]*engine.Future, len(queries))
 	for qi, q := range queries {
-		futs[qi] = make([]*engine.Future, len(engines))
-		for s, eng := range engines {
-			if eng != nil {
-				futs[qi][s] = eng.Submit(q, k)
+		futs[qi] = make([]*engine.Future, len(slots))
+		for s, sl := range slots {
+			if sl != nil {
+				futs[qi][s] = sl.eng.Submit(q, k)
 			}
 		}
 	}
 	out := make([]core.Result, len(queries))
 	var firstErr error
 	for qi := range futs {
-		res, err := ix.gather(futs[qi], k)
+		res, err := ix.gather(slots, futs[qi], k)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -465,14 +508,14 @@ func (ix *Index) RangeSearch(q []float64, r float64) ([]topk.Item, core.SearchSt
 	if len(q) != ix.d {
 		return nil, stats, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
 	}
-	engines := ix.snapshotEngines()
-	futs := make([]*engine.Future, len(engines))
-	for s, eng := range engines {
-		if eng != nil {
-			futs[s] = eng.SubmitRange(q, r)
+	slots := ix.snapshotSlots()
+	futs := make([]*engine.Future, len(slots))
+	for s, sl := range slots {
+		if sl != nil {
+			futs[s] = sl.eng.SubmitRange(q, r)
 		}
 	}
-	res, err := ix.gather(futs, int(^uint(0)>>1)) // no truncation
+	res, err := ix.gather(slots, futs, int(^uint(0)>>1)) // no truncation
 	return res.Items, res.Stats, err
 }
 
@@ -490,33 +533,38 @@ func (ix *Index) Insert(p []float64) (int, error) {
 	g := len(ix.globalLoc)
 	s := ix.shardFor(g)
 	var local int
-	if ix.shards[s] == nil {
-		copts := ix.opts.Core
-		if copts.M <= 0 {
-			// Build pins M > 0 and snapshots carry it, so this is only
-			// reachable through a legacy or hand-built Options value; the
-			// cost model cannot fit a single point, so fall back to M=1.
-			copts.M = 1
-		}
-		sub, err := core.Build(ix.div, [][]float64{append([]float64(nil), p...)}, copts)
+	if ix.slots[s] == nil {
+		sub, err := ix.materialize(p)
 		if err != nil {
 			return 0, err
 		}
-		ix.shards[s] = sub
-		ix.engines[s] = ix.newEngine(sub)
+		ix.slots[s] = &slot{sub: sub, eng: ix.newEngine(sub)}
 		local = 0
 	} else {
 		var err error
-		local, err = ix.shards[s].Insert(p)
+		local, err = ix.slots[s].sub.Insert(p)
 		if err != nil {
 			return 0, err
 		}
 	}
 	ix.globalLoc = append(ix.globalLoc, loc{shard: int32(s), local: int32(local)})
-	ix.locToGlobal[s] = append(ix.locToGlobal[s], g)
+	ix.slots[s].l2g = append(ix.slots[s].l2g, g)
 	ix.deleted = append(ix.deleted, false)
 	ix.version++
 	return g, nil
+}
+
+// materialize builds a fresh single-point core index for an empty shard
+// slot (first routed point, or a compaction that emptied the shard).
+func (ix *Index) materialize(p []float64) (*core.Index, error) {
+	copts := ix.opts.Core
+	if copts.M <= 0 {
+		// Build pins M > 0 and snapshots carry it, so this is only
+		// reachable through a legacy or hand-built Options value; the
+		// cost model cannot fit a single point, so fall back to M=1.
+		copts.M = 1
+	}
+	return core.Build(ix.div, [][]float64{append([]float64(nil), p...)}, copts)
 }
 
 // Delete tombstones global id g, reporting whether it was live. Like
@@ -528,7 +576,7 @@ func (ix *Index) Delete(g int) bool {
 		return false
 	}
 	l := ix.globalLoc[g]
-	ix.shards[l.shard].Delete(int(l.local))
+	ix.slots[l.shard].sub.Delete(int(l.local))
 	ix.deleted[g] = true
 	ix.nDeleted++
 	ix.version++

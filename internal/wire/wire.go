@@ -411,3 +411,21 @@ type AdminResponse struct {
 	Version  uint64 `json:"version"`
 	WALBytes int64  `json:"walBytes"`
 }
+
+// ShardCompaction reports one shard compaction in /admin/compact bodies.
+type ShardCompaction struct {
+	Shard   int `json:"shard"`
+	Before  int `json:"before"`
+	After   int `json:"after"`
+	Dropped int `json:"dropped"`
+	CatchUp int `json:"catchUp"`
+}
+
+// CompactResponse is the /admin/compact JSON body: the compactions this
+// request performed (a targeted shard, or every shard the health sweep
+// flagged) plus the post-compaction index state.
+type CompactResponse struct {
+	Compacted []ShardCompaction `json:"compacted"`
+	Version   uint64            `json:"version"`
+	WALBytes  int64             `json:"walBytes"`
+}
