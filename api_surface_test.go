@@ -79,15 +79,34 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func(brepartition.Divergence, [][]float64, string, *brepartition.DurableOptions) (*brepartition.DurableIndex, error) = brepartition.BuildDurable
 	var _ func(string, *brepartition.DurableOptions) (*brepartition.DurableIndex, error) = brepartition.OpenDurable
 
-	// The serving layer: server constructor + handler, remote client.
-	var _ func(string, *brepartition.DurableOptions, *brepartition.ServerOptions) (*brepartition.Server, error) = brepartition.NewServer
+	// The serving layer: functional-option constructors (the positional
+	// *Options parameters were consolidated behind ServeOption /
+	// ClientOption), the single-index server, the multi-tenant registry,
+	// and the remote client with its collection-scoped views.
+	var _ func(string, ...brepartition.ServeOption) (*brepartition.Server, error) = brepartition.NewServer
+	var _ func(string, ...brepartition.ServeOption) (*brepartition.Collections, error) = brepartition.OpenCollections
+	var _ func(brepartition.DurableOptions) brepartition.ServeOption = brepartition.WithDurableConfig
+	var _ func(brepartition.ServerOptions) brepartition.ServeOption = brepartition.WithServerConfig
+	var _ func(int, time.Duration) brepartition.ServeOption = brepartition.WithCoalescing
+	var _ func(int, int) brepartition.ServeOption = brepartition.WithAdmission
+	var _ func(time.Duration) brepartition.ServeOption = brepartition.WithMaintenance
 	var srv *brepartition.Server
 	var _ func() http.Handler = srv.Handler
 	var _ func() brepartition.EngineStats = srv.Stats
 	var _ func() error = srv.Reload
 	var _ func() error = srv.Close
+	var _ func() *brepartition.Collections = srv.Collections
 
-	var _ func(string, *brepartition.ClientOptions) *brepartition.Client = brepartition.NewClient
+	var cols *brepartition.Collections
+	var _ func() http.Handler = cols.Handler
+	var _ func(string, brepartition.CollectionSpec) (brepartition.CollectionInfo, error) = cols.Create
+	var _ func(string) error = cols.Drop
+	var _ func() []brepartition.CollectionInfo = cols.List
+	var _ func() error = cols.Close
+
+	var _ func(string, ...brepartition.ClientOption) *brepartition.Client = brepartition.NewClient
+	var _ func() brepartition.ClientOption = brepartition.WithBinary
+	var _ func(time.Duration) brepartition.ClientOption = brepartition.WithTimeout
 	var cl *brepartition.Client
 	var _ func(context.Context, []float64, int) ([]brepartition.Neighbor, error) = cl.Search
 	var _ func(context.Context, [][]float64, int) ([][]brepartition.Neighbor, error) = cl.BatchSearch
@@ -97,6 +116,17 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func(context.Context, int) (bool, error) = cl.Delete
 	var _ func(context.Context) error = cl.Reload
 	var _ func(context.Context) error = cl.Checkpoint
+	var _ func(string) *brepartition.RemoteCollection = cl.Collection
+	var _ func(context.Context) ([]brepartition.CollectionInfo, error) = cl.Collections
+	var _ func(context.Context, string, brepartition.CollectionSpec) (brepartition.CollectionInfo, error) = cl.CreateCollection
+	var _ func(context.Context, string) error = cl.DropCollection
+
+	var rc *brepartition.RemoteCollection
+	var _ func(context.Context, []float64, int) ([]brepartition.Neighbor, error) = rc.Search
+	var _ func(context.Context, []float64, int, brepartition.Filter) ([]brepartition.Neighbor, error) = rc.SearchFiltered
+	var _ func(context.Context, [][]float64, int) ([][]brepartition.Neighbor, error) = rc.BatchSearch
+	var _ func(context.Context, []float64, []string) (int, error) = rc.InsertTagged
+	var _ func(context.Context, int) (bool, error) = rc.Delete
 }
 
 // TestShardedPublicRoundTrip drives the whole public sharded surface:

@@ -8,7 +8,7 @@
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, fig15, fig15-uniform, batch, sharded, durable, serve,
-// buildscale, churn.
+// buildscale, churn, tenants.
 //
 // The batch, sharded, durable, and serve experiments go beyond the
 // paper: batch replays one batch of queries through the concurrent
@@ -26,7 +26,10 @@
 // soaks the sharded index through -rounds rounds of 50% turnover and
 // shows per-shard health decay and latency recovery after each
 // maintenance sweep, with every answer verified exact against a
-// brute-force oracle over the live set.
+// brute-force oracle over the live set; tenants serves three collections
+// from one process (one capped by a per-collection admission quota),
+// hammers the capped one, and reports per-tenant QPS/p99 plus the noisy
+// tenant's shed rate — the quiet tenants' p99 should barely move.
 //
 // Flags:
 //
@@ -58,6 +61,7 @@ var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
 	"batch", "sharded", "durable", "serve", "buildscale", "churn",
+	"tenants",
 }
 
 func main() {
@@ -168,6 +172,8 @@ func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers
 		return env.BuildScale(buildWorkers), nil
 	case "churn":
 		return env.Churn(shards, rounds), nil
+	case "tenants":
+		return env.Tenants(workers), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

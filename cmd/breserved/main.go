@@ -57,6 +57,7 @@ func main() {
 	maintainMinLive := flag.Float64("maintain-min-live", 0, "compact a shard when its live/resident ratio drops below this (0 = 0.5)")
 	maintainMaxTail := flag.Float64("maintain-max-tail", 0, "compact a shard when its post-build insert fraction exceeds this (0 = 0.25)")
 	maintainMinPoints := flag.Int("maintain-min-points", 0, "never compact shards smaller than this (0 = 64)")
+	multi := flag.Bool("collections", false, "serve -index as a multi-collection registry: named indexes under /v2/collections/{name}, created live via PUT (no pre-built default index required)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 	flag.Parse()
 
@@ -107,24 +108,40 @@ func main() {
 	sopts.Engine.Workers = *workers
 	sopts.Engine.CacheSize = *cache
 
-	srv, err := brepartition.NewServer(*index, dopts, sopts)
-	if err != nil {
-		fail(err)
+	serveOpts := []brepartition.ServeOption{
+		brepartition.WithDurableConfig(*dopts),
+		brepartition.WithServerConfig(*sopts),
 	}
 
-	// Sanity-gate the divergence: serving ISD traffic from an L2 index is
-	// a silent-wrong-answers bug, so refuse loudly.
-	if wantDiv != nil && srv.Divergence().Name() != wantDiv.Name() {
-		srv.Close()
-		fail(fmt.Errorf("index %s was built with divergence %q, -div asked for %q",
-			*index, srv.Divergence().Name(), wantDiv.Name()))
+	var handler http.Handler
+	var closeServing func() error
+	if *multi {
+		cs, err := brepartition.OpenCollections(*index, serveOpts...)
+		if err != nil {
+			fail(err)
+		}
+		handler, closeServing = cs.Handler(), cs.Close
+		fmt.Printf("breserved: serving %d collection(s)\n", len(cs.List()))
+	} else {
+		srv, err := brepartition.NewServer(*index, serveOpts...)
+		if err != nil {
+			fail(err)
+		}
+		// Sanity-gate the divergence: serving ISD traffic from an L2 index
+		// is a silent-wrong-answers bug, so refuse loudly.
+		if wantDiv != nil && srv.Divergence().Name() != wantDiv.Name() {
+			srv.Close()
+			fail(fmt.Errorf("index %s was built with divergence %q, -div asked for %q",
+				*index, srv.Divergence().Name(), wantDiv.Name()))
+		}
+		handler, closeServing = srv.Handler(), srv.Close
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -145,7 +162,7 @@ func main() {
 	if err := hs.Shutdown(sctx); err != nil {
 		fmt.Fprintln(os.Stderr, "breserved: shutdown:", err)
 	}
-	if err := srv.Close(); err != nil {
+	if err := closeServing(); err != nil {
 		fail(err)
 	}
 	fmt.Println("breserved: stopped")

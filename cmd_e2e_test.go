@@ -183,9 +183,9 @@ func TestBreservedEndToEnd(t *testing.T) {
 		}
 	}
 
-	jsonClient := brepartition.NewClient(baseURL, nil)
+	jsonClient := brepartition.NewClient(baseURL)
 	defer jsonClient.Close()
-	binClient := brepartition.NewClient(baseURL, &brepartition.ClientOptions{Binary: true})
+	binClient := brepartition.NewClient(baseURL, brepartition.WithBinary())
 	defer binClient.Close()
 	check(jsonClient, "json")
 	check(binClient, "binary")

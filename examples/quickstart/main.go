@@ -218,15 +218,15 @@ func main() {
 	// behind HTTP (request coalescing, admission control, /metrics,
 	// hot /admin/reload — see cmd/breserved for the daemon) and a Client
 	// talks to it with pooled connections; answers are bit-identical to
-	// the in-process index. ClientOptions{Binary: true} switches from
-	// JSON to the compact length-prefixed protocol.
-	srv, err := brepartition.NewServer(durableRoot, nil, nil)
+	// the in-process index. WithBinary switches from JSON to the compact
+	// length-prefixed protocol.
+	srv, err := brepartition.NewServer(durableRoot)
 	if err != nil {
 		log.Fatal(err)
 	}
 	hs := httptest.NewServer(srv.Handler()) // or http.ListenAndServe(":7600", srv.Handler())
 	ctx := context.Background()
-	cl := brepartition.NewClient(hs.URL, &brepartition.ClientOptions{Binary: true})
+	cl := brepartition.NewClient(hs.URL, brepartition.WithBinary())
 	before, err := cl.Search(ctx, query, k)
 	if err != nil {
 		log.Fatal(err)
@@ -250,4 +250,58 @@ func main() {
 	cl.Close()
 	hs.Close()
 	srv.Close()
+
+	// Multi-tenant collections: one process serves many independent
+	// indexes. OpenCollections opens a registry root; collections are
+	// created live — each with its own divergence and geometry — and the
+	// client scopes to one with Collection(name). Tags attached at insert
+	// time drive filtered search: the exact top-k over only matching
+	// points, with the predicate pruning inside the index scan.
+	colRoot := filepath.Join(dir, "collections")
+	cs, err := brepartition.OpenCollections(colRoot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cs.Create("docs", brepartition.CollectionSpec{Divergence: "l2", Dim: dim}); err != nil {
+		log.Fatal(err)
+	}
+	hs2 := httptest.NewServer(cs.Handler())
+	mcl := brepartition.NewClient(hs2.URL)
+	// A second collection under a different divergence, created remotely.
+	if _, err := mcl.CreateCollection(ctx, "topics", brepartition.CollectionSpec{Divergence: "gkl", Dim: dim}); err != nil {
+		log.Fatal(err)
+	}
+	docs := mcl.Collection("docs")
+	for i, p := range points[:32] {
+		tags := []string{"corpus"}
+		if i%2 == 0 {
+			tags = append(tags, "even")
+		}
+		if _, err := docs.InsertTagged(ctx, p, tags); err != nil {
+			log.Fatal(err)
+		}
+	}
+	topics := mcl.Collection("topics")
+	for _, p := range points[:8] {
+		if _, err := topics.Insert(ctx, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	all, err := docs.Search(ctx, query, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evens, err := docs.SearchFiltered(ctx, query, 4, brepartition.Filter{Tags: []string{"even"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	infos, err := mcl.Collections(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collections served: %d; docs top hit id=%d, filtered(even) top hit id=%d\n",
+		len(infos), all[0].ID, evens[0].ID)
+	mcl.Close()
+	hs2.Close()
+	cs.Close()
 }

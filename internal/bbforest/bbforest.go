@@ -146,6 +146,16 @@ func (f *Forest) CandidateUnion(q []float64, radii []float64, sess *disk.Session
 // scratch's next query. The traversal is iterative (no per-query closures),
 // so a warm scratch performs the entire filter phase without allocating.
 func (f *Forest) CandidateUnionCtx(q []float64, radii []float64, sess *disk.Session, sc *SearchScratch) ([]int, bbtree.Stats) {
+	return f.CandidateUnionFilterCtx(q, radii, sess, sc, nil)
+}
+
+// CandidateUnionFilterCtx is CandidateUnionCtx with an id predicate pushed
+// into leaf emission: ids keep rejects are dropped at the leaf, before
+// prefetch or candidate accumulation, so the refinement phase of a
+// filtered query never touches (or pages in) a non-matching point. Each id
+// is tested at most once per query — the dedup stamp is set whether or not
+// the predicate admits it. keep == nil admits everything.
+func (f *Forest) CandidateUnionFilterCtx(q []float64, radii []float64, sess *disk.Session, sc *SearchScratch, keep func(id int) bool) ([]int, bbtree.Stats) {
 	if len(radii) != len(f.Trees) {
 		panic("bbforest: radii/subspace count mismatch")
 	}
@@ -173,10 +183,14 @@ func (f *Forest) CandidateUnionCtx(q []float64, radii []float64, sess *disk.Sess
 			if node.IsLeaf() {
 				total.LeavesVisited++
 				for _, id := range node.IDs {
-					sess.Prefetch(id)
-					if sc.seen.TryMark(id) {
-						sc.cands = append(sc.cands, id)
+					if !sc.seen.TryMark(id) {
+						continue
 					}
+					if keep != nil && !keep(id) {
+						continue
+					}
+					sess.Prefetch(id)
+					sc.cands = append(sc.cands, id)
 				}
 				continue
 			}

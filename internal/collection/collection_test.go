@@ -1,0 +1,242 @@
+package collection
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/shard"
+	"brepartition/internal/wire"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	root := t.TempDir()
+	r, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.List(); len(got) != 0 {
+		t.Fatalf("fresh registry lists %d collections", len(got))
+	}
+
+	// Create three collections with different divergences.
+	specs := map[string]wire.CollectionSpec{
+		"docs":   {Divergence: "l2", Dim: 4, Shards: 2},
+		"audio":  {Divergence: "is", Dim: 3, M: 2},
+		"topics": {Divergence: "gkl", Dim: 5},
+	}
+	for name, spec := range specs {
+		if _, err := r.Create(name, spec); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	if _, err := r.Create("docs", specs["docs"]); !errors.Is(err, wire.ErrCollectionExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := r.Create("no/slash", specs["docs"]); !errors.Is(err, wire.ErrBadCollection) {
+		t.Fatalf("bad name create: %v", err)
+	}
+	if _, err := r.Create("nodim", wire.CollectionSpec{Divergence: "l2"}); !errors.Is(err, wire.ErrBadCollection) {
+		t.Fatalf("dimless create: %v", err)
+	}
+	if _, err := r.Get("ghost"); !errors.Is(err, wire.ErrNoSuchCollection) {
+		t.Fatalf("get missing: %v", err)
+	}
+
+	// Insert into each; tag some points in docs.
+	docs, err := r.Get("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		id, err := docs.Handle.Insert([]float64{float64(i) + 1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := docs.Tags.Add(id, []string{"even", "doc"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	audio, _ := r.Get("audio")
+	if _, err := audio.Handle.Insert([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Filtered predicate compiles and matches only tagged ids.
+	keep, err := docs.Predicate(&wire.Filter{Tags: []string{"even"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 6; id++ {
+		if keep(id) != (id%2 == 0) {
+			t.Fatalf("predicate(%d) = %v", id, keep(id))
+		}
+	}
+	if _, err := docs.Predicate(&wire.Filter{Tags: nil}); !errors.Is(err, wire.ErrBadFilter) {
+		t.Fatalf("empty filter: %v", err)
+	}
+	if _, err := docs.Predicate(&wire.Filter{Tags: []string{"x"}, Mode: "some"}); !errors.Is(err, wire.ErrBadFilter) {
+		t.Fatalf("bad mode: %v", err)
+	}
+
+	// Reopen: everything (points, tags, specs) survives.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if names := listNames(r); len(names) != 3 {
+		t.Fatalf("reopened names: %v", names)
+	}
+	docs, err = r.Get("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs.Handle.N() != 6 || docs.Spec.Divergence != "l2" || docs.Handle.Dim() != 4 {
+		t.Fatalf("reopened docs: n=%d spec=%+v", docs.Handle.N(), docs.Spec)
+	}
+	keep, err = docs.Predicate(&wire.Filter{Tags: []string{"even", "doc"}, Mode: wire.FilterAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 6; id++ {
+		if keep(id) != (id%2 == 0) {
+			t.Fatalf("reopened predicate(%d) = %v", id, keep(id))
+		}
+	}
+
+	// Drop removes the directory; recreate under the same name is empty.
+	if err := r.Drop("audio"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("audio"); !errors.Is(err, wire.ErrNoSuchCollection) {
+		t.Fatalf("get dropped: %v", err)
+	}
+	if dirExists(filepath.Join(root, collectionsSubdir, "audio")) {
+		t.Fatal("dropped directory still on disk")
+	}
+	audio, err = r.Create("audio", specs["audio"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audio.Handle.N() != 0 {
+		t.Fatalf("recreated collection has %d points", audio.Handle.N())
+	}
+}
+
+func TestRegistryLegacyAdoption(t *testing.T) {
+	root := t.TempDir()
+	// Write a pre-collections single-index root.
+	d, err := shard.BuildDurable(bregman.GeneralizedKL{},
+		[][]float64{{1, 2}, {3, 4}, {5, 6}}, root, shard.DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert([]float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	def, err := r.Get(wire.DefaultCollection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Handle.N() != 4 || def.Spec.Divergence != "gkl" || def.Spec.Dim != 2 {
+		t.Fatalf("adopted default: n=%d spec=%+v", def.Handle.N(), def.Spec)
+	}
+	if err := r.Drop(wire.DefaultCollection); err == nil {
+		t.Fatal("legacy default must not be droppable")
+	}
+	// New collections coexist beside the adopted root.
+	if _, err := r.Create("extra", wire.CollectionSpec{Divergence: "l2", Dim: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if names := listNames(r); len(names) != 2 {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestRegistrySweepsStaging(t *testing.T) {
+	root := t.TempDir()
+	colRoot := filepath.Join(root, collectionsSubdir)
+	if err := os.MkdirAll(filepath.Join(colRoot, stagingPrefix+"half"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(colRoot, trashPrefix+"gone"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(listNames(r)) != 0 {
+		t.Fatalf("litter adopted as collections: %v", listNames(r))
+	}
+	if dirExists(filepath.Join(colRoot, stagingPrefix+"half")) || dirExists(filepath.Join(colRoot, trashPrefix+"gone")) {
+		t.Fatal("staging/trash litter not swept")
+	}
+}
+
+func TestTagStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tags.log")
+	ts, err := OpenTags(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ts.Add(i, []string{"a", "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-payload.
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	ts, err = OpenTags(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for i := 0; i < 4; i++ {
+		if got := ts.Tags(i); len(got) != 2 {
+			t.Fatalf("id %d lost tags: %v", i, got)
+		}
+	}
+	if got := ts.Tags(4); got != nil {
+		t.Fatalf("torn record survived: %v", got)
+	}
+	// The store keeps appending cleanly past the truncation.
+	if err := ts.Add(9, []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Tags(9); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("append after tear: %v", got)
+	}
+}
+
+func listNames(r *Registry) []string {
+	var names []string
+	for _, c := range r.List() {
+		names = append(names, c.Name)
+	}
+	return names
+}

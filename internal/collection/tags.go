@@ -1,0 +1,221 @@
+package collection
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// TagStore is a collection's metadata tag log: an append-only,
+// CRC-framed, fsynced file mapping global point ids to string tags, plus
+// the in-memory inverted view filtered search matches against.
+//
+// Record framing (little-endian): u32 payloadLen | u32 crc | payload,
+// payload = u64 id | u16 ntags | ntags × (u16 len | bytes). Replay stops
+// at the first torn or corrupt record and truncates the file there — the
+// same drop-the-tail policy as the WAL, so a crash mid-append loses at
+// most the unacknowledged record.
+//
+// Tags are written once at insert time; a deleted point's tags are left
+// in place (tombstoned ids never reach the search predicate), and ids
+// are globally stable across compaction, so the log never needs
+// rewriting.
+type TagStore struct {
+	mu   sync.RWMutex
+	f    *os.File
+	byID map[int][]string
+	buf  []byte
+}
+
+const (
+	tagRecHeader = 8 // u32 len | u32 crc
+	maxTagRec    = 1 << 20
+)
+
+// NewMemTags builds a memory-only TagStore: tags work for filtered
+// search but are not persisted. Used by the static single-index server
+// mode, which has no collection directory to log into.
+func NewMemTags() *TagStore {
+	return &TagStore{byID: make(map[int][]string)}
+}
+
+// OpenTags opens (or creates) the tag log at path and replays it.
+func OpenTags(path string) (*TagStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	t := &TagStore{f: f, byID: make(map[int][]string)}
+	good, err := t.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop any torn tail, then position appends after the last good record.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// replay scans the log, loading every intact record; it returns the
+// offset just past the last good record.
+func (t *TagStore) replay() (int64, error) {
+	var off int64
+	hdr := make([]byte, tagRecHeader)
+	for {
+		if _, err := io.ReadFull(t.f, hdr); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxTagRec {
+			return off, nil // garbage length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(t.f, payload); err != nil {
+			return off, nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off, nil
+		}
+		id, tags, err := decodeTagRec(payload)
+		if err != nil {
+			return off, nil
+		}
+		t.byID[id] = tags
+		off += int64(tagRecHeader) + int64(n)
+	}
+}
+
+func decodeTagRec(payload []byte) (int, []string, error) {
+	if len(payload) < 10 {
+		return 0, nil, fmt.Errorf("collection: short tag record")
+	}
+	id := int(int64(binary.LittleEndian.Uint64(payload[0:8])))
+	ntags := int(binary.LittleEndian.Uint16(payload[8:10]))
+	b := payload[10:]
+	tags := make([]string, 0, ntags)
+	for i := 0; i < ntags; i++ {
+		if len(b) < 2 {
+			return 0, nil, fmt.Errorf("collection: truncated tag record")
+		}
+		n := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < n {
+			return 0, nil, fmt.Errorf("collection: truncated tag record")
+		}
+		tags = append(tags, string(b[:n]))
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("collection: trailing tag record bytes")
+	}
+	return id, tags, nil
+}
+
+// Add durably associates tags with global id (fsynced before returning)
+// and publishes them to the in-memory view. Re-adding an id overwrites
+// its tags (last record wins, both in memory and on replay).
+func (t *TagStore) Add(id int, tags []string) error {
+	if id < 0 {
+		return fmt.Errorf("collection: negative tag id %d", id)
+	}
+	for _, tag := range tags {
+		if tag == "" || len(tag) > maxTagRec {
+			return fmt.Errorf("collection: bad tag %q", tag)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil { // memory-only store: no log to append to
+		t.byID[id] = append([]string(nil), tags...)
+		return nil
+	}
+	payload := t.buf[:0]
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(int64(id)))
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(tags)))
+	for _, tag := range tags {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(tag)))
+		payload = append(payload, tag...)
+	}
+	t.buf = payload
+	var hdr [tagRecHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := t.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.f.Write(payload); err != nil {
+		return err
+	}
+	if err := t.f.Sync(); err != nil {
+		return err
+	}
+	t.byID[id] = append([]string(nil), tags...)
+	return nil
+}
+
+// Tags returns the tags recorded for id (nil if none).
+func (t *TagStore) Tags(id int) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]string(nil), t.byID[id]...)
+}
+
+// Predicate compiles a tag query into the id predicate the leaf scan
+// calls: all=false admits ids carrying at least one query tag, all=true
+// only ids carrying every one. The predicate is safe under concurrent
+// Add.
+func (t *TagStore) Predicate(tags []string, all bool) func(id int) bool {
+	want := make(map[string]struct{}, len(tags))
+	for _, tag := range tags {
+		want[tag] = struct{}{}
+	}
+	return func(id int) bool {
+		t.mu.RLock()
+		have := t.byID[id]
+		t.mu.RUnlock()
+		if all {
+			for w := range want {
+				found := false
+				for _, tag := range have {
+					if tag == w {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			return true
+		}
+		for _, tag := range have {
+			if _, ok := want[tag]; ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Close closes the log file; the store stays readable in memory.
+func (t *TagStore) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

@@ -437,7 +437,27 @@ func (ix *Index) SearchAppend(dst []topk.Item, q []float64, k int) (Result, erro
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	ctx := ix.getCtx()
-	res, err := ix.search(ctx, dst, q, k, 0)
+	res, err := ix.search(ctx, dst, q, k, 0, nil)
+	ix.putCtx(ctx)
+	return res, err
+}
+
+// SearchFilter returns the exact k nearest neighbours of q among the
+// points keep admits. The predicate is pushed into both phases of
+// Algorithm 6 — the k-th-smallest bound is selected over matching points
+// only (an unfiltered bound could prune matches away) and leaf emission
+// drops non-matching ids before they are prefetched or refined — so the
+// answer is pre-filtered exact top-k, identical to brute force over the
+// admitted subset, never a post-filtered approximation. keep must be safe
+// for concurrent use and cheap: it runs once per indexed point per query.
+func (ix *Index) SearchFilter(q []float64, k int, keep func(id int) bool) (Result, error) {
+	if keep == nil {
+		return ix.Search(q, k)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ctx := ix.getCtx()
+	res, err := ix.search(ctx, nil, q, k, 0, keep)
 	ix.putCtx(ctx)
 	return res, err
 }
@@ -452,15 +472,18 @@ func (ix *Index) SearchApprox(q []float64, k int, p float64) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	ctx := ix.getCtx()
-	res, err := ix.search(ctx, nil, q, k, p)
+	res, err := ix.search(ctx, nil, q, k, p, nil)
 	ix.putCtx(ctx)
 	return res, err
 }
 
 // search runs Algorithm 6 with pooled per-query state; the caller must
 // hold ix.mu (read side) and hand the context back to the pool afterwards.
-// Result items are appended to dst.
-func (ix *Index) search(ctx *searchContext, dst []topk.Item, q []float64, k int, p float64) (Result, error) {
+// Result items are appended to dst. A non-nil keep restricts both the
+// bound selection and the candidate union to admitted ids (tombstoned ids
+// are excluded on top of it); p and keep are mutually exclusive — the
+// filtered path is always exact.
+func (ix *Index) search(ctx *searchContext, dst []topk.Item, q []float64, k int, p float64, keep func(id int) bool) (Result, error) {
 	if k <= 0 {
 		return Result{}, ErrK
 	}
@@ -483,7 +506,26 @@ func (ix *Index) search(ctx *searchContext, dst []topk.Item, q []float64, k int,
 		ctx.radii = make([]float64, len(ctx.triples))
 	}
 	ctx.radii = ctx.radii[:len(ctx.triples)]
-	bounds := transform.QBDetermineInto(ix.Tuples, ctx.triples, ctx.sel, ctx.radii)
+	var bounds transform.Bounds
+	if keep != nil {
+		// Filtered bound selection: tombstoned ids are excluded on top of
+		// the caller's predicate (their poisoned +Inf tuples would
+		// otherwise inflate the radii whenever matches are scarce).
+		live := keep
+		if deleted := ix.deleted; deleted != nil {
+			live = func(id int) bool {
+				return !(id < len(deleted) && deleted[id]) && keep(id)
+			}
+		}
+		var ok bool
+		bounds, ok = transform.QBDetermineFilterInto(ix.Tuples, ctx.triples, ctx.sel, ctx.radii, live)
+		if !ok {
+			// Nothing matches: the filtered answer is empty, not an error.
+			return Result{Items: dst}, nil
+		}
+	} else {
+		bounds = transform.QBDetermineInto(ix.Tuples, ctx.triples, ctx.sel, ctx.radii)
+	}
 
 	radii := bounds.Radii
 	c := 1.0
@@ -509,7 +551,7 @@ func (ix *Index) search(ctx *searchContext, dst []topk.Item, q []float64, k int,
 	} else {
 		ctx.sess.Reset(ix.Forest.Store)
 	}
-	cands, ts := ix.Forest.CandidateUnionCtx(q, radii, ctx.sess, &ctx.scratch)
+	cands, ts := ix.Forest.CandidateUnionFilterCtx(q, radii, ctx.sess, &ctx.scratch, keep)
 	filterTime := time.Since(filterStart)
 
 	// Line 8: refinement. The query's hoisted kernel terms live in the

@@ -234,6 +234,33 @@ func (e *Engine) SubmitApprox(q []float64, k int, p float64) *Future {
 	})
 }
 
+// filterBackend is the optional filtered-search surface; SubmitFilter
+// requires the backend to implement it (core, shard, durable, and handle
+// all do).
+type filterBackend interface {
+	SearchFilter(q []float64, k int, keep func(id int) bool) (core.Result, error)
+}
+
+// ErrNoFilter reports a SubmitFilter against a backend without
+// SearchFilter.
+var ErrNoFilter = errors.New("engine: backend does not support filtered search")
+
+// SubmitFilter enqueues one filtered query: the exact kNN among the ids
+// keep admits. Filtered results bypass the result cache — the cache is
+// keyed on (version, k, q) and knows nothing about predicates, and two
+// queries with the same coordinates but different filters must never
+// alias.
+func (e *Engine) SubmitFilter(q []float64, k int, keep func(id int) bool) *Future {
+	fb, ok := e.ix.(filterBackend)
+	return e.submit(func() (core.Result, bool, error) {
+		if !ok {
+			return core.Result{}, false, ErrNoFilter
+		}
+		res, err := fb.SearchFilter(q, k, keep)
+		return res, false, err
+	})
+}
+
 func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
 	e.mu.Lock()
 	if e.started.IsZero() {

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brepartition/internal/client"
+	"brepartition/internal/collection"
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+	"brepartition/internal/server"
+	"brepartition/internal/shard"
+	"brepartition/internal/wire"
+)
+
+// Tenants measures quota isolation in the multi-tenant serving stack:
+// three collections share one breserved process, one of them ("noisy")
+// capped by a per-collection admission quota. Phase A drives every
+// tenant at the same gentle closed-loop rate to establish per-collection
+// baselines; phase B hammers the noisy tenant with 4x the workers while
+// the quiet tenants keep their gentle load. The interesting outputs are
+// the quiet tenants' p99 across phases (isolation: it should barely
+// move, because the noisy tenant's excess is shed at its own quota gate
+// before it can queue behind shared resources) and the noisy tenant's
+// shed rate (the quota turning overload into fast typed 429s).
+func (e *Env) Tenants(workers int) []Table {
+	dim := 12
+	n := int(1500 * e.cfg.Scale)
+	if n < 120 {
+		n = 120
+	}
+
+	dir, err := os.MkdirTemp("", "brebench-tenants-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	reg, err := collection.Open(dir, collection.Options{
+		Durable: shard.DurableOptions{
+			Core:            core.Options{Tree: e.treeCfg(), Seed: e.cfg.Seed},
+			CheckpointBytes: -1,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("tenants: %v", err))
+	}
+	srv := server.NewMulti(reg, server.Config{
+		Engine:      engine.Config{Workers: workers},
+		MaxInFlight: 64,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close(); reg.Close() }()
+
+	cl := client.New(ts.URL, client.Options{Binary: true, Timeout: 5 * time.Second})
+	defer cl.Close()
+
+	specs := []struct {
+		name string
+		spec wire.CollectionSpec
+	}{
+		{"docs", wire.CollectionSpec{Divergence: "l2", Dim: dim, M: 4, Shards: 2}},
+		{"audio", wire.CollectionSpec{Divergence: "is", Dim: dim, M: 4, Shards: 2}},
+		{"noisy", wire.CollectionSpec{
+			Divergence: "l2", Dim: dim, M: 4, Shards: 2,
+			Quota: &wire.Quota{MaxInflight: 2, MaxQueue: 2},
+		}},
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	queries := map[string][][]float64{}
+	for _, s := range specs {
+		if _, err := srv.CreateCollection(s.name, s.spec); err != nil {
+			panic(fmt.Sprintf("tenants: create %s: %v", s.name, err))
+		}
+		col := cl.Collection(s.name)
+		pts := tenantPoints(rng, n, dim)
+		for _, p := range pts {
+			if _, err := col.Insert(ctx, p); err != nil {
+				panic(fmt.Sprintf("tenants: insert into %s: %v", s.name, err))
+			}
+		}
+		queries[s.name] = tenantPoints(rng, 32, dim)
+	}
+
+	const k = 10
+	const dur = 400 * time.Millisecond
+
+	// Phase A: every tenant at the same gentle closed-loop load.
+	baseline := map[string]tenantLoadResult{}
+	var wgA sync.WaitGroup
+	var muA sync.Mutex
+	for _, s := range specs {
+		wgA.Add(1)
+		go func(name string) {
+			defer wgA.Done()
+			res := driveTenant(cl.Collection(name), queries[name], k, 2, dur)
+			muA.Lock()
+			baseline[name] = res
+			muA.Unlock()
+		}(s.name)
+	}
+	wgA.Wait()
+
+	// Phase B: the noisy tenant gets 4x the workers; quiet tenants keep
+	// their gentle load and should barely notice.
+	contended := map[string]tenantLoadResult{}
+	var wgB sync.WaitGroup
+	var muB sync.Mutex
+	for _, s := range specs {
+		w := 2
+		if s.name == "noisy" {
+			w = 8
+		}
+		wgB.Add(1)
+		go func(name string, w int) {
+			defer wgB.Done()
+			res := driveTenant(cl.Collection(name), queries[name], k, w, dur)
+			muB.Lock()
+			contended[name] = res
+			muB.Unlock()
+		}(s.name, w)
+	}
+	wgB.Wait()
+
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	tbl := Table{
+		Title: fmt.Sprintf("Multi-tenant isolation — %d collections, n=%d each, k=%d, workers=%d per engine (noisy quota: 2 in flight + 2 queued)",
+			len(specs), n, k, effWorkers),
+		Header: []string{"tenant", "baseline QPS", "baseline p99", "contended QPS", "contended p99", "shed rate"},
+	}
+	for _, s := range specs {
+		a, b := baseline[s.name], contended[s.name]
+		tbl.Rows = append(tbl.Rows, []string{
+			s.name,
+			fmt.Sprintf("%.0f", a.qps),
+			a.p99.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%.0f", b.qps),
+			b.p99.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%.1f%%", 100*b.shedRate),
+		})
+	}
+	return []Table{tbl}
+}
+
+// tenantPoints draws n in-domain points (strictly positive coordinates,
+// so every supported divergence accepts them).
+func tenantPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		base := 1.0 + 2*float64(i%7)
+		for j := range p {
+			p[j] = base + rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+type tenantLoadResult struct {
+	qps      float64
+	shedRate float64
+	p99      time.Duration
+}
+
+// driveTenant runs a closed-loop load of `workers` goroutines against one
+// collection for dur, counting quota sheds separately from served
+// requests.
+func driveTenant(col *client.Collection, queries [][]float64, k, workers int, dur time.Duration) tenantLoadResult {
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		ok   atomic.Int64
+		shed atomic.Int64
+		wg   sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				_, err := col.Search(context.Background(), queries[(w+i)%len(queries)], k)
+				switch {
+				case err == nil:
+					ok.Add(1)
+					lat := time.Since(t0)
+					mu.Lock()
+					lats = append(lats, lat)
+					mu.Unlock()
+				case errors.Is(err, wire.ErrQuota):
+					shed.Add(1)
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := tenantLoadResult{qps: float64(ok.Load()) / wall.Seconds()}
+	if total := ok.Load() + shed.Load(); total > 0 {
+		res.shedRate = float64(shed.Load()) / float64(total)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		res.p99 = lats[(len(lats)*99)/100]
+	}
+	return res
+}

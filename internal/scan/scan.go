@@ -37,6 +37,28 @@ func KNN(div bregman.Divergence, points [][]float64, q []float64, k int) []topk.
 	return sel.Items()
 }
 
+// KNNFilter is KNN restricted to the points keep admits (nil admits all):
+// the exact k nearest among matching points, the ground truth filtered
+// search is validated against. Non-matching points are never offered, so
+// the answer is pre-filtered top-k, not a post-filtered truncation.
+func KNNFilter(div bregman.Divergence, points [][]float64, q []float64, k int, keep func(id int) bool) []topk.Item {
+	if keep == nil {
+		return KNN(div, points, q, k)
+	}
+	if k <= 0 || len(points) == 0 {
+		return nil
+	}
+	kern := kernel.For(div)
+	prep := prepFor(kern, q)
+	sel := topk.New(k)
+	for id, p := range points {
+		if keep(id) {
+			sel.Offer(id, kern.DistancePrep(p, q, prep))
+		}
+	}
+	return sel.Items()
+}
+
 // prepFor allocates and fills a query-prep buffer for kern; nil when the
 // kernel hoists nothing (L2, generic), which DistancePrep accepts.
 func prepFor(kern kernel.Kernel, q []float64) []float64 {

@@ -5,6 +5,9 @@ import (
 	"net/http"
 	"sort"
 	"sync/atomic"
+
+	"brepartition/internal/engine"
+	"brepartition/internal/wire"
 )
 
 // counter is a monotonic atomic counter.
@@ -40,8 +43,8 @@ func (rc *routeCounters) snapshot() map[string]int64 {
 	return out
 }
 
-// metrics is the server's observability state beyond what the engine
-// already aggregates.
+// metrics is the server's observability state beyond what the engines
+// already aggregate.
 type metrics struct {
 	requests  routeCounters
 	deadlines counter // requests answered 504
@@ -50,12 +53,20 @@ type metrics struct {
 
 // handleMetrics renders the Prometheus text exposition format by hand —
 // the format is trivially stable and a client dependency is not worth a
-// new module requirement. Engine statistics (QPS, reservoir percentiles,
-// cache hits) are folded in so one scrape shows the whole serving
-// picture: load, latency, shed, queue depth, coalescing efficiency, and
-// index/WAL state.
+// new module requirement.
+//
+// Two views are exposed. The process-level series keep their
+// pre-collections names: admission classes, deadlines, reloads, and
+// the sums of per-collection coalescing and maintenance counters; the
+// unlabeled engine and index series continue to describe the "default"
+// collection, so single-index dashboards keep reading unchanged. The
+// per-collection series carry a {collection="name"} label — requests,
+// quota sheds and occupancy, engine QPS and latency percentiles, index
+// and WAL gauges, and per-shard health ratios — so a multi-tenant
+// operator can see exactly which tenant is hot, shedding, or due for
+// compaction.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
+	tns := s.sortedTenants()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 
 	emit := func(help, typ, name string, lines ...string) {
@@ -88,6 +99,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf(`breserved_inflight{class="mutation"} %d`, s.mutGate.inUse()),
 		fmt.Sprintf(`breserved_inflight{class="admin"} %d`, s.adminGate.inUse()))
 
+	// Sums across collections: the process-level view of coalescing and
+	// maintenance (identical to the old single-index series when only the
+	// default collection exists).
+	var coBatches, coFolded int64
+	var mSweeps, mCompactions, mErrs uint64
+	for _, tn := range tns {
+		coBatches += tn.co.batches.Load()
+		coFolded += tn.co.folded.Load()
+		ms := tn.mnt.Stats()
+		mSweeps += ms.Sweeps
+		mCompactions += ms.Compactions
+		mErrs += ms.Errors
+	}
+
+	// The unlabeled engine and index series describe the default
+	// collection — the pre-collections contract.
+	var st engine.Stats
+	var defN, defLive int
+	var defVersion uint64
+	var defWAL int64
+	if tn, err := s.tenant(wire.DefaultCollection); err == nil {
+		st = tn.eng.Stats()
+		hd := tn.col.Handle
+		defN, defLive, defVersion, defWAL = hd.N(), hd.Live(), hd.Version(), hd.WALSize()
+	}
+
 	emit("Engine scheduler backlog: submitted queries not yet running.", "gauge",
 		"breserved_queue_depth", g("breserved_queue_depth", float64(st.QueueDepth)))
 	emit("Engine queries currently executing.", "gauge",
@@ -115,39 +152,75 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf(`breserved_engine_latency_seconds{quantile="0.5"} %g`, st.P50.Seconds()),
 		fmt.Sprintf(`breserved_engine_latency_seconds{quantile="0.99"} %g`, st.P99.Seconds()))
 
-	emit("Micro-batches dispatched by the request coalescer.", "counter",
-		"breserved_coalesce_batches_total", g("breserved_coalesce_batches_total", float64(s.co.batches.Load())))
+	emit("Micro-batches dispatched by the request coalescers.", "counter",
+		"breserved_coalesce_batches_total", g("breserved_coalesce_batches_total", float64(coBatches)))
 	emit("Single-query requests folded into micro-batches.", "counter",
-		"breserved_coalesce_queries_total", g("breserved_coalesce_queries_total", float64(s.co.folded.Load())))
+		"breserved_coalesce_queries_total", g("breserved_coalesce_queries_total", float64(coFolded)))
 
 	emit("Successful hot snapshot reloads.", "counter",
 		"breserved_reload_total", g("breserved_reload_total", float64(s.m.reloads.Load())))
-	emit("Ids ever assigned by the index.", "gauge",
-		"breserved_index_ids", g("breserved_index_ids", float64(s.h.N())))
-	emit("Live (non-tombstoned) points.", "gauge",
-		"breserved_index_live", g("breserved_index_live", float64(s.h.Live())))
-	emit("Mutation counter (WAL LSN after recovery).", "counter",
-		"breserved_index_version", g("breserved_index_version", float64(s.h.Version())))
-	emit("Live write-ahead-log bytes (checkpoint trigger metric).", "gauge",
-		"breserved_wal_bytes", g("breserved_wal_bytes", float64(s.h.WALSize())))
+	emit("Ids ever assigned by the default index.", "gauge",
+		"breserved_index_ids", g("breserved_index_ids", float64(defN)))
+	emit("Live (non-tombstoned) points in the default index.", "gauge",
+		"breserved_index_live", g("breserved_index_live", float64(defLive)))
+	emit("Default index mutation counter (WAL LSN after recovery).", "counter",
+		"breserved_index_version", g("breserved_index_version", float64(defVersion)))
+	emit("Default index live write-ahead-log bytes.", "gauge",
+		"breserved_wal_bytes", g("breserved_wal_bytes", float64(defWAL)))
 
-	ms := s.mnt.Stats()
 	emit("Maintainer health sweeps completed.", "counter",
-		"breserved_maintain_sweeps_total", g("breserved_maintain_sweeps_total", float64(ms.Sweeps)))
-	emit("Shard compactions performed by the maintainer and /admin/compact sweeps.", "counter",
-		"breserved_maintain_compactions_total", g("breserved_maintain_compactions_total", float64(ms.Compactions)))
+		"breserved_maintain_sweeps_total", g("breserved_maintain_sweeps_total", float64(mSweeps)))
+	emit("Shard compactions performed by the maintainers and /admin/compact sweeps.", "counter",
+		"breserved_maintain_compactions_total", g("breserved_maintain_compactions_total", float64(mCompactions)))
 	emit("Shard compactions that failed.", "counter",
-		"breserved_maintain_errors_total", g("breserved_maintain_errors_total", float64(ms.Errors)))
+		"breserved_maintain_errors_total", g("breserved_maintain_errors_total", float64(mErrs)))
 
-	health := s.h.Health()
-	liveLines := make([]string, len(health))
-	tailLines := make([]string, len(health))
-	for i, h := range health {
-		liveLines[i] = fmt.Sprintf(`breserved_shard_live_ratio{shard="%d"} %g`, h.Shard, h.LiveRatio())
-		tailLines[i] = fmt.Sprintf(`breserved_shard_tail_ratio{shard="%d"} %g`, h.Shard, h.TailRatio())
+	// Per-collection series.
+	reqLines := make([]string, 0, len(tns))
+	shedLines := make([]string, 0, len(tns))
+	quotaLines := make([]string, 0, len(tns))
+	qpsLines := make([]string, 0, len(tns))
+	latLines := make([]string, 0, 2*len(tns))
+	idLines := make([]string, 0, len(tns))
+	liveLines := make([]string, 0, len(tns))
+	verLines := make([]string, 0, len(tns))
+	walLines := make([]string, 0, len(tns))
+	var shardLive, shardTail []string
+	for _, tn := range tns {
+		name := tn.col.Name
+		est := tn.eng.Stats()
+		hd := tn.col.Handle
+		reqLines = append(reqLines, fmt.Sprintf(`breserved_collection_requests_total{collection=%q} %d`, name, tn.requests.Load()))
+		shedLines = append(shedLines, fmt.Sprintf(`breserved_quota_shed_total{collection=%q} %d`, name, tn.quotaShed.Load()))
+		inUse := 0
+		if tn.quota != nil {
+			inUse = tn.quota.inUse()
+		}
+		quotaLines = append(quotaLines, fmt.Sprintf(`breserved_quota_inflight{collection=%q} %d`, name, inUse))
+		qpsLines = append(qpsLines, fmt.Sprintf(`breserved_collection_qps{collection=%q} %g`, name, est.QPS))
+		latLines = append(latLines,
+			fmt.Sprintf(`breserved_collection_latency_seconds{collection=%q,quantile="0.5"} %g`, name, est.P50.Seconds()),
+			fmt.Sprintf(`breserved_collection_latency_seconds{collection=%q,quantile="0.99"} %g`, name, est.P99.Seconds()))
+		idLines = append(idLines, fmt.Sprintf(`breserved_collection_ids{collection=%q} %d`, name, hd.N()))
+		liveLines = append(liveLines, fmt.Sprintf(`breserved_collection_live{collection=%q} %d`, name, hd.Live()))
+		verLines = append(verLines, fmt.Sprintf(`breserved_collection_version{collection=%q} %d`, name, hd.Version()))
+		walLines = append(walLines, fmt.Sprintf(`breserved_collection_wal_bytes{collection=%q} %d`, name, hd.WALSize()))
+		for _, h := range hd.Health() {
+			shardLive = append(shardLive, fmt.Sprintf(`breserved_shard_live_ratio{collection=%q,shard="%d"} %g`, name, h.Shard, h.LiveRatio()))
+			shardTail = append(shardTail, fmt.Sprintf(`breserved_shard_tail_ratio{collection=%q,shard="%d"} %g`, name, h.Shard, h.TailRatio()))
+		}
 	}
+	emit("Requests routed to each collection.", "counter", "breserved_collection_requests_total", reqLines...)
+	emit("Requests shed by a collection's admission quota.", "counter", "breserved_quota_shed_total", shedLines...)
+	emit("Requests holding a collection quota in-flight slot.", "gauge", "breserved_quota_inflight", quotaLines...)
+	emit("Per-collection completed queries per second of engine wall time.", "gauge", "breserved_collection_qps", qpsLines...)
+	emit("Per-collection engine latency percentiles, in seconds.", "gauge", "breserved_collection_latency_seconds", latLines...)
+	emit("Per-collection ids ever assigned.", "gauge", "breserved_collection_ids", idLines...)
+	emit("Per-collection live (non-tombstoned) points.", "gauge", "breserved_collection_live", liveLines...)
+	emit("Per-collection mutation counter (WAL LSN after recovery).", "counter", "breserved_collection_version", verLines...)
+	emit("Per-collection live write-ahead-log bytes.", "gauge", "breserved_collection_wal_bytes", walLines...)
 	emit("Per-shard live/resident point ratio (compaction health input).", "gauge",
-		"breserved_shard_live_ratio", liveLines...)
+		"breserved_shard_live_ratio", shardLive...)
 	emit("Per-shard fraction of points appended since the last rebuild.", "gauge",
-		"breserved_shard_tail_ratio", tailLines...)
+		"breserved_shard_tail_ratio", shardTail...)
 }

@@ -1,26 +1,33 @@
-// Package server is the breserved network serving layer: it puts a
-// durable sharded BrePartition index behind HTTP with the three things a
-// production front-end needs beyond marshalling —
+// Package server is the breserved network serving layer: it puts named
+// collections — independent durable sharded BrePartition indexes — behind
+// one HTTP process with the things a production front-end needs beyond
+// marshalling:
 //
-//   - request coalescing: concurrent single-query /v1/search requests are
-//     folded into engine.BatchSearch calls by a micro-batching window
-//     (size and max-delay triggers), so open-loop traffic gets the batch
-//     engine's throughput instead of one worker wakeup per request;
-//   - admission control: per-class bounded in-flight gates (search,
-//     mutation, admin) that shed excess load with 429 + Retry-After
-//     instead of queueing without bound, plus a per-request deadline
-//     (default or X-Timeout-Ms) enforced with 504;
-//   - observability and operability: /metrics in Prometheus text format
-//     (QPS, p50/p99 from the engine's latency reservoir, cache hit rate,
-//     shed counts, queue depth), /healthz, and /admin/reload — a hot
-//     checkpoint-and-swap of the underlying snapshot through
-//     shard.Handle that never drops an in-flight query.
+//   - multi-tenant collections: /v2/collections/{name}/... routes address
+//     independent indexes, each with its own divergence, geometry, shard
+//     layout, tag store, engine, coalescing window, maintainer, and
+//     admission quota; /v2/collections CRUD creates and drops them live.
+//     The /v1 routes remain a thin delegation to the "default" collection,
+//     so pre-collections clients keep working bit-identically;
+//   - request coalescing: concurrent single-query search requests fold
+//     into engine.BatchSearch calls per collection (size and max-delay
+//     triggers);
+//   - admission control: global per-class bounded in-flight gates (search,
+//     mutation, admin) shed excess load with 429 + Retry-After, and each
+//     collection may carry its own quota (spec.Quota) shedding with the
+//     "quota" error code so one noisy tenant cannot starve the rest;
+//   - filtered search: a JSON search carrying a tag filter answers the
+//     exact top-k over only matching points — the predicate is pushed into
+//     the leaf scan, never applied after the fact;
+//   - observability and operability: /metrics with per-collection labels,
+//     /healthz, and collection-scoped /admin/{reload,checkpoint,compact}
+//     (?collection=name); the unscoped form sweeps every collection and
+//     reports per-collection outcomes, one failure never stranding the
+//     rest.
 //
-// Wire surface: compact JSON on per-route endpoints (/v1/search,
-// /v1/approx, /v1/range, /v1/insert, /v1/delete) and the length-prefixed
-// binary protocol of internal/wire on /v1/frame. Answers are bit-identical
-// to in-process Index.Search over the same state (the e2e oracle test
-// pins this, including across reloads).
+// Wire surface: compact JSON on per-route endpoints plus the
+// length-prefixed binary protocol of internal/wire on /v1/frame, whose v2
+// frames carry a collection name (v1 frames route to "default").
 package server
 
 import (
@@ -32,11 +39,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"brepartition/internal/approx"
 	"brepartition/internal/bregman"
+	"brepartition/internal/collection"
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
 	"brepartition/internal/maintain"
@@ -55,8 +65,10 @@ type Config struct {
 	// (0 = 1ms; negative dispatches every query immediately).
 	CoalesceDelay time.Duration
 	// MaxInFlight bounds concurrently admitted search-class requests
-	// (search/approx/range, JSON or binary); excess load is shed with
-	// 429 (0 = 4×GOMAXPROCS).
+	// (search/approx/range, JSON or binary) across all collections;
+	// excess load is shed with 429 (0 = 4×GOMAXPROCS). It is also the
+	// fallback per-collection quota when a spec sets Quota with zero
+	// MaxInflight.
 	MaxInFlight int
 	// MaxMutations bounds concurrently admitted mutation requests
 	// (0 = 64).
@@ -69,16 +81,16 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 responses, rounded
 	// up to whole seconds as the header requires (0 = 1s).
 	RetryAfter time.Duration
-	// Engine tunes the query engine the server builds over the handle
-	// (workers, sub-workers, result-cache size).
+	// Engine tunes each collection's query engine (workers, sub-workers,
+	// result-cache size).
 	Engine engine.Config
-	// MaintainInterval enables the background shard maintainer: every
-	// interval it sweeps per-shard health and compacts shards past their
-	// thresholds (0 disables the loop; POST /admin/compact still sweeps
-	// on demand).
+	// MaintainInterval enables each collection's background shard
+	// maintainer: every interval it sweeps per-shard health and compacts
+	// shards past their thresholds (0 disables the loops; POST
+	// /admin/compact still sweeps on demand).
 	MaintainInterval time.Duration
 	// MaintainMinLive, MaintainMaxTail, and MaintainMinPoints override
-	// the maintainer's compaction thresholds (zero keeps the maintain
+	// the maintainers' compaction thresholds (zero keeps the maintain
 	// package defaults: 0.5, 0.25, 64).
 	MaintainMinLive   float64
 	MaintainMaxTail   float64
@@ -134,57 +146,160 @@ func (g *gate) release() { <-g.sem }
 // inUse reports the currently admitted requests (a queue-depth gauge).
 func (g *gate) inUse() int { return len(g.sem) }
 
-// Server serves one swappable durable index. Create with New, expose
-// Handler() through net/http, Close when draining.
+// quotaGate is a collection's admission quota: a bounded in-flight
+// semaphore plus a bounded wait queue. A request past the queue bound
+// sheds immediately with ErrQuota; a queued request waits for an
+// in-flight slot under its deadline. The global class gates cap the
+// whole process; the quota carves each tenant's share out of it.
+type quotaGate struct {
+	inflight chan struct{}
+	queue    chan struct{}
+}
+
+func newQuotaGate(q wire.Quota, defInflight int) *quotaGate {
+	inflight := q.MaxInflight
+	if inflight <= 0 {
+		inflight = defInflight
+	}
+	queue := q.MaxQueue
+	if queue <= 0 {
+		queue = inflight
+	}
+	return &quotaGate{
+		inflight: make(chan struct{}, inflight),
+		queue:    make(chan struct{}, inflight+queue),
+	}
+}
+
+func (g *quotaGate) acquire(ctx context.Context) error {
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return fmt.Errorf("%w: collection in-flight and queue limits reached", wire.ErrQuota)
+	}
+	select {
+	case g.inflight <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-g.queue
+		return ctx.Err()
+	}
+}
+
+func (g *quotaGate) release() {
+	<-g.inflight
+	<-g.queue
+}
+
+func (g *quotaGate) inUse() int { return len(g.inflight) }
+
+// tenant is one collection's serving pipeline: its engine, coalescing
+// window, maintainer, quota, and counters.
+type tenant struct {
+	col   *collection.Collection
+	eng   *engine.Engine
+	co    *coalescer
+	mnt   *maintain.Maintainer
+	quota *quotaGate // nil = no per-collection quota
+
+	requests  counter // requests routed to this collection
+	quotaShed counter // requests shed by its quota
+}
+
+func (tn *tenant) close() {
+	tn.mnt.Close()
+	tn.co.close()
+	tn.eng.Close()
+}
+
+// Server serves a registry of named collections (or, in static mode, a
+// single handle as the default collection). Create with New or NewMulti,
+// expose Handler() through net/http, Close when draining.
 type Server struct {
-	h      *shard.Handle
-	reopen func() (*shard.Durable, error)
-	cfg    Config
-	eng    *engine.Engine
-	co     *coalescer
-	mnt    *maintain.Maintainer
-	mux    *http.ServeMux
+	reg *collection.Registry // nil = static single-collection mode (no CRUD)
+	cfg Config
+	mux *http.ServeMux
 
 	searchGate *gate
 	mutGate    *gate
 	adminGate  *gate
 
+	tmu     sync.RWMutex
+	tenants map[string]*tenant
+
 	m metrics
 }
 
-// New builds a server over an open handle. reopen is the snapshot opener
-// /admin/reload swaps in — normally a closure over shard.OpenDurable on
-// the same root directory; nil disables reloads (503).
+// New builds a static server over one open handle, served as the
+// "default" collection (collection CRUD answers 503). reopen is the
+// snapshot opener /admin/reload swaps in — normally a closure over
+// shard.OpenDurable on the same root; nil disables reloads (503). Tags
+// attach to an in-memory store (filtered search works; tags are not
+// durable — use NewMulti over a collection.Registry for durable tags).
 func New(h *shard.Handle, reopen func() (*shard.Durable, error), cfg Config) *Server {
+	s := newServer(nil, cfg)
+	s.addTenant(&collection.Collection{
+		Name: wire.DefaultCollection,
+		Spec: wire.CollectionSpec{
+			Divergence: h.Divergence().Name(),
+			Dim:        h.Dim(),
+			M:          h.M(),
+			Shards:     h.Shards(),
+		},
+		Handle: h,
+		Tags:   collection.NewMemTags(),
+		Reopen: reopen,
+	})
+	return s
+}
+
+// NewMulti builds the multi-tenant server over an open registry: every
+// collection gets its own serving pipeline, and the CRUD routes create
+// and drop collections live. The registry (and its handles) belongs to
+// the caller and is not closed by Server.Close.
+func NewMulti(reg *collection.Registry, cfg Config) *Server {
+	s := newServer(reg, cfg)
+	for _, c := range reg.List() {
+		s.addTenant(c)
+	}
+	return s
+}
+
+func newServer(reg *collection.Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		h:          h,
-		reopen:     reopen,
+		reg:        reg,
 		cfg:        cfg,
-		eng:        engine.New(h, cfg.Engine),
+		tenants:    make(map[string]*tenant),
 		searchGate: newGate(cfg.MaxInFlight),
 		mutGate:    newGate(cfg.MaxMutations),
 		adminGate:  newGate(1),
 	}
 	s.m.requests = newRouteCounters(
 		"search", "approx", "range", "insert", "delete", "frame",
-		"reload", "checkpoint", "compact")
-	s.co = newCoalescer(s.eng, cfg.CoalesceBatch, cfg.CoalesceDelay)
-	// The maintainer always exists (the /admin/compact sweep path); the
-	// background loop only runs when an interval is configured.
-	s.mnt = maintain.New(h, maintain.Config{
-		Interval:     cfg.MaintainInterval,
-		MinLiveRatio: cfg.MaintainMinLive,
-		MaxTailRatio: cfg.MaintainMaxTail,
-		MinPoints:    cfg.MaintainMinPoints,
-	})
+		"reload", "checkpoint", "compact",
+		"collections", "create", "drop")
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/search", s.route("search", s.searchGate, s.handleSearch))
-	s.mux.HandleFunc("POST /v1/approx", s.route("approx", s.searchGate, s.handleApprox))
-	s.mux.HandleFunc("POST /v1/range", s.route("range", s.searchGate, s.handleRange))
-	s.mux.HandleFunc("POST /v1/insert", s.route("insert", s.mutGate, s.handleInsert))
-	s.mux.HandleFunc("POST /v1/delete", s.route("delete", s.mutGate, s.handleDelete))
+
+	// v1: the pre-collections surface, a thin delegation to "default".
+	s.mux.HandleFunc("POST /v1/search", s.route("search", s.searchGate, s.forDefault(s.handleSearch)))
+	s.mux.HandleFunc("POST /v1/approx", s.route("approx", s.searchGate, s.forDefault(s.handleApprox)))
+	s.mux.HandleFunc("POST /v1/range", s.route("range", s.searchGate, s.forDefault(s.handleRange)))
+	s.mux.HandleFunc("POST /v1/insert", s.route("insert", s.mutGate, s.forDefault(s.handleInsert)))
+	s.mux.HandleFunc("POST /v1/delete", s.route("delete", s.mutGate, s.forDefault(s.handleDelete)))
 	s.mux.HandleFunc("POST /v1/frame", s.handleFrame)
+
+	// v2: named-collection serving + CRUD.
+	s.mux.HandleFunc("POST /v2/collections/{name}/search", s.route("search", s.searchGate, s.forNamed(s.handleSearch)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/approx", s.route("approx", s.searchGate, s.forNamed(s.handleApprox)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/range", s.route("range", s.searchGate, s.forNamed(s.handleRange)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/insert", s.route("insert", s.mutGate, s.forNamed(s.handleInsert)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/delete", s.route("delete", s.mutGate, s.forNamed(s.handleDelete)))
+	s.mux.HandleFunc("GET /v2/collections", s.handleList)
+	s.mux.HandleFunc("GET /v2/collections/{name}", s.handleInfo)
+	s.mux.HandleFunc("PUT /v2/collections/{name}", s.route("create", s.adminGate, s.handleCreate))
+	s.mux.HandleFunc("DELETE /v2/collections/{name}", s.route("drop", s.adminGate, s.handleDrop))
+
 	s.mux.HandleFunc("POST /admin/reload", s.route("reload", s.adminGate, s.handleReload))
 	s.mux.HandleFunc("POST /admin/checkpoint", s.route("checkpoint", s.adminGate, s.handleCheckpoint))
 	s.mux.HandleFunc("POST /admin/compact", s.route("compact", s.adminGate, s.handleCompact))
@@ -193,25 +308,76 @@ func New(h *shard.Handle, reopen func() (*shard.Durable, error), cfg Config) *Se
 	return s
 }
 
+// addTenant builds and registers a collection's serving pipeline.
+func (s *Server) addTenant(c *collection.Collection) *tenant {
+	tn := &tenant{col: c, eng: engine.New(c.Handle, s.cfg.Engine)}
+	tn.co = newCoalescer(tn.eng, s.cfg.CoalesceBatch, s.cfg.CoalesceDelay)
+	tn.mnt = maintain.New(c.Handle, maintain.Config{
+		Interval:     s.cfg.MaintainInterval,
+		MinLiveRatio: s.cfg.MaintainMinLive,
+		MaxTailRatio: s.cfg.MaintainMaxTail,
+		MinPoints:    s.cfg.MaintainMinPoints,
+	})
+	if q := c.Spec.Quota; q != nil {
+		tn.quota = newQuotaGate(*q, s.cfg.MaxInFlight)
+	}
+	s.tmu.Lock()
+	s.tenants[c.Name] = tn
+	s.tmu.Unlock()
+	return tn
+}
+
+// tenant resolves a collection name to its serving pipeline.
+func (s *Server) tenant(name string) (*tenant, error) {
+	s.tmu.RLock()
+	tn := s.tenants[name]
+	s.tmu.RUnlock()
+	if tn == nil {
+		return nil, fmt.Errorf("%w: %q", wire.ErrNoSuchCollection, name)
+	}
+	return tn, nil
+}
+
+// sortedTenants snapshots the tenant set in name order (metrics, sweeps).
+func (s *Server) sortedTenants() []*tenant {
+	s.tmu.RLock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		out = append(out, tn)
+	}
+	s.tmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].col.Name < out[j].col.Name })
+	return out
+}
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Engine exposes the server's query engine (stats, tests).
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// Engine exposes the default collection's query engine (stats, tests);
+// nil when no default collection exists.
+func (s *Server) Engine() *engine.Engine {
+	tn, err := s.tenant(wire.DefaultCollection)
+	if err != nil {
+		return nil
+	}
+	return tn.eng
+}
 
-// Close drains the serving pipeline: pending coalescing buckets dispatch
-// and complete, the engine stops accepting work and finishes in-flight
-// queries. The handle (and its WAL) belongs to the caller and is not
-// closed. In-flight HTTP requests should be drained first
+// Close drains every collection's serving pipeline: pending coalescing
+// buckets dispatch and complete, engines stop accepting work and finish
+// in-flight queries. Handles (and their WALs) belong to the caller and
+// are not closed. In-flight HTTP requests should be drained first
 // (http.Server.Shutdown); later submissions fail with 503.
 func (s *Server) Close() error {
-	s.mnt.Close()
-	s.co.close()
-	return s.eng.Close()
+	for _, tn := range s.sortedTenants() {
+		tn.close()
+	}
+	return nil
 }
 
 // route wraps a handler with the shared per-request plumbing: request
-// counting, admission through the class gate, and the deadline context.
+// counting, admission through the global class gate, and the deadline
+// context.
 func (s *Server) route(name string, g *gate, h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests.inc(name)
@@ -224,6 +390,42 @@ func (s *Server) route(name string, g *gate, h func(w http.ResponseWriter, r *ht
 		defer cancel()
 		h(w, r.WithContext(ctx))
 	}
+}
+
+// forDefault resolves the default collection for the v1 surface.
+func (s *Server) forDefault(h func(tn *tenant, w http.ResponseWriter, r *http.Request)) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.dispatch(wire.DefaultCollection, h, w, r)
+	}
+}
+
+// forNamed resolves the {name} path collection for the v2 surface.
+func (s *Server) forNamed(h func(tn *tenant, w http.ResponseWriter, r *http.Request)) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.dispatch(r.PathValue("name"), h, w, r)
+	}
+}
+
+// dispatch routes one admitted request to its collection's pipeline,
+// passing it through the collection's quota.
+func (s *Server) dispatch(name string, h func(tn *tenant, w http.ResponseWriter, r *http.Request), w http.ResponseWriter, r *http.Request) {
+	tn, err := s.tenant(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	tn.requests.Add(1)
+	if tn.quota != nil {
+		if err := tn.quota.acquire(r.Context()); err != nil {
+			if errors.Is(err, wire.ErrQuota) {
+				tn.quotaShed.Add(1)
+			}
+			s.writeError(w, err)
+			return
+		}
+		defer tn.quota.release()
+	}
+	h(tn, w, r)
 }
 
 // deadline derives the per-request context: X-Timeout-Ms overrides the
@@ -241,15 +443,69 @@ func (s *Server) deadline(r *http.Request) (context.Context, context.CancelFunc)
 	return context.WithTimeout(r.Context(), d)
 }
 
-// shed answers a load-shed: 429 with a whole-seconds Retry-After hint,
-// the contract the acceptance test and well-behaved clients key on.
-func (s *Server) shed(w http.ResponseWriter) {
+func (s *Server) retryAfterSecs() string {
 	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSONError(w, http.StatusTooManyRequests, "overloaded: in-flight limit reached, retry later")
+	return strconv.Itoa(secs)
+}
+
+// shed answers a global-gate load-shed: 429 with a whole-seconds
+// Retry-After hint, the contract well-behaved clients key on.
+func (s *Server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", s.retryAfterSecs())
+	writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{
+		Error: "overloaded: in-flight limit reached, retry later",
+		Code:  wire.CodeOverloaded.String(),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+// classify maps an error to its HTTP status and wire error code — the one
+// vocabulary both protocols and the client reconstruct sentinels from.
+func (s *Server) classify(err error) (int, wire.ErrCode) {
+	switch {
+	case errors.Is(err, wire.ErrNoSuchCollection):
+		return http.StatusNotFound, wire.CodeNoSuchCollection
+	case errors.Is(err, wire.ErrCollectionExists):
+		return http.StatusConflict, wire.CodeCollectionExists
+	case errors.Is(err, wire.ErrBadFilter):
+		return http.StatusBadRequest, wire.CodeBadFilter
+	case errors.Is(err, wire.ErrQuota):
+		return http.StatusTooManyRequests, wire.CodeQuota
+	case errors.Is(err, wire.ErrBadCollection):
+		return http.StatusBadRequest, wire.CodeBadCollection
+	case errors.Is(err, core.ErrDim), errors.Is(err, core.ErrK),
+		errors.Is(err, bregman.ErrDomain), errors.Is(err, approx.ErrGuarantee),
+		errors.Is(err, wire.ErrFrame):
+		return http.StatusBadRequest, wire.CodeBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.deadlines.Add(1)
+		return http.StatusGatewayTimeout, wire.CodeDeadline
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable, wire.CodeUnavailable
+	default:
+		return http.StatusInternalServerError, wire.CodeGeneric
+	}
+}
+
+// writeError answers a failed JSON request with the structured error
+// body; 429s carry the Retry-After backoff hint.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := s.classify(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+	}
+	writeJSON(w, status, wire.ErrorResponse{Error: err.Error(), Code: code.String()})
+}
+
+// badRequest answers a handler-level validation failure.
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: msg, Code: wire.CodeBadRequest.String()})
 }
 
 // ---------------------------------------------------------------------------
@@ -265,7 +521,7 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		badRequest(w, "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -277,30 +533,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeJSONError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, wire.ErrorResponse{Error: msg})
-}
-
-// errStatus maps an engine/index error to an HTTP status: caller
-// mistakes are 400, deadlines 504, a draining server 503, everything
-// else 500.
-func (s *Server) errStatus(err error) int {
-	switch {
-	case errors.Is(err, core.ErrDim), errors.Is(err, core.ErrK),
-		errors.Is(err, bregman.ErrDomain), errors.Is(err, approx.ErrGuarantee),
-		errors.Is(err, wire.ErrFrame):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.m.deadlines.Add(1)
-		return http.StatusGatewayTimeout
-	case errors.Is(err, engine.ErrClosed):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSearch(tn *tenant, w http.ResponseWriter, r *http.Request) {
 	var req wire.SearchRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -309,9 +542,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	results, err := s.searchMany(r, queries, req.K, single)
+	var results []wire.Result
+	var err error
+	if req.Filter != nil {
+		results, err = s.searchFiltered(tn, r, queries, req.K, req.Filter)
+	} else {
+		results, err = s.searchMany(tn, r, queries, req.K, single)
+	}
 	if err != nil {
-		writeJSONError(w, s.errStatus(err), err.Error())
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: results})
@@ -322,7 +561,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // coalescer.
 func normalizeQueries(w http.ResponseWriter, req wire.SearchRequest) ([][]float64, bool, bool) {
 	if (req.Q == nil) == (req.Queries == nil) {
-		writeJSONError(w, http.StatusBadRequest, `exactly one of "q" and "queries" must be set`)
+		badRequest(w, `exactly one of "q" and "queries" must be set`)
 		return nil, false, false
 	}
 	queries := req.Queries
@@ -331,8 +570,7 @@ func normalizeQueries(w http.ResponseWriter, req wire.SearchRequest) ([][]float6
 		queries, single = [][]float64{req.Q}, true
 	}
 	if len(queries) == 0 || len(queries) > wire.MaxBatch {
-		writeJSONError(w, http.StatusBadRequest,
-			fmt.Sprintf("need between 1 and %d queries, got %d", wire.MaxBatch, len(queries)))
+		badRequest(w, fmt.Sprintf("need between 1 and %d queries, got %d", wire.MaxBatch, len(queries)))
 		return nil, false, false
 	}
 	return queries, single, true
@@ -340,11 +578,11 @@ func normalizeQueries(w http.ResponseWriter, req wire.SearchRequest) ([][]float6
 
 // validate rejects geometry and coordinate problems before any query is
 // scheduled, so coalesced batches cannot fail on one bad member.
-func (s *Server) validate(queries [][]float64, k int) error {
+func validate(tn *tenant, queries [][]float64, k int) error {
 	if k <= 0 {
 		return core.ErrK
 	}
-	dim := s.h.Dim()
+	dim := tn.col.Handle.Dim()
 	for _, q := range queries {
 		if len(q) != dim {
 			return fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), dim)
@@ -359,14 +597,14 @@ func (s *Server) validate(queries [][]float64, k int) error {
 }
 
 // searchMany answers exact kNN for every query: single queries go
-// through the coalescing window, batches straight to the engine (the
-// client already batched them).
-func (s *Server) searchMany(r *http.Request, queries [][]float64, k int, single bool) ([]wire.Result, error) {
-	if err := s.validate(queries, k); err != nil {
+// through the collection's coalescing window, batches straight to its
+// engine (the client already batched them).
+func (s *Server) searchMany(tn *tenant, r *http.Request, queries [][]float64, k int, single bool) ([]wire.Result, error) {
+	if err := validate(tn, queries, k); err != nil {
 		return nil, err
 	}
 	if single {
-		res, err := s.co.search(r.Context(), queries[0], k)
+		res, err := tn.co.search(r.Context(), queries[0], k)
 		if err != nil {
 			return nil, err
 		}
@@ -374,13 +612,32 @@ func (s *Server) searchMany(r *http.Request, queries [][]float64, k int, single 
 	}
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = s.eng.Submit(q, k)
+		futs[i] = tn.eng.Submit(q, k)
 	}
-	return s.await(r, futs)
+	return await(r, futs)
+}
+
+// searchFiltered answers the exact top-k over only the points the tag
+// filter admits. The predicate rides into the leaf scan (pre-filtered
+// pruning radii, never a post-filter), bypassing the coalescer and the
+// version-keyed result cache — neither knows about predicates.
+func (s *Server) searchFiltered(tn *tenant, r *http.Request, queries [][]float64, k int, f *wire.Filter) ([]wire.Result, error) {
+	if err := validate(tn, queries, k); err != nil {
+		return nil, err
+	}
+	keep, err := tn.col.Predicate(f)
+	if err != nil {
+		return nil, err
+	}
+	futs := make([]*engine.Future, len(queries))
+	for i, q := range queries {
+		futs[i] = tn.eng.SubmitFilter(q, k, keep)
+	}
+	return await(r, futs)
 }
 
 // await resolves engine futures under the request deadline.
-func (s *Server) await(r *http.Request, futs []*engine.Future) ([]wire.Result, error) {
+func await(r *http.Request, futs []*engine.Future) ([]wire.Result, error) {
 	out := make([]wire.Result, len(futs))
 	for i, f := range futs {
 		res, err := f.WaitContext(r.Context())
@@ -400,25 +657,29 @@ func toWire(res core.Result) wire.Result {
 	return wire.Result{Items: items}
 }
 
-func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleApprox(tn *tenant, w http.ResponseWriter, r *http.Request) {
 	var req wire.SearchRequest
 	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Filter != nil {
+		s.writeError(w, fmt.Errorf("%w: approx search does not support filters", wire.ErrBadFilter))
 		return
 	}
 	queries, _, ok := normalizeQueries(w, req)
 	if !ok {
 		return
 	}
-	results, err := s.approxMany(r, queries, req.K, req.P)
+	results, err := s.approxMany(tn, r, queries, req.K, req.P)
 	if err != nil {
-		writeJSONError(w, s.errStatus(err), err.Error())
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: results})
 }
 
-func (s *Server) approxMany(r *http.Request, queries [][]float64, k int, p float64) ([]wire.Result, error) {
-	if err := s.validate(queries, k); err != nil {
+func (s *Server) approxMany(tn *tenant, r *http.Request, queries [][]float64, k int, p float64) ([]wire.Result, error) {
+	if err := validate(tn, queries, k); err != nil {
 		return nil, err
 	}
 	if !(p > 0 && p <= 1) {
@@ -426,30 +687,34 @@ func (s *Server) approxMany(r *http.Request, queries [][]float64, k int, p float
 	}
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = s.eng.SubmitApprox(q, k, p)
+		futs[i] = tn.eng.SubmitApprox(q, k, p)
 	}
-	return s.await(r, futs)
+	return await(r, futs)
 }
 
-func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRange(tn *tenant, w http.ResponseWriter, r *http.Request) {
 	var req wire.SearchRequest
 	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Filter != nil {
+		s.writeError(w, fmt.Errorf("%w: range search does not support filters", wire.ErrBadFilter))
 		return
 	}
 	queries, _, ok := normalizeQueries(w, req)
 	if !ok {
 		return
 	}
-	results, err := s.rangeMany(r, queries, req.R)
+	results, err := s.rangeMany(tn, r, queries, req.R)
 	if err != nil {
-		writeJSONError(w, s.errStatus(err), err.Error())
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.SearchResponse{Results: results})
 }
 
-func (s *Server) rangeMany(r *http.Request, queries [][]float64, radius float64) ([]wire.Result, error) {
-	if err := s.validate(queries, 1); err != nil { // k unused; validate geometry
+func (s *Server) rangeMany(tn *tenant, r *http.Request, queries [][]float64, radius float64) ([]wire.Result, error) {
+	if err := validate(tn, queries, 1); err != nil { // k unused; validate geometry
 		return nil, err
 	}
 	if !(radius >= 0) || math.IsInf(radius, 1) {
@@ -457,53 +722,73 @@ func (s *Server) rangeMany(r *http.Request, queries [][]float64, radius float64)
 	}
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = s.eng.SubmitRange(q, radius)
+		futs[i] = tn.eng.SubmitRange(q, radius)
 	}
-	return s.await(r, futs)
+	return await(r, futs)
 }
 
-func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInsert(tn *tenant, w http.ResponseWriter, r *http.Request) {
 	var req wire.InsertRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	id, err := s.insertOne(req.P)
+	for _, tag := range req.Tags {
+		if tag == "" || len(tag) > wire.MaxName {
+			badRequest(w, fmt.Sprintf("bad tag %q", tag))
+			return
+		}
+	}
+	id, err := s.insertOne(tn, req.P)
 	if err != nil {
-		writeJSONError(w, s.errStatus(err), err.Error())
+		s.writeError(w, err)
 		return
+	}
+	if len(req.Tags) > 0 {
+		if err := tn.col.Tags.Add(id, req.Tags); err != nil {
+			// The point is in; its tags are not. Surface the failure — the
+			// caller can retry the tagging by reinserting.
+			s.writeError(w, fmt.Errorf("point %d inserted but tagging failed: %w", id, err))
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, wire.InsertResponse{ID: id})
 }
 
-func (s *Server) insertOne(p []float64) (int, error) {
-	if err := s.validate([][]float64{p}, 1); err != nil {
+func (s *Server) insertOne(tn *tenant, p []float64) (int, error) {
+	if err := validate(tn, [][]float64{p}, 1); err != nil {
 		return 0, err
 	}
-	return s.eng.Insert(p)
+	return tn.eng.Insert(p)
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDelete(tn *tenant, w http.ResponseWriter, r *http.Request) {
 	var req wire.DeleteRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	deleted, err := s.eng.Delete(req.ID)
+	deleted, err := tn.eng.Delete(req.ID)
 	if err != nil {
-		writeJSONError(w, s.errStatus(err), err.Error())
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: deleted})
 }
 
 // ---------------------------------------------------------------------------
-// Binary protocol: one endpoint, op-dispatched, same gates as JSON.
+// Binary protocol: one endpoint, op-dispatched, collection-routed by the
+// frame's name field, same gates and quotas as JSON.
 // ---------------------------------------------------------------------------
 
 func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.inc("frame")
 	req, err := wire.ReadRequest(io.LimitReader(r.Body, wire.MaxFrame+4))
 	if err != nil {
-		s.writeFrameError(w, 0, http.StatusBadRequest, err)
+		s.writeFrameError(w, 0, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	tn, err := s.tenant(req.Collection)
+	if err != nil {
+		s.writeFrameError(w, req.Op, http.StatusNotFound, wire.CodeNoSuchCollection, err)
 		return
 	}
 	g := s.searchGate
@@ -511,12 +796,8 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		g = s.mutGate
 	}
 	if !g.tryAcquire() {
-		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		s.writeFrameError(w, req.Op, http.StatusTooManyRequests,
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		s.writeFrameError(w, req.Op, http.StatusTooManyRequests, wire.CodeOverloaded,
 			errors.New("overloaded: in-flight limit reached, retry later"))
 		return
 	}
@@ -525,37 +806,65 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	r = r.WithContext(ctx)
 
+	tn.requests.Add(1)
+	if tn.quota != nil {
+		if err := tn.quota.acquire(ctx); err != nil {
+			status, code := s.classify(err)
+			if errors.Is(err, wire.ErrQuota) {
+				tn.quotaShed.Add(1)
+				w.Header().Set("Retry-After", s.retryAfterSecs())
+			}
+			s.writeFrameError(w, req.Op, status, code, err)
+			return
+		}
+		defer tn.quota.release()
+	}
+
 	resp := wire.Response{Op: req.Op}
-	status := http.StatusOK
 	var results []wire.Result
 	switch req.Op {
 	case wire.OpSearch:
-		results, err = s.searchMany(r, req.Queries, req.K, len(req.Queries) == 1)
+		results, err = s.searchMany(tn, r, req.Queries, req.K, len(req.Queries) == 1)
 		resp.Results = results
 	case wire.OpApprox:
-		results, err = s.approxMany(r, req.Queries, req.K, req.Param)
+		results, err = s.approxMany(tn, r, req.Queries, req.K, req.Param)
 		resp.Results = results
 	case wire.OpRange:
-		results, err = s.rangeMany(r, req.Queries, req.Param)
+		results, err = s.rangeMany(tn, r, req.Queries, req.Param)
 		resp.Results = results
 	case wire.OpInsert:
 		var id int
-		id, err = s.insertOne(req.Queries[0])
+		id, err = s.insertOne(tn, req.Queries[0])
 		resp.Value = int64(id)
 	case wire.OpDelete:
 		var deleted bool
-		deleted, err = s.eng.Delete(req.ID)
+		deleted, err = tn.eng.Delete(req.ID)
 		if deleted {
 			resp.Value = 1
 		}
 	}
 	if err != nil {
-		s.writeFrameError(w, req.Op, s.errStatus(err), err)
+		status, code := s.classify(err)
+		s.writeFrameError(w, req.Op, status, code, err)
 		return
 	}
 	frame, err := wire.AppendResponse(nil, resp)
 	if err != nil {
-		s.writeFrameError(w, req.Op, http.StatusInternalServerError, err)
+		s.writeFrameError(w, req.Op, http.StatusInternalServerError, wire.CodeGeneric, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(frame)
+}
+
+// writeFrameError answers a binary request with an error frame carrying
+// the machine-readable code; the HTTP status is set too so the
+// shed/deadline contracts hold across both protocols.
+func (s *Server) writeFrameError(w http.ResponseWriter, op wire.Op, status int, code wire.ErrCode, err error) {
+	frame, ferr := wire.AppendResponse(nil, wire.Response{Op: op, Err: err.Error(), Code: code})
+	if ferr != nil {
+		writeJSON(w, http.StatusInternalServerError, wire.ErrorResponse{Error: ferr.Error()})
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -563,113 +872,300 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	w.Write(frame)
 }
 
-// writeFrameError answers a binary request with an error frame; the HTTP
-// status is set too so the shed/deadline contracts hold across both
-// protocols.
-func (s *Server) writeFrameError(w http.ResponseWriter, op wire.Op, status int, err error) {
-	frame, ferr := wire.AppendResponse(nil, wire.Response{Op: op, Err: err.Error()})
-	if ferr != nil {
-		writeJSONError(w, http.StatusInternalServerError, ferr.Error())
+// ---------------------------------------------------------------------------
+// Collection CRUD.
+// ---------------------------------------------------------------------------
+
+// requireRegistry guards the CRUD surface: a static server has no
+// registry to create into.
+func (s *Server) requireRegistry(w http.ResponseWriter) bool {
+	if s.reg == nil {
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{
+			Error: "collection management not configured (static single-index server)",
+			Code:  wire.CodeUnavailable.String(),
+		})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.inc("collections")
+	tns := s.sortedTenants()
+	resp := wire.CollectionsResponse{Collections: make([]wire.CollectionInfo, len(tns))}
+	for i, tn := range tns {
+		resp.Collections[i] = tn.col.Info()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.inc("collections")
+	tn, err := s.tenant(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.WriteHeader(status)
-	w.Write(frame)
+	writeJSON(w, http.StatusOK, tn.col.Info())
+}
+
+// CreateCollection creates a named collection in the registry and
+// starts serving it. It is the in-process form of PUT
+// /v2/collections/{name}; a static server (no registry) refuses.
+func (s *Server) CreateCollection(name string, spec wire.CollectionSpec) (wire.CollectionInfo, error) {
+	if s.reg == nil {
+		return wire.CollectionInfo{}, errors.New("server: collection management not configured (static single-index server)")
+	}
+	c, err := s.reg.Create(name, spec)
+	if err != nil {
+		return wire.CollectionInfo{}, err
+	}
+	s.addTenant(c)
+	return c.Info(), nil
+}
+
+// DropCollection stops serving a collection (new requests 404
+// immediately), drains its pipeline, and removes its files. In-flight
+// queries finish against the in-memory generation.
+func (s *Server) DropCollection(name string) error {
+	if s.reg == nil {
+		return errors.New("server: collection management not configured (static single-index server)")
+	}
+	s.tmu.Lock()
+	tn := s.tenants[name]
+	delete(s.tenants, name)
+	s.tmu.Unlock()
+	if tn == nil {
+		return fmt.Errorf("%w: %q", wire.ErrNoSuchCollection, name)
+	}
+	tn.close()
+	return s.reg.Drop(name)
+}
+
+// Collections snapshots every served collection's info, name-sorted.
+func (s *Server) Collections() []wire.CollectionInfo {
+	tns := s.sortedTenants()
+	out := make([]wire.CollectionInfo, len(tns))
+	for i, tn := range tns {
+		out[i] = tn.col.Info()
+	}
+	return out
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireRegistry(w) {
+		return
+	}
+	var spec wire.CollectionSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	info, err := s.CreateCollection(r.PathValue("name"), spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if !s.requireRegistry(w) {
+		return
+	}
+	if err := s.DropCollection(r.PathValue("name")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.DropResponse{Dropped: true})
 }
 
 // ---------------------------------------------------------------------------
 // Admin, health, metrics.
 // ---------------------------------------------------------------------------
 
-// Reload checkpoints and hot-swaps the snapshot (the /admin/reload
-// operation); both the HTTP handler and in-process embedders route
-// through here so the reload counter stays truthful.
+// Reload checkpoints and hot-swaps the default collection's snapshot
+// (the unscoped in-process reload); both the HTTP handler and embedders
+// route through here so the reload counter stays truthful.
 func (s *Server) Reload() error {
-	if s.reopen == nil {
+	tn, err := s.tenant(wire.DefaultCollection)
+	if err != nil {
+		return err
+	}
+	return s.reloadTenant(tn)
+}
+
+func (s *Server) reloadTenant(tn *tenant) error {
+	if tn.col.Reopen == nil {
 		return errors.New("server: reload not configured")
 	}
-	if err := s.h.Reload(s.reopen); err != nil {
+	if err := tn.col.Handle.Reload(tn.col.Reopen); err != nil {
 		return err
 	}
 	s.m.reloads.Add(1)
 	return nil
 }
 
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.reopen == nil {
-		writeJSONError(w, http.StatusServiceUnavailable, "reload not configured")
-		return
+// scopedTenant resolves the collection an admin request addresses:
+// ?collection=name explicitly, or — when the request names none and
+// exactly one collection is open — that collection, preserving the
+// pre-collections single-index contract (legacy response shapes). A
+// nameless request against several collections returns (nil, nil): a
+// sweep.
+func (s *Server) scopedTenant(r *http.Request) (*tenant, error) {
+	if name := r.URL.Query().Get("collection"); name != "" {
+		return s.tenant(name)
 	}
-	if err := s.Reload(); err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
-		return
+	if tns := s.sortedTenants(); len(tns) == 1 {
+		return tns[0], nil
 	}
-	writeJSON(w, http.StatusOK, wire.AdminResponse{Version: s.h.Version(), WALBytes: s.h.WALSize()})
+	return nil, nil
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if err := s.h.Checkpoint(); err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
+// adminOp runs one collection-scoped admin operation, or sweeps every
+// collection when the request names none and several are open. A sweep
+// reports each collection's outcome independently: one failure never
+// strands the rest.
+func (s *Server) adminOp(w http.ResponseWriter, r *http.Request,
+	op func(tn *tenant) (wire.AdminSweepEntry, error)) {
+	tn, err := s.scopedTenant(r)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.AdminResponse{Version: s.h.Version(), WALBytes: s.h.WALSize()})
-}
-
-// handleCompact runs shard maintenance on demand: with ?shard=N it
-// force-compacts that shard (no threshold check); without it, it sweeps
-// every shard's health and compacts the ones past the maintainer's
-// thresholds — the same decision the background loop makes.
-func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	var done []shard.CompactStats
-	if arg := r.URL.Query().Get("shard"); arg != "" {
-		sh, err := strconv.Atoi(arg)
-		if err != nil || sh < 0 || sh >= s.h.Shards() {
-			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad shard %q (have %d shards)", arg, s.h.Shards()))
-			return
-		}
-		st, err := s.h.CompactShard(sh)
+	if tn != nil {
+		entry, err := op(tn)
 		if err != nil {
-			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			s.writeError(w, err)
 			return
 		}
-		done = []shard.CompactStats{st}
-	} else {
-		var err error
-		done, err = s.mnt.RunOnce()
+		writeJSON(w, http.StatusOK, wire.AdminResponse{Version: entry.Version, WALBytes: entry.WALBytes})
+		return
+	}
+	tns := s.sortedTenants()
+	resp := wire.AdminSweepResponse{Collections: make([]wire.AdminSweepEntry, 0, len(tns))}
+	for _, tn := range tns {
+		entry, err := op(tn)
+		entry.Collection = tn.col.Name
 		if err != nil {
-			writeJSONError(w, http.StatusInternalServerError, err.Error())
-			return
+			_, code := s.classify(err)
+			entry.Error, entry.Code = err.Error(), code.String()
 		}
-	}
-	resp := wire.CompactResponse{
-		Compacted: make([]wire.ShardCompaction, len(done)),
-		Version:   s.h.Version(),
-		WALBytes:  s.h.WALSize(),
-	}
-	for i, st := range done {
-		resp.Compacted[i] = wire.ShardCompaction{
-			Shard: st.Shard, Before: st.Before, After: st.After,
-			Dropped: st.Dropped, CatchUp: st.CatchUp,
-		}
+		resp.Collections = append(resp.Collections, entry)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := wire.Health{
-		Status:   "ok",
-		N:        s.h.N(),
-		Live:     s.h.Live(),
-		Dim:      s.h.Dim(),
-		M:        s.h.M(),
-		Shards:   s.h.Shards(),
-		Version:  s.h.Version(),
-		WALBytes: s.h.WALSize(),
+// adminEntry snapshots a collection's post-operation admin state.
+func adminEntry(tn *tenant) wire.AdminSweepEntry {
+	return wire.AdminSweepEntry{
+		Collection: tn.col.Name,
+		Version:    tn.col.Handle.Version(),
+		WALBytes:   tn.col.Handle.WALSize(),
 	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.adminOp(w, r, func(tn *tenant) (wire.AdminSweepEntry, error) {
+		if err := s.reloadTenant(tn); err != nil {
+			return adminEntry(tn), err
+		}
+		return adminEntry(tn), nil
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s.adminOp(w, r, func(tn *tenant) (wire.AdminSweepEntry, error) {
+		if err := tn.col.Handle.Checkpoint(); err != nil {
+			return adminEntry(tn), err
+		}
+		return adminEntry(tn), nil
+	})
+}
+
+// handleCompact runs shard maintenance on demand. Scoped
+// (?collection=name) it behaves as the single-index endpoint always did:
+// ?shard=N force-compacts that shard, otherwise the maintainer sweeps
+// the collection's shards past their thresholds. Unscoped, it sweeps
+// every collection.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	shardArg := r.URL.Query().Get("shard")
+	tn, err := s.scopedTenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if tn != nil {
+		var done []shard.CompactStats
+		if shardArg != "" {
+			sh, err := strconv.Atoi(shardArg)
+			nshards := tn.col.Handle.Shards()
+			if err != nil || sh < 0 || sh >= nshards {
+				badRequest(w, fmt.Sprintf("bad shard %q (have %d shards)", shardArg, nshards))
+				return
+			}
+			st, err := tn.col.Handle.CompactShard(sh)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			done = []shard.CompactStats{st}
+		} else {
+			var err error
+			done, err = tn.mnt.RunOnce()
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+		}
+		resp := wire.CompactResponse{
+			Compacted: toCompactions(done),
+			Version:   tn.col.Handle.Version(),
+			WALBytes:  tn.col.Handle.WALSize(),
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if shardArg != "" {
+		badRequest(w, "?shard requires ?collection when several collections are open")
+		return
+	}
+	s.adminOp(w, r, func(tn *tenant) (wire.AdminSweepEntry, error) {
+		done, err := tn.mnt.RunOnce()
+		entry := adminEntry(tn)
+		entry.Compacted = toCompactions(done)
+		return entry, err
+	})
+}
+
+func toCompactions(done []shard.CompactStats) []wire.ShardCompaction {
+	out := make([]wire.ShardCompaction, len(done))
+	for i, st := range done {
+		out[i] = wire.ShardCompaction{
+			Shard: st.Shard, Before: st.Before, After: st.After,
+			Dropped: st.Dropped, CatchUp: st.CatchUp,
+		}
+	}
+	return out
+}
+
+// handleHealthz reports process health. The index fields describe the
+// default collection when one exists (the pre-collections contract);
+// Collections counts every open collection, and any degraded collection
+// degrades the whole report.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	tns := s.sortedTenants()
+	h := wire.Health{Status: "ok", Collections: len(tns)}
 	status := http.StatusOK
-	if err := s.h.Err(); err != nil {
-		h.Status = "degraded: " + err.Error()
-		status = http.StatusServiceUnavailable
+	for _, tn := range tns {
+		if err := tn.col.Handle.Err(); err != nil {
+			h.Status = "degraded: " + tn.col.Name + ": " + err.Error()
+			status = http.StatusServiceUnavailable
+		}
+	}
+	if tn, err := s.tenant(wire.DefaultCollection); err == nil {
+		hd := tn.col.Handle
+		h.N, h.Live, h.Dim, h.M = hd.N(), hd.Live(), hd.Dim(), hd.M()
+		h.Shards, h.Version, h.WALBytes = hd.Shards(), hd.Version(), hd.WALSize()
 	}
 	writeJSON(w, status, h)
 }

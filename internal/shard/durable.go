@@ -66,10 +66,12 @@ type Durable struct {
 
 // DurableOptions configures a durable index.
 type DurableOptions struct {
-	// Shards, Workers, Core configure the underlying sharded index
-	// exactly as Options does.
+	// Shards, Workers, Dim, Core configure the underlying sharded index
+	// exactly as Options does (Dim permits building or opening an empty
+	// index whose dimensionality no snapshot can yet attest).
 	Shards  int
 	Workers int
+	Dim     int
 	Core    core.Options
 
 	// SyncEvery and SyncInterval set the WAL durability policy (see
@@ -103,7 +105,7 @@ func (o DurableOptions) walOptions() wal.Options {
 }
 
 func (o DurableOptions) shardOptions() Options {
-	return Options{Shards: o.Shards, Workers: o.Workers, Core: o.Core}
+	return Options{Shards: o.Shards, Workers: o.Workers, Dim: o.Dim, Core: o.Core}
 }
 
 // ErrRecovery reports an unrecoverable durable directory: the snapshot and
@@ -486,6 +488,11 @@ func (d *Durable) SearchParallel(q []float64, k, workers int) (core.Result, erro
 // Index.SearchApprox).
 func (d *Durable) SearchApprox(q []float64, k int, p float64) (core.Result, error) {
 	return d.ix.SearchApprox(q, k, p)
+}
+
+// SearchFilter returns the exact k nearest among the ids keep admits.
+func (d *Durable) SearchFilter(q []float64, k int, keep func(global int) bool) (core.Result, error) {
+	return d.ix.SearchFilter(q, k, keep)
 }
 
 // Divergence returns the divergence the index was built with.

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"fmt"
+
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+)
+
+// SearchFilter returns the exact k nearest neighbours of q among the
+// global ids keep admits, scatter-gathered across all shards. Each shard
+// runs the core filtered search (predicate pushed into bound selection and
+// leaf emission), with the global predicate translated through the shard's
+// local→global map; the merge is the same exact (distance, global id)
+// tie-break as Search, so the answer is bit-identical to a filtered search
+// over a single index holding all points.
+//
+// keep must be safe for concurrent use (every shard evaluates it in
+// parallel) and is consulted once per resident point.
+func (ix *Index) SearchFilter(q []float64, k int, keep func(global int) bool) (core.Result, error) {
+	if keep == nil {
+		return ix.Search(q, k)
+	}
+	if k <= 0 {
+		return core.Result{}, core.ErrK
+	}
+	if len(q) != ix.d {
+		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
+	}
+
+	// Capture the slot generations AND their l2g slice headers under one
+	// read lock: l2g is appended under the id-map write lock and append
+	// may reallocate the backing array, so reading the live slice header
+	// lock-free inside the per-shard predicate would race. A local id at
+	// or past the captured length belongs to a point inserted after the
+	// capture; treating it as non-matching is consistent with the
+	// mutation-atomicity contract (the query observes the index before
+	// that insert).
+	ix.mu.RLock()
+	slots := make([]*slot, len(ix.slots))
+	copy(slots, ix.slots)
+	l2gs := make([][]int, len(slots))
+	for s, sl := range slots {
+		if sl != nil {
+			l2gs[s] = sl.l2g
+		}
+	}
+	ix.mu.RUnlock()
+
+	futs := make([]*engine.Future, len(slots))
+	for s, sl := range slots {
+		if sl == nil {
+			continue
+		}
+		l2g := l2gs[s]
+		local := func(id int) bool { return id < len(l2g) && keep(l2g[id]) }
+		futs[s] = sl.eng.SubmitFilter(q, k, local)
+	}
+	return ix.gather(slots, futs, k)
+}

@@ -123,6 +123,11 @@ func (h *Handle) SearchApprox(q []float64, k int, p float64) (core.Result, error
 	return h.cur.Load().SearchApprox(q, k, p)
 }
 
+// SearchFilter returns the exact k nearest among the ids keep admits.
+func (h *Handle) SearchFilter(q []float64, k int, keep func(global int) bool) (core.Result, error) {
+	return h.cur.Load().SearchFilter(q, k, keep)
+}
+
 // BatchSearch answers all queries in order against one generation.
 func (h *Handle) BatchSearch(queries [][]float64, k int) ([]core.Result, error) {
 	return h.cur.Load().BatchSearch(queries, k)

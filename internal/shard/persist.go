@@ -378,6 +378,13 @@ func ReadDirMeta(dir string, opts Options) (*Index, []byte, error) {
 	if r.off != len(r.buf) {
 		return nil, nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrBadSnapshot, len(r.buf)-r.off)
 	}
+	if ix.d == 0 {
+		// A snapshot with no shard file (an index created empty, or one
+		// whose every point was compacted away) carries nothing to attest
+		// the dimensionality; the caller's declared Dim restores it so
+		// Insert validates against the right width after reopen.
+		ix.d = opts.Dim
+	}
 	return ix, meta, nil
 }
 

@@ -53,6 +53,11 @@ type Options struct {
 	// divided by the shard count, at least 1, so a saturated batch uses
 	// about GOMAXPROCS goroutines across all shards).
 	Workers int
+	// Dim fixes the dimensionality of an index built over zero points (a
+	// freshly created collection that will be populated through Insert).
+	// With one or more build points it is ignored — the points decide.
+	// Build over zero points without Dim fails with core.ErrEmpty.
+	Dim int
 	// Core configures every per-shard core index. When Core.M is 0 the
 	// Theorem-4 cost model is fitted once on the full dataset and the
 	// resulting M pinned into every shard, so tiny shards do not derive
@@ -154,7 +159,19 @@ func (ix *Index) shardFor(global int) int {
 func Build(div bregman.Divergence, points [][]float64, opts Options) (*Index, error) {
 	opts = opts.withDefaults()
 	if len(points) == 0 {
-		return nil, core.ErrEmpty
+		if opts.Dim <= 0 {
+			return nil, core.ErrEmpty
+		}
+		// Empty index with a declared dimensionality: every shard slot is
+		// materialized lazily by the first Insert it receives. The cost
+		// model cannot be fitted on nothing, so M stays whatever Core.M
+		// says (materialize falls back to 1 when unset).
+		return &Index{
+			div:   div,
+			d:     opts.Dim,
+			opts:  opts,
+			slots: make([]*slot, opts.Shards),
+		}, nil
 	}
 	d := len(points[0])
 	for i, p := range points {

@@ -156,6 +156,39 @@ func QBDetermineInto(tuples [][]PointTuple, q []QueryTriple, sel *topk.Selector,
 	return Bounds{Radii: radii, Total: kth.Score, PointID: kth.ID}
 }
 
+// QBDetermineFilterInto is QBDetermineInto restricted to the points keep
+// admits: only admitted points are offered to the selector, so the
+// returned radii come from the k-th smallest summed bound *among the
+// matching points*. That restriction is what makes filtered search exact:
+// the k-th matching neighbour can lie beyond the unfiltered k-th bound,
+// so reusing unfiltered radii would prune matches away. When fewer than k
+// points match, the largest admitted bound is returned — a radius that
+// covers every match, which is all a filtered query can answer with.
+// ok is false when no point matched (the caller answers empty).
+func QBDetermineFilterInto(tuples [][]PointTuple, q []QueryTriple, sel *topk.Selector, radii []float64, keep func(id int) bool) (Bounds, bool) {
+	if len(tuples) == 0 {
+		return Bounds{}, false
+	}
+	for i, pt := range tuples {
+		if !keep(i) {
+			continue
+		}
+		var total float64
+		for j := range q {
+			total += UBCompute(pt[j], q[j])
+		}
+		sel.Offer(i, total)
+	}
+	kth, ok := sel.MaxItem()
+	if !ok {
+		return Bounds{}, false
+	}
+	for j := range q {
+		radii[j] = UBCompute(tuples[kth.ID][j], q[j])
+	}
+	return Bounds{Radii: radii, Total: kth.Score, PointID: kth.ID}, true
+}
+
 // ---------------------------------------------------------------------------
 // Full-space quantities for the approximate extension (§8).
 // ---------------------------------------------------------------------------

@@ -1,0 +1,132 @@
+package wire
+
+import "errors"
+
+// ErrCode is the machine-readable error class carried by v2 responses: as
+// a single byte in binary frames (response byte 2) and as a short string
+// ("no_such_collection", ...) in JSON error bodies. It lives in wire —
+// not in the server or the collection registry — because every layer that
+// speaks the protocol (registry, server, client, public API) needs the
+// same vocabulary without import cycles.
+type ErrCode uint8
+
+const (
+	// CodeGeneric classifies errors with no finer class; v1 peers always
+	// wrote a zero byte here, so old frames decode as CodeGeneric.
+	CodeGeneric ErrCode = 0
+	// CodeBadRequest: the request was malformed (geometry, k, dim, JSON).
+	CodeBadRequest ErrCode = 1
+	// CodeNoSuchCollection: the named collection does not exist.
+	CodeNoSuchCollection ErrCode = 2
+	// CodeCollectionExists: create targeted a name already in use.
+	CodeCollectionExists ErrCode = 3
+	// CodeBadFilter: the filter predicate was malformed.
+	CodeBadFilter ErrCode = 4
+	// CodeQuota: the tenant exceeded its per-collection admission quota.
+	CodeQuota ErrCode = 5
+	// CodeOverloaded: the server shed the request (global admission).
+	CodeOverloaded ErrCode = 6
+	// CodeDeadline: the request missed its queueing deadline.
+	CodeDeadline ErrCode = 7
+	// CodeUnavailable: the collection exists but cannot serve (degraded
+	// reload, mid-drop, write path down).
+	CodeUnavailable ErrCode = 8
+	// CodeBadCollection: the collection name or spec is invalid.
+	CodeBadCollection ErrCode = 9
+
+	// codeMax bounds the decoder's trust in the wire byte.
+	codeMax = CodeBadCollection
+)
+
+// Sentinel errors for the classes callers branch on. The server maps
+// these to codes with CodeOf; clients reconstruct them with ErrOf so
+// errors.Is works identically in-process and across the network.
+var (
+	// ErrNoSuchCollection: the named collection does not exist.
+	ErrNoSuchCollection = errors.New("no such collection")
+	// ErrCollectionExists: create targeted a name already in use.
+	ErrCollectionExists = errors.New("collection already exists")
+	// ErrBadCollection: the collection name fails ValidName.
+	ErrBadCollection = errors.New("bad collection name")
+	// ErrBadFilter: the filter predicate was malformed (unknown mode,
+	// empty tag, too many tags).
+	ErrBadFilter = errors.New("bad filter")
+	// ErrQuota: the tenant exceeded its per-collection admission quota.
+	ErrQuota = errors.New("tenant quota exceeded")
+)
+
+// codeNames maps codes to the short strings JSON bodies carry.
+var codeNames = [...]string{
+	CodeGeneric:          "error",
+	CodeBadRequest:       "bad_request",
+	CodeNoSuchCollection: "no_such_collection",
+	CodeCollectionExists: "collection_exists",
+	CodeBadFilter:        "bad_filter",
+	CodeQuota:            "quota",
+	CodeOverloaded:       "overloaded",
+	CodeDeadline:         "deadline",
+	CodeUnavailable:      "unavailable",
+	CodeBadCollection:    "bad_collection",
+}
+
+// String returns the code's JSON name ("quota", "bad_filter", ...).
+func (c ErrCode) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return "error"
+}
+
+// CodeByName inverts String for JSON clients; unknown names map to
+// CodeGeneric so a newer server never breaks an older client.
+func CodeByName(s string) ErrCode {
+	for c, n := range codeNames {
+		if n == s {
+			return ErrCode(c)
+		}
+	}
+	return CodeGeneric
+}
+
+// CodeOf classifies err for the wire. It unwraps with errors.Is, so any
+// layer can wrap a sentinel with context and still serialize correctly.
+// Errors outside the vocabulary are CodeGeneric.
+func CodeOf(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeGeneric
+	case errors.Is(err, ErrNoSuchCollection):
+		return CodeNoSuchCollection
+	case errors.Is(err, ErrCollectionExists):
+		return CodeCollectionExists
+	case errors.Is(err, ErrBadCollection):
+		return CodeBadCollection
+	case errors.Is(err, ErrBadFilter):
+		return CodeBadFilter
+	case errors.Is(err, ErrQuota):
+		return CodeQuota
+	default:
+		return CodeGeneric
+	}
+}
+
+// ErrOf returns the sentinel a received code stands for, or nil when the
+// code carries no sentinel (generic / transport classes the client maps
+// itself). Wrap the human-readable message around it so errors.Is matches
+// while the text survives.
+func ErrOf(c ErrCode) error {
+	switch c {
+	case CodeNoSuchCollection:
+		return ErrNoSuchCollection
+	case CodeCollectionExists:
+		return ErrCollectionExists
+	case CodeBadFilter:
+		return ErrBadFilter
+	case CodeBadCollection:
+		return ErrBadCollection
+	case CodeQuota:
+		return ErrQuota
+	default:
+		return nil
+	}
+}

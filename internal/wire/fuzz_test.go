@@ -26,12 +26,22 @@ func FuzzRequestDecode(f *testing.F) {
 	seed(Request{Op: OpRange, Param: 7.5, Queries: [][]float64{{1}}})
 	seed(Request{Op: OpInsert, Queries: [][]float64{{3, 2, 1}}})
 	seed(Request{Op: OpDelete, ID: 17})
+	// v2 shapes: named collections ride in the frame header; "" and
+	// "default" encode identically, and MaxName is the hard cap.
+	seed(Request{Op: OpSearch, Collection: "docs", K: 4, Queries: [][]float64{{2, 2}}})
+	seed(Request{Op: OpDelete, Collection: "audio-2024_v1", ID: 3})
+	seed(Request{Op: OpInsert, Collection: string(bytes.Repeat([]byte{'x'}, MaxName)), Queries: [][]float64{{1, 1}}})
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})       // absurd length prefix
 	f.Add([]byte{4, 0, 0, 0, 1, 0})             // truncated payload
 	f.Add(bytes.Repeat([]byte{0}, reqHeader+4)) // zeroed header
 	nan, _ := AppendRequest(nil, Request{Op: OpSearch, K: 1, Queries: [][]float64{{1}}})
 	f.Add(append(nan[:len(nan)-8], 0, 0, 0, 0, 0, 0, 0xf8, 0x7f)) // NaN coordinate
+	// Forged name length: a valid frame whose name-length byte claims more
+	// bytes than MaxName allows must be rejected, not over-read.
+	forged, _ := AppendRequest(nil, Request{Op: OpSearch, Collection: "docs", K: 1, Queries: [][]float64{{1}}})
+	forged[5] = 0xff // payload byte 1: the name-length field
+	f.Add(forged)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ReadRequest(bytes.NewReader(data))
@@ -56,7 +66,8 @@ func FuzzRequestDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded frame does not decode: %v", err)
 		}
-		if again.Op != req.Op || again.K != req.K || len(again.Queries) != len(req.Queries) {
+		if again.Op != req.Op || again.K != req.K || len(again.Queries) != len(req.Queries) ||
+			again.Collection != req.Collection {
 			t.Fatalf("round trip drifted: %+v vs %+v", again, req)
 		}
 	})

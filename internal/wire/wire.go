@@ -6,9 +6,9 @@
 // Binary framing (all integers little-endian):
 //
 //	frame    = u32 payloadLen | payload
-//	request  = u8 op | u8 zero | u16 zero | u32 k | f64 param | i64 id |
-//	           u32 nq | u32 dim | nq*dim × f64 coords
-//	response = u8 op | u8 status | u16 zero |
+//	request  = u8 op | u8 nameLen | u16 zero | u32 k | f64 param | i64 id |
+//	           u32 nq | u32 dim | nq*dim × f64 coords | nameLen × name byte
+//	response = u8 op | u8 status | u8 code | u8 zero |
 //	           status 1: u32 msgLen | msg
 //	           status 0: i64 value | u32 nres |
 //	                     nres × (u32 nitems | nitems × (i64 id, f64 score))
@@ -17,12 +17,19 @@
 // (OpRange) and must be zero otherwise; id is the OpDelete target; value
 // returns the assigned id (OpInsert) or 1/0 liveness (OpDelete).
 //
+// nameLen/name is the v2 collection address: the request targets the named
+// collection, nameLen 0 the "default" collection — which is exactly the
+// byte layout every v1 frame carried (nameLen was a must-be-zero reserved
+// byte), so old frames decode unchanged and keep routing to the index they
+// always addressed. code is the v2 machine-readable error class (see
+// ErrCode); v1 encoders wrote a zero there, which is CodeGeneric.
+//
 // The decoder is a hard trust boundary: it never panics and never
 // allocates proportionally to a forged length field. Frames longer than
 // MaxFrame, truncated frames, inner counts inconsistent with the frame
-// length, non-zero reserved bytes, and non-finite (NaN/Inf) coordinates
-// are all rejected with an error wrapping ErrFrame (FuzzRequestDecode
-// pins the no-panic property).
+// length, non-zero reserved bytes, malformed collection names, and
+// non-finite (NaN/Inf) coordinates are all rejected with an error wrapping
+// ErrFrame (FuzzRequestDecode pins the no-panic property).
 package wire
 
 import (
@@ -57,7 +64,32 @@ const (
 	MaxBatch = 1 << 16
 	// MaxDim bounds the coordinate dimensionality.
 	MaxDim = 1 << 20
+	// MaxName bounds a collection name's bytes (also the registry's cap).
+	MaxName = 64
 )
+
+// DefaultCollection is the collection every request that names none
+// addresses — the single index a pre-collections server served.
+const DefaultCollection = "default"
+
+// ValidName reports whether s is a legal collection name: 1..MaxName
+// bytes drawn from [a-zA-Z0-9_-]. The alphabet deliberately excludes '.'
+// and path separators — names become directory names, and this check is
+// the only thing between a network-supplied string and the filesystem.
+func ValidName(s string) bool {
+	if len(s) < 1 || len(s) > MaxName {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // ErrFrame is wrapped by every decoding error.
 var ErrFrame = errors.New("wire: bad frame")
@@ -67,10 +99,13 @@ const reqHeader = 1 + 1 + 2 + 4 + 8 + 8 + 4 + 4
 
 // Request is one decoded binary request.
 type Request struct {
-	Op    Op
-	K     int
-	Param float64 // p (OpApprox) or r (OpRange); 0 otherwise
-	ID    int     // OpDelete target
+	Op Op
+	// Collection names the target collection; "" on the wire means (and
+	// decodes as) DefaultCollection.
+	Collection string
+	K          int
+	Param      float64 // p (OpApprox) or r (OpRange); 0 otherwise
+	ID         int     // OpDelete target
 	// Queries holds nq rows of dim coordinates: the search/approx/range
 	// queries, or the single OpInsert point.
 	Queries [][]float64
@@ -90,8 +125,9 @@ type Result struct {
 // Response is one decoded binary response.
 type Response struct {
 	Op      Op
-	Err     string // non-empty = the request failed
-	Value   int64  // OpInsert id / OpDelete liveness
+	Err     string  // non-empty = the request failed
+	Code    ErrCode // machine-readable error class; CodeGeneric for v1 peers
+	Value   int64   // OpInsert id / OpDelete liveness
 	Results []Result
 }
 
@@ -120,12 +156,21 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if !finite(req.Param) {
 		return nil, fmt.Errorf("%w: non-finite param %v", ErrFrame, req.Param)
 	}
-	payload := reqHeader + 8*nq*dim
+	// The default collection travels as nameLen 0 — byte-identical to a v1
+	// frame, so a collection-unaware server still accepts it.
+	name := req.Collection
+	if name == DefaultCollection {
+		name = ""
+	}
+	if name != "" && !ValidName(name) {
+		return nil, fmt.Errorf("%w: bad collection name %q", ErrFrame, name)
+	}
+	payload := reqHeader + 8*nq*dim + len(name)
 	if payload > MaxFrame {
 		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrFrame, payload)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
-	dst = append(dst, byte(req.Op), 0, 0, 0)
+	dst = append(dst, byte(req.Op), byte(len(name)), 0, 0)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(req.K))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Param))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(req.ID)))
@@ -136,7 +181,7 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 		}
 	}
-	return dst, nil
+	return append(dst, name...), nil
 }
 
 // ReadRequest reads one length-prefixed request frame from r. Truncated
@@ -157,8 +202,12 @@ func DecodeRequest(payload []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: request payload of %d bytes, header needs %d", ErrFrame, len(payload), reqHeader)
 	}
 	op := Op(payload[0])
-	if payload[1] != 0 || payload[2] != 0 || payload[3] != 0 {
+	nameLen := int(payload[1])
+	if payload[2] != 0 || payload[3] != 0 {
 		return Request{}, fmt.Errorf("%w: non-zero reserved bytes", ErrFrame)
+	}
+	if nameLen > MaxName {
+		return Request{}, fmt.Errorf("%w: collection name of %d bytes exceeds MaxName", ErrFrame, nameLen)
 	}
 	k := int(int32(binary.LittleEndian.Uint32(payload[4:8])))
 	param := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:16]))
@@ -168,14 +217,21 @@ func DecodeRequest(payload []byte) (Request, error) {
 	if err := validateShape(op, nq, dim); err != nil {
 		return Request{}, err
 	}
-	if len(payload) != reqHeader+8*nq*dim {
-		return Request{}, fmt.Errorf("%w: payload %d bytes, %d×%d coords need %d",
-			ErrFrame, len(payload), nq, dim, reqHeader+8*nq*dim)
+	if len(payload) != reqHeader+8*nq*dim+nameLen {
+		return Request{}, fmt.Errorf("%w: payload %d bytes, %d×%d coords + %d name bytes need %d",
+			ErrFrame, len(payload), nq, dim, nameLen, reqHeader+8*nq*dim+nameLen)
 	}
 	if !finite(param) {
 		return Request{}, fmt.Errorf("%w: non-finite param", ErrFrame)
 	}
-	req := Request{Op: op, K: k, Param: param, ID: int(id)}
+	name := DefaultCollection
+	if nameLen > 0 {
+		name = string(payload[len(payload)-nameLen:])
+		if !ValidName(name) {
+			return Request{}, fmt.Errorf("%w: bad collection name", ErrFrame)
+		}
+	}
+	req := Request{Op: op, Collection: name, K: k, Param: param, ID: int(id)}
 	if nq > 0 {
 		flat := make([]float64, nq*dim)
 		req.Queries = make([][]float64, nq)
@@ -236,12 +292,18 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	if len(resp.Results) > MaxBatch {
 		return nil, fmt.Errorf("%w: %d results exceed MaxBatch", ErrFrame, len(resp.Results))
 	}
+	if resp.Code > codeMax {
+		return nil, fmt.Errorf("%w: unknown error code %d", ErrFrame, resp.Code)
+	}
+	if resp.Err == "" && resp.Code != CodeGeneric {
+		return nil, fmt.Errorf("%w: error code %d on a success response", ErrFrame, resp.Code)
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
 	status := byte(0)
 	if resp.Err != "" {
 		status = 1
 	}
-	dst = append(dst, byte(resp.Op), status, 0, 0)
+	dst = append(dst, byte(resp.Op), status, byte(resp.Code), 0)
 	if resp.Err != "" {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Err)))
 		return append(dst, resp.Err...), nil
@@ -272,10 +334,16 @@ func DecodeResponse(payload []byte) (Response, error) {
 	if len(payload) < 4 {
 		return Response{}, fmt.Errorf("%w: response payload of %d bytes", ErrFrame, len(payload))
 	}
-	resp := Response{Op: Op(payload[0])}
+	resp := Response{Op: Op(payload[0]), Code: ErrCode(payload[2])}
 	status := payload[1]
-	if payload[2] != 0 || payload[3] != 0 || status > 1 {
+	if payload[3] != 0 || status > 1 {
 		return Response{}, fmt.Errorf("%w: bad response status bytes", ErrFrame)
+	}
+	if resp.Code > codeMax {
+		return Response{}, fmt.Errorf("%w: unknown error code %d", ErrFrame, resp.Code)
+	}
+	if status == 0 && resp.Code != CodeGeneric {
+		return Response{}, fmt.Errorf("%w: error code on a success response", ErrFrame)
 	}
 	b := payload[4:]
 	if status == 1 {
@@ -353,15 +421,61 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // JSON shapes (the per-route HTTP endpoints).
 // ---------------------------------------------------------------------------
 
-// SearchRequest is the /v1/search, /v1/approx, and /v1/range JSON body.
-// Q carries one query, Queries a batch (exactly one of the two); K is the
-// neighbour count, P the approx guarantee, R the range radius.
+// MaxFilterTags bounds the tag terms one filter may carry.
+const MaxFilterTags = 16
+
+// Filter modes: "any" admits points carrying at least one of the tags,
+// "all" only points carrying every tag. An empty mode means "any".
+const (
+	FilterAny = "any"
+	FilterAll = "all"
+)
+
+// Filter is a metadata predicate pushed into the leaf scan: the answer is
+// the exact top-k over only the points the filter admits (never a
+// post-filtered top-k). JSON-only — binary frames address collections but
+// carry no filter.
+type Filter struct {
+	Tags []string `json:"tags"`
+	Mode string   `json:"mode,omitempty"`
+}
+
+// Validate rejects malformed filters with an ErrBadFilter-wrapped error.
+func (f *Filter) Validate() error {
+	if f == nil {
+		return nil
+	}
+	if len(f.Tags) == 0 {
+		return fmt.Errorf("%w: no tags", ErrBadFilter)
+	}
+	if len(f.Tags) > MaxFilterTags {
+		return fmt.Errorf("%w: %d tags exceed MaxFilterTags", ErrBadFilter, len(f.Tags))
+	}
+	for _, t := range f.Tags {
+		if t == "" || len(t) > MaxName {
+			return fmt.Errorf("%w: tag %q", ErrBadFilter, t)
+		}
+	}
+	switch f.Mode {
+	case "", FilterAny, FilterAll:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown mode %q", ErrBadFilter, f.Mode)
+	}
+}
+
+// SearchRequest is the search/approx/range JSON body (v1 single-index
+// routes and v2 collection routes alike). Q carries one query, Queries a
+// batch (exactly one of the two); K is the neighbour count, P the approx
+// guarantee, R the range radius. Filter restricts exact-search answers to
+// matching points; approx, range, and the v1 routes reject it.
 type SearchRequest struct {
 	Q       []float64   `json:"q,omitempty"`
 	Queries [][]float64 `json:"queries,omitempty"`
 	K       int         `json:"k,omitempty"`
 	P       float64     `json:"p,omitempty"`
 	R       float64     `json:"r,omitempty"`
+	Filter  *Filter     `json:"filter,omitempty"`
 }
 
 // SearchResponse is the JSON answer: one Result per query, in order.
@@ -369,9 +483,11 @@ type SearchResponse struct {
 	Results []Result `json:"results"`
 }
 
-// InsertRequest is the /v1/insert JSON body.
+// InsertRequest is the insert JSON body. Tags (v2 routes only) attach
+// metadata tags the collection's filtered search can match on.
 type InsertRequest struct {
-	P []float64 `json:"p"`
+	P    []float64 `json:"p"`
+	Tags []string  `json:"tags,omitempty"`
 }
 
 // InsertResponse returns the durably assigned id.
@@ -389,9 +505,11 @@ type DeleteResponse struct {
 	Deleted bool `json:"deleted"`
 }
 
-// ErrorResponse is every non-2xx JSON body.
+// ErrorResponse is every non-2xx JSON body. Code is the machine-readable
+// class (ErrCode.String names); absent/unknown codes read as CodeGeneric.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // Health is the /healthz JSON body.
@@ -404,6 +522,9 @@ type Health struct {
 	Shards   int    `json:"shards"`
 	Version  uint64 `json:"version"`
 	WALBytes int64  `json:"walBytes"`
+	// Collections counts the open collections (0 on pre-collections
+	// servers; the index fields above describe the default collection).
+	Collections int `json:"collections,omitempty"`
 }
 
 // AdminResponse is the /admin/reload and /admin/checkpoint JSON body.
@@ -428,4 +549,78 @@ type CompactResponse struct {
 	Compacted []ShardCompaction `json:"compacted"`
 	Version   uint64            `json:"version"`
 	WALBytes  int64             `json:"walBytes"`
+}
+
+// ---------------------------------------------------------------------------
+// Collection shapes (the /v2 routes).
+// ---------------------------------------------------------------------------
+
+// Quota is a per-collection admission class: the concurrency and queueing
+// this tenant may consume before its requests shed with CodeQuota. Zero
+// fields mean "server default".
+type Quota struct {
+	// MaxInflight bounds this collection's concurrently executing
+	// searches.
+	MaxInflight int `json:"maxInflight,omitempty"`
+	// MaxQueue bounds this collection's waiting searches; beyond it,
+	// requests shed immediately instead of queueing.
+	MaxQueue int `json:"maxQueue,omitempty"`
+}
+
+// CollectionSpec is the PUT /v2/collections/{name} create body and the
+// durable per-collection configuration: each collection has its own
+// divergence, geometry, shard layout, and admission quota. Dim must be
+// set so a collection is searchable (empty) from birth.
+type CollectionSpec struct {
+	// Divergence names the Bregman divergence ("l2", "is", "gkl", "exp",
+	// "shannon").
+	Divergence string `json:"divergence"`
+	// Dim is the fixed coordinate dimensionality.
+	Dim int `json:"dim"`
+	// M is the per-shard subspace partition count (0 = heuristic).
+	M int `json:"m,omitempty"`
+	// Shards is the hash-shard count (0 = server default).
+	Shards int `json:"shards,omitempty"`
+	// Quota is the collection's admission class (nil = server default).
+	Quota *Quota `json:"quota,omitempty"`
+}
+
+// CollectionInfo is one collection's listing entry: its spec plus live
+// serving state.
+type CollectionInfo struct {
+	Name     string         `json:"name"`
+	Spec     CollectionSpec `json:"spec"`
+	Status   string         `json:"status"`
+	N        int            `json:"n"`
+	Live     int            `json:"live"`
+	Version  uint64         `json:"version"`
+	WALBytes int64          `json:"walBytes"`
+}
+
+// CollectionsResponse is the GET /v2/collections JSON body.
+type CollectionsResponse struct {
+	Collections []CollectionInfo `json:"collections"`
+}
+
+// DropResponse is the DELETE /v2/collections/{name} JSON body.
+type DropResponse struct {
+	Dropped bool `json:"dropped"`
+}
+
+// AdminSweepEntry is one collection's outcome inside an unscoped admin
+// sweep: either its post-operation state or its error — a failing
+// collection never strands the rest of the sweep.
+type AdminSweepEntry struct {
+	Collection string            `json:"collection"`
+	Version    uint64            `json:"version,omitempty"`
+	WALBytes   int64             `json:"walBytes,omitempty"`
+	Compacted  []ShardCompaction `json:"compacted,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	Code       string            `json:"code,omitempty"`
+}
+
+// AdminSweepResponse is the unscoped /admin/{reload,checkpoint,compact}
+// JSON body: every collection's outcome, in name order.
+type AdminSweepResponse struct {
+	Collections []AdminSweepEntry `json:"collections"`
 }

@@ -16,7 +16,7 @@ import (
 func BenchmarkServeLoopback(b *testing.B) {
 	url, _, _, _ := servingFixture(b, 2000)
 	queries := servingPoints(64, 8, 1234)
-	c := brepartition.NewClient(url, &brepartition.ClientOptions{Binary: true})
+	c := brepartition.NewClient(url, brepartition.WithBinary())
 	defer c.Close()
 	ctx := context.Background()
 

@@ -3,10 +3,11 @@ package brepartition
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"brepartition/internal/client"
+	"brepartition/internal/collection"
 	"brepartition/internal/server"
-	"brepartition/internal/shard"
 	"brepartition/internal/wire"
 )
 
@@ -16,75 +17,255 @@ import (
 
 // ServerOptions tunes the serving layer: the request-coalescing window
 // (CoalesceBatch/CoalesceDelay), admission control (MaxInFlight,
-// MaxMutations, Timeout, RetryAfter), and the embedded query engine.
+// MaxMutations, Timeout, RetryAfter), the per-collection query engines,
+// and background maintenance. Prefer the ServeOption helpers; the
+// struct remains for bulk configuration via WithServerConfig.
 type ServerOptions = server.Config
 
-// Server puts a durable index behind HTTP: kNN/approx/range search and
-// durable Insert/Delete over compact JSON routes plus a length-prefixed
-// binary endpoint, with request coalescing (concurrent single-query
-// requests fold into engine batch calls), admission control (bounded
-// in-flight queues shedding 429 + Retry-After), Prometheus /metrics,
-// /healthz, and /admin/reload — a hot checkpoint-and-swap of the
-// snapshot that never drops an in-flight query. Answers are bit-identical
-// to the in-process index.
-//
-// Serve it with net/http:
-//
-//	srv, err := brepartition.NewServer("durable/", nil, nil)
-//	http.ListenAndServe(":7600", srv.Handler())
-type Server struct {
-	inner  *server.Server
-	handle *shard.Handle
+// ServeOption configures OpenCollections and NewServer. The option set
+// consolidates what used to be two positional option structs
+// (DurableOptions and ServerOptions): zero options ask for defaults,
+// and the With* helpers override exactly the knob they name.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	durable DurableOptions
+	server  ServerOptions
 }
 
-// NewServer opens the durable index under root (as OpenDurable does) and
-// builds the serving stack over it. dopts/sopts may be nil for defaults.
-func NewServer(root string, dopts *DurableOptions, sopts *ServerOptions) (*Server, error) {
-	var do DurableOptions
-	if dopts != nil {
-		do = *dopts
+// WithDurableConfig bulk-applies a DurableOptions template to every
+// collection's storage layer (checkpoint policy, sync policy; geometry
+// fields are overridden per collection by its spec).
+func WithDurableConfig(o DurableOptions) ServeOption {
+	return func(c *serveConfig) { c.durable = o }
+}
+
+// WithServerConfig bulk-applies a ServerOptions struct (the escape
+// hatch for options without a dedicated helper).
+func WithServerConfig(o ServerOptions) ServeOption {
+	return func(c *serveConfig) { c.server = o }
+}
+
+// WithCoalescing tunes the request-coalescing window: concurrent
+// single-query searches fold into engine batches of up to batch
+// queries, waiting at most delay.
+func WithCoalescing(batch int, delay time.Duration) ServeOption {
+	return func(c *serveConfig) { c.server.CoalesceBatch, c.server.CoalesceDelay = batch, delay }
+}
+
+// WithAdmission bounds concurrently admitted requests per class; excess
+// search or mutation load is shed with 429 + Retry-After.
+func WithAdmission(maxInFlight, maxMutations int) ServeOption {
+	return func(c *serveConfig) { c.server.MaxInFlight, c.server.MaxMutations = maxInFlight, maxMutations }
+}
+
+// WithRequestTimeout sets the default per-request deadline and the cap
+// on client-requested deadlines (X-Timeout-Ms).
+func WithRequestTimeout(def, max time.Duration) ServeOption {
+	return func(c *serveConfig) { c.server.Timeout, c.server.MaxTimeout = def, max }
+}
+
+// WithEngineConfig tunes each collection's query engine (workers,
+// per-query parallelism, result-cache size).
+func WithEngineConfig(o EngineOptions) ServeOption {
+	return func(c *serveConfig) { c.server.Engine = o }
+}
+
+// WithMaintenance enables each collection's background shard
+// maintainer, sweeping every interval and compacting shards past the
+// default decay thresholds.
+func WithMaintenance(interval time.Duration) ServeOption {
+	return func(c *serveConfig) { c.server.MaintainInterval = interval }
+}
+
+// CollectionSpec declares a collection: its divergence (by registry
+// name, e.g. "l2", "is", "gkl"), dimensionality, optional geometry
+// overrides, and optional admission quota.
+type CollectionSpec = wire.CollectionSpec
+
+// CollectionInfo reports a served collection's spec and live state.
+type CollectionInfo = wire.CollectionInfo
+
+// Quota is a collection's admission quota: at most MaxInflight
+// requests executing plus MaxQueue waiting; excess sheds with ErrQuota.
+type Quota = wire.Quota
+
+// Filter is a tag predicate for filtered search: match points carrying
+// any (default) or all of the tags. Filtered answers are the exact
+// top-k over matching points — the predicate prunes inside the index
+// scan, it is not applied after the fact.
+type Filter = wire.Filter
+
+// FilterAny and FilterAll are the Filter.Mode values.
+const (
+	FilterAny = wire.FilterAny
+	FilterAll = wire.FilterAll
+)
+
+// Typed serving errors, matched with errors.Is across the JSON and
+// binary protocols (the client reconstructs them from the
+// machine-readable error code).
+var (
+	// ErrNoSuchCollection reports an operation against a collection the
+	// server does not host.
+	ErrNoSuchCollection = wire.ErrNoSuchCollection
+	// ErrCollectionExists reports a create colliding with a live name.
+	ErrCollectionExists = wire.ErrCollectionExists
+	// ErrBadFilter reports a malformed tag filter (or a filter on an
+	// operation that does not support one).
+	ErrBadFilter = wire.ErrBadFilter
+	// ErrQuota reports a request shed by its collection's admission
+	// quota (the process-wide gates shed with ErrOverloaded instead).
+	ErrQuota = wire.ErrQuota
+)
+
+// Collections puts a registry of named BrePartition collections behind
+// HTTP: one process serves many independent durable indexes — each with
+// its own divergence, geometry, shard layout, metadata tags, admission
+// quota, and background maintenance — under /v2/collections/{name}
+// routes, with the /v1 routes bound to the collection named "default".
+// Search answers are bit-identical to the in-process index.
+//
+//	cs, err := brepartition.OpenCollections("data/")
+//	cs.Create("docs", brepartition.CollectionSpec{Divergence: "l2", Dim: 128})
+//	http.ListenAndServe(":7600", cs.Handler())
+type Collections struct {
+	reg   *collection.Registry
+	inner *server.Server
+}
+
+// OpenCollections opens (or initializes) the collection registry under
+// root and builds the multi-tenant serving stack over it. A root
+// holding a pre-collections single index is adopted as the collection
+// "default", so upgrading a breserved deployment in place just works.
+func OpenCollections(root string, opts ...ServeOption) (*Collections, error) {
+	var cfg serveConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
 	}
-	d, err := shard.OpenDurable(root, do)
+	reg, err := collection.Open(root, collection.Options{Durable: cfg.durable})
 	if err != nil {
 		return nil, err
 	}
-	h := shard.NewHandle(d)
-	var so ServerOptions
-	if sopts != nil {
-		so = *sopts
-	}
-	reopen := func() (*shard.Durable, error) { return shard.OpenDurable(root, do) }
-	return &Server{inner: server.New(h, reopen, so), handle: h}, nil
+	return &Collections{reg: reg, inner: server.NewMulti(reg, cfg.server)}, nil
 }
 
-// Handler returns the HTTP handler tree (routes under /v1, /admin,
+// Handler returns the HTTP handler tree (routes under /v1, /v2, /admin,
 // /healthz, /metrics).
-func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+func (cs *Collections) Handler() http.Handler { return cs.inner.Handler() }
 
-// Stats snapshots the embedded query engine's aggregate statistics.
-func (s *Server) Stats() EngineStats { return s.inner.Engine().Stats() }
+// Create declares a new collection and starts serving it immediately.
+func (cs *Collections) Create(name string, spec CollectionSpec) (CollectionInfo, error) {
+	return cs.inner.CreateCollection(name, spec)
+}
 
-// Divergence returns the divergence the served index was built with.
-func (s *Server) Divergence() Divergence { return s.handle.Divergence() }
+// Drop stops serving a collection and removes its files.
+func (cs *Collections) Drop(name string) error { return cs.inner.DropCollection(name) }
 
-// Reload checkpoints and hot-swaps the snapshot in process (the same
-// operation as POST /admin/reload; it counts in the reload metric too).
-func (s *Server) Reload() error { return s.inner.Reload() }
+// List snapshots every served collection, name-sorted.
+func (cs *Collections) List() []CollectionInfo { return cs.inner.Collections() }
 
-// Close drains the serving pipeline (pending coalesced batches and
-// in-flight engine queries complete), then closes the durable index's
-// WAL. Drain in-flight HTTP requests first (http.Server.Shutdown).
-func (s *Server) Close() error {
-	err := s.inner.Close()
-	if cerr := s.handle.Close(); err == nil {
+// Close drains every collection's serving pipeline, then closes the
+// registry (WALs and tag logs). Drain in-flight HTTP requests first
+// (http.Server.Shutdown).
+func (cs *Collections) Close() error {
+	err := cs.inner.Close()
+	if cerr := cs.reg.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-// ClientOptions tunes a Client: per-request Timeout, the Binary protocol
-// switch, and connection-pool sizing.
+// Server is the single-index serving surface: a thin wrapper over a
+// Collections registry pinned to the "default" collection. It exists
+// for deployments that serve exactly one index — the original breserved
+// shape — and keeps their construction and answers unchanged while the
+// same process model now powers multi-tenant registries underneath.
+//
+// Serve it with net/http:
+//
+//	srv, err := brepartition.NewServer("durable/")
+//	http.ListenAndServe(":7600", srv.Handler())
+type Server struct {
+	cols *Collections
+}
+
+// NewServer opens the index under root (a pre-collections durable root
+// or a registry with a "default" collection) and builds the serving
+// stack over it. Roots without an index fail: create one with
+// BuildDurable, or use OpenCollections + Create for an empty start.
+func NewServer(root string, opts ...ServeOption) (*Server, error) {
+	cs, err := OpenCollections(root, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cs.reg.Get(wire.DefaultCollection); err != nil {
+		cs.Close()
+		return nil, err
+	}
+	return &Server{cols: cs}, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.cols.Handler() }
+
+// Collections exposes the registry surface beneath the single-index
+// wrapper, so a deployment can grow tenants without reconstruction.
+func (s *Server) Collections() *Collections { return s.cols }
+
+// Stats snapshots the default collection's engine statistics.
+func (s *Server) Stats() EngineStats { return s.cols.inner.Engine().Stats() }
+
+// Divergence returns the divergence the default index was built with.
+func (s *Server) Divergence() Divergence {
+	c, err := s.cols.reg.Get(wire.DefaultCollection)
+	if err != nil {
+		return nil
+	}
+	return c.Handle.Divergence()
+}
+
+// Reload checkpoints and hot-swaps the default collection's snapshot in
+// process (the same operation as POST /admin/reload; it counts in the
+// reload metric too).
+func (s *Server) Reload() error { return s.cols.inner.Reload() }
+
+// Close drains the serving pipeline (pending coalesced batches and
+// in-flight engine queries complete), then closes the registry's WALs.
+// Drain in-flight HTTP requests first (http.Server.Shutdown).
+func (s *Server) Close() error { return s.cols.Close() }
+
+// ClientOptions tunes a Client: per-request Timeout, the Binary
+// protocol switch, and connection-pool sizing. Prefer the ClientOption
+// helpers; the struct remains for bulk configuration.
 type ClientOptions = client.Options
+
+// ClientOption configures NewClient.
+type ClientOption func(*ClientOptions)
+
+// WithClientConfig bulk-applies a ClientOptions struct.
+func WithClientConfig(o ClientOptions) ClientOption {
+	return func(c *ClientOptions) { *c = o }
+}
+
+// WithTimeout sets the per-request deadline (forwarded to the server
+// and enforced locally).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *ClientOptions) { c.Timeout = d }
+}
+
+// WithBinary switches the point-operation routes to the compact binary
+// frame protocol.
+func WithBinary() ClientOption {
+	return func(c *ClientOptions) { c.Binary = true }
+}
+
+// WithHTTPClient overrides the transport entirely (tests, middleware).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *ClientOptions) { c.HTTPClient = hc }
+}
 
 // ErrOverloaded matches (errors.Is) a 429 load-shed response; errors.As
 // an *OverloadedError recovers the server's Retry-After hint for honest
@@ -101,21 +282,27 @@ type OverloadedError = client.OverloadedError
 // RemoteResult is one remote query's answer items.
 type RemoteResult = wire.Result
 
-// Client talks to a breserved server with pooled keep-alive connections,
-// speaking either the JSON routes or the compact binary protocol
-// (ClientOptions.Binary). It is safe for concurrent use; overload (429)
-// and deadline (504) responses surface as client.ErrOverloaded /
-// client.ErrDeadline typed errors.
+// Client talks to a breserved server with pooled keep-alive
+// connections, speaking either the JSON routes or the compact binary
+// protocol (WithBinary). It is safe for concurrent use. The methods on
+// Client itself address the "default" collection; Collection(name)
+// scopes the same operation set to a named collection, and the
+// *Collection methods manage the registry. Overload (429), quota, and
+// deadline (504) responses surface as typed errors (ErrOverloaded,
+// ErrQuota, ErrDeadline), as do the collection errors
+// (ErrNoSuchCollection, ErrCollectionExists, ErrBadFilter).
 type Client struct {
 	inner *client.Client
 }
 
-// NewClient creates a client for the breserved server at baseURL. opts
-// may be nil for defaults (JSON protocol, 5s timeout).
-func NewClient(baseURL string, opts *ClientOptions) *Client {
+// NewClient creates a client for the breserved server at baseURL. Zero
+// options mean the JSON protocol with a 5s timeout.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
 	var o ClientOptions
-	if opts != nil {
-		o = *opts
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
 	}
 	return &Client{inner: client.New(baseURL, o)}
 }
@@ -126,6 +313,105 @@ func toNeighbors(items []wire.Item) []Neighbor {
 		out[i] = Neighbor{ID: it.ID, Distance: it.Distance}
 	}
 	return out
+}
+
+// RemoteCollection is a Client view scoped to one named collection: the
+// same operation set, addressed at the collection's routes, plus
+// filtered search and tagged inserts.
+type RemoteCollection struct {
+	inner *client.Collection
+}
+
+// Collection scopes the client to the named collection. The view shares
+// the client's pooled transport; create as many as needed.
+func (c *Client) Collection(name string) *RemoteCollection {
+	return &RemoteCollection{inner: c.inner.Collection(name)}
+}
+
+// Search returns the exact k nearest neighbours of q from the
+// collection; ids and distances match the in-process index bit for bit.
+func (rc *RemoteCollection) Search(ctx context.Context, q []float64, k int) ([]Neighbor, error) {
+	items, err := rc.inner.Search(ctx, q, k)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// SearchFiltered returns the exact k nearest neighbours of q among only
+// the points matching the tag filter.
+func (rc *RemoteCollection) SearchFiltered(ctx context.Context, q []float64, k int, f Filter) ([]Neighbor, error) {
+	items, err := rc.inner.SearchFiltered(ctx, q, k, f)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// BatchSearch submits all queries in one request; results arrive in
+// query order.
+func (rc *RemoteCollection) BatchSearch(ctx context.Context, queries [][]float64, k int) ([][]Neighbor, error) {
+	results, err := rc.inner.BatchSearch(ctx, queries, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(results))
+	for i, r := range results {
+		out[i] = toNeighbors(r.Items)
+	}
+	return out, nil
+}
+
+// SearchApprox returns k neighbours that are the exact kNN with
+// probability at least p ∈ (0,1].
+func (rc *RemoteCollection) SearchApprox(ctx context.Context, q []float64, k int, p float64) ([]Neighbor, error) {
+	items, err := rc.inner.SearchApprox(ctx, q, k, p)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// RangeSearch returns every point within distance r of q, ascending.
+func (rc *RemoteCollection) RangeSearch(ctx context.Context, q []float64, r float64) ([]Neighbor, error) {
+	items, err := rc.inner.RangeSearch(ctx, q, r)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(items), nil
+}
+
+// Insert durably adds a point to the collection and returns its global
+// id.
+func (rc *RemoteCollection) Insert(ctx context.Context, p []float64) (int, error) {
+	return rc.inner.Insert(ctx, p)
+}
+
+// InsertTagged durably adds a point with metadata tags (the handles
+// filtered search matches on) and returns its global id.
+func (rc *RemoteCollection) InsertTagged(ctx context.Context, p []float64, tags []string) (int, error) {
+	return rc.inner.InsertTagged(ctx, p, tags)
+}
+
+// Delete durably tombstones id in the collection, reporting whether it
+// was live.
+func (rc *RemoteCollection) Delete(ctx context.Context, id int) (bool, error) {
+	return rc.inner.Delete(ctx, id)
+}
+
+// Collections lists every collection the server hosts, name-sorted.
+func (c *Client) Collections(ctx context.Context) ([]CollectionInfo, error) {
+	return c.inner.Collections(ctx)
+}
+
+// CreateCollection creates a named collection from spec server-side.
+func (c *Client) CreateCollection(ctx context.Context, name string, spec CollectionSpec) (CollectionInfo, error) {
+	return c.inner.CreateCollection(ctx, name, spec)
+}
+
+// DropCollection removes a named collection and its files server-side.
+func (c *Client) DropCollection(ctx context.Context, name string) error {
+	return c.inner.DropCollection(ctx, name)
 }
 
 // Search returns the exact k nearest neighbours of q from the server;

@@ -43,13 +43,20 @@ func servingFixture(t testing.TB, n int) (string, *brepartition.Index, [][]float
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := brepartition.NewServer(root, nil, nil)
+	srv, err := brepartition.NewServer(root)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return ts.URL, oracle, pts, srv
+}
+
+func newTestClient(url string, binary bool) *brepartition.Client {
+	if binary {
+		return brepartition.NewClient(url, brepartition.WithBinary())
+	}
+	return brepartition.NewClient(url)
 }
 
 // TestServingPublicRoundTrip drives the whole public serving surface:
@@ -62,7 +69,7 @@ func TestServingPublicRoundTrip(t *testing.T) {
 	const k = 5
 
 	for _, binary := range []bool{false, true} {
-		c := brepartition.NewClient(url, &brepartition.ClientOptions{Binary: binary})
+		c := newTestClient(url, binary)
 		defer c.Close()
 		for _, q := range queries {
 			want, err := oracle.Search(q, k)
@@ -79,7 +86,7 @@ func TestServingPublicRoundTrip(t *testing.T) {
 		}
 	}
 
-	c := brepartition.NewClient(url, nil)
+	c := brepartition.NewClient(url)
 	defer c.Close()
 	id, err := c.Insert(ctx, pts[0])
 	if err != nil {
