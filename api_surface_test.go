@@ -29,6 +29,10 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func(int) bool = idx.Delete
 	var _ func() uint64 = idx.Version
 	var _ func(string) error = idx.WriteFile
+	var _ func(string, brepartition.ColdTierOptions) error = idx.AttachColdTier
+	var _ func([]float64, int) (brepartition.Result, error) = idx.SearchCold
+	var _ func() (brepartition.ColdTierStats, bool) = idx.ColdStats
+	var _ func() error = idx.DetachColdTier
 
 	var sx *brepartition.ShardedIndex
 	var _ func([]float64, int) (brepartition.Result, error) = sx.Search
@@ -39,6 +43,10 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func(int) bool = sx.Delete
 	var _ func(string) error = sx.WriteDir
 	var _ func() uint64 = sx.Version
+	var _ func(string, brepartition.ColdTierOptions) error = sx.AttachColdTier
+	var _ func([]float64, int) (brepartition.Result, error) = sx.SearchCold
+	var _ func() (brepartition.ColdTierStats, bool) = sx.ColdStats
+	var _ func() error = sx.DetachColdTier
 
 	var dx *brepartition.DurableIndex
 	var _ func([]float64, int) (brepartition.Result, error) = dx.Search
@@ -53,6 +61,10 @@ func TestPublicAPISurface(t *testing.T) {
 	var _ func() uint64 = dx.LastLSN
 	var _ func() uint64 = dx.SyncedLSN
 	var _ func() uint64 = dx.Version
+	var _ func(brepartition.ColdTierOptions) error = dx.AttachColdTier
+	var _ func([]float64, int) (brepartition.Result, error) = dx.SearchCold
+	var _ func() (brepartition.ColdTierStats, bool) = dx.ColdStats
+	var _ func() error = dx.DetachColdTier
 
 	// All three index kinds are Engine backends.
 	var _ brepartition.Backend = idx

@@ -203,6 +203,34 @@ func ReadIndexFile(path string) (*Index, error) {
 	return &Index{inner: inner}, nil
 }
 
+// AttachColdTier builds (or cheaply reopens, when dir already holds a
+// tier matching the index version) a cold tier under dir: a resident
+// compressed-domain VA approximation plus an mmap-paged copy of the
+// points behind a bounded block cache. SearchCold then answers exact
+// queries with memory bounded by the VA bytes plus the cache budget —
+// the point set itself stays on disk.
+func (ix *Index) AttachColdTier(dir string, o ColdTierOptions) error {
+	return ix.inner.EnsureColdTier(dir, o)
+}
+
+// SearchCold is Search served from the attached cold tier: the
+// compressed-domain first pass prunes candidates in memory, and only
+// the survivors fault their pages in. Answers are bit-identical to
+// Search over the same index state; if the index has mutated since the
+// tier was attached, the query transparently serves hot (re-attach to
+// refresh the tier).
+func (ix *Index) SearchCold(q []float64, k int) (Result, error) {
+	return ix.inner.SearchCold(q, k)
+}
+
+// ColdStats snapshots the attached cold tier's lifetime counters; ok is
+// false when no tier is attached.
+func (ix *Index) ColdStats() (ColdTierStats, bool) { return ix.inner.ColdStats() }
+
+// DetachColdTier closes the attached cold tier (the on-disk files remain
+// for a later AttachColdTier to reopen). No-op without a tier.
+func (ix *Index) DetachColdTier() error { return ix.inner.CloseColdTier() }
+
 // ---------------------------------------------------------------------------
 // Sharded scatter-gather index.
 // ---------------------------------------------------------------------------
@@ -327,6 +355,27 @@ func (sx *ShardedIndex) Live() int { return sx.inner.Live() }
 // Version counts the mutations applied so far (the Engine's result cache
 // keys on it, exactly as with Index).
 func (sx *ShardedIndex) Version() uint64 { return sx.inner.Version() }
+
+// AttachColdTier builds (or reopens) one cold tier per shard under dir.
+// SearchCold then serves exact answers with per-shard bounded memory;
+// see Index.AttachColdTier.
+func (sx *ShardedIndex) AttachColdTier(dir string, o ColdTierOptions) error {
+	return sx.inner.EnsureColdTier(dir, o)
+}
+
+// SearchCold is Search served from the per-shard cold tiers. Answers
+// are bit-identical to Search; shards whose tier is missing or stale
+// serve their part of the query hot.
+func (sx *ShardedIndex) SearchCold(q []float64, k int) (Result, error) {
+	return sx.inner.SearchCold(q, k)
+}
+
+// ColdStats sums the per-shard cold-tier counters; ok is false when no
+// shard has a tier attached.
+func (sx *ShardedIndex) ColdStats() (ColdTierStats, bool) { return sx.inner.ColdStats() }
+
+// DetachColdTier closes every shard's cold tier (files remain on disk).
+func (sx *ShardedIndex) DetachColdTier() error { return sx.inner.CloseColdTier() }
 
 // ---------------------------------------------------------------------------
 // Durable index: write-ahead logged mutations with crash recovery.
@@ -477,6 +526,28 @@ func (dx *DurableIndex) ShardSizes() []int { return dx.inner.ShardSizes() }
 // Version counts the mutations applied so far (the Engine's result cache
 // keys on it).
 func (dx *DurableIndex) Version() uint64 { return dx.inner.Version() }
+
+// AttachColdTier builds (or reopens) one cold tier per shard under the
+// durable root's cold directory. Call after Checkpoint (or on a freshly
+// opened index) so the tiers capture the current state; SearchCold then
+// serves exact answers with bounded memory.
+func (dx *DurableIndex) AttachColdTier(o ColdTierOptions) error {
+	return dx.inner.EnsureColdTier(o)
+}
+
+// SearchCold is Search served from the per-shard cold tiers. Answers
+// are bit-identical to Search; shards whose tier is missing or stale
+// (mutated since AttachColdTier) serve their part of the query hot.
+func (dx *DurableIndex) SearchCold(q []float64, k int) (Result, error) {
+	return dx.inner.SearchCold(q, k)
+}
+
+// ColdStats sums the per-shard cold-tier counters; ok is false when no
+// shard has a tier attached.
+func (dx *DurableIndex) ColdStats() (ColdTierStats, bool) { return dx.inner.ColdStats() }
+
+// DetachColdTier closes every shard's cold tier (Close also does this).
+func (dx *DurableIndex) DetachColdTier() error { return dx.inner.CloseColdTier() }
 
 // ---------------------------------------------------------------------------
 // Concurrent batch query engine.

@@ -8,7 +8,7 @@
 //
 // Experiments: table4, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, fig15, fig15-uniform, batch, sharded, durable, serve,
-// buildscale, churn, tenants.
+// buildscale, churn, tenants, coldtier.
 //
 // The batch, sharded, durable, and serve experiments go beyond the
 // paper: batch replays one batch of queries through the concurrent
@@ -29,7 +29,12 @@
 // brute-force oracle over the live set; tenants serves three collections
 // from one process (one capped by a per-collection admission quota),
 // hammers the capped one, and reports per-tenant QPS/p99 plus the noisy
-// tenant's shed rate — the quiet tenants' p99 should barely move.
+// tenant's shed rate — the quiet tenants' p99 should barely move;
+// coldtier serves the audio workload from the compressed-domain cold
+// tier across a ladder of block-cache budgets far below the data size,
+// checks every answer bit-identical against the hot index, and reports
+// resident bytes, cache hit rate, VA pruned fraction, and p50/p99 per
+// budget.
 //
 // Flags:
 //
@@ -61,7 +66,7 @@ var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
 	"batch", "sharded", "durable", "serve", "buildscale", "churn",
-	"tenants",
+	"tenants", "coldtier",
 }
 
 func main() {
@@ -172,6 +177,8 @@ func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers
 		return env.BuildScale(buildWorkers), nil
 	case "churn":
 		return env.Churn(shards, rounds), nil
+	case "coldtier":
+		return env.ColdTier(), nil
 	case "tenants":
 		return env.Tenants(workers), nil
 	default:

@@ -58,6 +58,10 @@ func main() {
 	maintainMaxTail := flag.Float64("maintain-max-tail", 0, "compact a shard when its post-build insert fraction exceeds this (0 = 0.25)")
 	maintainMinPoints := flag.Int("maintain-min-points", 0, "never compact shards smaller than this (0 = 64)")
 	multi := flag.Bool("collections", false, "serve -index as a multi-collection registry: named indexes under /v2/collections/{name}, created live via PUT (no pre-built default index required)")
+	coldTier := flag.Bool("coldtier", false, "serve exact searches from a cold tier: a resident compressed-domain VA pass over mmap-paged point storage, so the index can exceed RAM (answers unchanged)")
+	coldCache := flag.Int64("coldtier-cache", 0, "cold-tier block-cache budget in bytes per shard (0 = 16 MiB, negative = unbounded)")
+	coldBits := flag.Int("coldtier-bits", 0, "cold-tier VA grid bits per extended dimension (0 = 6, max 16)")
+	coldPrefetch := flag.Int("coldtier-prefetch", 0, "cold-tier async survivor-page prefetch depth (0 = 4, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 	flag.Parse()
 
@@ -111,6 +115,13 @@ func main() {
 	serveOpts := []brepartition.ServeOption{
 		brepartition.WithDurableConfig(*dopts),
 		brepartition.WithServerConfig(*sopts),
+	}
+	if *coldTier {
+		serveOpts = append(serveOpts, brepartition.WithColdTier(brepartition.ColdTierOptions{
+			Bits:       *coldBits,
+			CacheBytes: *coldCache,
+			Prefetch:   *coldPrefetch,
+		}))
 	}
 
 	var handler http.Handler

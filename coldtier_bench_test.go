@@ -1,0 +1,60 @@
+package brepartition_test
+
+import (
+	"testing"
+
+	"brepartition"
+)
+
+// coldBenchIndex builds the audio benchmark index (the same fixture as
+// BenchmarkSearchM8) with a cold tier attached at the given block-cache
+// budget. Point data at scale 0.1 is 800×192×8 ≈ 1.2 MiB.
+func coldBenchIndex(b *testing.B, cacheBytes int64) (*brepartition.Index, [][]float64) {
+	b.Helper()
+	idx, queries := benchIndex(b, 8, 16)
+	err := idx.AttachColdTier(b.TempDir(), brepartition.ColdTierOptions{CacheBytes: cacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := idx.DetachColdTier(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return idx, queries
+}
+
+// BenchmarkColdTierSearch is the cold path with a cache large enough to
+// hold the whole point file: after warmup every survivor page is a cache
+// hit, so the delta against BenchmarkSearchM8 is the price of the
+// compressed-domain VA pass plus candidate refinement.
+func BenchmarkColdTierSearch(b *testing.B) {
+	idx, queries := coldBenchIndex(b, 16<<20)
+	for _, q := range queries {
+		if _, err := idx.SearchCold(q, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchCold(queries[i%len(queries)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdTierSearchTinyCache caps the block cache at roughly 2% of
+// the point data, so most surviving candidates fault their page in from
+// the mmap'd store on every query — the memory-constrained steady state
+// the cold tier exists for.
+func BenchmarkColdTierSearchTinyCache(b *testing.B) {
+	idx, queries := coldBenchIndex(b, 32<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchCold(queries[i%len(queries)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

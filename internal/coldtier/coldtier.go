@@ -1,0 +1,424 @@
+// Package coldtier serves exact Bregman kNN from a dataset that does not
+// fit in memory. It fuses the two halves the repo already had — the
+// extended-space VA approximation (internal/vafile) and the paged point
+// store (internal/disk) — into one search path:
+//
+//  1. A resident compressed-domain first pass: quantized VA cells of the
+//     extended space are scanned with kernel-aware lower/upper bounds of
+//     the per-query linear functional ⟨ŵ(q), x̂⟩ + c(q), and the k-th
+//     smallest upper bound τ prunes points before any full vector is
+//     touched.
+//  2. Survivors only are refined with exact distances, faulted in from an
+//     mmap-paged store through an admission-controlled block cache, with
+//     async prefetch of the next survivor pages.
+//
+// The answers are exact: cell bounds are conservative by construction
+// (build-time containment nudge + a relative guard band on τ, see
+// internal/vafile), and every reported neighbour's distance is computed
+// from its full vector. Memory is bounded by the VA file (n·(d+1)·2
+// bytes) plus the configured block-cache budget.
+package coldtier
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
+	"brepartition/internal/scan"
+	"brepartition/internal/topk"
+	"brepartition/internal/vafile"
+)
+
+// Config tunes a cold tier. The zero value selects the defaults below.
+type Config struct {
+	// Bits per extended dimension of the VA grid (default 6, max 16).
+	Bits int
+	// PageSize is the point-store page capacity in bytes (default 32 KiB).
+	PageSize int
+	// CacheBytes bounds the decoded-block cache (default 16 MiB; < 0 =
+	// unbounded).
+	CacheBytes int64
+	// AdmitPerQuery caps how many pages one query admits into a full
+	// cache (default 16; < 0 = unlimited).
+	AdmitPerQuery int
+	// Prefetch is the async prefetch depth — queue length and survivor-
+	// page lookahead (default 4; < 0 disables).
+	Prefetch int
+	// DisableMmap forces the ReadAt backing (tests).
+	DisableMmap bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bits == 0 {
+		c.Bits = 6
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 32 << 10
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	} else if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // pager convention: 0 = unbounded
+	}
+	if c.AdmitPerQuery == 0 {
+		c.AdmitPerQuery = 16
+	}
+	if c.Prefetch == 0 {
+		c.Prefetch = 4
+	} else if c.Prefetch < 0 {
+		c.Prefetch = 0
+	}
+	return c
+}
+
+// Stats reports one query's work.
+type Stats struct {
+	Scanned       int // points bound-checked in the compressed domain
+	Pruned        int // points rejected before any page fault
+	Candidates    int // survivors refined with exact distances
+	PageReads     int // distinct pages touched (accounting metric)
+	PageFaults    int // pages actually decoded from the backing
+	CacheHits     int // page touches served by the block cache
+	DistanceComps int
+}
+
+// TierStats aggregates over the tier's lifetime.
+type TierStats struct {
+	Queries       int64
+	Scanned       int64
+	Pruned        int64
+	Candidates    int64
+	PageReads     int64
+	DistanceComps int64
+
+	Pager         disk.PagerStats
+	VABytes       int64 // resident compressed-domain footprint
+	ResidentBytes int64 // VABytes + decoded-block cache
+	DataBytes     int64 // on-disk point payload
+}
+
+// PrunedFraction returns lifetime Pruned / Scanned (0 when idle).
+func (ts TierStats) PrunedFraction() float64 {
+	if ts.Scanned == 0 {
+		return 0
+	}
+	return float64(ts.Pruned) / float64(ts.Scanned)
+}
+
+const (
+	pointsFile = "points.pg"
+	vaFile     = "va.bps"
+	metaFile   = "meta.json"
+	metaV      = 1
+)
+
+type meta struct {
+	Version      int    `json:"version"`
+	Divergence   string `json:"divergence"`
+	Dim          int    `json:"dim"`
+	N            int    `json:"n"`
+	Bits         int    `json:"bits"`
+	PageSize     int    `json:"page_size"`
+	BuiltVersion uint64 `json:"built_version"`
+	// IDs maps slot -> global id; omitted when the identity.
+	IDs []int `json:"ids,omitempty"`
+}
+
+// Tier is an immutable cold replica of one index generation: a resident
+// VA approximation plus a paged point store. Safe for concurrent
+// searches.
+type Tier struct {
+	div  bregman.Divergence
+	kern kernel.Kernel
+	va   *vafile.Approx
+	st   *disk.Store
+	ids  []int // slot -> global id; nil = identity
+	bv   uint64
+	cfg  Config
+
+	// closeMu gates searches against Close: a search holds the read side
+	// for its whole run, so Close (which unmaps the backing) drains
+	// in-flight queries instead of yanking pages out from under them.
+	closeMu sync.RWMutex
+	closed  bool
+
+	pool sync.Pool
+
+	queries, scanned, pruned, cands, reads, comps atomic.Int64
+}
+
+type queryCtx struct {
+	scr   *vafile.Scratch
+	sess  *disk.Session
+	sel   *topk.Selector
+	slots []int
+	dist  []float64
+	prep  []float64
+}
+
+// ErrStale reports a cold tier built from an index version that no longer
+// matches the live one.
+var ErrStale = errors.New("coldtier: tier is stale relative to the live index")
+
+// ErrClosed reports a search against a tier whose Close already began.
+// Serving layers treat it as a fallback signal, not a failure.
+var ErrClosed = errors.New("coldtier: tier closed")
+
+// Build writes a cold tier for points under dir (created if needed) and
+// opens it. ids maps each point to its global id (nil = identity);
+// builtVersion records the index version the snapshot was taken at, which
+// Open and the serving layers use for staleness checks. Points must lie
+// in div's domain; they are stored in identity slot order, the order the
+// compressed-domain scan emits survivors in.
+func Build(div bregman.Divergence, points [][]float64, ids []int, builtVersion uint64, dir string, cfg Config) (*Tier, error) {
+	cfg = cfg.withDefaults()
+	if len(points) == 0 {
+		return nil, errors.New("coldtier: empty dataset")
+	}
+	if ids != nil && len(ids) != len(points) {
+		return nil, fmt.Errorf("coldtier: %d ids for %d points", len(ids), len(points))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	va, err := vafile.BuildApprox(div, points, cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	if err := va.WriteFile(filepath.Join(dir, vaFile)); err != nil {
+		return nil, err
+	}
+	st, err := disk.NewStore(points, nil, disk.Config{PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.WriteFile(filepath.Join(dir, pointsFile)); err != nil {
+		return nil, err
+	}
+	m := meta{
+		Version:      metaV,
+		Divergence:   div.Name(),
+		Dim:          len(points[0]),
+		N:            len(points),
+		Bits:         va.Bits(),
+		PageSize:     cfg.PageSize,
+		BuiltVersion: builtVersion,
+	}
+	identity := true
+	for i, id := range ids {
+		if id != i {
+			identity = false
+			break
+		}
+	}
+	if ids != nil && !identity {
+		m.IDs = ids
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), raw, 0o644); err != nil {
+		return nil, err
+	}
+	return Open(dir, div, cfg)
+}
+
+// Open loads a cold tier written by Build: the manifest and the resident
+// VA approximation are read whole; the point store is opened paged, so no
+// data page is touched until the first query faults it. div must match
+// the divergence the tier was built for.
+func Open(dir string, div bregman.Divergence, cfg Config) (*Tier, error) {
+	cfg = cfg.withDefaults()
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	var m meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("coldtier: bad manifest: %w", err)
+	}
+	if m.Version != metaV {
+		return nil, fmt.Errorf("coldtier: manifest version %d, want %d", m.Version, metaV)
+	}
+	if m.Divergence != div.Name() {
+		return nil, fmt.Errorf("coldtier: tier built for %q, opened with %q", m.Divergence, div.Name())
+	}
+	if m.N <= 0 || m.Dim <= 0 {
+		return nil, errors.New("coldtier: bad manifest geometry")
+	}
+	if m.IDs != nil && len(m.IDs) != m.N {
+		return nil, errors.New("coldtier: manifest id map length mismatch")
+	}
+	va, err := vafile.OpenApproxFile(filepath.Join(dir, vaFile), div)
+	if err != nil {
+		return nil, err
+	}
+	if va.Len() != m.N || va.Dim() != m.Dim+1 || va.Bits() != m.Bits {
+		return nil, errors.New("coldtier: VA file disagrees with manifest")
+	}
+	st, err := disk.OpenPaged(filepath.Join(dir, pointsFile), disk.Config{}, disk.PagerConfig{
+		CacheBytes:    cfg.CacheBytes,
+		AdmitPerQuery: cfg.AdmitPerQuery,
+		Prefetch:      cfg.Prefetch,
+		DisableMmap:   cfg.DisableMmap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.Len() != m.N || st.Dim() != m.Dim {
+		st.Close()
+		return nil, errors.New("coldtier: point store disagrees with manifest")
+	}
+	return &Tier{
+		div:  div,
+		kern: kernel.For(div),
+		va:   va,
+		st:   st,
+		ids:  m.IDs,
+		bv:   m.BuiltVersion,
+		cfg:  cfg,
+	}, nil
+}
+
+// BuiltVersion returns the index version the tier was built at.
+func (t *Tier) BuiltVersion() uint64 { return t.bv }
+
+// Len returns the number of points served.
+func (t *Tier) Len() int { return t.va.Len() }
+
+// Dim returns the point dimensionality.
+func (t *Tier) Dim() int { return t.st.Dim() }
+
+// IDs returns the slot -> global-id map (nil = identity). Read-only.
+func (t *Tier) IDs() []int { return t.ids }
+
+// Close drains in-flight searches and releases the paged backing.
+// Searches arriving afterwards fail with ErrClosed. Idempotent.
+func (t *Tier) Close() error {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.st.Close()
+}
+
+func (t *Tier) getCtx() *queryCtx {
+	if c, ok := t.pool.Get().(*queryCtx); ok {
+		c.sess.Reset(t.st)
+		return c
+	}
+	c := &queryCtx{
+		scr:   t.va.NewScratch(),
+		sess:  t.st.NewSession(),
+		sel:   topk.New(1),
+		slots: make([]int, 0, t.va.Len()),
+		dist:  make([]float64, scan.RefineChunk),
+	}
+	if n := t.kern.QueryScratchLen(t.st.Dim()); n > 0 {
+		c.prep = make([]float64, n)
+	}
+	return c
+}
+
+func (t *Tier) putCtx(c *queryCtx) { t.pool.Put(c) }
+
+// Search returns the exact kNN of q, ascending by (distance, id).
+func (t *Tier) Search(q []float64, k int) ([]topk.Item, Stats, error) {
+	return t.SearchAppend(nil, q, k)
+}
+
+// SearchAppend is Search appending the result items to dst; with a
+// reused dst of capacity ≥ k the steady-state query allocates nothing.
+// The returned error surfaces paged-I/O failures (read errors, first-
+// fault checksum mismatches); answers are only returned when it is nil.
+func (t *Tier) SearchAppend(dst []topk.Item, q []float64, k int) ([]topk.Item, Stats, error) {
+	var st Stats
+	if k <= 0 {
+		return dst[:0], st, errors.New("coldtier: k must be positive")
+	}
+	if len(q) != t.st.Dim() {
+		return dst[:0], st, fmt.Errorf("coldtier: query dim %d, want %d", len(q), t.st.Dim())
+	}
+	if err := bregman.CheckDomain(t.div, q); err != nil {
+		return dst[:0], st, err
+	}
+	t.closeMu.RLock()
+	defer t.closeMu.RUnlock()
+	if t.closed {
+		return dst[:0], st, ErrClosed
+	}
+	n := t.va.Len()
+	if k > n {
+		k = n
+	}
+
+	ctx := t.getCtx()
+	defer t.putCtx(ctx)
+
+	// Phase 1: compressed-domain scan, no page touched.
+	tau := ctx.scr.ScanBounds(t.va, t.kern, q, k)
+	lbs := ctx.scr.LowerBounds()
+	ctx.slots = ctx.slots[:0]
+	for i := 0; i < n; i++ {
+		if lbs[i] <= tau {
+			ctx.slots = append(ctx.slots, i)
+		}
+	}
+	st.Scanned = n
+	st.Candidates = len(ctx.slots)
+	st.Pruned = n - st.Candidates
+
+	// Phase 2: fault survivors and verify exactly, prefetching ahead.
+	if t.kern.QueryScratchLen(len(q)) > 0 {
+		t.kern.PrepQuery(ctx.prep, q)
+	}
+	ctx.sel.ResetK(k)
+	scan.RefineSlots(t.kern, ctx.sess, ctx.slots, t.ids, q, ctx.sel, ctx.dist, ctx.prep, t.cfg.Prefetch)
+	if err := ctx.sess.Err(); err != nil {
+		return dst[:0], st, err
+	}
+	st.PageReads = ctx.sess.PageReads()
+	st.PageFaults = ctx.sess.PageFaults()
+	st.CacheHits = ctx.sess.CacheHits()
+	st.DistanceComps = st.Candidates
+
+	t.queries.Add(1)
+	t.scanned.Add(int64(st.Scanned))
+	t.pruned.Add(int64(st.Pruned))
+	t.cands.Add(int64(st.Candidates))
+	t.reads.Add(int64(st.PageReads))
+	t.comps.Add(int64(st.DistanceComps))
+	return ctx.sel.AppendItems(dst[:0]), st, nil
+}
+
+// Stats snapshots the tier's lifetime counters and memory footprint.
+func (t *Tier) Stats() TierStats {
+	ts := TierStats{
+		Queries:       t.queries.Load(),
+		Scanned:       t.scanned.Load(),
+		Pruned:        t.pruned.Load(),
+		Candidates:    t.cands.Load(),
+		PageReads:     t.reads.Load(),
+		DistanceComps: t.comps.Load(),
+		VABytes:       t.va.MemoryBytes(),
+		DataBytes:     t.st.DataBytes(),
+	}
+	if ps, ok := t.st.PagerStats(); ok {
+		ts.Pager = ps
+		ts.ResidentBytes = ts.VABytes + ps.ResidentBytes
+	} else {
+		ts.ResidentBytes = ts.VABytes + t.st.DataBytes()
+	}
+	return ts
+}

@@ -1,0 +1,303 @@
+package coldtier
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/kernel"
+	"brepartition/internal/scan"
+)
+
+func genPoints(div bregman.Divergence, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lo, _ := div.Domain()
+	positive := !math.IsInf(lo, -1)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			if positive {
+				p[j] = 0.05 + 4*rng.Float64()
+			} else {
+				p[j] = 3 * (rng.Float64() - 0.5)
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Small cache + tiny pages so every query actually pages.
+func tightCfg() Config {
+	return Config{Bits: 6, PageSize: 512, CacheBytes: 4 << 10, AdmitPerQuery: 4, Prefetch: 4}
+}
+
+// The acceptance invariant: cold answers are bit-identical to the
+// brute-force oracle over the same points, for every registered
+// divergence, under a cache far smaller than the dataset.
+func TestSearchMatchesOracleAllDivergences(t *testing.T) {
+	for _, div := range bregman.All() {
+		div := div
+		t.Run(div.Name(), func(t *testing.T) {
+			pts := genPoints(div, 600, 8, 3)
+			tier, err := Build(div, pts, nil, 7, t.TempDir(), tightCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tier.Close()
+			if tier.BuiltVersion() != 7 {
+				t.Fatalf("built version = %d", tier.BuiltVersion())
+			}
+			rng := rand.New(rand.NewSource(4))
+			for trial := 0; trial < 10; trial++ {
+				q := pts[rng.Intn(len(pts))]
+				k := 1 + rng.Intn(15)
+				got, st, err := tier.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := scan.KNN(div, pts, q, k)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d: %d items, want %d", k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s k=%d pos %d: got (%d, %g) want (%d, %g)",
+							div.Name(), k, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+					}
+				}
+				if st.Scanned != len(pts) || st.Pruned+st.Candidates != st.Scanned {
+					t.Fatalf("stats don't add up: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// Cold answers must also agree against a block oracle evaluated with the
+// same kernel (bit-level, not within-epsilon).
+func TestSearchMatchesKNNBlockBitIdentical(t *testing.T) {
+	div := bregman.GeneralizedKL{}
+	pts := genPoints(div, 400, 6, 9)
+	tier, err := Build(div, pts, nil, 0, t.TempDir(), tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	kern := kernel.For(div)
+	flat := make([]float64, 0, len(pts)*6)
+	for _, p := range pts {
+		flat = append(flat, p...)
+	}
+	block := kernel.FlatBlock{Data: flat, Dim: 6, N: len(pts)}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		const k = 9
+		got, _, err := tier.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.KNNBlock(kern, block, q, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pos %d: got (%d, %g) want (%d, %g)",
+					i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	}
+}
+
+// With an id mapping, results carry global ids and tie-break on them.
+func TestSearchTranslatesGlobalIDs(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := genPoints(div, 120, 5, 12)
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = 5000 + 3*i
+	}
+	tier, err := Build(div, pts, ids, 0, t.TempDir(), tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	got, _, err := tier.Search(pts[7], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 5000+21 || got[0].Score != 0 {
+		t.Fatalf("nearest = %+v, want id %d at 0", got[0], 5021)
+	}
+	for _, it := range got {
+		if (it.ID-5000)%3 != 0 {
+			t.Fatalf("untranslated id %d", it.ID)
+		}
+	}
+}
+
+// Reopening an existing directory serves identical answers without
+// rebuilding, and respects the staleness version.
+func TestOpenReload(t *testing.T) {
+	div := bregman.ItakuraSaito{}
+	pts := genPoints(div, 200, 6, 15)
+	dir := t.TempDir()
+	built, err := Build(div, pts, nil, 42, dir, tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[3]
+	want, _, err := built.Search(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Close()
+
+	re, err := Open(dir, div, tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.BuiltVersion() != 42 {
+		t.Fatalf("built version lost: %d", re.BuiltVersion())
+	}
+	got, _, err := re.Search(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pos %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// Wrong divergence is rejected.
+	if _, err := Open(dir, bregman.SquaredEuclidean{}, tightCfg()); err == nil {
+		t.Fatal("divergence mismatch accepted")
+	}
+}
+
+// The default workload must prune at least half the points before any
+// page fault, and resident bytes must honour the budget.
+func TestPruningAndBoundedResidency(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := genPoints(div, 4000, 10, 20)
+	cfg := Config{Bits: 6, PageSize: 1 << 10, CacheBytes: 8 << 10, AdmitPerQuery: 8, Prefetch: 4}
+	tier, err := Build(div, pts, nil, 0, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		if _, _, err := tier.Search(pts[rng.Intn(len(pts))], 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := tier.Stats()
+	if pf := ts.PrunedFraction(); pf < 0.5 {
+		t.Fatalf("pruned fraction %.3f < 0.5", pf)
+	}
+	if ts.Pager.ResidentBytes > cfg.CacheBytes {
+		t.Fatalf("cache resident %d over budget %d", ts.Pager.ResidentBytes, cfg.CacheBytes)
+	}
+	if ts.DataBytes <= ts.Pager.ResidentBytes {
+		t.Fatalf("dataset (%d) should exceed resident cache (%d) in this setup",
+			ts.DataBytes, ts.Pager.ResidentBytes)
+	}
+	if ts.Queries != 20 {
+		t.Fatalf("queries = %d", ts.Queries)
+	}
+}
+
+// Concurrent searches share the cache and stay exact.
+func TestConcurrentSearches(t *testing.T) {
+	div := bregman.Exponential{}
+	pts := genPoints(div, 500, 6, 25)
+	tier, err := Build(div, pts, nil, 0, t.TempDir(), tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 30; i++ {
+				q := pts[rng.Intn(len(pts))]
+				k := 1 + rng.Intn(10)
+				got, _, err := tier.Search(q, k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := scan.KNN(div, pts, q, k)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("worker %d: mismatch at %d", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSearchValidation(t *testing.T) {
+	div := bregman.GeneralizedKL{}
+	pts := genPoints(div, 50, 4, 30)
+	tier, err := Build(div, pts, nil, 0, t.TempDir(), tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if _, _, err := tier.Search(pts[0], 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := tier.Search([]float64{1, 2}, 3); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, _, err := tier.Search([]float64{-1, 1, 1, 1}, 3); err == nil {
+		t.Fatal("out-of-domain query accepted")
+	}
+	// k > n clamps.
+	got, _, err := tier.Search(pts[0], 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	div := bregman.SquaredEuclidean{}
+	pts := genPoints(div, 800, 8, 33)
+	// Unbounded cache: once warm, no faults, no admission work.
+	tier, err := Build(div, pts, nil, 0, t.TempDir(), Config{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	q := pts[13]
+	dst, _, err := tier.SearchAppend(nil, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		dst, _, _ = tier.SearchAppend(dst[:0], q, 10)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		dst, _, _ = tier.SearchAppend(dst[:0], q, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchAppend allocates %.1f/op in steady state", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package coldtier
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which sync.Pool deliberately drops items and allocation-count
+// assertions become meaningless.
+const raceEnabled = true

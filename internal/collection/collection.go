@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"brepartition/internal/bregman"
+	"brepartition/internal/coldtier"
 	"brepartition/internal/shard"
 	"brepartition/internal/wire"
 )
@@ -136,7 +137,25 @@ func ValidateSpec(spec wire.CollectionSpec) error {
 	if q := spec.Quota; q != nil && (q.MaxInflight < 0 || q.MaxQueue < 0) {
 		return fmt.Errorf("%w: negative quota", wire.ErrBadCollection)
 	}
+	if c := spec.Cold; c != nil {
+		if c.Bits < 0 || c.Bits > 16 {
+			return fmt.Errorf("%w: cold tier bits %d out of range [0,16]", wire.ErrBadCollection, c.Bits)
+		}
+		if c.CacheBytes < 0 || c.Prefetch < 0 {
+			return fmt.Errorf("%w: negative cold tier cache or prefetch", wire.ErrBadCollection)
+		}
+	}
 	return nil
+}
+
+// ColdConfig translates a spec's cold section into a coldtier.Config
+// (zero Config when the spec does not opt in).
+func ColdConfig(spec wire.CollectionSpec) (coldtier.Config, bool) {
+	c := spec.Cold
+	if c == nil {
+		return coldtier.Config{}, false
+	}
+	return coldtier.Config{Bits: c.Bits, CacheBytes: c.CacheBytes, Prefetch: c.Prefetch}, true
 }
 
 // Open opens every collection under root (creating the directory tree if
@@ -238,10 +257,21 @@ func (r *Registry) openAt(name, dir string) (*Collection, error) {
 		d.Close()
 		return nil, err
 	}
+	h := shard.NewHandle(d)
+	if cfg, ok := ColdConfig(spec); ok {
+		// Spec-level opt-in: tiers build (or reopen) now, so the collection
+		// serves under its memory budget from the first query. Shards that
+		// fill up afterwards serve hot until the next reload re-ensures.
+		if err := h.EnableColdTier(cfg); err != nil {
+			tags.Close()
+			d.Close()
+			return nil, fmt.Errorf("collection: cold tier for %q: %w", name, err)
+		}
+	}
 	return &Collection{
 		Name:   name,
 		Spec:   spec,
-		Handle: shard.NewHandle(d),
+		Handle: h,
 		Tags:   tags,
 		Reopen: func() (*shard.Durable, error) { return shard.OpenDurable(durDir, dopts) },
 	}, nil

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"brepartition/internal/coldtier"
+	"brepartition/internal/dataset"
+)
+
+func coldCfg() coldtier.Config {
+	return coldtier.Config{Bits: 6, PageSize: 1 << 10, CacheBytes: 16 << 10, AdmitPerQuery: 8, Prefetch: 2}
+}
+
+// SearchCold must be bit-identical to Search over the same index state,
+// under a cache budget far below the dataset size.
+func TestSearchColdMatchesHot(t *testing.T) {
+	for _, divName := range []string{"l2", "gkl"} {
+		divName := divName
+		t.Run(divName, func(t *testing.T) {
+			ix, ds := buildSmall(t, divName, 4)
+			if err := ix.BuildColdTier(t.TempDir(), coldCfg()); err != nil {
+				t.Fatal(err)
+			}
+			defer ix.CloseColdTier()
+			for qi, q := range dataset.SampleQueries(ds, 8, 77) {
+				hot, err := ix.Search(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := ix.SearchCold(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(hot.Items) != len(cold.Items) {
+					t.Fatalf("query %d: %d vs %d items", qi, len(hot.Items), len(cold.Items))
+				}
+				for i := range hot.Items {
+					if hot.Items[i] != cold.Items[i] {
+						t.Fatalf("query %d pos %d: hot %+v cold %+v",
+							qi, i, hot.Items[i], cold.Items[i])
+					}
+				}
+			}
+			if ix.ColdFallbacks() != 0 {
+				t.Fatalf("fresh tier fell back %d times", ix.ColdFallbacks())
+			}
+			if st, ok := ix.ColdStats(); !ok || st.Queries == 0 {
+				t.Fatalf("cold stats missing: %+v ok=%v", st, ok)
+			}
+		})
+	}
+}
+
+// After a mutation the tier is stale: cold searches must transparently
+// serve hot (still exact, counted), and EnsureColdTier must refresh.
+func TestSearchColdStaleFallsBackHot(t *testing.T) {
+	ix, ds := buildSmall(t, "l2", 4)
+	dir := t.TempDir()
+	if err := ix.BuildColdTier(dir, coldCfg()); err != nil {
+		t.Fatal(err)
+	}
+	defer ix.CloseColdTier()
+
+	q := dataset.SampleQueries(ds, 1, 5)[0]
+	if _, err := ix.Insert(q); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ix.SearchCold(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hot.Items {
+		if hot.Items[i] != cold.Items[i] {
+			t.Fatalf("stale fallback diverged at %d", i)
+		}
+	}
+	if ix.ColdFallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", ix.ColdFallbacks())
+	}
+
+	// Refresh: EnsureColdTier rebuilds (old dir is stale), cold serves
+	// again without fallback, and the new point is found.
+	if err := ix.EnsureColdTier(dir, coldCfg()); err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := ix.SearchCold(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold2.Items[0].Score != 0 {
+		t.Fatalf("inserted point not served cold: %+v", cold2.Items[0])
+	}
+	if ix.ColdFallbacks() != 1 {
+		t.Fatalf("refreshed tier still falling back: %d", ix.ColdFallbacks())
+	}
+}
+
+// EnsureColdTier must take the cheap reopen path when the on-disk tier
+// matches the live version.
+func TestEnsureColdTierReusesFreshDir(t *testing.T) {
+	ix, ds := buildSmall(t, "l2", 4)
+	dir := t.TempDir()
+	if err := ix.BuildColdTier(dir, coldCfg()); err != nil {
+		t.Fatal(err)
+	}
+	// Detach; Ensure should reopen the same files rather than rebuild.
+	if err := ix.CloseColdTier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnsureColdTier(dir, coldCfg()); err != nil {
+		t.Fatal(err)
+	}
+	defer ix.CloseColdTier()
+	q := dataset.SampleQueries(ds, 1, 6)[0]
+	hot, _ := ix.Search(q, 5)
+	cold, err := ix.SearchCold(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hot.Items {
+		if hot.Items[i] != cold.Items[i] {
+			t.Fatalf("reopened tier diverged at %d", i)
+		}
+	}
+}
+
+// Tombstoned points must not appear in cold answers: the snapshot is
+// live-only.
+func TestColdTierSkipsDeleted(t *testing.T) {
+	ix, ds := buildSmall(t, "l2", 4)
+	victim := 17
+	if !ix.Delete(victim) {
+		t.Fatal("delete failed")
+	}
+	if err := ix.BuildColdTier(t.TempDir(), coldCfg()); err != nil {
+		t.Fatal(err)
+	}
+	defer ix.CloseColdTier()
+	q := ds.Points[victim]
+	cold, err := ix.SearchCold(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range cold.Items {
+		if it.ID == victim {
+			t.Fatal("deleted point served from cold tier")
+		}
+	}
+}
+
+func TestSearchColdValidation(t *testing.T) {
+	ix, ds := buildSmall(t, "l2", 4)
+	q := ds.Points[0]
+	if _, err := ix.SearchCold(q, 5); err != ErrNoColdTier {
+		t.Fatalf("no-tier err = %v", err)
+	}
+	if err := ix.BuildColdTier(t.TempDir(), coldCfg()); err != nil {
+		t.Fatal(err)
+	}
+	defer ix.CloseColdTier()
+	if _, err := ix.SearchCold(q, 0); err != ErrK {
+		t.Fatalf("k=0 err = %v", err)
+	}
+	if _, err := ix.SearchCold(q[:3], 5); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}

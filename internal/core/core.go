@@ -24,6 +24,7 @@ import (
 	"brepartition/internal/bbforest"
 	"brepartition/internal/bbtree"
 	"brepartition/internal/bregman"
+	"brepartition/internal/coldtier"
 	"brepartition/internal/disk"
 	"brepartition/internal/kernel"
 	"brepartition/internal/partition"
@@ -137,6 +138,13 @@ type Index struct {
 	// version counts completed mutations; snapshot consumers (the engine's
 	// result cache) use it to detect staleness.
 	version uint64
+
+	// cold is the optional larger-than-RAM tier (see cold.go): an
+	// immutable VA + paged-store replica of one index version, swapped
+	// atomically by Build/Open/EnsureColdTier. coldFallbacks counts cold
+	// searches transparently served hot because the tier was stale.
+	cold          atomic.Pointer[coldtier.Tier]
+	coldFallbacks atomic.Int64
 }
 
 // searchContext is the pooled per-query state. Every buffer is reused

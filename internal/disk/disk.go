@@ -24,7 +24,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"math"
 	"os"
 	"sync/atomic"
@@ -68,7 +67,10 @@ type Store struct {
 	idAt    []int // slot -> point id
 	// arena holds the coordinates in slot-major row order:
 	// arena[slot*dim : (slot+1)*dim] is the point stored at slot.
+	// nil when the store is paged (pager != nil): rows are then faulted
+	// from the backing file through the decoded-block cache on demand.
 	arena []float64
+	pager *pager
 
 	// totalPageReads accumulates across all sessions; atomic because
 	// concurrent queries each run their own session against one store.
@@ -179,8 +181,17 @@ func (s *Store) rowAt(slot int) []float64 {
 
 // SlotBlock returns the points stored at slots [lo, hi) as one contiguous
 // row-major block — a zero-copy kernel.FlatBlock view into the arena. No
-// I/O is charged; use Session.SlotBlock on query paths.
+// I/O is charged; use Session.SlotBlock on query paths. On a paged store
+// this is a construction/ground-truth path (it faults the pages without
+// accounting and panics on I/O or checksum failure).
 func (s *Store) SlotBlock(lo, hi int) kernel.FlatBlock {
+	if s.pager != nil {
+		blk, _, err := s.pagedSlotBlock(lo, hi, nil, nil)
+		if err != nil {
+			panic(err)
+		}
+		return blk
+	}
 	return kernel.FlatBlock{Data: s.arena[lo*s.dim : hi*s.dim], Dim: s.dim, N: hi - lo}
 }
 
@@ -193,6 +204,9 @@ func (s *Store) TotalPageReads() int64 { return s.totalPageReads.Load() }
 // point's id is the previous Len(). The coordinates are copied into the
 // arena.
 func (s *Store) Append(p []float64) error {
+	if s.pager != nil {
+		return errors.New("disk: append to a paged (read-only) store")
+	}
 	if len(p) != s.dim {
 		return fmt.Errorf("disk: append dim %d, want %d", len(p), s.dim)
 	}
@@ -211,6 +225,13 @@ func (s *Store) RawPoint(id int) []float64 {
 	if id < 0 || id >= s.n {
 		panic(ErrOutOfRange)
 	}
+	if s.pager != nil {
+		row, err := s.pagedRow(s.slotOf[id], nil, false)
+		if err != nil {
+			panic(err)
+		}
+		return row
+	}
 	return s.rowAt(s.slotOf[id])
 }
 
@@ -226,6 +247,18 @@ type Session struct {
 	seen  stampset.Set // pages read in the current epoch
 	reads int
 	hits  int
+
+	// Paged-store state. err is sticky for the query: a fault failure
+	// (I/O error or first-touch checksum mismatch) records here and the
+	// accessor returns a zero row/block so refinement loops stay simple;
+	// callers check Err() once at the end. admitted is the per-query
+	// cache-admission budget consumed so far.
+	err          error
+	pageFaults   int
+	cacheHits    int
+	admitted     int
+	blockScratch []float64
+	zeroRow      []float64
 }
 
 // NewSession starts a fresh per-query accounting context.
@@ -242,6 +275,10 @@ func (sess *Session) Reset(s *Store) {
 	sess.store = s
 	sess.reads = 0
 	sess.hits = 0
+	sess.err = nil
+	sess.pageFaults = 0
+	sess.cacheHits = 0
+	sess.admitted = 0
 	sess.seen.Begin(s.NumPages())
 }
 
@@ -260,11 +297,52 @@ func (sess *Session) charge(page int) bool {
 }
 
 // Point fetches point id, charging a page read if its page was not yet
-// touched in this session. The returned slice is a view into the arena.
+// touched in this session. The returned slice is a view into the arena
+// (or the decoded page block on a paged store; a fault failure records in
+// Err and yields a zero row).
 func (ss *Session) Point(id int) []float64 {
 	slot := ss.store.slotOf[id]
+	if ss.store.pager != nil {
+		row, err := ss.store.pagedRow(slot, ss, true)
+		if err != nil {
+			return ss.failRow(err)
+		}
+		return row
+	}
 	ss.charge(slot / ss.store.perPage)
 	return ss.store.rowAt(slot)
+}
+
+// failRow records a sticky fault error and returns a zeroed row so the
+// caller's distance loop can finish; Err surfaces the failure.
+func (ss *Session) failRow(err error) []float64 {
+	if ss.err == nil {
+		ss.err = err
+	}
+	if len(ss.zeroRow) != ss.store.dim {
+		ss.zeroRow = make([]float64, ss.store.dim)
+	}
+	return ss.zeroRow
+}
+
+// Err returns the first paged-I/O failure hit by this session's accessors
+// since Reset, or nil. In-memory stores never set it.
+func (ss *Session) Err() error { return ss.err }
+
+// PageFaults returns how many real page decodes this session triggered
+// (paged stores only; distinct from the accounting PageReads metric).
+func (ss *Session) PageFaults() int { return ss.pageFaults }
+
+// CacheHits returns how many of this session's page touches were served
+// from the decoded-block cache (paged stores only).
+func (ss *Session) CacheHits() int { return ss.cacheHits }
+
+// PrefetchPageAsync enqueues page for background faulting on a paged
+// store (advisory; dropped when the queue is full). No-op otherwise.
+func (ss *Session) PrefetchPageAsync(page int) {
+	if ss.store.pager != nil {
+		ss.store.pager.prefetchAsync(page)
+	}
 }
 
 // Prefetch charges the read for the page containing id (if new) without
@@ -281,6 +359,25 @@ func (ss *Session) Prefetch(id int) {
 // page the range touches (first touch per session, as always). It is the
 // batched analogue of Point for slot runs discovered during refinement.
 func (ss *Session) SlotBlock(lo, hi int) kernel.FlatBlock {
+	if ss.store.pager != nil {
+		blk, scratch, err := ss.store.pagedSlotBlock(lo, hi, ss, ss.blockScratch)
+		ss.blockScratch = scratch
+		if err != nil {
+			if ss.err == nil {
+				ss.err = err
+			}
+			need := (hi - lo) * ss.store.dim
+			if cap(ss.blockScratch) < need {
+				ss.blockScratch = make([]float64, need)
+			}
+			zero := ss.blockScratch[:need]
+			for i := range zero {
+				zero[i] = 0
+			}
+			return kernel.FlatBlock{Data: zero, Dim: ss.store.dim, N: hi - lo}
+		}
+		return blk
+	}
 	for page := lo / ss.store.perPage; page <= (hi-1)/ss.store.perPage; page++ {
 		ss.charge(page)
 	}
@@ -314,6 +411,9 @@ const fileMagic uint32 = 0xB4EF0127
 // as [crc32][payload], where the payload is the page's points as
 // little-endian float64s; a trailing header records geometry.
 func (s *Store) WriteFile(path string) (err error) {
+	if s.pager != nil {
+		return errors.New("disk: WriteFile on a paged (read-only) store")
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -363,74 +463,14 @@ func (s *Store) WriteFile(path string) (err error) {
 	return err
 }
 
-// OpenFile loads a store previously written by WriteFile, verifying every
-// page checksum. The configured PageSize must match the original geometry's
-// implied points-per-page; cfg controls only the latency model otherwise.
+// OpenFile opens a store previously written by WriteFile. Since the cold
+// tier landed, this is a paged open: only the trailer (geometry + layout)
+// is read here — O(manifest), not O(data) — and page checksums are
+// verified lazily, each on its first fault. Truncation is still rejected
+// at open (a size check against the manifest geometry). The default pager
+// keeps every faulted page resident (unbounded cache), matching the old
+// fully-loaded behaviour once warm; use OpenPaged to bound the cache. The
+// geometry comes from the file; cfg controls only the latency model.
 func OpenFile(path string, cfg Config) (*Store, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(raw) < 8 {
-		return nil, io.ErrUnexpectedEOF
-	}
-	trLen := int(binary.LittleEndian.Uint64(raw[len(raw)-8:]))
-	if trLen < 16 || trLen > len(raw)-8 {
-		return nil, io.ErrUnexpectedEOF
-	}
-	tr := raw[len(raw)-8-trLen : len(raw)-8]
-	if binary.LittleEndian.Uint32(tr[0:4]) != fileMagic {
-		return nil, fmt.Errorf("disk: bad magic in %s", path)
-	}
-	n := int(binary.LittleEndian.Uint32(tr[4:8]))
-	dim := int(binary.LittleEndian.Uint32(tr[8:12]))
-	perPage := int(binary.LittleEndian.Uint32(tr[12:16]))
-	if n <= 0 || dim <= 0 || perPage <= 0 || len(tr) != 16+8*n {
-		return nil, io.ErrUnexpectedEOF
-	}
-	idAt := make([]int, n)
-	for i := range idAt {
-		idAt[i] = int(binary.LittleEndian.Uint64(tr[16+8*i:]))
-	}
-
-	points := make([][]float64, n)
-	body := raw[:len(raw)-8-trLen]
-	numPages := (n + perPage - 1) / perPage
-	cursor := 0
-	for p := 0; p < numPages; p++ {
-		inPage := perPage
-		if rem := n - p*perPage; rem < inPage {
-			inPage = rem
-		}
-		payloadLen := inPage * dim * 8
-		if cursor+4+payloadLen > len(body) {
-			return nil, io.ErrUnexpectedEOF
-		}
-		wantCRC := binary.LittleEndian.Uint32(body[cursor:])
-		payload := body[cursor+4 : cursor+4+payloadLen]
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return nil, fmt.Errorf("%w: page %d of %s", ErrBadPage, p, path)
-		}
-		for off := 0; off < inPage; off++ {
-			pt := make([]float64, dim)
-			for j := 0; j < dim; j++ {
-				bits := binary.LittleEndian.Uint64(payload[(off*dim+j)*8:])
-				pt[j] = math.Float64frombits(bits)
-			}
-			points[idAt[p*perPage+off]] = pt
-		}
-		cursor += 4 + payloadLen
-	}
-
-	layout := make([]int, n)
-	copy(layout, idAt)
-	if cfg.PageSize <= 0 {
-		cfg.PageSize = perPage * dim * 8
-	}
-	st, err := NewStore(points, layout, Config{PageSize: perPage * dim * 8, IOPS: cfg.IOPS})
-	if err != nil {
-		return nil, err
-	}
-	st.perPage = perPage
-	return st, nil
+	return OpenPaged(path, cfg, PagerConfig{})
 }

@@ -217,8 +217,29 @@ func TestOpenFileDetectsCorruption(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenFile(path, Config{}); !errors.Is(err, ErrBadPage) {
-		t.Fatalf("err = %v, want ErrBadPage", err)
+	// Verification is lazy: the open only reads the manifest, so the
+	// corruption surfaces on the first fault of the damaged page, not here.
+	got, err := OpenFile(path, Config{})
+	if err != nil {
+		t.Fatalf("lazy open rejected corrupt body early: %v", err)
+	}
+	defer got.Close()
+	sess := got.NewSession()
+	sess.Point(0) // identity layout, 4 per page: id 0 is on page 0
+	if !errors.Is(sess.Err(), ErrBadPage) {
+		t.Fatalf("sess.Err() = %v, want ErrBadPage", sess.Err())
+	}
+	// Undamaged pages still serve.
+	sess2 := got.NewSession()
+	p := sess2.Point(5) // page 1
+	if sess2.Err() != nil {
+		t.Fatalf("clean page errored: %v", sess2.Err())
+	}
+	want := st.RawPoint(5)
+	for j := range want {
+		if p[j] != want[j] {
+			t.Fatalf("point 5 dim %d: %g != %g", j, p[j], want[j])
+		}
 	}
 }
 

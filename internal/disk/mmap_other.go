@@ -1,0 +1,11 @@
+//go:build !unix
+
+package disk
+
+import "os"
+
+// Non-unix platforms page through plain ReadAt calls; the cache and
+// accounting behave identically, only the byte transport differs.
+func openBacking(f *os.File, size int64, disableMmap bool) (backing, error) {
+	return &fileBacking{f: f}, nil
+}

@@ -1,0 +1,46 @@
+//go:build unix
+
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapBacking serves byte ranges straight out of a read-only shared
+// mapping of the page file: faulting is done by the OS, no syscalls on
+// the read path. Slices returned by slice alias the mapping and are
+// always decoded (copied) by the pager before use, so Munmap at Close is
+// safe once the pager has shut down.
+type mmapBacking struct {
+	f    *os.File
+	data []byte
+}
+
+func (mb *mmapBacking) slice(off int64, n int) ([]byte, error) {
+	if off < 0 || off+int64(n) > int64(len(mb.data)) {
+		return nil, ErrOutOfRange
+	}
+	return mb.data[off : off+int64(n) : off+int64(n)], nil
+}
+
+func (mb *mmapBacking) Close() error {
+	err := syscall.Munmap(mb.data)
+	if cerr := mb.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openBacking maps the file read-only, falling back to ReadAt when the
+// mapping fails (exotic filesystems) or is disabled.
+func openBacking(f *os.File, size int64, disableMmap bool) (backing, error) {
+	if disableMmap || size == 0 {
+		return &fileBacking{f: f}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return &fileBacking{f: f}, nil
+	}
+	return &mmapBacking{f: f, data: data}, nil
+}

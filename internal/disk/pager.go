@@ -1,0 +1,617 @@
+// Paged backing: true demand paging for a Store persisted with WriteFile.
+//
+// OpenPaged reads only the file trailer (the manifest: geometry plus the
+// layout permutation) and leaves every data page on disk. Pages are
+// faulted in on first access, decoded from their on-disk [crc32][payload]
+// frame into cache-owned []float64 blocks, and verified lazily — each
+// page's checksum is computed exactly once, on its first fault, tracked by
+// a verified-page bitmap, so a cold open is O(manifest) instead of
+// O(data). Two byte-level backings exist behind one interface: an mmap of
+// the whole file (zero-syscall faulting; the OS pages the raw bytes) and a
+// plain ReadAt fallback used where mmap is unavailable or disabled. The
+// decode copy is deliberate either way: page payloads sit 4 bytes past an
+// 8-byte boundary (the CRC prefix), so aliasing mapped bytes as []float64
+// would be misaligned, and a decoded block outlives eviction safely — a
+// caller holding a row view keeps the block alive through the GC while the
+// cache forgets it.
+//
+// Decoded blocks live in an admission-controlled cache: bounded total
+// bytes, CLOCK-style second-chance eviction, and a per-query admission
+// budget (once a single session has admitted AdmitPerQuery pages into a
+// full cache, its further faults are served bypass — decoded, used,
+// dropped — so one cold scan cannot evict the hot set). An optional
+// prefetcher faults predicted pages asynchronously through the same cache.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"brepartition/internal/kernel"
+)
+
+// PagerConfig tunes the paged backing of a Store opened with OpenPaged.
+type PagerConfig struct {
+	// CacheBytes bounds the decoded-block cache (0 = unbounded: every
+	// faulted page stays resident, the pre-cold-tier OpenFile behaviour).
+	CacheBytes int64
+	// AdmitPerQuery is how many pages one session may admit into a full
+	// cache before its further faults bypass it (0 = 16; negative =
+	// unlimited).
+	AdmitPerQuery int
+	// Prefetch is the async prefetch queue depth (0 disables the
+	// prefetcher; no goroutine is started).
+	Prefetch int
+	// DisableMmap forces the ReadAt backing even where mmap works.
+	DisableMmap bool
+}
+
+// PagerStats snapshots a paged store's real-I/O behaviour (the accounting
+// Session counts model the paper's distinct-page metric; these count what
+// the pager actually did).
+type PagerStats struct {
+	Faults         int64 // pages decoded from the backing
+	CacheHits      int64 // accesses served from the decoded-block cache
+	Evictions      int64 // pages evicted by CLOCK
+	Bypasses       int64 // faults not admitted (per-query admission)
+	Prefetches     int64 // pages faulted by the async prefetcher
+	PrefetchDrops  int64 // prefetch requests dropped on a full queue
+	ResidentBytes  int64 // decoded bytes currently cached
+	CachedPages    int   // pages currently cached
+	VerifiedPages  int   // pages whose checksum has been verified
+	TotalPages     int   // pages in the file
+	DataBytes      int64 // on-disk size of the page file (without trailer)
+	CacheBytesConf int64 // configured cache budget (0 = unbounded)
+}
+
+// HitRate returns CacheHits / (CacheHits + Faults), 0 when idle.
+func (ps PagerStats) HitRate() float64 {
+	total := ps.CacheHits + ps.Faults
+	if total == 0 {
+		return 0
+	}
+	return float64(ps.CacheHits) / float64(total)
+}
+
+// backing serves raw byte ranges of the page file.
+type backing interface {
+	slice(off int64, n int) ([]byte, error)
+	Close() error
+}
+
+// fileBacking is the portable ReadAt fallback.
+type fileBacking struct{ f *os.File }
+
+func (fb *fileBacking) slice(off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := fb.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (fb *fileBacking) Close() error { return fb.f.Close() }
+
+// cachedPage is one decoded page. data is immutable after publication;
+// ref is the CLOCK reference bit (all mutation under pager.mu).
+type cachedPage struct {
+	no   int
+	data []float64
+	ref  bool
+}
+
+// flight deduplicates concurrent faults of one page.
+type flight struct {
+	done chan struct{}
+	p    *cachedPage
+	err  error
+}
+
+type pager struct {
+	b       backing
+	path    string
+	dim     int
+	n       int
+	perPage int
+	// pageOff[p] is the byte offset of page p's CRC prefix; pageRows[p]
+	// its row count (the last page may be partial).
+	pageOff  []int64
+	pageRows []int
+
+	mu       sync.Mutex
+	cached   map[int]*cachedPage
+	clock    []*cachedPage // unordered ring for second-chance eviction
+	hand     int
+	bytes    int64
+	verified []uint64 // bitmap: page checksum verified
+	nVerif   int
+	inflight map[int]*flight
+
+	cacheBytes int64
+	admitPer   int
+
+	faults, hits, evictions, bypasses atomic.Int64
+	prefetches, prefetchDrops         atomic.Int64
+
+	prefetchCh chan int
+	done       chan struct{}
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+func newPager(b backing, path string, dim, n, perPage int, pcfg PagerConfig) *pager {
+	numPages := (n + perPage - 1) / perPage
+	pg := &pager{
+		b:          b,
+		path:       path,
+		dim:        dim,
+		n:          n,
+		perPage:    perPage,
+		pageOff:    make([]int64, numPages),
+		pageRows:   make([]int, numPages),
+		cached:     map[int]*cachedPage{},
+		verified:   make([]uint64, (numPages+63)/64),
+		inflight:   map[int]*flight{},
+		cacheBytes: pcfg.CacheBytes,
+		admitPer:   pcfg.AdmitPerQuery,
+	}
+	if pg.admitPer == 0 {
+		pg.admitPer = 16
+	}
+	off := int64(0)
+	for p := 0; p < numPages; p++ {
+		rows := perPage
+		if rem := n - p*perPage; rem < rows {
+			rows = rem
+		}
+		pg.pageOff[p] = off
+		pg.pageRows[p] = rows
+		off += 4 + int64(rows*dim*8)
+	}
+	if pcfg.Prefetch > 0 {
+		pg.prefetchCh = make(chan int, pcfg.Prefetch)
+		pg.done = make(chan struct{})
+		pg.wg.Add(1)
+		go pg.prefetchLoop()
+	}
+	return pg
+}
+
+func (pg *pager) numPages() int { return len(pg.pageOff) }
+
+func (pg *pager) dataBytes() int64 {
+	if len(pg.pageOff) == 0 {
+		return 0
+	}
+	last := len(pg.pageOff) - 1
+	return pg.pageOff[last] + 4 + int64(pg.pageRows[last]*pg.dim*8)
+}
+
+// page returns the decoded page pno, faulting it through the cache.
+// sess carries the per-query admission budget and per-session fault/hit
+// counters; nil means "always admit" (construction paths, prefetcher).
+// prefetched marks loads issued by the prefetch worker for stats.
+func (pg *pager) page(pno int, sess *Session, prefetched bool) (*cachedPage, error) {
+	for {
+		pg.mu.Lock()
+		if p, ok := pg.cached[pno]; ok {
+			p.ref = true
+			pg.mu.Unlock()
+			pg.hits.Add(1)
+			if sess != nil {
+				sess.cacheHits++
+			}
+			return p, nil
+		}
+		if fl, ok := pg.inflight[pno]; ok {
+			pg.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			// The loader's admission decision stands; the decoded block
+			// is shared either way.
+			if sess != nil {
+				sess.cacheHits++
+			}
+			return fl.p, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		pg.inflight[pno] = fl
+		pg.mu.Unlock()
+
+		fl.p, fl.err = pg.load(pno, sess, prefetched)
+		pg.mu.Lock()
+		delete(pg.inflight, pno)
+		pg.mu.Unlock()
+		close(fl.done)
+		return fl.p, fl.err
+	}
+}
+
+// load reads, verifies (first fault only), and decodes page pno, then
+// runs the admission decision. Called with no locks held; exactly one
+// loader runs per page at a time (flight dedup).
+func (pg *pager) load(pno int, sess *Session, prefetched bool) (*cachedPage, error) {
+	rows := pg.pageRows[pno]
+	payloadLen := rows * pg.dim * 8
+	raw, err := pg.b.slice(pg.pageOff[pno], 4+payloadLen)
+	if err != nil {
+		return nil, fmt.Errorf("disk: page %d of %s: %w", pno, pg.path, err)
+	}
+	payload := raw[4 : 4+payloadLen]
+	if !pg.isVerified(pno) {
+		want := binary.LittleEndian.Uint32(raw)
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil, fmt.Errorf("%w: page %d of %s", ErrBadPage, pno, pg.path)
+		}
+		pg.markVerified(pno)
+	}
+	p := &cachedPage{no: pno, data: make([]float64, rows*pg.dim), ref: true}
+	for i := range p.data {
+		p.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	pg.faults.Add(1)
+	if prefetched {
+		pg.prefetches.Add(1)
+	}
+	if sess != nil {
+		sess.pageFaults++
+	}
+	pg.admit(p, sess)
+	return p, nil
+}
+
+func (pg *pager) isVerified(pno int) bool {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.verified[pno/64]&(1<<(pno%64)) != 0
+}
+
+func (pg *pager) markVerified(pno int) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pg.verified[pno/64]&(1<<(pno%64)) == 0 {
+		pg.verified[pno/64] |= 1 << (pno % 64)
+		pg.nVerif++
+	}
+}
+
+// admit links a freshly decoded page into the cache unless the session
+// has exhausted its admission budget against a full cache (the page is
+// then served bypass: the caller keeps the block, the cache forgets it).
+func (pg *pager) admit(p *cachedPage, sess *Session) {
+	size := int64(len(p.data) * 8)
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pg.cacheBytes > 0 && pg.bytes+size > pg.cacheBytes {
+		// Admission control: a session that already displaced its budget
+		// worth of pages stops evicting others' working set.
+		if sess != nil && pg.admitPer > 0 && sess.admitted >= pg.admitPer {
+			pg.bypasses.Add(1)
+			return
+		}
+		for pg.bytes+size > pg.cacheBytes && len(pg.clock) > 0 {
+			pg.evictOne()
+		}
+		if pg.bytes+size > pg.cacheBytes {
+			// The budget cannot fit even this one page; serve it bypass.
+			pg.bypasses.Add(1)
+			return
+		}
+	}
+	pg.cached[p.no] = p
+	pg.clock = append(pg.clock, p)
+	pg.bytes += size
+	if sess != nil {
+		sess.admitted++
+	}
+}
+
+// evictOne runs one CLOCK sweep step until a victim falls out. Caller
+// holds mu; len(clock) > 0.
+func (pg *pager) evictOne() {
+	for {
+		if pg.hand >= len(pg.clock) {
+			pg.hand = 0
+		}
+		p := pg.clock[pg.hand]
+		if p.ref {
+			p.ref = false
+			pg.hand++
+			continue
+		}
+		last := len(pg.clock) - 1
+		pg.clock[pg.hand] = pg.clock[last]
+		pg.clock[last] = nil
+		pg.clock = pg.clock[:last]
+		delete(pg.cached, p.no)
+		pg.bytes -= int64(len(p.data) * 8)
+		pg.evictions.Add(1)
+		return
+	}
+}
+
+// prefetchAsync enqueues a page for background faulting; requests beyond
+// the queue depth are dropped (prefetch is advisory).
+func (pg *pager) prefetchAsync(pno int) {
+	if pg.prefetchCh == nil {
+		return
+	}
+	pg.mu.Lock()
+	_, have := pg.cached[pno]
+	_, loading := pg.inflight[pno]
+	pg.mu.Unlock()
+	if have || loading {
+		return
+	}
+	select {
+	case pg.prefetchCh <- pno:
+	default:
+		pg.prefetchDrops.Add(1)
+	}
+}
+
+func (pg *pager) prefetchLoop() {
+	defer pg.wg.Done()
+	for {
+		select {
+		case <-pg.done:
+			return
+		case pno := <-pg.prefetchCh:
+			// Prefetched pages admit with full CLOCK eviction rights (they
+			// are predicted-useful) but carry no session budget.
+			if p, err := pg.page(pno, nil, true); err == nil {
+				_ = p
+			}
+		}
+	}
+}
+
+func (pg *pager) stats() PagerStats {
+	pg.mu.Lock()
+	resident := pg.bytes
+	cachedPages := len(pg.cached)
+	verif := pg.nVerif
+	pg.mu.Unlock()
+	return PagerStats{
+		Faults:         pg.faults.Load(),
+		CacheHits:      pg.hits.Load(),
+		Evictions:      pg.evictions.Load(),
+		Bypasses:       pg.bypasses.Load(),
+		Prefetches:     pg.prefetches.Load(),
+		PrefetchDrops:  pg.prefetchDrops.Load(),
+		ResidentBytes:  resident,
+		CachedPages:    cachedPages,
+		VerifiedPages:  verif,
+		TotalPages:     pg.numPages(),
+		DataBytes:      pg.dataBytes(),
+		CacheBytesConf: pg.cacheBytes,
+	}
+}
+
+func (pg *pager) close() error {
+	var err error
+	pg.closeOnce.Do(func() {
+		if pg.done != nil {
+			close(pg.done)
+			pg.wg.Wait()
+		}
+		err = pg.b.Close()
+	})
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Paged open: O(manifest) — trailer only, no data pages touched.
+// ---------------------------------------------------------------------------
+
+// OpenPaged opens a page file written by WriteFile with demand paging:
+// only the trailer is read here; data pages are faulted, checksum-verified
+// (lazily, once each), and decoded on first access through an
+// admission-controlled block cache. The returned store is read-only:
+// Append and WriteFile fail. cfg controls only the latency model; the
+// geometry comes from the file.
+func OpenPaged(path string, cfg Config, pcfg PagerConfig) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := openPaged(f, path, cfg, pcfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func openPaged(f *os.File, path string, cfg Config, pcfg PagerConfig) (*Store, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	var trLenBuf [8]byte
+	if _, err := f.ReadAt(trLenBuf[:], size-8); err != nil {
+		return nil, err
+	}
+	trLen := int64(binary.LittleEndian.Uint64(trLenBuf[:]))
+	if trLen < 16 || trLen > size-8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	tr := make([]byte, trLen)
+	if _, err := f.ReadAt(tr, size-8-trLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(tr[0:4]) != fileMagic {
+		return nil, fmt.Errorf("disk: bad magic in %s", path)
+	}
+	n := int(binary.LittleEndian.Uint32(tr[4:8]))
+	dim := int(binary.LittleEndian.Uint32(tr[8:12]))
+	perPage := int(binary.LittleEndian.Uint32(tr[12:16]))
+	if n <= 0 || dim <= 0 || perPage <= 0 || int64(len(tr)) != 16+8*int64(n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	idAt := make([]int, n)
+	slotOf := make([]int, n)
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	for i := range idAt {
+		id := int(binary.LittleEndian.Uint64(tr[16+8*i:]))
+		if id < 0 || id >= n || slotOf[id] != -1 {
+			return nil, ErrBadLayout
+		}
+		idAt[i] = id
+		slotOf[id] = i
+	}
+	// Size sanity: the body must hold exactly the framed pages. This keeps
+	// truncation detection at open time (a size check, not a data read);
+	// checksums are verified lazily on first fault.
+	numPages := (n + perPage - 1) / perPage
+	wantBody := int64(0)
+	for p := 0; p < numPages; p++ {
+		rows := perPage
+		if rem := n - p*perPage; rem < rows {
+			rows = rem
+		}
+		wantBody += 4 + int64(rows*dim*8)
+	}
+	if wantBody != size-8-trLen {
+		return nil, io.ErrUnexpectedEOF
+	}
+
+	b, err := openBacking(f, size, pcfg.DisableMmap)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PageSize = perPage * dim * 8
+	st := &Store{
+		cfg:     cfg,
+		dim:     dim,
+		n:       n,
+		perPage: perPage,
+		slotOf:  slotOf,
+		idAt:    idAt,
+		pager:   newPager(b, path, dim, n, perPage, pcfg),
+	}
+	return st, nil
+}
+
+// Paged reports whether the store serves rows by demand paging (no
+// resident arena).
+func (s *Store) Paged() bool { return s.pager != nil }
+
+// PagerStats snapshots the paged backing's real-I/O counters; ok is false
+// for arena-resident stores.
+func (s *Store) PagerStats() (PagerStats, bool) {
+	if s.pager == nil {
+		return PagerStats{}, false
+	}
+	return s.pager.stats(), true
+}
+
+// ResidentBytes returns the bytes of point data held in memory: the whole
+// arena for in-memory stores, the decoded-block cache for paged ones.
+func (s *Store) ResidentBytes() int64 {
+	if s.pager == nil {
+		return int64(len(s.arena) * 8)
+	}
+	st := s.pager.stats()
+	return st.ResidentBytes
+}
+
+// DataBytes returns the size of the point payload: arena bytes in memory,
+// or the on-disk page-file body for paged stores.
+func (s *Store) DataBytes() int64 {
+	if s.pager == nil {
+		return int64(len(s.arena) * 8)
+	}
+	return s.pager.dataBytes()
+}
+
+// Close releases the paged backing (mmap/file handle and the prefetch
+// worker). It is a no-op for in-memory stores and safe to call twice.
+func (s *Store) Close() error {
+	if s.pager == nil {
+		return nil
+	}
+	return s.pager.close()
+}
+
+// pagedRow returns the row view of slot through the page cache. The view
+// stays valid after eviction (the decoded block is GC-managed).
+func (s *Store) pagedRow(slot int, sess *Session, charge bool) ([]float64, error) {
+	pno := slot / s.perPage
+	if sess != nil && charge {
+		sess.charge(pno)
+	}
+	p, err := s.pager.page(pno, sess, false)
+	if err != nil {
+		return nil, err
+	}
+	off := (slot - pno*s.perPage) * s.dim
+	return p.data[off : off+s.dim : off+s.dim], nil
+}
+
+// pagedSlotBlock assembles the rows at slots [lo, hi) from the page
+// cache: a zero-copy view when the run stays inside one page, otherwise a
+// copy into scratch (grown as needed; pass nil to allocate fresh).
+func (s *Store) pagedSlotBlock(lo, hi int, sess *Session, scratch []float64) (kernel.FlatBlock, []float64, error) {
+	loPage, hiPage := lo/s.perPage, (hi-1)/s.perPage
+	if sess != nil {
+		for pno := loPage; pno <= hiPage; pno++ {
+			sess.charge(pno)
+		}
+	}
+	if loPage == hiPage {
+		p, err := s.pager.page(loPage, sess, false)
+		if err != nil {
+			return kernel.FlatBlock{}, scratch, err
+		}
+		off := (lo - loPage*s.perPage) * s.dim
+		end := (hi - loPage*s.perPage) * s.dim
+		return kernel.FlatBlock{Data: p.data[off:end:end], Dim: s.dim, N: hi - lo}, scratch, nil
+	}
+	need := (hi - lo) * s.dim
+	if cap(scratch) < need {
+		scratch = make([]float64, need)
+	}
+	scratch = scratch[:need]
+	cursor := 0
+	for pno := loPage; pno <= hiPage; pno++ {
+		p, err := s.pager.page(pno, sess, false)
+		if err != nil {
+			return kernel.FlatBlock{}, scratch, err
+		}
+		slo := pno * s.perPage
+		shi := slo + s.pageRowsOf(pno)
+		if slo < lo {
+			slo = lo
+		}
+		if shi > hi {
+			shi = hi
+		}
+		src := p.data[(slo-pno*s.perPage)*s.dim : (shi-pno*s.perPage)*s.dim]
+		copy(scratch[cursor:], src)
+		cursor += len(src)
+	}
+	return kernel.FlatBlock{Data: scratch[:need:need], Dim: s.dim, N: hi - lo}, scratch, nil
+}
+
+func (s *Store) pageRowsOf(pno int) int {
+	rows := s.perPage
+	if rem := s.n - pno*s.perPage; rem < rows {
+		rows = rem
+	}
+	return rows
+}

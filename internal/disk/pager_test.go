@@ -1,0 +1,304 @@
+package disk
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// writeTestStore persists n dim-dimensional points with perm layout and
+// returns (path, source store).
+func writeTestStore(t *testing.T, n, dim, perPage, seed int) (string, *Store) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pages")
+	pts := makePoints(n, dim, int64(seed))
+	layout := rand.New(rand.NewSource(int64(seed + 1))).Perm(n)
+	st, err := NewStore(pts, layout, Config{PageSize: perPage * dim * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, st
+}
+
+func TestOpenPagedRoundTrip(t *testing.T) {
+	for _, disableMmap := range []bool{false, true} {
+		path, st := writeTestStore(t, 37, 6, 4, 30)
+		got, err := OpenPaged(path, Config{}, PagerConfig{DisableMmap: disableMmap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Paged() {
+			t.Fatal("OpenPaged returned a non-paged store")
+		}
+		for id := 0; id < 37; id++ {
+			a, b := st.RawPoint(id), got.RawPoint(id)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("mmap=%v point %d dim %d: %g != %g", !disableMmap, id, j, a[j], b[j])
+				}
+			}
+			if st.Slot(id) != got.Slot(id) {
+				t.Fatalf("slot moved for %d", id)
+			}
+		}
+		if err := got.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Close(); err != nil { // idempotent
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenPagedIsLazy(t *testing.T) {
+	path, _ := writeTestStore(t, 64, 4, 4, 31)
+	got, err := OpenPaged(path, Config{}, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	ps, ok := got.PagerStats()
+	if !ok {
+		t.Fatal("no pager stats")
+	}
+	if ps.Faults != 0 || ps.VerifiedPages != 0 || ps.ResidentBytes != 0 {
+		t.Fatalf("open touched data: %+v", ps)
+	}
+	got.RawPoint(0)
+	ps, _ = got.PagerStats()
+	if ps.Faults != 1 || ps.VerifiedPages != 1 {
+		t.Fatalf("after one fault: %+v", ps)
+	}
+}
+
+func TestLazyCRCVerifiedOncePerPage(t *testing.T) {
+	path, _ := writeTestStore(t, 32, 4, 4, 32)
+	// Tiny cache: one 4-row page = 128 bytes; budget covers exactly one
+	// page so refaults of evicted pages are common.
+	got, err := OpenPaged(path, Config{}, PagerConfig{CacheBytes: 128, AdmitPerQuery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	for round := 0; round < 3; round++ {
+		for id := 0; id < 32; id++ {
+			got.RawPoint(id)
+		}
+	}
+	ps, _ := got.PagerStats()
+	if ps.VerifiedPages != ps.TotalPages {
+		t.Fatalf("verified %d of %d pages", ps.VerifiedPages, ps.TotalPages)
+	}
+	if ps.Evictions == 0 {
+		t.Fatal("tiny cache never evicted")
+	}
+	// Refaults after eviction must not re-verify (bitmap, not cache state).
+	if ps.Faults <= int64(ps.TotalPages) {
+		t.Fatalf("expected refaults beyond %d pages, got %d faults", ps.TotalPages, ps.Faults)
+	}
+}
+
+func TestCacheBoundedAndClockEvicts(t *testing.T) {
+	pageBytes := int64(4 * 4 * 8) // 4 rows x dim 4
+	path, _ := writeTestStore(t, 64, 4, 4, 33)
+	budget := 3 * pageBytes
+	got, err := OpenPaged(path, Config{}, PagerConfig{CacheBytes: budget, AdmitPerQuery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	for id := 0; id < 64; id++ {
+		got.RawPoint(id)
+	}
+	ps, _ := got.PagerStats()
+	if ps.ResidentBytes > budget {
+		t.Fatalf("resident %d exceeds budget %d", ps.ResidentBytes, budget)
+	}
+	if ps.CachedPages > 3 {
+		t.Fatalf("cached %d pages, budget fits 3", ps.CachedPages)
+	}
+	if ps.Evictions == 0 {
+		t.Fatal("no evictions under a tight budget")
+	}
+}
+
+func TestPerQueryAdmissionControl(t *testing.T) {
+	pageBytes := int64(4 * 4 * 8)
+	path, _ := writeTestStore(t, 64, 4, 4, 34)
+	got, err := OpenPaged(path, Config{}, PagerConfig{CacheBytes: 4 * pageBytes, AdmitPerQuery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+
+	// Warm the hot set with one query (4 pages fill the cache exactly).
+	warm := got.NewSession()
+	for id := 0; id < 16; id++ {
+		warm.Point(id)
+	}
+	if warm.Err() != nil {
+		t.Fatal(warm.Err())
+	}
+	psWarm, _ := got.PagerStats()
+
+	// A cold full scan in a single session: once it admits its 2-page
+	// budget against the full cache, further faults bypass.
+	cold := got.NewSession()
+	for id := 0; id < 64; id++ {
+		cold.Point(id)
+	}
+	if cold.Err() != nil {
+		t.Fatal(cold.Err())
+	}
+	ps, _ := got.PagerStats()
+	if ps.Bypasses == 0 {
+		t.Fatal("cold scan never bypassed the cache")
+	}
+	// The cold scan may displace at most its admission budget worth of
+	// pages — not the whole hot set.
+	if evicted := ps.Evictions - psWarm.Evictions; evicted > 2 {
+		t.Fatalf("cold scan evicted %d pages, admission budget is 2", evicted)
+	}
+	if ps.ResidentBytes > 4*pageBytes {
+		t.Fatalf("resident %d over budget", ps.ResidentBytes)
+	}
+}
+
+func TestPagedSessionBlocksMatchInMemory(t *testing.T) {
+	path, st := writeTestStore(t, 50, 3, 4, 35)
+	got, err := OpenPaged(path, Config{}, PagerConfig{CacheBytes: 256, AdmitPerQuery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	sessA, sessB := st.NewSession(), got.NewSession()
+	// Cross-page runs included (perPage 4, runs of 7).
+	for lo := 0; lo+7 <= 50; lo += 5 {
+		a := sessA.SlotBlock(lo, lo+7)
+		b := sessB.SlotBlock(lo, lo+7)
+		if sessB.Err() != nil {
+			t.Fatal(sessB.Err())
+		}
+		if a.N != b.N || a.Dim != b.Dim {
+			t.Fatalf("block geometry mismatch at %d", lo)
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("block data mismatch at run %d index %d", lo, i)
+			}
+		}
+		if sessA.PageReads() != sessB.PageReads() {
+			t.Fatalf("accounting diverged: %d vs %d", sessA.PageReads(), sessB.PageReads())
+		}
+	}
+}
+
+func TestPagedConcurrentReaders(t *testing.T) {
+	path, st := writeTestStore(t, 128, 4, 4, 36)
+	got, err := OpenPaged(path, Config{}, PagerConfig{CacheBytes: 512, AdmitPerQuery: 4, Prefetch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := got.NewSession()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				id := rng.Intn(128)
+				p := sess.Point(id)
+				want := st.RawPoint(id)
+				for j := range want {
+					if p[j] != want[j] {
+						t.Errorf("worker %d: point %d dim %d mismatch", w, id, j)
+						return
+					}
+				}
+				sess.PrefetchPageAsync((id/4 + 1) % got.NumPages())
+			}
+			if sess.Err() != nil {
+				t.Errorf("worker %d: %v", w, sess.Err())
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPagedStoreIsReadOnly(t *testing.T) {
+	path, _ := writeTestStore(t, 8, 2, 4, 37)
+	got, err := OpenPaged(path, Config{}, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if err := got.Append([]float64{1, 2}); err == nil {
+		t.Fatal("append to paged store accepted")
+	}
+	if err := got.WriteFile(path + ".copy"); err == nil {
+		t.Fatal("WriteFile on paged store accepted")
+	}
+}
+
+func TestOpenPagedRejectsTruncatedBody(t *testing.T) {
+	path, _ := writeTestStore(t, 16, 4, 4, 38)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one page frame but keep the (self-locating) trailer intact:
+	// the open-time size check must catch the short body.
+	pageFrame := 4 + 4*4*8
+	short := append(append([]byte{}, raw[:len(raw)-8-16-8*16-pageFrame]...), raw[len(raw)-8-16-8*16:]...)
+	if err := os.WriteFile(path, short, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPaged(path, Config{}, PagerConfig{}); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestPagedCorruptionIsSticky(t *testing.T) {
+	path, _ := writeTestStore(t, 16, 4, 4, 39)
+	raw, _ := os.ReadFile(path)
+	raw[10] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenPaged(path, Config{}, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	sess := got.NewSession()
+	slot0 := -1
+	for id := 0; id < 16; id++ {
+		if got.Slot(id) == 0 {
+			slot0 = id
+			break
+		}
+	}
+	p := sess.Point(slot0)
+	if !errors.Is(sess.Err(), ErrBadPage) {
+		t.Fatalf("sess.Err() = %v", sess.Err())
+	}
+	for _, v := range p {
+		if v != 0 {
+			t.Fatal("failed fault returned non-zero row")
+		}
+	}
+	// The error stays sticky across further (clean) accesses.
+	sess.Point(15)
+	if !errors.Is(sess.Err(), ErrBadPage) {
+		t.Fatal("sticky error cleared")
+	}
+}

@@ -1,0 +1,51 @@
+package kernel
+
+// Extended-space linearization helpers for the VA cold tier (Zhang et
+// al., PVLDB 2009). For a decomposable generator f(x) = Σ φ(xⱼ),
+//
+//	D_f(x, q) = ⟨ŵ(q), x̂⟩ + c(q)
+//
+// with x̂ = (x₁,…,x_d, Σφ(xⱼ)), ŵ(q) = (−φ′(q₁),…,−φ′(q_d), 1) and
+// c(q) = Σ (−φ(qⱼ) + qⱼφ′(qⱼ)). The per-query functional (ŵ, c) is what
+// the compressed-domain first pass evaluates against quantized cells; it
+// must be computed with the same arithmetic as the kernels so the exact
+// re-verification of survivors agrees bit-for-bit with Distance up to
+// the documented clamp.
+
+// VAPrep computes the query-side linear functional of the extended
+// space: it fills w (len(q)+1 long, panics otherwise) with ŵ(q) and
+// returns the constant c(q). The gradient comes from the kernel's
+// GradVec — the same monomorphized code the refinement uses — and φ from
+// the divergence's generator.
+func VAPrep(k Kernel, w, q []float64) float64 {
+	d := len(q)
+	if len(w) != d+1 {
+		panic("kernel: VAPrep weight buffer must be len(q)+1")
+	}
+	k.GradVec(w[:d], q)
+	div := k.Divergence()
+	var c float64
+	for j := 0; j < d; j++ {
+		g := w[j]
+		w[j] = -g
+		c += q[j]*g - div.Phi(q[j])
+	}
+	w[d] = 1
+	return c
+}
+
+// VAExtend fills dst (len(p)+1 long, panics otherwise) with the extended
+// point x̂ = (p₁,…,p_d, Σφ(pⱼ)). Build-path helper; not a hot loop.
+func VAExtend(k Kernel, dst, p []float64) {
+	d := len(p)
+	if len(dst) != d+1 {
+		panic("kernel: VAExtend dst must be len(p)+1")
+	}
+	div := k.Divergence()
+	var s float64
+	for j, v := range p {
+		dst[j] = v
+		s += div.Phi(v)
+	}
+	dst[d] = s
+}

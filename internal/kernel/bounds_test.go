@@ -1,0 +1,62 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brepartition/internal/bregman"
+)
+
+// The linearization identity: ⟨ŵ(q), x̂⟩ + c(q) must equal D_f(x, q) for
+// every registered divergence (up to roundoff — the functional reorders
+// the summation).
+func TestVAPrepMatchesDistance(t *testing.T) {
+	for _, name := range bregman.Names() {
+		div, err := bregman.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := For(div)
+		rng := rand.New(rand.NewSource(42))
+		lo, _ := div.Domain()
+		sample := func(d int) []float64 {
+			v := make([]float64, d)
+			for j := range v {
+				if math.IsInf(lo, -1) {
+					v[j] = rng.NormFloat64() * 3
+				} else {
+					v[j] = lo + 0.01 + rng.Float64()*5
+				}
+			}
+			return v
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := 1 + rng.Intn(12)
+			x, q := sample(d), sample(d)
+			w := make([]float64, d+1)
+			c := VAPrep(k, w, q)
+			xe := make([]float64, d+1)
+			VAExtend(k, xe, x)
+			var dot float64
+			for j := range w {
+				dot += w[j] * xe[j]
+			}
+			got := dot + c
+			want := k.Distance(x, q)
+			if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("%s trial %d: functional %g vs Distance %g (diff %g)",
+					name, trial, got, want, diff)
+			}
+		}
+	}
+}
+
+func TestVAPrepPanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VAPrep(For(bregman.SquaredEuclidean{}), make([]float64, 3), make([]float64, 3))
+}

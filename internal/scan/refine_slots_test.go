@@ -1,0 +1,153 @@
+package scan
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/kernel"
+	"brepartition/internal/topk"
+)
+
+func slotsTestData(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// RefineSlots over an identity-layout store must match RefineCtx over the
+// same candidates — same selector contents, same I/O accounting.
+func TestRefineSlotsMatchesRefineCtx(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := slotsTestData(200, 6, 1)
+	store, err := disk.NewStore(pts, nil, disk.Config{PageSize: 4 * 6 * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern := kernel.For(div)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		// Random survivor set with both isolated slots and runs.
+		set := map[int]bool{}
+		for len(set) < 40 {
+			base := rng.Intn(190)
+			for r := 0; r <= rng.Intn(5); r++ {
+				set[base+r] = true
+			}
+		}
+		var slots []int
+		for s := range set {
+			slots = append(slots, s)
+		}
+		sort.Ints(slots)
+
+		q := pts[rng.Intn(len(pts))]
+		dist := make([]float64, RefineChunk)
+
+		selA := topk.New(10)
+		sessA := store.NewSession()
+		RefineCtx(kern, sessA, slots, q, selA, dist, nil)
+
+		selB := topk.New(10)
+		sessB := store.NewSession()
+		RefineSlots(kern, sessB, slots, nil, q, selB, dist, nil, 0)
+
+		a, b := selA.Items(), selB.Items()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d items", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d pos %d: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+		if sessA.PageReads() != sessB.PageReads() {
+			t.Fatalf("trial %d: accounting %d vs %d", trial, sessA.PageReads(), sessB.PageReads())
+		}
+	}
+}
+
+// With an ids mapping, the offered ids are translated while scores stay.
+func TestRefineSlotsIDMapping(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := slotsTestData(50, 4, 3)
+	store, err := disk.NewStore(pts, nil, disk.Config{PageSize: 4 * 4 * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern := kernel.For(div)
+	ids := make([]int, 50)
+	for i := range ids {
+		ids[i] = 1000 + i
+	}
+	slots := []int{3, 4, 5, 20, 31, 32}
+	sel := topk.New(3)
+	dist := make([]float64, RefineChunk)
+	RefineSlots(kern, store.NewSession(), slots, ids, pts[0], sel, dist, nil, 0)
+	for _, it := range sel.Items() {
+		if it.ID < 1000 {
+			t.Fatalf("id %d not translated", it.ID)
+		}
+	}
+}
+
+// Prefetch lookahead against a paged store must not change answers and
+// should enqueue background faults.
+func TestRefineSlotsPrefetchOnPagedStore(t *testing.T) {
+	div := bregman.GeneralizedKL{}
+	rng := rand.New(rand.NewSource(4))
+	pts := make([][]float64, 96)
+	for i := range pts {
+		p := make([]float64, 4)
+		for j := range p {
+			p[j] = 0.1 + rng.Float64()
+		}
+		pts[i] = p
+	}
+	store, err := disk.NewStore(pts, nil, disk.Config{PageSize: 4 * 4 * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pts.pages")
+	if err := store.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	paged, err := disk.OpenPaged(path, disk.Config{}, disk.PagerConfig{
+		CacheBytes: 1 << 20, Prefetch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+
+	kern := kernel.For(div)
+	slots := []int{0, 1, 9, 17, 33, 34, 35, 60, 90}
+	q := pts[5]
+	dist := make([]float64, RefineChunk)
+
+	want := topk.New(4)
+	RefineSlots(kern, store.NewSession(), slots, nil, q, want, dist, nil, 0)
+
+	got := topk.New(4)
+	sess := paged.NewSession()
+	RefineSlots(kern, sess, slots, nil, q, got, dist, nil, 4)
+	if sess.Err() != nil {
+		t.Fatal(sess.Err())
+	}
+	a, b := want.Items(), got.Items()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pos %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -156,6 +156,69 @@ func RefineCtx(kern kernel.Kernel, sess *disk.Session, candidates []int, q []flo
 	}
 }
 
+// RefineSlots is the cold tier's refinement: candidates arrive as
+// ascending *slots* (the survivors of a compressed-domain scan over the
+// store's layout order), consecutive runs are evaluated block-at-a-time,
+// and at each page boundary the next up-to-lookahead distinct survivor
+// pages are enqueued for async prefetch so the backing store faults them
+// while the current page computes. ids maps a slot to the offered id (nil
+// = offer the slot itself). sel, dist (len ≥ 1) and prep follow
+// RefineCtx's contracts; like it, RefineSlots performs no allocation.
+func RefineSlots(kern kernel.Kernel, sess *disk.Session, slots []int, ids []int, q []float64, sel *topk.Selector, dist []float64, prep []float64, lookahead int) {
+	store := sess.Store()
+	perPage := store.PointsPerPage()
+	hoisted := prep != nil
+	lastPrefetched := -1
+	for i := 0; i < len(slots); {
+		slot := slots[i]
+		if lookahead > 0 {
+			// Entering a new page: line up the next few survivor pages
+			// behind it. Issued once per page transition, before the
+			// (synchronous) faults of the current run.
+			if page := slot / perPage; page > lastPrefetched {
+				lastPrefetched = page
+				issued := 0
+				prev := page
+				for t := i + 1; t < len(slots) && issued < lookahead; t++ {
+					if p := slots[t] / perPage; p > prev {
+						sess.PrefetchPageAsync(p)
+						prev = p
+						issued++
+					}
+				}
+			}
+		}
+		j := i + 1
+		for j < len(slots) && j-i < len(dist) && slots[j] == slot+(j-i) {
+			j++
+		}
+		switch {
+		case j-i >= 2:
+			block := sess.SlotBlock(slot, slot+(j-i))
+			kern.DistancesTo(q, block, dist[:j-i])
+			for t := i; t < j; t++ {
+				if ids != nil {
+					sel.Offer(ids[slots[t]], dist[t-i])
+				} else {
+					sel.Offer(slots[t], dist[t-i])
+				}
+			}
+		default:
+			id := slot
+			if ids != nil {
+				id = ids[slot]
+			}
+			p := sess.Point(store.IDAtSlot(slot))
+			if hoisted {
+				sel.Offer(id, kern.DistancePrep(p, q, prep))
+			} else {
+				sel.Offer(id, kern.Distance(p, q))
+			}
+		}
+		i = j
+	}
+}
+
 // RefineInMemory is Refine without I/O accounting, for memory-resident use.
 func RefineInMemory(div bregman.Divergence, points [][]float64, candidates []int, q []float64, k int) []topk.Item {
 	if k <= 0 || len(candidates) == 0 {

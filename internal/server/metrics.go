@@ -49,6 +49,7 @@ type metrics struct {
 	requests  routeCounters
 	deadlines counter // requests answered 504
 	reloads   counter // successful hot reloads
+	coldErrs  counter // cold-tier builds that failed (collection serves hot)
 }
 
 // handleMetrics renders the Prometheus text exposition format by hand —
@@ -186,10 +187,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	verLines := make([]string, 0, len(tns))
 	walLines := make([]string, 0, len(tns))
 	var shardLive, shardTail []string
+	coldEnabled := make([]string, 0, len(tns))
+	var coldHit, coldFaults, coldPruned, coldResident, coldFallbacks []string
 	for _, tn := range tns {
 		name := tn.col.Name
 		est := tn.eng.Stats()
 		hd := tn.col.Handle
+		enabled := 0
+		if hd.ColdTierEnabled() {
+			enabled = 1
+		}
+		coldEnabled = append(coldEnabled, fmt.Sprintf(`breserved_coldtier_enabled{collection=%q} %d`, name, enabled))
+		if cst, ok := hd.ColdStats(); ok {
+			coldHit = append(coldHit, fmt.Sprintf(`breserved_coldtier_cache_hit_rate{collection=%q} %g`, name, cst.Pager.HitRate()))
+			coldFaults = append(coldFaults, fmt.Sprintf(`breserved_coldtier_faulted_pages_total{collection=%q} %d`, name, cst.Pager.Faults))
+			coldPruned = append(coldPruned, fmt.Sprintf(`breserved_coldtier_pruned_fraction{collection=%q} %g`, name, cst.PrunedFraction()))
+			coldResident = append(coldResident, fmt.Sprintf(`breserved_coldtier_resident_bytes{collection=%q} %d`, name, cst.ResidentBytes))
+			coldFallbacks = append(coldFallbacks, fmt.Sprintf(`breserved_coldtier_stale_fallbacks_total{collection=%q} %d`, name, hd.ColdFallbacks()))
+		}
 		reqLines = append(reqLines, fmt.Sprintf(`breserved_collection_requests_total{collection=%q} %d`, name, tn.requests.Load()))
 		shedLines = append(shedLines, fmt.Sprintf(`breserved_quota_shed_total{collection=%q} %d`, name, tn.quotaShed.Load()))
 		inUse := 0
@@ -223,4 +238,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"breserved_shard_live_ratio", shardLive...)
 	emit("Per-shard fraction of points appended since the last rebuild.", "gauge",
 		"breserved_shard_tail_ratio", shardTail...)
+
+	// Cold-tier serving: per-collection paged-storage health (series only
+	// for collections with tiers attached).
+	emit("Whether the collection's exact searches route through its cold tier.", "gauge",
+		"breserved_coldtier_enabled", coldEnabled...)
+	emit("Cold-tier block-cache hits per page touch.", "gauge",
+		"breserved_coldtier_cache_hit_rate", coldHit...)
+	emit("Cold-tier pages decoded from disk.", "counter",
+		"breserved_coldtier_faulted_pages_total", coldFaults...)
+	emit("Fraction of points rejected by the compressed-domain pass before any page fault.", "gauge",
+		"breserved_coldtier_pruned_fraction", coldPruned...)
+	emit("Cold-tier resident bytes: VA approximation plus decoded-block cache.", "gauge",
+		"breserved_coldtier_resident_bytes", coldResident...)
+	emit("Cold searches served hot because a shard's tier was missing or stale.", "counter",
+		"breserved_coldtier_stale_fallbacks_total", coldFallbacks...)
+	emit("Cold-tier enablement failures (the collection serves hot).", "counter",
+		"breserved_coldtier_errors_total", g("breserved_coldtier_errors_total", float64(s.m.coldErrs.Load())))
 }

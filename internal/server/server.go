@@ -46,6 +46,7 @@ import (
 
 	"brepartition/internal/approx"
 	"brepartition/internal/bregman"
+	"brepartition/internal/coldtier"
 	"brepartition/internal/collection"
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
@@ -95,6 +96,16 @@ type Config struct {
 	MaintainMinLive   float64
 	MaintainMaxTail   float64
 	MaintainMinPoints int
+	// ColdTierEnabled routes every collection's exact searches through a
+	// per-shard cold tier: a resident compressed-domain first pass over
+	// mmap-paged point storage with a bounded block cache. Answers are
+	// identical to hot serving; memory for point data is bounded by the
+	// tier budget. Collections whose spec carries its own Cold section
+	// keep their spec settings.
+	ColdTierEnabled bool
+	// ColdTier tunes the tiers when ColdTierEnabled (zero = defaults:
+	// 6 bits, 16 MiB cache per shard, prefetch 4).
+	ColdTier coldtier.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -310,6 +321,15 @@ func newServer(reg *collection.Registry, cfg Config) *Server {
 
 // addTenant builds and registers a collection's serving pipeline.
 func (s *Server) addTenant(c *collection.Collection) *tenant {
+	if s.cfg.ColdTierEnabled && !c.Handle.ColdTierEnabled() {
+		// Server-wide cold serving; a spec-level Cold section already
+		// enabled the handle with its own settings. A build failure leaves
+		// this collection serving hot (still exact) — the metrics page's
+		// coldtier_enabled gauge shows which collections actually tiered.
+		if err := c.Handle.EnableColdTier(s.cfg.ColdTier); err != nil {
+			s.m.coldErrs.Add(1)
+		}
+	}
 	tn := &tenant{col: c, eng: engine.New(c.Handle, s.cfg.Engine)}
 	tn.co = newCoalescer(tn.eng, s.cfg.CoalesceBatch, s.cfg.CoalesceDelay)
 	tn.mnt = maintain.New(c.Handle, maintain.Config{

@@ -456,6 +456,9 @@ func (d *Durable) Close() error {
 		d.wg.Wait()
 	}
 	err := d.wal.Close()
+	if cerr := d.ix.CloseColdTier(); err == nil && cerr != nil {
+		err = cerr
+	}
 	d.bgMu.Lock()
 	if err == nil && d.bgCkErr != nil {
 		err = d.bgCkErr

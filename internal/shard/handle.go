@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"brepartition/internal/bregman"
+	"brepartition/internal/coldtier"
 	"brepartition/internal/core"
 	"brepartition/internal/topk"
 )
@@ -37,6 +38,10 @@ type Handle struct {
 	// the write path is down); health checks surface it.
 	errMu     sync.Mutex
 	reloadErr error
+
+	// coldCfg, when set, routes exact searches through the cold tier and
+	// makes Reload re-ensure tiers on the new generation. Nil = hot only.
+	coldCfg atomic.Pointer[coldtier.Config]
 }
 
 // NewHandle wraps an open durable index.
@@ -87,13 +92,23 @@ func (h *Handle) Reload(open func() (*Durable, error)) error {
 	}
 	nd, err := open()
 	h.errMu.Lock()
-	defer h.errMu.Unlock()
 	if err != nil {
+		defer h.errMu.Unlock()
 		h.reloadErr = fmt.Errorf("shard: reload reopen (serving the previous generation read-only): %w", err)
 		return h.reloadErr
 	}
 	h.cur.Store(nd)
 	h.reloadErr = nil
+	h.errMu.Unlock()
+	// Re-ensure cold tiers on the new generation. A failure here does not
+	// degrade the handle — the swap already succeeded and cold searches
+	// fall back hot per shard — but it is reported so the caller can retry
+	// EnableColdTier.
+	if cfg := h.coldCfg.Load(); cfg != nil {
+		if err := nd.EnsureColdTier(*cfg); err != nil {
+			return fmt.Errorf("shard: reload cold tier (serving hot until re-ensured): %w", err)
+		}
+	}
 	return nil
 }
 
@@ -108,13 +123,22 @@ func (h *Handle) Close() error {
 
 // --- read path: lock-free delegation to the current generation ----------
 
-// Search returns the exact k nearest neighbours of q.
+// Search returns the exact k nearest neighbours of q. With a cold tier
+// enabled the query is served from the paged tier (identical answers,
+// bounded memory); shards whose tier is missing or stale serve hot.
 func (h *Handle) Search(q []float64, k int) (core.Result, error) {
-	return h.cur.Load().Search(q, k)
+	d := h.cur.Load()
+	if h.coldCfg.Load() != nil {
+		return d.SearchCold(q, k)
+	}
+	return d.Search(q, k)
 }
 
 // SearchParallel is Search (the shard scatter is the parallel axis).
 func (h *Handle) SearchParallel(q []float64, k, workers int) (core.Result, error) {
+	if h.coldCfg.Load() != nil {
+		return h.cur.Load().SearchCold(q, k)
+	}
 	return h.cur.Load().SearchParallel(q, k, workers)
 }
 
@@ -130,7 +154,19 @@ func (h *Handle) SearchFilter(q []float64, k int, keep func(global int) bool) (c
 
 // BatchSearch answers all queries in order against one generation.
 func (h *Handle) BatchSearch(queries [][]float64, k int) ([]core.Result, error) {
-	return h.cur.Load().BatchSearch(queries, k)
+	d := h.cur.Load()
+	if h.coldCfg.Load() != nil {
+		out := make([]core.Result, len(queries))
+		for i, q := range queries {
+			r, err := d.SearchCold(q, k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	return d.BatchSearch(queries, k)
 }
 
 // RangeSearch returns every point within distance r of q.
@@ -212,9 +248,49 @@ func (h *Handle) Health() []ShardHealth {
 // CompactShard rebuilds shard s over its live points and checkpoints the
 // result (Durable.CompactShard). It holds the shared swap lock like any
 // mutation, so a concurrent Reload cannot close the generation mid-swap;
-// queries are untouched throughout.
+// queries are untouched throughout. The replaced slot carries no cold
+// tier until the next EnableColdTier/Reload; its cold searches serve hot
+// in the interim (counted in ColdFallbacks).
 func (h *Handle) CompactShard(s int) (CompactStats, error) {
 	h.swapMu.RLock()
 	defer h.swapMu.RUnlock()
 	return h.cur.Load().CompactShard(s)
 }
+
+// --- cold tier: paged serving under a memory budget ---------------------
+
+// EnableColdTier builds (or reopens) per-shard cold tiers under the
+// durable root's cold directory and routes subsequent exact searches —
+// Search, SearchParallel, BatchSearch — through them. The setting
+// survives reloads: each new generation re-ensures its tiers. Approximate,
+// filtered, and range searches stay on the hot path.
+func (h *Handle) EnableColdTier(cfg coldtier.Config) error {
+	h.swapMu.RLock()
+	defer h.swapMu.RUnlock()
+	if err := h.cur.Load().EnsureColdTier(cfg); err != nil {
+		return err
+	}
+	h.coldCfg.Store(&cfg)
+	return nil
+}
+
+// DisableColdTier reverts to hot serving and closes the tiers. The
+// on-disk tier files remain for a later EnableColdTier to reopen.
+func (h *Handle) DisableColdTier() error {
+	h.coldCfg.Store(nil)
+	h.swapMu.RLock()
+	defer h.swapMu.RUnlock()
+	return h.cur.Load().CloseColdTier()
+}
+
+// ColdTierEnabled reports whether exact searches route through the tier.
+func (h *Handle) ColdTierEnabled() bool { return h.coldCfg.Load() != nil }
+
+// ColdStats sums the current generation's per-shard tier counters.
+func (h *Handle) ColdStats() (coldtier.TierStats, bool) {
+	return h.cur.Load().ColdStats()
+}
+
+// ColdFallbacks counts cold searches served hot on the current
+// generation (missing or stale per-shard tiers).
+func (h *Handle) ColdFallbacks() int64 { return h.cur.Load().ColdFallbacks() }

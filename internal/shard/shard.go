@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"brepartition/internal/approx"
 	"brepartition/internal/bregman"
@@ -137,6 +138,11 @@ type Index struct {
 	deleted   []bool
 	nDeleted  int
 	version   uint64
+
+	// coldFallbacks counts cold searches a shard served hot because its
+	// sub-index carried no tier (freshly compacted or never ensured); the
+	// per-sub stale-version fallbacks live in each core.Index. See cold.go.
+	coldFallbacks atomic.Int64
 }
 
 // splitmix64 is the id-to-shard hash: cheap, stateless, and well mixed

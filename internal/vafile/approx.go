@@ -1,0 +1,377 @@
+package vafile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/kernel"
+	"brepartition/internal/topk"
+)
+
+// Approx is the resident compressed-domain representation: per-point
+// quantized cells of the extended space (d original coordinates plus
+// s(x) = Σφ(xⱼ)). It is small enough to pin in memory — n·(d+1) uint16s
+// plus two float64 range vectors — and is the first pass of the cold
+// tier: ScanBounds evaluates conservative lower/upper bounds of the
+// per-query linear functional against every cell so the k-th smallest
+// upper bound prunes points before their full vectors are faulted in.
+type Approx struct {
+	div  bregman.Divergence
+	bits int
+	dim  int // extended dimensionality d+1
+	n    int
+
+	lo, hi []float64 // per extended dim quantization range
+	cells  []uint16  // n * dim cell indices
+}
+
+// ErrCorruptVA reports a damaged or truncated approximation file.
+var ErrCorruptVA = errors.New("vafile: corrupt approximation file")
+
+// lutMaxBits bounds the per-query lookup-table fast path: above this the
+// table (2 · dim · 2^bits float64s) stops paying for itself and the scan
+// falls back to computing cell bounds in the loop.
+const lutMaxBits = 10
+
+// BuildApprox quantizes points (which must lie in div's domain) into a
+// cells-per-dim = 2^bits grid over the extended space. bits ≤ 0 defaults
+// to 6 and is clamped to 16. Quantization is conservative by
+// construction: each cell index is nudged until the cell's bounds — in
+// the exact arithmetic ScanBounds uses — contain the value, so the
+// per-point bound intervals always contain the true functional value.
+func BuildApprox(div bregman.Divergence, points [][]float64, bits int) (*Approx, error) {
+	if len(points) == 0 {
+		return nil, errors.New("vafile: empty dataset")
+	}
+	if bits <= 0 {
+		bits = 6
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("vafile: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	ext := d + 1
+	a := &Approx{div: div, bits: bits, dim: ext, n: len(points)}
+	kern := kernel.For(div)
+
+	a.lo = make([]float64, ext)
+	a.hi = make([]float64, ext)
+	for j := range a.lo {
+		a.lo[j] = math.Inf(1)
+		a.hi[j] = math.Inf(-1)
+	}
+	extPts := make([][]float64, len(points))
+	for i, p := range points {
+		e := make([]float64, ext)
+		kernel.VAExtend(kern, e, p)
+		extPts[i] = e
+		for j, v := range e {
+			if v < a.lo[j] {
+				a.lo[j] = v
+			}
+			if v > a.hi[j] {
+				a.hi[j] = v
+			}
+		}
+	}
+	for j := range a.lo {
+		if !isFinite(a.lo[j]) || !isFinite(a.hi[j]) {
+			return nil, fmt.Errorf("vafile: non-finite extended coordinate in dim %d", j)
+		}
+		if a.hi[j] <= a.lo[j] {
+			a.hi[j] = a.lo[j] + 1 // constant dim: single degenerate cell
+		}
+	}
+
+	cellsPerDim := 1 << bits
+	a.cells = make([]uint16, len(points)*ext)
+	for i, e := range extPts {
+		row := a.cells[i*ext : (i+1)*ext]
+		for j, v := range e {
+			c := int(float64(cellsPerDim) * (v - a.lo[j]) / (a.hi[j] - a.lo[j]))
+			if c < 0 {
+				c = 0
+			}
+			if c >= cellsPerDim {
+				c = cellsPerDim - 1
+			}
+			// Containment nudge: the pruning bounds are only valid if the
+			// cell interval — evaluated with cellBounds' own floating-point
+			// arithmetic — actually contains v. Rounding in the division
+			// above can land the index one cell off near boundaries.
+			for c > 0 {
+				if lo, _ := a.cellBounds(j, uint16(c)); lo > v {
+					c--
+					continue
+				}
+				break
+			}
+			for c < cellsPerDim-1 {
+				if _, hi := a.cellBounds(j, uint16(c)); hi < v {
+					c++
+					continue
+				}
+				break
+			}
+			row[j] = uint16(c)
+		}
+	}
+	return a, nil
+}
+
+func isFinite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
+
+// Bits returns the bits per extended dimension.
+func (a *Approx) Bits() int { return a.bits }
+
+// Dim returns the extended dimensionality (original d + 1).
+func (a *Approx) Dim() int { return a.dim }
+
+// Len returns the number of points.
+func (a *Approx) Len() int { return a.n }
+
+// Divergence returns the divergence the approximation was built for.
+func (a *Approx) Divergence() bregman.Divergence { return a.div }
+
+// MemoryBytes returns the resident footprint of the approximation.
+func (a *Approx) MemoryBytes() int64 {
+	return int64(len(a.cells))*2 + int64(len(a.lo)+len(a.hi))*8
+}
+
+// cellBounds returns the value interval of cell c along extended dim j.
+// ScanBounds and the build-time containment nudge must use identical
+// arithmetic here — that identity is what makes the bounds conservative.
+func (a *Approx) cellBounds(j int, c uint16) (lo, hi float64) {
+	cells := float64(int(1) << a.bits)
+	w := (a.hi[j] - a.lo[j]) / cells
+	lo = a.lo[j] + float64(c)*w
+	return lo, lo + w
+}
+
+// Scratch holds one query's scan state; reuse across queries makes
+// ScanBounds allocation-free in steady state. Not safe for concurrent
+// use; pool one per worker.
+type Scratch struct {
+	w   []float64 // extended query weights ŵ(q)
+	lut []float64 // [2·dim·cells] lb/ub term table (bits ≤ lutMaxBits)
+	lbs []float64 // per-point lower bounds, valid after ScanBounds
+	ub  *topk.Selector
+}
+
+// NewScratch allocates scan state sized for a.
+func (a *Approx) NewScratch() *Scratch {
+	s := &Scratch{
+		w:   make([]float64, a.dim),
+		lbs: make([]float64, a.n),
+		ub:  topk.New(1),
+	}
+	if a.bits <= lutMaxBits {
+		s.lut = make([]float64, 2*a.dim<<a.bits)
+	}
+	return s
+}
+
+// LowerBounds returns the per-point lower bounds computed by the last
+// ScanBounds call (a view into the scratch; valid until the next call).
+func (s *Scratch) LowerBounds() []float64 { return s.lbs }
+
+// ScanBounds runs the compressed-domain first pass: it computes the
+// query functional via kern, accumulates per-point lower/upper bounds
+// from the quantized cells, and returns the pruning threshold τ — the
+// k-th smallest upper bound, inflated by a relative guard band that
+// absorbs the floating-point reordering between the bound accumulation
+// and the exact distances survivors are verified with. A point i may be
+// skipped without changing the exact answer iff LowerBounds()[i] > τ.
+// kern must evaluate the same divergence a was built for; k is clamped
+// to the point count.
+func (s *Scratch) ScanBounds(a *Approx, kern kernel.Kernel, q []float64, k int) float64 {
+	if len(q) != a.dim-1 {
+		panic(fmt.Sprintf("vafile: query dim %d, want %d", len(q), a.dim-1))
+	}
+	if k > a.n {
+		k = a.n
+	}
+	if k < 1 {
+		k = 1
+	}
+	c := kernel.VAPrep(kern, s.w, q)
+	s.ub.ResetK(k)
+	if len(s.lbs) < a.n {
+		s.lbs = make([]float64, a.n)
+	}
+	lbs := s.lbs[:a.n]
+
+	if a.bits <= lutMaxBits {
+		s.buildLUT(a)
+		cellsPD := 1 << a.bits
+		lutLB := s.lut[: a.dim*cellsPD : a.dim*cellsPD]
+		lutUB := s.lut[a.dim*cellsPD : 2*a.dim*cellsPD]
+		for i := 0; i < a.n; i++ {
+			row := a.cells[i*a.dim : (i+1)*a.dim]
+			var lb, ub float64
+			for j, cell := range row {
+				off := j<<a.bits + int(cell)
+				lb += lutLB[off]
+				ub += lutUB[off]
+			}
+			lbs[i] = lb + c
+			s.ub.Offer(i, ub+c)
+		}
+	} else {
+		for i := 0; i < a.n; i++ {
+			row := a.cells[i*a.dim : (i+1)*a.dim]
+			var lb, ub float64
+			for j, cell := range row {
+				clo, chi := a.cellBounds(j, cell)
+				if w := s.w[j]; w >= 0 {
+					lb += w * clo
+					ub += w * chi
+				} else {
+					lb += w * chi
+					ub += w * clo
+				}
+			}
+			lbs[i] = lb + c
+			s.ub.Offer(i, ub+c)
+		}
+	}
+	tau, ok := s.ub.Threshold()
+	if !ok {
+		return math.Inf(1)
+	}
+	// Guard band: lower bounds and τ are sums accumulated in different
+	// orders than the exact verification distances; a relative nudge far
+	// above the achievable rounding error keeps pruning conservative
+	// without costing measurable selectivity.
+	tau += 1e-9 * (math.Abs(tau) + math.Abs(c))
+	return tau
+}
+
+// buildLUT precomputes, per (extended dim, cell), the lower- and
+// upper-bound contribution of the current query weights.
+func (s *Scratch) buildLUT(a *Approx) {
+	cellsPD := 1 << a.bits
+	lutLB := s.lut[: a.dim*cellsPD : a.dim*cellsPD]
+	lutUB := s.lut[a.dim*cellsPD : 2*a.dim*cellsPD]
+	for j := 0; j < a.dim; j++ {
+		w := s.w[j]
+		base := j << a.bits
+		for cell := 0; cell < cellsPD; cell++ {
+			clo, chi := a.cellBounds(j, uint16(cell))
+			if w >= 0 {
+				lutLB[base+cell] = w * clo
+				lutUB[base+cell] = w * chi
+			} else {
+				lutLB[base+cell] = w * chi
+				lutUB[base+cell] = w * clo
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: the approximation is tiny relative to the page file, so it
+// is written whole with a single trailing checksum.
+// ---------------------------------------------------------------------------
+
+const approxMagic uint32 = 0x56414201 // "VAB\x01"
+
+// WriteFile persists the approximation (without the divergence, which the
+// caller re-binds at open: the grid is divergence-specific but the file
+// stores only geometry).
+func (a *Approx) WriteFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	buf := make([]byte, 0, 16+16*a.dim+2*len(a.cells)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, approxMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.n))
+	for j := 0; j < a.dim; j++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.lo[j]))
+	}
+	for j := 0; j < a.dim; j++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.hi[j]))
+	}
+	for _, cell := range a.cells {
+		buf = binary.LittleEndian.AppendUint16(buf, cell)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	_, err = f.Write(buf)
+	return err
+}
+
+// OpenApproxFile loads an approximation written by WriteFile, verifying
+// its checksum and validating every cell index against the bit width,
+// and binds it to div.
+func OpenApproxFile(path string, div bregman.Divergence) (*Approx, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 20 {
+		return nil, ErrCorruptVA
+	}
+	body := raw[:len(raw)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(raw[len(raw)-4:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch in %s", ErrCorruptVA, path)
+	}
+	if binary.LittleEndian.Uint32(body[0:4]) != approxMagic {
+		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorruptVA, path)
+	}
+	bits := int(binary.LittleEndian.Uint32(body[4:8]))
+	dim := int(binary.LittleEndian.Uint32(body[8:12]))
+	n := int(binary.LittleEndian.Uint32(body[12:16]))
+	if bits < 1 || bits > 16 || dim < 2 || n < 1 {
+		return nil, fmt.Errorf("%w: bad geometry in %s", ErrCorruptVA, path)
+	}
+	want := 16 + 16*dim + 2*n*dim
+	if len(body) != want {
+		return nil, fmt.Errorf("%w: size %d, want %d in %s", ErrCorruptVA, len(body), want, path)
+	}
+	a := &Approx{div: div, bits: bits, dim: dim, n: n}
+	a.lo = make([]float64, dim)
+	a.hi = make([]float64, dim)
+	off := 16
+	for j := 0; j < dim; j++ {
+		a.lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	for j := 0; j < dim; j++ {
+		a.hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	for j := 0; j < dim; j++ {
+		if !isFinite(a.lo[j]) || !isFinite(a.hi[j]) || a.hi[j] <= a.lo[j] {
+			return nil, fmt.Errorf("%w: bad range in dim %d of %s", ErrCorruptVA, j, path)
+		}
+	}
+	maxCell := uint16(1<<bits - 1)
+	a.cells = make([]uint16, n*dim)
+	for i := range a.cells {
+		cell := binary.LittleEndian.Uint16(body[off:])
+		if cell > maxCell {
+			return nil, fmt.Errorf("%w: cell %d out of %d-bit range in %s", ErrCorruptVA, cell, bits, path)
+		}
+		a.cells[i] = cell
+		off += 2
+	}
+	return a, nil
+}

@@ -1,0 +1,273 @@
+package vafile
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"brepartition/internal/bregman"
+	"brepartition/internal/disk"
+	"brepartition/internal/scan"
+	"brepartition/internal/topk"
+)
+
+// edgePoints generates points hugging the divergence's domain edge: for
+// (0,∞) domains, coordinates down to 1e-9; for unbounded domains, large
+// magnitudes of both signs mixed with near-zeros. The quantization grid
+// must stay conservative at exactly these extremes.
+func edgePoints(div bregman.Divergence, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lo, _ := div.Domain()
+	positive := !math.IsInf(lo, -1)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			switch {
+			case positive && rng.Intn(4) == 0:
+				p[j] = 1e-9 * (1 + rng.Float64()) // domain edge
+			case positive:
+				p[j] = 1e-3 + 10*rng.Float64()
+			case rng.Intn(4) == 0:
+				p[j] = 1e-9 * (rng.Float64() - 0.5)
+			default:
+				p[j] = 40 * (rng.Float64() - 0.5)
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestSearchExactEveryRegisteredDivergence oracle-checks the VA-file
+// against the brute-force scan for every registered divergence, over
+// point sets that include domain-edge coordinates. Scores must agree to
+// the distance clamp and IDs under the (score, id) tie-break.
+func TestSearchExactEveryRegisteredDivergence(t *testing.T) {
+	for _, div := range bregman.All() {
+		div := div
+		t.Run(div.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			pts := edgePoints(div, 400, 8, 11)
+			idx := build(t, div, pts, 6)
+			for trial := 0; trial < 8; trial++ {
+				q := pts[rng.Intn(len(pts))]
+				k := 1 + rng.Intn(15)
+				got, _ := idx.Search(q, k)
+				want := scan.KNN(div, pts, q, k)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("k=%d pos %d: got (%d, %g) want (%d, %g)",
+							k, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScanBoundsContainExactDistances property-tests the core pruning
+// invariant directly: for every point, lb ≤ D_f(x, q) must hold, and any
+// point pruned by τ must not belong to the exact top-k.
+func TestScanBoundsContainExactDistances(t *testing.T) {
+	for _, div := range bregman.All() {
+		pts := edgePoints(div, 300, 6, 13)
+		va, err := BuildApprox(div, pts, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr := va.NewScratch()
+		idx := build(t, div, pts, 5)
+		rng := rand.New(rand.NewSource(14))
+		for trial := 0; trial < 5; trial++ {
+			q := pts[rng.Intn(len(pts))]
+			const k = 7
+			tau := scr.ScanBounds(va, idx.kern, q, k)
+			lbs := scr.LowerBounds()
+			want := scan.KNN(div, pts, q, k)
+			inTopK := map[int]bool{}
+			for _, it := range want {
+				inTopK[it.ID] = true
+			}
+			for i, p := range pts {
+				d := idx.kern.Distance(p, q)
+				if lbs[i] > d+1e-9*(1+d) {
+					t.Fatalf("%s: point %d lb %g exceeds exact distance %g", div.Name(), i, lbs[i], d)
+				}
+				if lbs[i] > tau && inTopK[i] {
+					t.Fatalf("%s: pruned point %d is in the exact top-%d", div.Name(), i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	for _, div := range []bregman.Divergence{bregman.SquaredEuclidean{}, bregman.GeneralizedKL{}} {
+		pts := points(div, 600, 8, 21)
+		idx := build(t, div, pts, 6)
+		q := pts[17]
+		dst := make([]topk.Item, 0, 16)
+		// Warm the pool.
+		for i := 0; i < 3; i++ {
+			dst, _ = idx.SearchAppend(dst[:0], q, 10)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			dst, _ = idx.SearchAppend(dst[:0], q, 10)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: SearchAppend allocates %.1f/op in steady state", div.Name(), allocs)
+		}
+	}
+}
+
+func TestApproxFileRoundTrip(t *testing.T) {
+	div := bregman.GeneralizedKL{}
+	pts := edgePoints(div, 150, 5, 31)
+	va, err := BuildApprox(div, pts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "va.bps")
+	if err := va.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenApproxFile(path, div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.bits != va.bits || got.dim != va.dim || got.n != va.n {
+		t.Fatalf("geometry changed: %d/%d/%d", got.bits, got.dim, got.n)
+	}
+	for j := range va.lo {
+		if got.lo[j] != va.lo[j] || got.hi[j] != va.hi[j] {
+			t.Fatalf("range changed in dim %d", j)
+		}
+	}
+	for i := range va.cells {
+		if got.cells[i] != va.cells[i] {
+			t.Fatalf("cell %d changed", i)
+		}
+	}
+	// The reopened approximation must prune identically.
+	kern := build(t, div, pts, 7).kern
+	sa, sb := va.NewScratch(), got.NewScratch()
+	q := pts[3]
+	ta := sa.ScanBounds(va, kern, q, 5)
+	tb := sb.ScanBounds(got, kern, q, 5)
+	if ta != tb {
+		t.Fatalf("tau diverged: %g vs %g", ta, tb)
+	}
+	for i := range sa.LowerBounds() {
+		if sa.LowerBounds()[i] != sb.LowerBounds()[i] {
+			t.Fatalf("lb %d diverged", i)
+		}
+	}
+}
+
+func TestOpenApproxFileRejectsCorruption(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 60, 4, 41)
+	va, err := BuildApprox(div, pts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "va.bps")
+	if err := va.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"flipped payload byte": func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			c[20] ^= 0xFF
+			return c
+		},
+		"flipped magic": func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			c[0] ^= 0xFF
+			return c
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":     func(b []byte) []byte { return nil },
+		"tail cut":  func(b []byte) []byte { return b[:len(b)-3] },
+	}
+	for name, mutate := range cases {
+		p := filepath.Join(dir, "bad.bps")
+		if err := os.WriteFile(p, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenApproxFile(p, div); !errors.Is(err, ErrCorruptVA) {
+			t.Fatalf("%s: err = %v, want ErrCorruptVA", name, err)
+		}
+	}
+}
+
+// FuzzApproxFile throws mutated approximation files at the opener; it
+// must reject or accept cleanly, never panic, and accepted files must
+// have in-range cells.
+func FuzzApproxFile(f *testing.F) {
+	div := bregman.SquaredEuclidean{}
+	pts := points(div, 20, 3, 51)
+	va, err := BuildApprox(div, pts, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.bps")
+	if err := va.WriteFile(seedPath); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:8])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.bps")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		a, err := OpenApproxFile(p, div)
+		if err != nil {
+			return
+		}
+		maxCell := uint16(1<<a.bits - 1)
+		for _, c := range a.cells {
+			if c > maxCell {
+				t.Fatalf("accepted file has out-of-range cell %d (bits %d)", c, a.bits)
+			}
+		}
+	})
+}
+
+func TestBuildApproxRejectsRagged(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	if _, err := BuildApprox(div, [][]float64{{1, 2}, {1}}, 4); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestBuildRejectsRaggedViaIndex(t *testing.T) {
+	div := bregman.SquaredEuclidean{}
+	_, err := Build(div, [][]float64{{1, 2}, {3}}, Config{Disk: disk.Config{PageSize: 1024}})
+	if err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}

@@ -15,11 +15,15 @@
 // exactly: quantized cells give per-point lower/upper bounds on the
 // functional, the k-th smallest upper bound prunes, survivors are read
 // from disk and verified.
+//
+// The compressed-domain machinery itself (Approx/Scratch/ScanBounds in
+// approx.go) is shared with the serving-path cold tier in
+// internal/coldtier; the Index here is the self-contained evaluation
+// harness over an in-memory page store.
 package vafile
 
 import (
-	"errors"
-	"math"
+	"sync"
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/disk"
@@ -38,15 +42,15 @@ type Config struct {
 
 // Index is a VA-file over the extended space.
 type Index struct {
-	div  bregman.Divergence
-	bits int
-	dim  int // extended dimensionality d+1
-
-	lo, hi  []float64 // per extended dim quantization range
-	cells   []uint16  // n * dim cell indices
-	n       int
+	div     bregman.Divergence
+	kern    kernel.Kernel
+	va      *Approx
 	store   *disk.Store
 	vaPages int // pages the approximation file occupies
+
+	// pool recycles per-query search state (bound scratch, accounting
+	// session, selector) so steady-state Search allocates nothing.
+	pool sync.Pool
 }
 
 // Stats reports one query's work.
@@ -56,82 +60,25 @@ type Stats struct {
 	DistanceComps int
 }
 
+type searchCtx struct {
+	scr  *Scratch
+	sess *disk.Session
+	sel  *topk.Selector
+}
+
 // Build constructs the VA-file index. Points must lie in the divergence's
 // domain.
 func Build(div bregman.Divergence, points [][]float64, cfg Config) (*Index, error) {
-	if len(points) == 0 {
-		return nil, errors.New("vafile: empty dataset")
+	va, err := BuildApprox(div, points, cfg.Bits)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Bits <= 0 {
-		cfg.Bits = 6
-	}
-	if cfg.Bits > 16 {
-		cfg.Bits = 16
-	}
-	d := len(points[0])
-	ext := d + 1
-	idx := &Index{div: div, bits: cfg.Bits, dim: ext, n: len(points)}
-
-	// Extended coordinates: originals plus s(x) = Σφ(xⱼ).
-	extend := func(p []float64) []float64 {
-		e := make([]float64, ext)
-		copy(e, p)
-		var s float64
-		for _, v := range p {
-			s += div.Phi(v)
-		}
-		e[d] = s
-		return e
-	}
-
-	idx.lo = make([]float64, ext)
-	idx.hi = make([]float64, ext)
-	for j := range idx.lo {
-		idx.lo[j] = math.Inf(1)
-		idx.hi[j] = math.Inf(-1)
-	}
-	extPts := make([][]float64, len(points))
-	for i, p := range points {
-		e := extend(p)
-		extPts[i] = e
-		for j, v := range e {
-			if v < idx.lo[j] {
-				idx.lo[j] = v
-			}
-			if v > idx.hi[j] {
-				idx.hi[j] = v
-			}
-		}
-	}
-	for j := range idx.lo {
-		if idx.hi[j] <= idx.lo[j] {
-			idx.hi[j] = idx.lo[j] + 1 // constant dim: single degenerate cell
-		}
-	}
-
-	cellsPerDim := 1 << cfg.Bits
-	idx.cells = make([]uint16, len(points)*ext)
-	for i, e := range extPts {
-		row := idx.cells[i*ext : (i+1)*ext]
-		for j, v := range e {
-			c := int(float64(cellsPerDim) * (v - idx.lo[j]) / (idx.hi[j] - idx.lo[j]))
-			if c < 0 {
-				c = 0
-			}
-			if c >= cellsPerDim {
-				c = cellsPerDim - 1
-			}
-			row[j] = uint16(c)
-		}
-	}
-
 	store, err := disk.NewStore(points, nil, cfg.Disk)
 	if err != nil {
 		return nil, err
 	}
-	idx.store = store
-
-	approxBytes := len(points) * ext * cfg.Bits / 8
+	idx := &Index{div: div, kern: kernel.For(div), va: va, store: store}
+	approxBytes := len(points) * va.Dim() * va.Bits() / 8
 	idx.vaPages = (approxBytes + cfg.Disk.PageSize - 1) / cfg.Disk.PageSize
 	if idx.vaPages < 1 {
 		idx.vaPages = 1
@@ -143,75 +90,65 @@ func Build(div bregman.Divergence, points [][]float64, cfg Config) (*Index, erro
 // harness).
 func (idx *Index) Store() *disk.Store { return idx.store }
 
-// cellBounds returns the value interval of cell c along extended dim j.
-func (idx *Index) cellBounds(j int, c uint16) (lo, hi float64) {
-	cells := float64(int(1) << idx.bits)
-	w := (idx.hi[j] - idx.lo[j]) / cells
-	lo = idx.lo[j] + float64(c)*w
-	return lo, lo + w
+// Approx exposes the resident compressed-domain representation.
+func (idx *Index) Approx() *Approx { return idx.va }
+
+func (idx *Index) getCtx() *searchCtx {
+	if c, ok := idx.pool.Get().(*searchCtx); ok {
+		c.sess.Reset(idx.store)
+		return c
+	}
+	return &searchCtx{
+		scr:  idx.va.NewScratch(),
+		sess: idx.store.NewSession(),
+		sel:  topk.New(1),
+	}
 }
+
+func (idx *Index) putCtx(c *searchCtx) { idx.pool.Put(c) }
 
 // Search answers the exact kNN of q under D_f(x, q). The returned items are
 // ascending by distance. I/O accounting: every query scans the whole
 // approximation file (vaPages reads) and then reads each surviving
 // candidate's page.
 func (idx *Index) Search(q []float64, k int) ([]topk.Item, Stats) {
+	items, st := idx.SearchAppend(nil, q, k)
+	return items, st
+}
+
+// SearchAppend is Search appending the result items to dst (allocation-
+// free in steady state when dst has capacity k).
+func (idx *Index) SearchAppend(dst []topk.Item, q []float64, k int) ([]topk.Item, Stats) {
 	var st Stats
 	if k <= 0 {
-		return nil, st
+		return dst[:0], st
 	}
-	if k > idx.n {
-		k = idx.n
+	n := idx.va.Len()
+	if k > n {
+		k = n
 	}
-	d := idx.dim - 1
 
-	// Query functional: weights over extended dims plus constant.
-	w := make([]float64, idx.dim)
-	var c float64
-	for j := 0; j < d; j++ {
-		g := idx.div.Grad(q[j])
-		w[j] = -g
-		c += -idx.div.Phi(q[j]) + q[j]*g
-	}
-	w[d] = 1
+	ctx := idx.getCtx()
+	defer idx.putCtx(ctx)
 
-	// Phase 1: bounds from cells; τ = k-th smallest upper bound.
-	ubSel := topk.New(k)
-	lbs := make([]float64, idx.n)
-	for i := 0; i < idx.n; i++ {
-		row := idx.cells[i*idx.dim : (i+1)*idx.dim]
-		var lb, ub float64
-		for j, cell := range row {
-			clo, chi := idx.cellBounds(j, cell)
-			if w[j] >= 0 {
-				lb += w[j] * clo
-				ub += w[j] * chi
-			} else {
-				lb += w[j] * chi
-				ub += w[j] * clo
-			}
-		}
-		lbs[i] = lb + c
-		ubSel.Offer(i, ub+c)
-	}
-	tau, _ := ubSel.Threshold()
+	// Phase 1: resident compressed-domain scan; τ = guarded k-th smallest
+	// upper bound on the query functional.
+	tau := ctx.scr.ScanBounds(idx.va, idx.kern, q, k)
+	lbs := ctx.scr.LowerBounds()
 
-	// Phase 2: verify survivors, charging their page reads. Survivors are
-	// visited in ascending id order over the store's identity layout, so
-	// the reads stream the flat arena linearly; the kernel is picked once,
-	// outside the loop.
-	kern := kernel.For(idx.div)
-	sess := idx.store.NewSession()
-	sel := topk.New(k)
-	for i := 0; i < idx.n; i++ {
+	// Phase 2: verify survivors with exact distances, charging their page
+	// reads. Survivors are visited in ascending id order over the store's
+	// identity layout, so the reads stream the flat arena linearly.
+	ctx.sel.ResetK(k)
+	for i := 0; i < n; i++ {
 		if lbs[i] > tau {
 			continue
 		}
 		st.Candidates++
-		p := sess.Point(i)
+		p := ctx.sess.Point(i)
 		st.DistanceComps++
-		sel.Offer(i, kern.Distance(p, q))
+		ctx.sel.Offer(i, idx.kern.Distance(p, q))
 	}
-	st.PageReads = sess.PageReads() + idx.vaPages
-	return sel.Items(), st
+	st.PageReads = ctx.sess.PageReads() + idx.vaPages
+	return ctx.sel.AppendItems(dst[:0]), st
 }

@@ -111,15 +111,15 @@ func TestBitsClamped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if idx.bits > 16 {
-		t.Fatalf("bits = %d", idx.bits)
+	if idx.va.bits > 16 {
+		t.Fatalf("bits = %d", idx.va.bits)
 	}
 	idx2, err := Build(div, pts, Config{Bits: 0, Disk: disk.Config{PageSize: 1024}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if idx2.bits != 6 {
-		t.Fatalf("default bits = %d", idx2.bits)
+	if idx2.va.bits != 6 {
+		t.Fatalf("default bits = %d", idx2.va.bits)
 	}
 }
 
@@ -162,17 +162,18 @@ func TestCellBoundsContainValues(t *testing.T) {
 	div := bregman.ItakuraSaito{}
 	pts := points(div, 200, 5, 9)
 	idx := build(t, div, pts, 5)
+	va := idx.va
 	for i, p := range pts {
-		row := idx.cells[i*idx.dim : (i+1)*idx.dim]
-		ext := make([]float64, idx.dim)
+		row := va.cells[i*va.dim : (i+1)*va.dim]
+		ext := make([]float64, va.dim)
 		copy(ext, p)
 		var s float64
 		for _, v := range p {
 			s += div.Phi(v)
 		}
-		ext[idx.dim-1] = s
+		ext[va.dim-1] = s
 		for j, cell := range row {
-			lo, hi := idx.cellBounds(j, cell)
+			lo, hi := va.cellBounds(j, cell)
 			// Allow boundary placement at the extreme cells.
 			if ext[j] < lo-1e-9 || ext[j] > hi+1e-9 {
 				t.Fatalf("point %d extdim %d: value %g outside cell [%g,%g]",

@@ -567,6 +567,20 @@ type Quota struct {
 	MaxQueue int `json:"maxQueue,omitempty"`
 }
 
+// ColdSpec opts a collection into cold-tier serving: exact searches run a
+// compressed-domain first pass over a resident VA approximation and fault
+// only surviving points in from mmap-paged storage through a bounded block
+// cache. Answers are identical to hot serving; memory is bounded by the
+// VA bytes plus CacheBytes per shard. Zero fields mean "server default".
+type ColdSpec struct {
+	// Bits per extended dimension of the VA grid (0 = default 6, max 16).
+	Bits int `json:"bits,omitempty"`
+	// CacheBytes bounds each shard's decoded-block cache (0 = default).
+	CacheBytes int64 `json:"cacheBytes,omitempty"`
+	// Prefetch is the async survivor-page prefetch depth (0 = default).
+	Prefetch int `json:"prefetch,omitempty"`
+}
+
 // CollectionSpec is the PUT /v2/collections/{name} create body and the
 // durable per-collection configuration: each collection has its own
 // divergence, geometry, shard layout, and admission quota. Dim must be
@@ -583,6 +597,9 @@ type CollectionSpec struct {
 	Shards int `json:"shards,omitempty"`
 	// Quota is the collection's admission class (nil = server default).
 	Quota *Quota `json:"quota,omitempty"`
+	// Cold opts the collection into cold-tier serving (nil = hot, unless
+	// the server enables cold tiers globally).
+	Cold *ColdSpec `json:"cold,omitempty"`
 }
 
 // CollectionInfo is one collection's listing entry: its spec plus live

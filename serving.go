@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"brepartition/internal/client"
+	"brepartition/internal/coldtier"
 	"brepartition/internal/collection"
 	"brepartition/internal/server"
 	"brepartition/internal/wire"
@@ -77,6 +78,33 @@ func WithEngineConfig(o EngineOptions) ServeOption {
 func WithMaintenance(interval time.Duration) ServeOption {
 	return func(c *serveConfig) { c.server.MaintainInterval = interval }
 }
+
+// ColdTierOptions tunes cold-tier serving: VA grid resolution (Bits),
+// per-shard block-cache budget (CacheBytes), per-query cache admission,
+// and async prefetch depth. The zero value asks for defaults (6 bits,
+// 16 MiB cache per shard, prefetch 4).
+type ColdTierOptions = coldtier.Config
+
+// WithColdTier routes every collection's exact searches through a cold
+// tier: a resident compressed-domain VA pass prunes candidates in
+// memory, and only the surviving points fault in from mmap-paged
+// storage through an admission-controlled block cache. Answers are
+// bit-identical to hot serving; memory for point data is bounded by the
+// tier budget, so a collection larger than RAM stays servable.
+// Collections whose spec carries its own Cold section keep their spec
+// settings.
+func WithColdTier(o ColdTierOptions) ServeOption {
+	return func(c *serveConfig) { c.server.ColdTierEnabled, c.server.ColdTier = true, o }
+}
+
+// ColdSpec is the per-collection cold-tier opt-in carried by a
+// CollectionSpec (see ColdTierOptions for the server-wide switch).
+type ColdSpec = wire.ColdSpec
+
+// ColdTierStats aggregates a served index's cold-tier counters: queries,
+// compressed-domain pruning, page faults and cache hits, and the
+// resident-memory footprint.
+type ColdTierStats = coldtier.TierStats
 
 // CollectionSpec declares a collection: its divergence (by registry
 // name, e.g. "l2", "is", "gkl"), dimensionality, optional geometry
