@@ -14,8 +14,12 @@ import (
 	"testing"
 
 	"brepartition"
+	"brepartition/internal/bregman"
+	"brepartition/internal/core"
 	"brepartition/internal/dataset"
+	"brepartition/internal/engine"
 	"brepartition/internal/experiments"
+	"brepartition/internal/obs"
 )
 
 // benchEnv is shared across benchmarks so dataset/index construction is
@@ -339,4 +343,56 @@ func BenchmarkDurableInsertAsync(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Tracing overhead: the serving engine's traced submission path with
+// tracing off (nil trace — every untraced request's steady state) and on
+// (a pooled trace recording queue/run/scan spans and work counters per
+// query). The "off" ns/op must track the untraced submission cost — the
+// nil-trace fast path is a handful of pointer checks — and "on" shows
+// the full recording price a sampled request pays.
+// ---------------------------------------------------------------------------
+
+func benchTracedEngine(b *testing.B) (*engine.Engine, [][]float64) {
+	b.Helper()
+	spec, err := dataset.PaperSpec("audio", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.MustGenerate(spec)
+	div, err := bregman.ByName(ds.Divergence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := core.Build(div, ds.Points, core.Options{M: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(idx, engine.Config{Workers: 1, CacheSize: -1})
+	b.Cleanup(func() { eng.Close() })
+	return eng, dataset.SampleQueries(ds, 16, 3)
+}
+
+func BenchmarkTracedSearch(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		eng, queries := benchTracedEngine(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SubmitTraced(nil, queries[i%len(queries)], 20).Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		eng, queries := benchTracedEngine(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace(obs.NextID())
+			if _, err := eng.SubmitTraced(tr, queries[i%len(queries)], 20).Wait(); err != nil {
+				b.Fatal(err)
+			}
+			tr.Release()
+		}
+	})
 }

@@ -66,7 +66,7 @@ var order = []string{
 	"table4", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig15-uniform",
 	"batch", "sharded", "durable", "serve", "buildscale", "churn",
-	"tenants", "coldtier",
+	"tenants", "coldtier", "trace",
 }
 
 func main() {
@@ -181,6 +181,8 @@ func run(env *experiments.Env, name string, workers, batch, shards, buildWorkers
 		return env.ColdTier(), nil
 	case "tenants":
 		return env.Tenants(workers), nil
+	case "trace":
+		return env.Trace(workers), nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(order, ", "))

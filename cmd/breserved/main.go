@@ -16,6 +16,12 @@
 // sweeps per-shard health and compacts decayed shards online (queries
 // never block; see internal/maintain).
 //
+// Observability: -trace-sample samples end-to-end request traces into
+// per-stage latency histograms on /metrics, -slow-query-ms logs a
+// structured JSON line for every search slower than the threshold, and
+// -debug-addr serves net/http/pprof on a separate listener (see
+// DESIGN.md, "Observability").
+//
 // On SIGINT/SIGTERM the server drains gracefully: in-flight HTTP
 // requests finish, pending coalesced batches dispatch and complete, and
 // the WAL is synced and closed.
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +69,9 @@ func main() {
 	coldCache := flag.Int64("coldtier-cache", 0, "cold-tier block-cache budget in bytes per shard (0 = 16 MiB, negative = unbounded)")
 	coldBits := flag.Int("coldtier-bits", 0, "cold-tier VA grid bits per extended dimension (0 = 6, max 16)")
 	coldPrefetch := flag.Int("coldtier-prefetch", 0, "cold-tier async survivor-page prefetch depth (0 = 4, negative disables)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of search requests to trace end-to-end (0 disables, 1 traces every request); traced requests populate the breserved_request_duration_seconds stage histograms")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "slow-query threshold in milliseconds: search requests slower than this log one structured JSON line to stderr with the full stage breakdown (0 disables; enabling traces every search request)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /debug/pprof (empty disables; keep it off the serving port)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 	flag.Parse()
 
@@ -111,6 +121,8 @@ func main() {
 	}
 	sopts.Engine.Workers = *workers
 	sopts.Engine.CacheSize = *cache
+	sopts.TraceSample = *traceSample
+	sopts.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
 
 	serveOpts := []brepartition.ServeOption{
 		brepartition.WithDurableConfig(*dopts),
@@ -146,6 +158,28 @@ func main() {
 				*index, srv.Divergence().Name(), wantDiv.Name()))
 		}
 		handler, closeServing = srv.Handler(), srv.Close
+	}
+
+	// Profiling stays on its own listener so /debug/pprof is never
+	// reachable through the serving port's admission control (or by
+	// serving-port clients at all).
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("breserved: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "breserved: pprof:", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

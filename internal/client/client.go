@@ -135,6 +135,9 @@ func (c *Client) doReq(ctx context.Context, method, path, contentType string, bo
 		req.Header.Set("Content-Type", contentType)
 	}
 	req.Header.Set("X-Timeout-Ms", strconv.FormatInt(c.timeout.Milliseconds(), 10))
+	if id := TraceIDFrom(ctx); id != 0 {
+		req.Header.Set("X-Trace-Id", strconv.FormatUint(id, 16))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -207,6 +210,9 @@ func (c *Client) postJSON(ctx context.Context, path string, reqBody, respBody an
 }
 
 func (c *Client) frame(ctx context.Context, req wire.Request) (wire.Response, error) {
+	if req.TraceID == 0 {
+		req.TraceID = TraceIDFrom(ctx)
+	}
 	raw, err := wire.AppendRequest(nil, req)
 	if err != nil {
 		return wire.Response{}, err

@@ -1,0 +1,32 @@
+package client
+
+// Client-side trace correlation: WithTraceID attaches a caller-chosen
+// nonzero trace id to a context, and every request issued under that
+// context carries it — as the X-Trace-Id header on the JSON routes and
+// as the binary frame's trace field on /v1/frame. The server forces a
+// trace for such requests and echoes the id back (response header /
+// frame field), so one id links the client call site, the server's
+// stage histograms, and any slow-query log line the request produced.
+
+import "context"
+
+// traceIDKey is the context key for the outgoing trace id.
+type traceIDKey struct{}
+
+// WithTraceID returns ctx carrying id on every request issued under it.
+// id 0 removes nothing and sends nothing (the zero id means untraced).
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace id WithTraceID stored, or 0.
+func TraceIDFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(traceIDKey{}).(uint64)
+	return id
+}

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"brepartition/internal/bregman"
 	"brepartition/internal/coldtier"
@@ -143,6 +144,7 @@ func (ix *Index) SearchColdAppend(dst []topk.Item, q []float64, k int) (Result, 
 		ix.coldFallbacks.Add(1)
 		return ix.SearchAppend(dst, q, k)
 	}
+	start := time.Now()
 	items, st, err := tier.SearchAppend(dst, q, k)
 	if errors.Is(err, coldtier.ErrClosed) {
 		// Lost a race with CloseColdTier/a tier swap: serve hot, exactly.
@@ -155,10 +157,15 @@ func (ix *Index) SearchColdAppend(dst []topk.Item, q []float64, k int) (Result, 
 	return Result{
 		Items: items,
 		Stats: SearchStats{
-			PageReads:     st.PageReads,
-			Candidates:    st.Candidates,
-			DistanceComps: st.DistanceComps,
-			ApproxC:       1,
+			PageReads:      st.PageReads,
+			Candidates:     st.Candidates,
+			DistanceComps:  st.DistanceComps,
+			ApproxC:        1,
+			ColdScanned:    st.Scanned,
+			ColdPruned:     st.Pruned,
+			ColdPageFaults: st.PageFaults,
+			ColdCacheHits:  st.CacheHits,
+			ColdTime:       time.Since(start),
 		},
 	}, nil
 }

@@ -191,6 +191,15 @@ type SearchStats struct {
 	// FilterTime and RefineTime split the query wall time.
 	FilterTime time.Duration
 	RefineTime time.Duration
+	// Cold-tier detail, populated only when the query was served by
+	// SearchColdAppend: points scanned in the compressed domain, points
+	// rejected by VA bounds, pages faulted in, block-cache hits, and
+	// the tier's wall time.
+	ColdScanned    int
+	ColdPruned     int
+	ColdPageFaults int
+	ColdCacheHits  int
+	ColdTime       time.Duration
 }
 
 // Result is a query answer.

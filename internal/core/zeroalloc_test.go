@@ -3,8 +3,10 @@ package core
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"brepartition/internal/bregman"
+	"brepartition/internal/obs"
 	"brepartition/internal/topk"
 )
 
@@ -13,7 +15,10 @@ import (
 // buffer are warm, an exact Search performs zero heap allocations — the
 // whole filter-refine pipeline (query transform, Algorithm-4 bound scan,
 // BB-forest traversal with geodesic bisection, disk-session accounting,
-// block refinement, result sort) runs out of reused memory.
+// block refinement, result sort) runs out of reused memory. The loop
+// also threads a nil *obs.Trace through the recording calls the serving
+// path makes per query: tracing-off must add zero allocations (and zero
+// work beyond the nil checks) to the steady state.
 func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
@@ -21,11 +26,21 @@ func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 	for _, div := range []bregman.Divergence{bregman.SquaredEuclidean{}, bregman.Exponential{}} {
 		ix, dst, q := warmSearchState(t, div)
 		const k = 10
+		var tr *obs.Trace // tracing off: the serving path threads nil
 		allocs := testing.AllocsPerRun(200, func() {
 			res, err := ix.SearchAppend(dst[:0], q, k)
 			if err != nil {
 				t.Fatal(err)
 			}
+			tr.AddSpan(obs.StageScan, res.Stats.FilterTime)
+			tr.AddSpan(obs.StageRefine, res.Stats.RefineTime)
+			tr.Add(obs.Counters{
+				Nodes:         int64(res.Stats.NodesVisited),
+				Candidates:    int64(res.Stats.Candidates),
+				DistanceComps: int64(res.Stats.DistanceComps),
+			})
+			tr.MarkCached()
+			tr.AddSpan(obs.StageTotal, time.Nanosecond)
 			dst = res.Items
 		})
 		if allocs != 0 {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"brepartition/internal/core"
+	"brepartition/internal/obs"
 	"brepartition/internal/topk"
 )
 
@@ -138,10 +139,12 @@ type Engine struct {
 }
 
 // job is one queued unit of work: run answers it (a kNN search consulting
-// the shared cache, or a range query), f receives the result.
+// the shared cache, or a range query), f receives the result. tr, when
+// non-nil, receives the queue-wait and run spans the worker measures.
 type job struct {
 	run func() (res core.Result, cached bool, err error)
 	f   *Future
+	tr  *obs.Trace
 }
 
 // maxLatSamples bounds the latency reservoir; with 16Ki samples the p99
@@ -168,7 +171,22 @@ type Future struct {
 	done chan struct{}
 	res  core.Result
 	err  error
+
+	// Timing, written by submit (enq) and the worker (queued, runDur)
+	// before done closes; valid to read only after Wait/WaitContext
+	// observed completion.
+	enq    time.Time
+	queued time.Duration
+	runDur time.Duration
 }
+
+// QueueWait returns how long the job sat in the engine queue before a
+// worker picked it up. Valid after the future resolved.
+func (f *Future) QueueWait() time.Duration { return f.queued }
+
+// RunTime returns the worker's wall time for the job. Valid after the
+// future resolved.
+func (f *Future) RunTime() time.Duration { return f.runDur }
 
 // Wait blocks until the query completes and returns its result.
 func (f *Future) Wait() (core.Result, error) {
@@ -262,13 +280,17 @@ func (e *Engine) SubmitFilter(q []float64, k int, keep func(id int) bool) *Futur
 }
 
 func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
+	return e.submitTraced(nil, run)
+}
+
+func (e *Engine) submitTraced(tr *obs.Trace, run func() (core.Result, bool, error)) *Future {
 	e.mu.Lock()
 	if e.started.IsZero() {
 		e.started = time.Now()
 	}
 	e.mu.Unlock()
 
-	f := &Future{done: make(chan struct{})}
+	f := &Future{done: make(chan struct{}), enq: time.Now()}
 	e.qmu.Lock()
 	if e.closed {
 		e.qmu.Unlock()
@@ -276,7 +298,7 @@ func (e *Engine) submit(run func() (core.Result, bool, error)) *Future {
 		close(f.done)
 		return f
 	}
-	e.queue = append(e.queue, job{run: run, f: f})
+	e.queue = append(e.queue, job{run: run, f: f, tr: tr})
 	if e.running < e.cfg.Workers {
 		e.running++
 		go e.worker()
@@ -346,9 +368,16 @@ func (e *Engine) worker() {
 		e.qmu.Unlock()
 
 		start := time.Now()
+		j.f.queued = start.Sub(j.f.enq)
 		res, cached, err := j.run()
+		dur := time.Since(start)
+		j.f.runDur = dur
+		if j.tr != nil {
+			j.tr.AddSpan(obs.StageQueue, j.f.queued)
+			j.tr.AddSpan(obs.StageRun, dur)
+		}
 		j.f.res, j.f.err = res, err
-		e.record(res, cached, err, time.Since(start))
+		e.record(res, cached, err, dur)
 		close(j.f.done)
 	}
 }

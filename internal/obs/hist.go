@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BucketLadder is the fixed histogram bucket ladder in seconds, chosen
+// to straddle the serving stack's latency range: sub-millisecond cache
+// hits up through multi-second cold-tier scans. Fixed buckets (rather
+// than per-node quantile reservoirs) are what make dashboards able to
+// aggregate across nodes — bucket counts add, quantiles don't.
+var BucketLadder = [...]float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// NumBuckets is the number of finite buckets; the +Inf bucket is
+// implicit (it always equals the total observation count).
+const NumBuckets = len(BucketLadder)
+
+// Histogram is a fixed-bucket latency histogram with atomic counters.
+// Observe is lock-free and allocation-free; Snapshot gives a
+// consistent-enough view for exposition (each counter is read
+// atomically; cross-counter skew is bounded by in-flight observes,
+// which Prometheus scraping tolerates by design).
+type Histogram struct {
+	counts [NumBuckets]atomic.Int64 // per-bucket (non-cumulative)
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	for i, ub := range BucketLadder {
+		if s <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistSnapshot is a point-in-time view of a Histogram. Cumulative
+// holds the cumulative count at each finite upper bound, in ladder
+// order; Count covers +Inf.
+type HistSnapshot struct {
+	Cumulative [NumBuckets]int64
+	Count      int64
+	Sum        float64 // seconds
+}
+
+// Snapshot returns the current bucket state in Prometheus cumulative
+// form.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		s.Cumulative[i] = run
+	}
+	s.Count = h.count.Load()
+	s.Sum = float64(h.sumNs.Load()) / float64(time.Second)
+	return s
+}
+
+// StageHists is one histogram per pipeline stage — the per-collection
+// backing store for breserved_request_duration_seconds{stage=...}.
+type StageHists struct {
+	h [NumStages]Histogram
+}
+
+// NewStageHists returns a zeroed per-stage histogram set.
+func NewStageHists() *StageHists { return &StageHists{} }
+
+// Observe records d under stage s.
+func (sh *StageHists) Observe(s Stage, d time.Duration) {
+	if sh == nil || s >= NumStages {
+		return
+	}
+	sh.h[s].Observe(d)
+}
+
+// ObserveTrace folds a finished trace's nonzero stage spans plus the
+// total into the histograms. Stages the request never touched (e.g.
+// cold on a hot-only query) record nothing, so their series stay
+// empty rather than accumulating zeros.
+func (sh *StageHists) ObserveTrace(tr *Trace, total time.Duration) {
+	if sh == nil {
+		return
+	}
+	sh.h[StageTotal].Observe(total)
+	if tr == nil {
+		return
+	}
+	for s := StageAdmission; s < NumStages; s++ {
+		if d := tr.Span(s); d > 0 {
+			sh.h[s].Observe(d)
+		}
+	}
+}
+
+// Hist returns the histogram for one stage.
+func (sh *StageHists) Hist(s Stage) *Histogram {
+	if sh == nil || s >= NumStages {
+		return nil
+	}
+	return &sh.h[s]
+}

@@ -7,19 +7,20 @@ import (
 
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
+	"brepartition/internal/obs"
 )
 
 // coalescer is the request micro-batcher: concurrent single-query search
 // requests land in a per-k bucket, and the bucket dispatches as one
-// engine.BatchSearch call when either trigger fires — it reaches maxBatch
-// queries (size trigger) or its oldest query has waited maxDelay (time
-// trigger). Under open-loop load the window fills in well under maxDelay
-// and the server amortizes scheduler wakeups and stats bookkeeping across
-// the whole batch; an isolated request pays at most maxDelay of extra
-// latency.
+// batch of engine submissions when either trigger fires — it reaches
+// maxBatch queries (size trigger) or its oldest query has waited
+// maxDelay (time trigger). Under open-loop load the window fills in
+// well under maxDelay and the server amortizes scheduler wakeups and
+// stats bookkeeping across the whole batch; an isolated request pays at
+// most maxDelay of extra latency.
 //
-// Buckets are keyed by k because one BatchSearch call answers one k;
-// mixed-k traffic coalesces per k independently.
+// Buckets are keyed by k because one batch answers one k; mixed-k
+// traffic coalesces per k independently.
 type coalescer struct {
 	eng      *engine.Engine
 	maxBatch int
@@ -29,7 +30,7 @@ type coalescer struct {
 	buckets map[int]*bucket
 	closed  bool
 
-	// batches counts dispatched BatchSearch calls, folded the queries
+	// batches counts dispatched batch calls, folded the queries
 	// they carried: folded/batches is the realized mean batch size.
 	batches counter
 	folded  counter
@@ -42,10 +43,20 @@ type qresult struct {
 	err error
 }
 
+// waiter is one parked request: its result channel plus, when the
+// request is traced, the trace and the enqueue instant (so flush can
+// record the realized coalescing delay as StageCoalesce). Untraced
+// requests leave tr nil and skip the clock read entirely.
+type waiter struct {
+	ch  chan qresult
+	tr  *obs.Trace
+	enq time.Time
+}
+
 type bucket struct {
 	k       int
 	queries [][]float64
-	waiters []chan qresult
+	waiters []waiter
 	timer   *time.Timer
 }
 
@@ -63,9 +74,10 @@ func newCoalescer(eng *engine.Engine, maxBatch int, maxDelay time.Duration) *coa
 
 // search answers one query through the coalescing window, honoring ctx:
 // when the deadline fires first the request abandons its slot (the query
-// still completes inside its batch; only the response is given up).
+// still completes inside its batch; only the response is given up). A
+// trace carried by ctx rides along into the batch.
 func (c *coalescer) search(ctx context.Context, q []float64, k int) (core.Result, error) {
-	w := c.submit(q, k)
+	w := c.submit(obs.From(ctx), q, k)
 	select {
 	case r := <-w:
 		return r.res, r.err
@@ -74,13 +86,16 @@ func (c *coalescer) search(ctx context.Context, q []float64, k int) (core.Result
 	}
 }
 
-func (c *coalescer) submit(q []float64, k int) chan qresult {
-	w := make(chan qresult, 1)
+func (c *coalescer) submit(tr *obs.Trace, q []float64, k int) chan qresult {
+	w := waiter{ch: make(chan qresult, 1), tr: tr}
+	if tr != nil {
+		w.enq = time.Now()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		w <- qresult{err: engine.ErrClosed}
-		return w
+		w.ch <- qresult{err: engine.ErrClosed}
+		return w.ch
 	}
 	b := c.buckets[k]
 	if b == nil {
@@ -109,7 +124,7 @@ func (c *coalescer) submit(q []float64, k int) chan qresult {
 	default:
 		c.mu.Unlock()
 	}
-	return w
+	return w.ch
 }
 
 // detachLocked removes b from the bucket map (callers hold c.mu) and
@@ -136,19 +151,38 @@ func (c *coalescer) fire(b *bucket) {
 	c.flush(b)
 }
 
-// flush folds the bucket into one engine.BatchSearch call and fans the
-// answers back out. Per-query geometry was validated before submit, so a
-// batch error is systemic and shared by every member.
+// flush folds the bucket into one batch of engine submissions and fans
+// the answers back out. Per-query geometry was validated before submit,
+// so a batch error is systemic and shared by every member — the same
+// semantics engine.BatchSearch gives an uncoalesced batch. Traced
+// members record their realized window delay and have queue/run/scan
+// spans recorded by the engine per query.
 func (c *coalescer) flush(b *bucket) {
 	c.batches.Add(1)
 	c.folded.Add(int64(len(b.queries)))
-	results, err := c.eng.BatchSearch(b.queries, b.k)
+	dispatch := time.Now()
+	futs := make([]*engine.Future, len(b.queries))
+	for i, q := range b.queries {
+		futs[i] = c.eng.SubmitTraced(b.waiters[i].tr, q, b.k)
+	}
+	results := make([]core.Result, len(futs))
+	var firstErr error
+	for i, f := range futs {
+		res, err := f.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[i] = res
+	}
 	for i, w := range b.waiters {
-		if err != nil {
-			w <- qresult{err: err}
+		if w.tr != nil {
+			w.tr.AddSpan(obs.StageCoalesce, dispatch.Sub(w.enq))
+		}
+		if firstErr != nil {
+			w.ch <- qresult{err: firstErr}
 			continue
 		}
-		w <- qresult{res: results[i]}
+		w.ch <- qresult{res: results[i]}
 	}
 }
 

@@ -7,8 +7,30 @@ import (
 	"sync/atomic"
 
 	"brepartition/internal/engine"
+	"brepartition/internal/obs"
 	"brepartition/internal/wire"
 )
+
+// StageBudget returns the named collection's stage-duration histogram
+// snapshots, keyed by stage name ("total", "queue", "run", ...). Only
+// stages that observed at least one sample appear. It is the
+// programmatic twin of the breserved_request_duration_seconds series,
+// used by the brebench trace experiment and tests.
+func (s *Server) StageBudget(collection string) (map[string]obs.HistSnapshot, error) {
+	tn, err := s.tenant(collection)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]obs.HistSnapshot, int(obs.NumStages))
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		snap := tn.hist.Hist(st).Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		out[st.String()] = snap
+	}
+	return out, nil
+}
 
 // counter is a monotonic atomic counter.
 type counter struct{ atomic.Int64 }
@@ -149,7 +171,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"breserved_engine_cache_hit_rate", g("breserved_engine_cache_hit_rate", hitRate))
 	emit("Completed queries per second of engine wall time.", "gauge",
 		"breserved_engine_qps", g("breserved_engine_qps", st.QPS))
-	emit("Engine latency reservoir percentiles, in seconds.", "gauge", "breserved_engine_latency_seconds",
+	emit("Engine latency reservoir percentiles, in seconds.", "summary", "breserved_engine_latency_seconds",
 		fmt.Sprintf(`breserved_engine_latency_seconds{quantile="0.5"} %g`, st.P50.Seconds()),
 		fmt.Sprintf(`breserved_engine_latency_seconds{quantile="0.99"} %g`, st.P99.Seconds()))
 
@@ -164,7 +186,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"breserved_index_ids", g("breserved_index_ids", float64(defN)))
 	emit("Live (non-tombstoned) points in the default index.", "gauge",
 		"breserved_index_live", g("breserved_index_live", float64(defLive)))
-	emit("Default index mutation counter (WAL LSN after recovery).", "counter",
+	emit("Default index mutation counter (WAL LSN after recovery).", "gauge",
 		"breserved_index_version", g("breserved_index_version", float64(defVersion)))
 	emit("Default index live write-ahead-log bytes.", "gauge",
 		"breserved_wal_bytes", g("breserved_wal_bytes", float64(defWAL)))
@@ -229,15 +251,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("Requests shed by a collection's admission quota.", "counter", "breserved_quota_shed_total", shedLines...)
 	emit("Requests holding a collection quota in-flight slot.", "gauge", "breserved_quota_inflight", quotaLines...)
 	emit("Per-collection completed queries per second of engine wall time.", "gauge", "breserved_collection_qps", qpsLines...)
-	emit("Per-collection engine latency percentiles, in seconds.", "gauge", "breserved_collection_latency_seconds", latLines...)
+	emit("Per-collection engine latency percentiles, in seconds.", "summary", "breserved_collection_latency_seconds", latLines...)
 	emit("Per-collection ids ever assigned.", "gauge", "breserved_collection_ids", idLines...)
 	emit("Per-collection live (non-tombstoned) points.", "gauge", "breserved_collection_live", liveLines...)
-	emit("Per-collection mutation counter (WAL LSN after recovery).", "counter", "breserved_collection_version", verLines...)
+	emit("Per-collection mutation counter (WAL LSN after recovery).", "gauge", "breserved_collection_version", verLines...)
 	emit("Per-collection live write-ahead-log bytes.", "gauge", "breserved_collection_wal_bytes", walLines...)
 	emit("Per-shard live/resident point ratio (compaction health input).", "gauge",
 		"breserved_shard_live_ratio", shardLive...)
 	emit("Per-shard fraction of points appended since the last rebuild.", "gauge",
 		"breserved_shard_tail_ratio", shardTail...)
+
+	// Stage-timing histograms: per collection × pipeline stage, populated
+	// from traced requests (total durations are observed for every
+	// search-class request regardless of tracing). Stages that have not
+	// observed a sample are omitted to keep the exposition compact.
+	var histLines []string
+	for _, tn := range tns {
+		name := tn.col.Name
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			snap := tn.hist.Hist(st).Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			for i, ub := range obs.BucketLadder {
+				histLines = append(histLines, fmt.Sprintf(
+					`breserved_request_duration_seconds_bucket{collection=%q,stage=%q,le="%g"} %d`,
+					name, st.String(), ub, snap.Cumulative[i]))
+			}
+			histLines = append(histLines,
+				fmt.Sprintf(`breserved_request_duration_seconds_bucket{collection=%q,stage=%q,le="+Inf"} %d`,
+					name, st.String(), snap.Count),
+				fmt.Sprintf(`breserved_request_duration_seconds_sum{collection=%q,stage=%q} %g`,
+					name, st.String(), snap.Sum),
+				fmt.Sprintf(`breserved_request_duration_seconds_count{collection=%q,stage=%q} %d`,
+					name, st.String(), snap.Count))
+		}
+	}
+	emit("Search request duration by pipeline stage, in seconds.", "histogram",
+		"breserved_request_duration_seconds", histLines...)
 
 	// Cold-tier serving: per-collection paged-storage health (series only
 	// for collections with tiers attached).

@@ -36,8 +36,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -51,6 +53,7 @@ import (
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
 	"brepartition/internal/maintain"
+	"brepartition/internal/obs"
 	"brepartition/internal/shard"
 	"brepartition/internal/wire"
 )
@@ -106,6 +109,24 @@ type Config struct {
 	// ColdTier tunes the tiers when ColdTierEnabled (zero = defaults:
 	// 6 bits, 16 MiB cache per shard, prefetch 4).
 	ColdTier coldtier.Config
+	// TraceSample is the fraction of search-class requests that get a
+	// full stage-timing trace (0 = none, 1 = all; sampling is
+	// deterministic, every round(1/rate)-th request). Untraced requests
+	// still record the total-duration histogram; traced ones add the
+	// per-stage breakdown, per-shard child spans, and scan counters. A
+	// client can force a trace on any single request with the
+	// X-Trace-Id header (hex) or the binary frame's trace field,
+	// regardless of the sample rate.
+	TraceSample float64
+	// SlowQueryThreshold enables the structured slow-query log: any
+	// search-class request slower than this emits one JSON line (via
+	// SlowQueryLog) with the full stage breakdown and scan counters.
+	// Enabling it traces every search-class request so the breakdown
+	// exists when a query turns out slow (0 disables).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query records; nil with a nonzero
+	// threshold logs to a JSON handler on os.Stderr.
+	SlowQueryLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +236,10 @@ type tenant struct {
 
 	requests  counter // requests routed to this collection
 	quotaShed counter // requests shed by its quota
+
+	// hist is the collection's per-stage request-duration histograms:
+	// total always records; traced requests add the stage breakdown.
+	hist *obs.StageHists
 }
 
 func (tn *tenant) close() {
@@ -237,6 +262,11 @@ type Server struct {
 
 	tmu     sync.RWMutex
 	tenants map[string]*tenant
+
+	// sampler decides which search-class requests get a stage trace;
+	// slow holds the slow-query log configuration.
+	sampler *obs.Sampler
+	slow    *obs.SlowLog
 
 	m metrics
 }
@@ -285,7 +315,13 @@ func newServer(reg *collection.Registry, cfg Config) *Server {
 		searchGate: newGate(cfg.MaxInFlight),
 		mutGate:    newGate(cfg.MaxMutations),
 		adminGate:  newGate(1),
+		sampler:    obs.NewSampler(cfg.TraceSample),
 	}
+	slowLogger := cfg.SlowQueryLog
+	if slowLogger == nil && cfg.SlowQueryThreshold > 0 {
+		slowLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	s.slow = &obs.SlowLog{Threshold: cfg.SlowQueryThreshold, Logger: slowLogger}
 	s.m.requests = newRouteCounters(
 		"search", "approx", "range", "insert", "delete", "frame",
 		"reload", "checkpoint", "compact",
@@ -293,19 +329,19 @@ func newServer(reg *collection.Registry, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 
 	// v1: the pre-collections surface, a thin delegation to "default".
-	s.mux.HandleFunc("POST /v1/search", s.route("search", s.searchGate, s.forDefault(s.handleSearch)))
-	s.mux.HandleFunc("POST /v1/approx", s.route("approx", s.searchGate, s.forDefault(s.handleApprox)))
-	s.mux.HandleFunc("POST /v1/range", s.route("range", s.searchGate, s.forDefault(s.handleRange)))
-	s.mux.HandleFunc("POST /v1/insert", s.route("insert", s.mutGate, s.forDefault(s.handleInsert)))
-	s.mux.HandleFunc("POST /v1/delete", s.route("delete", s.mutGate, s.forDefault(s.handleDelete)))
+	s.mux.HandleFunc("POST /v1/search", s.route("search", s.searchGate, s.forDefault("search", s.handleSearch)))
+	s.mux.HandleFunc("POST /v1/approx", s.route("approx", s.searchGate, s.forDefault("approx", s.handleApprox)))
+	s.mux.HandleFunc("POST /v1/range", s.route("range", s.searchGate, s.forDefault("range", s.handleRange)))
+	s.mux.HandleFunc("POST /v1/insert", s.route("insert", s.mutGate, s.forDefault("insert", s.handleInsert)))
+	s.mux.HandleFunc("POST /v1/delete", s.route("delete", s.mutGate, s.forDefault("delete", s.handleDelete)))
 	s.mux.HandleFunc("POST /v1/frame", s.handleFrame)
 
 	// v2: named-collection serving + CRUD.
-	s.mux.HandleFunc("POST /v2/collections/{name}/search", s.route("search", s.searchGate, s.forNamed(s.handleSearch)))
-	s.mux.HandleFunc("POST /v2/collections/{name}/approx", s.route("approx", s.searchGate, s.forNamed(s.handleApprox)))
-	s.mux.HandleFunc("POST /v2/collections/{name}/range", s.route("range", s.searchGate, s.forNamed(s.handleRange)))
-	s.mux.HandleFunc("POST /v2/collections/{name}/insert", s.route("insert", s.mutGate, s.forNamed(s.handleInsert)))
-	s.mux.HandleFunc("POST /v2/collections/{name}/delete", s.route("delete", s.mutGate, s.forNamed(s.handleDelete)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/search", s.route("search", s.searchGate, s.forNamed("search", s.handleSearch)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/approx", s.route("approx", s.searchGate, s.forNamed("approx", s.handleApprox)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/range", s.route("range", s.searchGate, s.forNamed("range", s.handleRange)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/insert", s.route("insert", s.mutGate, s.forNamed("insert", s.handleInsert)))
+	s.mux.HandleFunc("POST /v2/collections/{name}/delete", s.route("delete", s.mutGate, s.forNamed("delete", s.handleDelete)))
 	s.mux.HandleFunc("GET /v2/collections", s.handleList)
 	s.mux.HandleFunc("GET /v2/collections/{name}", s.handleInfo)
 	s.mux.HandleFunc("PUT /v2/collections/{name}", s.route("create", s.adminGate, s.handleCreate))
@@ -330,7 +366,7 @@ func (s *Server) addTenant(c *collection.Collection) *tenant {
 			s.m.coldErrs.Add(1)
 		}
 	}
-	tn := &tenant{col: c, eng: engine.New(c.Handle, s.cfg.Engine)}
+	tn := &tenant{col: c, eng: engine.New(c.Handle, s.cfg.Engine), hist: obs.NewStageHists()}
 	tn.co = newCoalescer(tn.eng, s.cfg.CoalesceBatch, s.cfg.CoalesceDelay)
 	tn.mnt = maintain.New(c.Handle, maintain.Config{
 		Interval:     s.cfg.MaintainInterval,
@@ -413,28 +449,107 @@ func (s *Server) route(name string, g *gate, h func(w http.ResponseWriter, r *ht
 }
 
 // forDefault resolves the default collection for the v1 surface.
-func (s *Server) forDefault(h func(tn *tenant, w http.ResponseWriter, r *http.Request)) func(w http.ResponseWriter, r *http.Request) {
+func (s *Server) forDefault(op string, h func(tn *tenant, w http.ResponseWriter, r *http.Request)) func(w http.ResponseWriter, r *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.dispatch(wire.DefaultCollection, h, w, r)
+		s.dispatch(wire.DefaultCollection, op, h, w, r)
 	}
 }
 
 // forNamed resolves the {name} path collection for the v2 surface.
-func (s *Server) forNamed(h func(tn *tenant, w http.ResponseWriter, r *http.Request)) func(w http.ResponseWriter, r *http.Request) {
+func (s *Server) forNamed(op string, h func(tn *tenant, w http.ResponseWriter, r *http.Request)) func(w http.ResponseWriter, r *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.dispatch(r.PathValue("name"), h, w, r)
+		s.dispatch(r.PathValue("name"), op, h, w, r)
 	}
 }
 
+// searchClass reports whether op is a search-class operation — the ones
+// that get stage traces and duration histograms (mutations and admin
+// have no stage pipeline to attribute time to).
+func searchClass(op string) bool {
+	return op == "search" || op == "approx" || op == "range"
+}
+
+// frameOp maps a binary op to the same op vocabulary the JSON routes
+// use for traces and the slow-query log.
+func frameOp(op wire.Op) string {
+	switch op {
+	case wire.OpSearch:
+		return "search"
+	case wire.OpApprox:
+		return "approx"
+	case wire.OpRange:
+		return "range"
+	case wire.OpInsert:
+		return "insert"
+	case wire.OpDelete:
+		return "delete"
+	}
+	return "frame"
+}
+
+// startTrace decides one search-class request's trace: a client-forced
+// id (hex X-Trace-Id header or the binary frame's trace field) always
+// traces under that id; otherwise the sampler decides, and an enabled
+// slow-query log traces everything — the stage breakdown must already
+// exist by the time a query turns out to be slow.
+func (s *Server) startTrace(forced uint64) *obs.Trace {
+	if forced != 0 {
+		return obs.NewTrace(forced)
+	}
+	if s.sampler.Sample() || s.slow.Enabled() {
+		return obs.NewTrace(obs.NextID())
+	}
+	return nil
+}
+
+// headerTraceID parses a forced X-Trace-Id request header (hex, as the
+// server echoes it); absent or malformed means not forced.
+func headerTraceID(r *http.Request) uint64 {
+	h := r.Header.Get("X-Trace-Id")
+	if h == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(h, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// finishTrace closes out one search-class request: the total span and
+// per-stage histograms record, the slow-query log gets its chance, and
+// the trace returns to the pool. tr may be nil (untraced request —
+// only the total histogram records).
+func (s *Server) finishTrace(tn *tenant, op string, tr *obs.Trace, start time.Time) {
+	total := time.Since(start)
+	tr.AddSpan(obs.StageTotal, total)
+	tn.hist.ObserveTrace(tr, total)
+	if tr == nil {
+		return
+	}
+	s.slow.MaybeLog(tn.col.Name, op, tr, total)
+	tr.Release()
+}
+
 // dispatch routes one admitted request to its collection's pipeline,
-// passing it through the collection's quota.
-func (s *Server) dispatch(name string, h func(tn *tenant, w http.ResponseWriter, r *http.Request), w http.ResponseWriter, r *http.Request) {
+// passing it through the collection's quota. Search-class requests may
+// pick up a stage trace here — created before the quota wait so
+// StageAdmission covers it, released (after histograms and the
+// slow-query log) when the handler returns.
+func (s *Server) dispatch(name, op string, h func(tn *tenant, w http.ResponseWriter, r *http.Request), w http.ResponseWriter, r *http.Request) {
 	tn, err := s.tenant(name)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	tn.requests.Add(1)
+	var tr *obs.Trace
+	var start time.Time
+	if searchClass(op) {
+		start = time.Now()
+		tr = s.startTrace(headerTraceID(r))
+		defer func() { s.finishTrace(tn, op, tr, start) }()
+	}
 	if tn.quota != nil {
 		if err := tn.quota.acquire(r.Context()); err != nil {
 			if errors.Is(err, wire.ErrQuota) {
@@ -444,6 +559,11 @@ func (s *Server) dispatch(name string, h func(tn *tenant, w http.ResponseWriter,
 			return
 		}
 		defer tn.quota.release()
+	}
+	if tr != nil {
+		tr.AddSpan(obs.StageAdmission, time.Since(start))
+		w.Header().Set("X-Trace-Id", fmt.Sprintf("%016x", tr.ID()))
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
 	}
 	h(tn, w, r)
 }
@@ -623,6 +743,8 @@ func (s *Server) searchMany(tn *tenant, r *http.Request, queries [][]float64, k 
 	if err := validate(tn, queries, k); err != nil {
 		return nil, err
 	}
+	tr := obs.From(r.Context())
+	tr.SetQuery(k, len(queries))
 	if single {
 		res, err := tn.co.search(r.Context(), queries[0], k)
 		if err != nil {
@@ -632,7 +754,7 @@ func (s *Server) searchMany(tn *tenant, r *http.Request, queries [][]float64, k 
 	}
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = tn.eng.Submit(q, k)
+		futs[i] = tn.eng.SubmitTraced(tr, q, k)
 	}
 	return await(r, futs)
 }
@@ -649,9 +771,11 @@ func (s *Server) searchFiltered(tn *tenant, r *http.Request, queries [][]float64
 	if err != nil {
 		return nil, err
 	}
+	tr := obs.From(r.Context())
+	tr.SetQuery(k, len(queries))
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = tn.eng.SubmitFilter(q, k, keep)
+		futs[i] = tn.eng.SubmitFilterTraced(tr, q, k, keep)
 	}
 	return await(r, futs)
 }
@@ -705,9 +829,11 @@ func (s *Server) approxMany(tn *tenant, r *http.Request, queries [][]float64, k 
 	if !(p > 0 && p <= 1) {
 		return nil, approx.ErrGuarantee
 	}
+	tr := obs.From(r.Context())
+	tr.SetQuery(k, len(queries))
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = tn.eng.SubmitApprox(q, k, p)
+		futs[i] = tn.eng.SubmitApproxTraced(tr, q, k, p)
 	}
 	return await(r, futs)
 }
@@ -740,9 +866,11 @@ func (s *Server) rangeMany(tn *tenant, r *http.Request, queries [][]float64, rad
 	if !(radius >= 0) || math.IsInf(radius, 1) {
 		return nil, fmt.Errorf("%w: radius must be finite and non-negative", wire.ErrFrame)
 	}
+	tr := obs.From(r.Context())
+	tr.SetQuery(0, len(queries))
 	futs := make([]*engine.Future, len(queries))
 	for i, q := range queries {
-		futs[i] = tn.eng.SubmitRange(q, radius)
+		futs[i] = tn.eng.SubmitRangeTraced(tr, q, radius)
 	}
 	return await(r, futs)
 }
@@ -827,6 +955,14 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	r = r.WithContext(ctx)
 
 	tn.requests.Add(1)
+	op := frameOp(req.Op)
+	var tr *obs.Trace
+	var start time.Time
+	if searchClass(op) {
+		start = time.Now()
+		tr = s.startTrace(req.TraceID)
+		defer func() { s.finishTrace(tn, op, tr, start) }()
+	}
 	if tn.quota != nil {
 		if err := tn.quota.acquire(ctx); err != nil {
 			status, code := s.classify(err)
@@ -839,8 +975,12 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		}
 		defer tn.quota.release()
 	}
+	if tr != nil {
+		tr.AddSpan(obs.StageAdmission, time.Since(start))
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
+	}
 
-	resp := wire.Response{Op: req.Op}
+	resp := wire.Response{Op: req.Op, TraceID: tr.ID()}
 	var results []wire.Result
 	switch req.Op {
 	case wire.OpSearch:

@@ -488,6 +488,11 @@ func addStats(agg, s core.SearchStats, first bool) core.SearchStats {
 	agg.DistanceComps += s.DistanceComps
 	agg.FilterTime += s.FilterTime
 	agg.RefineTime += s.RefineTime
+	agg.ColdScanned += s.ColdScanned
+	agg.ColdPruned += s.ColdPruned
+	agg.ColdPageFaults += s.ColdPageFaults
+	agg.ColdCacheHits += s.ColdCacheHits
+	agg.ColdTime += s.ColdTime
 	agg.ApproxC = 1
 	if first || (s.BoundTotal > 0 && s.BoundTotal < agg.BoundTotal) {
 		agg.BoundTotal = s.BoundTotal

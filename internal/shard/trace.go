@@ -1,0 +1,137 @@
+package shard
+
+// Traced scatter-gather: SearchTraced is Search with per-shard child
+// spans recorded into an obs.Trace. The per-shard engines already
+// stamp every Future with its queue wait and run time (they need no
+// trace of their own — recording queue/run there would double-count
+// the serving engine's spans), so the traced variants just read those
+// timings back after the gather and attach one ShardSpan per shard.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"brepartition/internal/core"
+	"brepartition/internal/engine"
+	"brepartition/internal/obs"
+)
+
+// SearchTraced is Search recording per-shard child spans into tr. A
+// nil tr is exactly Search. Answers are bit-identical to Search.
+func (ix *Index) SearchTraced(tr *obs.Trace, q []float64, k int) (core.Result, error) {
+	if tr == nil {
+		return ix.Search(q, k)
+	}
+	if k <= 0 {
+		return core.Result{}, core.ErrK
+	}
+	if len(q) != ix.d {
+		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
+	}
+	slots := ix.snapshotSlots()
+	futs := make([]*engine.Future, len(slots))
+	for s, sl := range slots {
+		if sl != nil {
+			futs[s] = sl.eng.Submit(q, k)
+		}
+	}
+	res, err := ix.gather(slots, futs, k)
+	if err != nil {
+		return res, err
+	}
+	for s, f := range futs {
+		if f == nil {
+			continue
+		}
+		// Wait already resolved inside gather; this re-read is immediate
+		// and the timing fields are stable after resolution.
+		r, _ := f.Wait()
+		tr.AddShard(obs.ShardSpan{
+			Shard:      s,
+			Queue:      f.QueueWait(),
+			Run:        f.RunTime(),
+			Items:      len(r.Items),
+			Candidates: r.Stats.Candidates,
+		})
+	}
+	return res, nil
+}
+
+// SearchColdTraced is SearchCold recording per-shard child spans. The
+// cold scatter runs goroutine-per-shard rather than through the shard
+// engines, so each shard's span is its goroutine's wall time (queue
+// wait is zero by construction).
+func (ix *Index) SearchColdTraced(tr *obs.Trace, q []float64, k int) (core.Result, error) {
+	if tr == nil {
+		return ix.SearchCold(q, k)
+	}
+	if k <= 0 {
+		return core.Result{}, core.ErrK
+	}
+	if len(q) != ix.d {
+		return core.Result{}, fmt.Errorf("%w: got %d, want %d", core.ErrDim, len(q), ix.d)
+	}
+	slots := ix.snapshotSlots()
+	perShard := make([]core.Result, len(slots))
+	errs := make([]error, len(slots))
+	walls := make([]time.Duration, len(slots))
+	var wg sync.WaitGroup
+	for s, sl := range slots {
+		if sl == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, sl *slot) {
+			defer wg.Done()
+			start := time.Now()
+			if sl.sub.HasColdTier() {
+				perShard[s], errs[s] = sl.sub.SearchCold(q, k)
+			} else {
+				ix.coldFallbacks.Add(1)
+				perShard[s], errs[s] = sl.sub.Search(q, k)
+			}
+			walls[s] = time.Since(start)
+		}(s, sl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return core.Result{}, err
+		}
+	}
+	for s, sl := range slots {
+		if sl == nil {
+			continue
+		}
+		tr.AddShard(obs.ShardSpan{
+			Shard:      s,
+			Run:        walls[s],
+			Items:      len(perShard[s].Items),
+			Candidates: perShard[s].Stats.Candidates,
+		})
+	}
+	return ix.merge(slots, perShard, k), nil
+}
+
+// SearchTraced routes to the sharded index under the durability
+// wrapper.
+func (d *Durable) SearchTraced(tr *obs.Trace, q []float64, k int) (core.Result, error) {
+	return d.ix.SearchTraced(tr, q, k)
+}
+
+// SearchColdTraced routes to the sharded index under the durability
+// wrapper.
+func (d *Durable) SearchColdTraced(tr *obs.Trace, q []float64, k int) (core.Result, error) {
+	return d.ix.SearchColdTraced(tr, q, k)
+}
+
+// SearchTraced serves from the current generation, cold when a tier is
+// enabled — the traced twin of Handle.Search, same routing rules.
+func (h *Handle) SearchTraced(tr *obs.Trace, q []float64, k int) (core.Result, error) {
+	d := h.cur.Load()
+	if h.coldCfg.Load() != nil {
+		return d.SearchColdTraced(tr, q, k)
+	}
+	return d.SearchTraced(tr, q, k)
+}

@@ -42,6 +42,20 @@ func FuzzRequestDecode(f *testing.F) {
 	forged, _ := AppendRequest(nil, Request{Op: OpSearch, Collection: "docs", K: 1, Queries: [][]float64{{1}}})
 	forged[5] = 0xff // payload byte 1: the name-length field
 	f.Add(forged)
+	// v3 shapes: the traced flag appends a trailing u64 trace id, with and
+	// without a named collection; forged variants flip reserved flag bits
+	// and zero the id.
+	seed(Request{Op: OpSearch, K: 2, Queries: [][]float64{{1, 2}}, TraceID: 0xfeedface})
+	seed(Request{Op: OpApprox, Collection: "docs", K: 1, Param: 0.5, Queries: [][]float64{{3}}, TraceID: 1})
+	traced, _ := AppendRequest(nil, Request{Op: OpSearch, K: 1, Queries: [][]float64{{1}}, TraceID: 7})
+	badFlag := append([]byte(nil), traced...)
+	badFlag[6] |= 0x02 // payload byte 2: an undefined flag bit
+	f.Add(badFlag)
+	zeroID := append([]byte(nil), traced...)
+	for i := len(zeroID) - 8; i < len(zeroID); i++ {
+		zeroID[i] = 0 // traced flag set, trace id zero
+	}
+	f.Add(zeroID)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ReadRequest(bytes.NewReader(data))

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestTracedRequestRoundTrip pins the v3 trace extension: a nonzero
+// TraceID survives the encode/decode trip for every op and composes
+// with named collections, and a zero TraceID leaves the frame
+// byte-identical to a v2 frame (trace-unaware traffic is unchanged).
+func TestTracedRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpSearch, K: 10, Queries: [][]float64{{1, 2, 3}, {4, 5, 6}}, TraceID: 1},
+		{Op: OpApprox, K: 3, Param: 0.9, Queries: [][]float64{{1, 2}}, TraceID: 0xdeadbeefcafe},
+		{Op: OpRange, Param: 2.5, Queries: [][]float64{{1, 2, 3, 4}}, TraceID: ^uint64(0)},
+		{Op: OpSearch, Collection: "docs", K: 4, Queries: [][]float64{{2, 2}}, TraceID: 77},
+		{Op: OpInsert, Queries: [][]float64{{9, 8, 7}}, TraceID: 5},
+		{Op: OpDelete, ID: 42, TraceID: 6},
+	}
+	for _, want := range cases {
+		frame, err := AppendRequest(nil, want)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		got, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if want.Collection == "" {
+			want.Collection = DefaultCollection
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("traced round trip drifted\ngot  %+v\nwant %+v", got, want)
+		}
+	}
+
+	// Zero trace id: no flag, no trailing field — byte-identical to v2.
+	req := Request{Op: OpSearch, K: 3, Queries: [][]float64{{1, 2}}}
+	plain, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.TraceID = 9
+	traced, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+8 {
+		t.Fatalf("traced frame is %d bytes, want %d (+8 for the id)", len(traced), len(plain))
+	}
+	if plain[6] != 0 || traced[6] != flagTraced {
+		t.Fatalf("flags bytes %d / %d, want 0 / %d", plain[6], traced[6], flagTraced)
+	}
+}
+
+// TestTracedResponseRoundTrip pins the response-side echo on both the
+// success and error status paths.
+func TestTracedResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Op: OpSearch, Value: 0, Results: []Result{{Items: []Item{{ID: 1, Distance: 0.5}}}}, TraceID: 0xabc},
+		{Op: OpSearch, Results: []Result{{Items: []Item{{ID: 9, Distance: 0}}}, {Items: []Item{{ID: 2, Distance: 1}}}}, TraceID: 1},
+		{Op: OpInsert, Value: 41, Results: []Result{}, TraceID: 3},
+		{Op: OpSearch, Err: "boom", Code: CodeBadRequest, TraceID: 12},
+	}
+	for _, want := range cases {
+		frame, err := AppendResponse(nil, want)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		got, err := ReadResponse(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("traced response drifted\ngot  %+v\nwant %+v", got, want)
+		}
+	}
+
+	// Untraced responses stay v2-identical.
+	resp := Response{Op: OpSearch, Results: []Result{{Items: []Item{{ID: 1, Distance: 2}}}}}
+	plain, err := AppendResponse(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.TraceID = 4
+	traced, err := AppendResponse(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+8 || plain[7] != 0 || traced[7] != flagTraced {
+		t.Fatalf("response flag layout drifted: %d/%d bytes, flags %d/%d",
+			len(plain), len(traced), plain[7], traced[7])
+	}
+}
+
+// TestTracedRejections pins the decoder's strictness: undefined flag
+// bits, a zero id under the traced flag, and truncated traced payloads
+// all fail with ErrFrame instead of decoding to something surprising.
+func TestTracedRejections(t *testing.T) {
+	reqFrame := func(tid uint64) []byte {
+		t.Helper()
+		frame, err := AppendRequest(nil, Request{Op: OpSearch, K: 1, Queries: [][]float64{{1}}, TraceID: tid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame[4:] // strip the length prefix: Decode* take payloads
+	}
+	respFrame := func(tid uint64) []byte {
+		t.Helper()
+		frame, err := AppendResponse(nil, Response{Op: OpSearch, Results: []Result{{}}, TraceID: tid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame[4:]
+	}
+	mut := func(p []byte, f func([]byte)) []byte {
+		c := append([]byte(nil), p...)
+		f(c)
+		return c
+	}
+
+	reqCases := map[string][]byte{
+		"unknown flag bit": mut(reqFrame(7), func(p []byte) { p[2] |= 0x02 }),
+		"reserved byte":    mut(reqFrame(7), func(p []byte) { p[3] = 1 }),
+		"zero trace id": mut(reqFrame(7), func(p []byte) {
+			binary.LittleEndian.PutUint64(p[len(p)-8:], 0)
+		}),
+		"truncated trace id": reqFrame(7)[:len(reqFrame(7))-4],
+		"flag without id":    mut(reqFrame(0), func(p []byte) { p[2] |= flagTraced }),
+	}
+	for name, payload := range reqCases {
+		if _, err := DecodeRequest(payload); !errors.Is(err, ErrFrame) {
+			t.Errorf("request %s: err = %v, want ErrFrame", name, err)
+		}
+	}
+
+	respCases := map[string][]byte{
+		"unknown flag bit": mut(respFrame(7), func(p []byte) { p[3] |= 0x02 }),
+		"zero trace id": mut(respFrame(7), func(p []byte) {
+			binary.LittleEndian.PutUint64(p[len(p)-8:], 0)
+		}),
+		"truncated trace id": respFrame(7)[:len(respFrame(7))-4],
+		"flag without id":    mut(respFrame(0), func(p []byte) { p[3] |= flagTraced }),
+	}
+	for name, payload := range respCases {
+		if _, err := DecodeResponse(payload); !errors.Is(err, ErrFrame) {
+			t.Errorf("response %s: err = %v, want ErrFrame", name, err)
+		}
+	}
+}

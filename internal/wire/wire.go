@@ -6,12 +6,14 @@
 // Binary framing (all integers little-endian):
 //
 //	frame    = u32 payloadLen | payload
-//	request  = u8 op | u8 nameLen | u16 zero | u32 k | f64 param | i64 id |
-//	           u32 nq | u32 dim | nq*dim × f64 coords | nameLen × name byte
-//	response = u8 op | u8 status | u8 code | u8 zero |
+//	request  = u8 op | u8 nameLen | u8 flags | u8 zero | u32 k | f64 param |
+//	           i64 id | u32 nq | u32 dim | nq*dim × f64 coords |
+//	           nameLen × name byte | [flags&1: u64 traceID]
+//	response = u8 op | u8 status | u8 code | u8 flags |
 //	           status 1: u32 msgLen | msg
 //	           status 0: i64 value | u32 nres |
 //	                     nres × (u32 nitems | nitems × (i64 id, f64 score))
+//	           then either way: [flags&1: u64 traceID]
 //
 // param carries the approx guarantee p (OpApprox) or the radius r
 // (OpRange) and must be zero otherwise; id is the OpDelete target; value
@@ -23,6 +25,15 @@
 // byte), so old frames decode unchanged and keep routing to the index they
 // always addressed. code is the v2 machine-readable error class (see
 // ErrCode); v1 encoders wrote a zero there, which is CodeGeneric.
+//
+// flags bit 0 is the v3 trace extension: when set, the payload carries a
+// trailing nonzero u64 trace id after the name (request) or after the
+// body (response), and the server echoes the request's id back in the
+// response so clients can correlate wire frames with server-side traces
+// and slow-query log lines. All other flag bits are reserved
+// must-be-zero; v1/v2 frames carried a zero flags byte and decode
+// unchanged, and the encoder only sets the bit for a nonzero TraceID, so
+// trace-unaware traffic stays byte-identical to v2.
 //
 // The decoder is a hard trust boundary: it never panics and never
 // allocates proportionally to a forged length field. Frames longer than
@@ -109,7 +120,13 @@ type Request struct {
 	// Queries holds nq rows of dim coordinates: the search/approx/range
 	// queries, or the single OpInsert point.
 	Queries [][]float64
+	// TraceID, when nonzero, asks the server to trace this request and
+	// echo the id back (flags bit 0 on the wire); zero omits the field.
+	TraceID uint64
 }
+
+// flagTraced marks a payload carrying a trailing u64 trace id.
+const flagTraced = 1 << 0
 
 // Item is one (id, distance) answer pair.
 type Item struct {
@@ -129,6 +146,9 @@ type Response struct {
 	Code    ErrCode // machine-readable error class; CodeGeneric for v1 peers
 	Value   int64   // OpInsert id / OpDelete liveness
 	Results []Result
+	// TraceID echoes the request's trace id (nonzero only when the
+	// request carried one and the server traced it).
+	TraceID uint64
 }
 
 // AppendRequest appends req's binary frame (length prefix included) to
@@ -165,12 +185,17 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if name != "" && !ValidName(name) {
 		return nil, fmt.Errorf("%w: bad collection name %q", ErrFrame, name)
 	}
+	flags := byte(0)
 	payload := reqHeader + 8*nq*dim + len(name)
+	if req.TraceID != 0 {
+		flags |= flagTraced
+		payload += 8
+	}
 	if payload > MaxFrame {
 		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrFrame, payload)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
-	dst = append(dst, byte(req.Op), byte(len(name)), 0, 0)
+	dst = append(dst, byte(req.Op), byte(len(name)), flags, 0)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(req.K))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Param))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(req.ID)))
@@ -181,7 +206,11 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 		}
 	}
-	return append(dst, name...), nil
+	dst = append(dst, name...)
+	if req.TraceID != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, req.TraceID)
+	}
+	return dst, nil
 }
 
 // ReadRequest reads one length-prefixed request frame from r. Truncated
@@ -203,7 +232,8 @@ func DecodeRequest(payload []byte) (Request, error) {
 	}
 	op := Op(payload[0])
 	nameLen := int(payload[1])
-	if payload[2] != 0 || payload[3] != 0 {
+	flags := payload[2]
+	if flags&^byte(flagTraced) != 0 || payload[3] != 0 {
 		return Request{}, fmt.Errorf("%w: non-zero reserved bytes", ErrFrame)
 	}
 	if nameLen > MaxName {
@@ -216,6 +246,19 @@ func DecodeRequest(payload []byte) (Request, error) {
 	dim := int(binary.LittleEndian.Uint32(payload[28:32]))
 	if err := validateShape(op, nq, dim); err != nil {
 		return Request{}, err
+	}
+	var traceID uint64
+	if flags&flagTraced != 0 {
+		// The trace id trails the name; strip it so the length equation
+		// and name slicing below see the v2 layout.
+		if len(payload) < reqHeader+8 {
+			return Request{}, fmt.Errorf("%w: traced payload too short for trace id", ErrFrame)
+		}
+		traceID = binary.LittleEndian.Uint64(payload[len(payload)-8:])
+		if traceID == 0 {
+			return Request{}, fmt.Errorf("%w: traced flag with zero trace id", ErrFrame)
+		}
+		payload = payload[:len(payload)-8]
 	}
 	if len(payload) != reqHeader+8*nq*dim+nameLen {
 		return Request{}, fmt.Errorf("%w: payload %d bytes, %d×%d coords + %d name bytes need %d",
@@ -231,7 +274,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 			return Request{}, fmt.Errorf("%w: bad collection name", ErrFrame)
 		}
 	}
-	req := Request{Op: op, Collection: name, K: k, Param: param, ID: int(id)}
+	req := Request{Op: op, Collection: name, K: k, Param: param, ID: int(id), TraceID: traceID}
 	if nq > 0 {
 		flat := make([]float64, nq*dim)
 		req.Queries = make([][]float64, nq)
@@ -286,6 +329,11 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 			payload += 4 + 16*len(r.Items)
 		}
 	}
+	flags := byte(0)
+	if resp.TraceID != 0 {
+		flags |= flagTraced
+		payload += 8
+	}
 	if payload > MaxFrame {
 		return nil, fmt.Errorf("%w: response of %d bytes exceeds MaxFrame", ErrFrame, payload)
 	}
@@ -303,19 +351,23 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	if resp.Err != "" {
 		status = 1
 	}
-	dst = append(dst, byte(resp.Op), status, byte(resp.Code), 0)
+	dst = append(dst, byte(resp.Op), status, byte(resp.Code), flags)
 	if resp.Err != "" {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Err)))
-		return append(dst, resp.Err...), nil
-	}
-	dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.Value))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Results)))
-	for _, r := range resp.Results {
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Items)))
-		for _, it := range r.Items {
-			dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(it.ID)))
-			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(it.Distance))
+		dst = append(dst, resp.Err...)
+	} else {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.Value))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Results)))
+		for _, r := range resp.Results {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Items)))
+			for _, it := range r.Items {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(it.ID)))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(it.Distance))
+			}
 		}
+	}
+	if resp.TraceID != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, resp.TraceID)
 	}
 	return dst, nil
 }
@@ -336,8 +388,21 @@ func DecodeResponse(payload []byte) (Response, error) {
 	}
 	resp := Response{Op: Op(payload[0]), Code: ErrCode(payload[2])}
 	status := payload[1]
-	if payload[3] != 0 || status > 1 {
+	flags := payload[3]
+	if flags&^byte(flagTraced) != 0 || status > 1 {
 		return Response{}, fmt.Errorf("%w: bad response status bytes", ErrFrame)
+	}
+	if flags&flagTraced != 0 {
+		// The trace id trails the body on both status paths; strip it so
+		// the length checks below see the v2 layout.
+		if len(payload) < 4+8 {
+			return Response{}, fmt.Errorf("%w: traced payload too short for trace id", ErrFrame)
+		}
+		resp.TraceID = binary.LittleEndian.Uint64(payload[len(payload)-8:])
+		if resp.TraceID == 0 {
+			return Response{}, fmt.Errorf("%w: traced flag with zero trace id", ErrFrame)
+		}
+		payload = payload[:len(payload)-8]
 	}
 	if resp.Code > codeMax {
 		return Response{}, fmt.Errorf("%w: unknown error code %d", ErrFrame, resp.Code)

@@ -307,6 +307,15 @@ var ErrDeadline = client.ErrDeadline
 // OverloadedError carries the Retry-After hint of a shed request.
 type OverloadedError = client.OverloadedError
 
+// WithTraceID returns ctx carrying a nonzero trace id on every request
+// issued under it: the server forces an end-to-end trace for those
+// requests and echoes the id back, so one id correlates the call site
+// with the server's stage histograms and slow-query log (see DESIGN.md,
+// "Observability"). id 0 returns ctx unchanged.
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return client.WithTraceID(ctx, id)
+}
+
 // RemoteResult is one remote query's answer items.
 type RemoteResult = wire.Result
 
