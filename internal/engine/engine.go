@@ -298,6 +298,11 @@ func (e *Engine) submitTraced(tr *obs.Trace, run func() (core.Result, bool, erro
 		close(f.done)
 		return f
 	}
+	// The job writes spans/counters into tr until the worker finishes —
+	// possibly after the submitter stopped waiting (deadline, abandoned
+	// coalesce slot) and dropped its own reference. Hold one for the
+	// job's lifetime; the worker releases it after its last write.
+	tr.Retain()
 	e.queue = append(e.queue, job{run: run, f: f, tr: tr})
 	if e.running < e.cfg.Workers {
 		e.running++
@@ -376,6 +381,7 @@ func (e *Engine) worker() {
 			j.tr.AddSpan(obs.StageQueue, j.f.queued)
 			j.tr.AddSpan(obs.StageRun, dur)
 		}
+		j.tr.Release() // pairs with the Retain in submitTraced; last trace write was above
 		j.f.res, j.f.err = res, err
 		e.record(res, cached, err, dur)
 		close(j.f.done)

@@ -6,13 +6,19 @@
 // pipeline and each instrumentation point is a single predictable
 // branch — no allocation, no atomic, no map lookup.
 //
-// Traces are pooled. The server acquires one per sampled request at
-// admission, hands it down via context (NewContext/From), and each
-// layer adds what it knows: the server records admission wait, the
-// coalescer its window delay, the engine worker queue wait and run
-// time, the shard fan-out per-shard child spans, and the engine folds
-// the core/coldtier scan counters out of the result stats. Release
-// returns the trace to the pool; the caller must not touch it after.
+// Traces are pooled and reference-counted. The server acquires one per
+// sampled request at admission (NewTrace, one reference), hands it down
+// via context (NewContext/From), and each layer adds what it knows: the
+// server records admission wait, the coalescer its window delay, the
+// engine worker queue wait and run time, the shard fan-out per-shard
+// child spans, and the engine folds the core/coldtier scan counters out
+// of the result stats. Any layer that keeps writing to the trace after
+// its caller may have returned — a queued engine job, a parked
+// coalescer waiter — takes its own reference with Retain and drops it
+// with Release when its last write is done. Release decrements; only
+// the final Release returns the trace to the pool, so an abandoned
+// request (deadline fired, handler gone) cannot have its trace recycled
+// out from under a worker that is still recording into it.
 package obs
 
 import (
@@ -107,6 +113,7 @@ const maxShardSpans = 64
 // trace leaves the pool warm.
 type Trace struct {
 	id     uint64
+	refs   atomic.Int32
 	k, nq  int64
 	cached atomic.Bool
 
@@ -121,10 +128,14 @@ type Trace struct {
 
 var tracePool = sync.Pool{New: func() any { return new(Trace) }}
 
-// NewTrace returns a reset pooled trace carrying id.
+// NewTrace returns a reset pooled trace carrying id, holding one
+// reference (the creator's). The reset is safe without t.mu: a trace
+// only reaches the pool after its last reference dropped, so no other
+// goroutine can touch it here.
 func NewTrace(id uint64) *Trace {
 	t := tracePool.Get().(*Trace)
 	t.id = id
+	t.refs.Store(1)
 	t.k, t.nq = 0, 0
 	t.cached.Store(false)
 	for i := range t.spans {
@@ -143,12 +154,25 @@ func NewTrace(id uint64) *Trace {
 	return t
 }
 
-// Release returns t to the pool. The caller must not use t afterwards.
+// Retain takes one additional reference on t. Every layer that may
+// still write to the trace after its caller stopped waiting must hold
+// its own reference and pair it with Release.
+func (t *Trace) Retain() {
+	if t == nil {
+		return
+	}
+	t.refs.Add(1)
+}
+
+// Release drops one reference; the final Release returns t to the pool.
+// The caller must not use t after releasing its reference.
 func (t *Trace) Release() {
 	if t == nil {
 		return
 	}
-	tracePool.Put(t)
+	if t.refs.Add(-1) == 0 {
+		tracePool.Put(t)
+	}
 }
 
 // ID returns the trace id (nonzero for live traces), 0 on nil.

@@ -75,6 +75,35 @@ func TestTraceAccumulatesAndResets(t *testing.T) {
 	}
 }
 
+// TestTraceRetainKeepsOutOfPool pins the reference count: a trace with
+// an outstanding Retain survives the creator's Release — the pool must
+// not re-issue it while a worker could still be recording into it.
+func TestTraceRetainKeepsOutOfPool(t *testing.T) {
+	tr := NewTrace(9)
+	tr.Retain()  // e.g. a queued engine job
+	tr.Release() // creator's reference drops first (abandoned request)
+	if tr.ID() != 9 {
+		t.Fatalf("retained trace lost its id: %d", tr.ID())
+	}
+	tr.AddSpan(StageRun, time.Millisecond)
+	// With a reference still held, a pool re-acquire on this goroutine
+	// must not hand tr back (the buggy behavior pooled on first Release,
+	// and sync.Pool's private slot would return it here).
+	fresh := NewTrace(10)
+	if fresh == tr {
+		t.Fatal("pool re-issued a trace with a live reference")
+	}
+	if got := tr.Span(StageRun); got != time.Millisecond {
+		t.Fatalf("retained trace span = %v", got)
+	}
+	fresh.Release()
+	tr.Release() // final reference pools it
+
+	var nilTr *Trace
+	nilTr.Retain() // nil-safe like every other method
+	nilTr.Release()
+}
+
 func TestTraceConcurrentAdds(t *testing.T) {
 	tr := NewTrace(1)
 	defer tr.Release()

@@ -102,6 +102,10 @@ func (c *coalescer) submit(tr *obs.Trace, q []float64, k int) chan qresult {
 		b = &bucket{k: k}
 		c.buckets[k] = b
 	}
+	// The bucket may outlive the request (ctx cancel abandons the slot
+	// while the batch still dispatches), so the waiter holds its own
+	// trace reference until flush hands the trace to the engine.
+	w.tr.Retain()
 	b.queries = append(b.queries, q)
 	b.waiters = append(b.waiters, w)
 	switch {
@@ -152,37 +156,30 @@ func (c *coalescer) fire(b *bucket) {
 }
 
 // flush folds the bucket into one batch of engine submissions and fans
-// the answers back out. Per-query geometry was validated before submit,
-// so a batch error is systemic and shared by every member — the same
-// semantics engine.BatchSearch gives an uncoalesced batch. Traced
-// members record their realized window delay and have queue/run/scan
-// spans recorded by the engine per query.
+// the answers back out. Each waiter gets its own query's result or
+// error — batch membership is a scheduling artifact, so one member's
+// failure never fails the others (a systemic error like
+// engine.ErrClosed simply surfaces on every member's own future).
+// Traced members record their realized window delay and have
+// queue/run/scan spans recorded by the engine per query.
 func (c *coalescer) flush(b *bucket) {
 	c.batches.Add(1)
 	c.folded.Add(int64(len(b.queries)))
 	dispatch := time.Now()
 	futs := make([]*engine.Future, len(b.queries))
 	for i, q := range b.queries {
-		futs[i] = c.eng.SubmitTraced(b.waiters[i].tr, q, b.k)
-	}
-	results := make([]core.Result, len(futs))
-	var firstErr error
-	for i, f := range futs {
-		res, err := f.Wait()
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		results[i] = res
-	}
-	for i, w := range b.waiters {
+		w := b.waiters[i]
 		if w.tr != nil {
 			w.tr.AddSpan(obs.StageCoalesce, dispatch.Sub(w.enq))
 		}
-		if firstErr != nil {
-			w.ch <- qresult{err: firstErr}
-			continue
-		}
-		w.ch <- qresult{res: results[i]}
+		futs[i] = c.eng.SubmitTraced(w.tr, q, b.k)
+		// The engine job took its own trace reference; the waiter's last
+		// write was the coalesce span above, so its reference drops here.
+		w.tr.Release()
+	}
+	for i, f := range futs {
+		res, err := f.Wait()
+		b.waiters[i].ch <- qresult{res: res, err: err}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"brepartition/internal/bregman"
 	"brepartition/internal/core"
 	"brepartition/internal/engine"
+	"brepartition/internal/obs"
 )
 
 func coalesceFixture(t *testing.T, maxBatch int, maxDelay time.Duration) (*coalescer, *core.Index, [][]float64) {
@@ -109,6 +110,79 @@ func TestCoalescerContextAbandon(t *testing.T) {
 	if got := c.batches.Load(); got != 1 {
 		t.Fatalf("abandoned bucket dispatched %d batches, want 1", got)
 	}
+}
+
+// TestCoalescerPerWaiterErrors pins error isolation: batch membership
+// is a scheduling artifact, so one member's per-query failure must not
+// fail the members whose own queries succeeded.
+func TestCoalescerPerWaiterErrors(t *testing.T) {
+	c, ix, queries := coalesceFixture(t, 2, time.Hour) // size trigger at 2
+	var wg sync.WaitGroup
+	var goodRes, badRes core.Result
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		goodRes, goodErr = c.search(context.Background(), queries[0], 3)
+	}()
+	go func() {
+		defer wg.Done()
+		// Wrong dimensionality: the engine answers this member alone with
+		// ErrDim (the server validates before submit; this simulates any
+		// per-query error class inside a shared batch).
+		badRes, badErr = c.search(context.Background(), []float64{1, 2, 3}, 3)
+	}()
+	wg.Wait()
+	if !errors.Is(badErr, core.ErrDim) {
+		t.Fatalf("bad member err = %v, want ErrDim", badErr)
+	}
+	if len(badRes.Items) != 0 {
+		t.Fatalf("failed member carried %d items", len(badRes.Items))
+	}
+	if goodErr != nil {
+		t.Fatalf("healthy member shared its batch-mate's error: %v", goodErr)
+	}
+	want, _ := ix.Search(queries[0], 3)
+	if !reflect.DeepEqual(goodRes.Items, want.Items) {
+		t.Fatal("healthy member's answer drifted")
+	}
+	if got := c.batches.Load(); got != 1 {
+		t.Fatalf("dispatched %d batches, want 1", got)
+	}
+}
+
+// TestCoalescerAbandonedTraceStaysLive pins the trace lifetime contract
+// under abandonment: a traced request that gives up on its deadline
+// drops only its own reference — the parked waiter and the engine job
+// keep the trace alive, so the pool cannot re-issue it while the late
+// flush and worker are still recording into it (under -race the buggy
+// release order reports a NewTrace-reset vs AddSpan/AddShard race).
+func TestCoalescerAbandonedTraceStaysLive(t *testing.T) {
+	c, _, queries := coalesceFixture(t, 1024, 20*time.Millisecond)
+	tr := obs.NewTrace(obs.NextID())
+	ctx, cancel := context.WithTimeout(obs.NewContext(context.Background(), tr), time.Millisecond)
+	defer cancel()
+	if _, err := c.search(ctx, queries[0], 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	tr.Release() // the handler's reference; the bucket still holds one
+	// Churn the pool the way concurrent requests would: if the abandoned
+	// trace were already pooled, one of these would re-issue and reset it
+	// mid-flush.
+	for i := 0; i < 64; i++ {
+		tmp := obs.NewTrace(obs.NextID())
+		tmp.AddSpan(obs.StageRun, time.Microsecond)
+		tmp.Release()
+	}
+	// Let the timer flush fire and the engine job complete.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.batches.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned bucket never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.eng.Drain()
 }
 
 // TestCoalescerClose pins drain semantics: close dispatches pending

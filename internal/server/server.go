@@ -518,9 +518,17 @@ func headerTraceID(r *http.Request) uint64 {
 
 // finishTrace closes out one search-class request: the total span and
 // per-stage histograms record, the slow-query log gets its chance, and
-// the trace returns to the pool. tr may be nil (untraced request —
-// only the total histogram records).
-func (s *Server) finishTrace(tn *tenant, op string, tr *obs.Trace, start time.Time) {
+// the handler's trace reference drops (workers still recording into an
+// abandoned request's trace hold their own references). tr may be nil
+// (untraced request — only the total histogram records). shed marks a
+// request the quota turned away before it entered the pipeline: it
+// observes nothing — admission-only wait must not pollute the served
+// latency histograms or the slow-query log.
+func (s *Server) finishTrace(tn *tenant, op string, tr *obs.Trace, start time.Time, shed bool) {
+	if shed {
+		tr.Release()
+		return
+	}
 	total := time.Since(start)
 	tr.AddSpan(obs.StageTotal, total)
 	tn.hist.ObserveTrace(tr, total)
@@ -545,13 +553,15 @@ func (s *Server) dispatch(name, op string, h func(tn *tenant, w http.ResponseWri
 	tn.requests.Add(1)
 	var tr *obs.Trace
 	var start time.Time
+	shed := false
 	if searchClass(op) {
 		start = time.Now()
 		tr = s.startTrace(headerTraceID(r))
-		defer func() { s.finishTrace(tn, op, tr, start) }()
+		defer func() { s.finishTrace(tn, op, tr, start, shed) }()
 	}
 	if tn.quota != nil {
 		if err := tn.quota.acquire(r.Context()); err != nil {
+			shed = true
 			if errors.Is(err, wire.ErrQuota) {
 				tn.quotaShed.Add(1)
 			}
@@ -958,13 +968,15 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	op := frameOp(req.Op)
 	var tr *obs.Trace
 	var start time.Time
+	shed := false
 	if searchClass(op) {
 		start = time.Now()
 		tr = s.startTrace(req.TraceID)
-		defer func() { s.finishTrace(tn, op, tr, start) }()
+		defer func() { s.finishTrace(tn, op, tr, start, shed) }()
 	}
 	if tn.quota != nil {
 		if err := tn.quota.acquire(ctx); err != nil {
+			shed = true
 			status, code := s.classify(err)
 			if errors.Is(err, wire.ErrQuota) {
 				tn.quotaShed.Add(1)
@@ -980,7 +992,10 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		r = r.WithContext(obs.NewContext(r.Context(), tr))
 	}
 
-	resp := wire.Response{Op: req.Op, TraceID: tr.ID()}
+	// Echo only the id the client sent: a sampler- or slow-log-initiated
+	// trace stays server-internal, so trace-unaware v2 clients never see
+	// the v3 flags bit on their responses.
+	resp := wire.Response{Op: req.Op, TraceID: req.TraceID}
 	var results []wire.Result
 	switch req.Op {
 	case wire.OpSearch:

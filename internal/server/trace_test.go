@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"log/slog"
 	"net/http"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"brepartition/internal/engine"
+	"brepartition/internal/obs"
 	"brepartition/internal/wire"
 )
 
@@ -286,5 +289,136 @@ func TestFrameTraceEcho(t *testing.T) {
 	if len(plain.Results) != 1 || len(traced.Results) != 1 ||
 		!reflect.DeepEqual(plain.Results[0].Items, traced.Results[0].Items) {
 		t.Fatalf("traced frame answer differs\nplain  %+v\ntraced %+v", plain.Results, traced.Results)
+	}
+}
+
+// TestFrameServerTraceStaysInternal pins v2 wire compatibility when the
+// server traces on its own initiative: with sampling at 1 and the
+// slow-query log tracing every search, a frame request that carries no
+// trace id must still get a response with TraceID 0 — the server-side
+// trace exists (the slow log proves it) but never reaches the wire,
+// so trace-unaware v2 decoders keep working.
+func TestFrameServerTraceStaysInternal(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(t, 300, Config{
+		TraceSample:        1,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       slog.New(slog.NewJSONHandler(&buf, nil)),
+		Engine:             engine.Config{CacheSize: -1},
+	})
+	q := testPoints(1, 10, 23)[0]
+
+	post := func(traceID uint64) wire.Response {
+		t.Helper()
+		frame, err := wire.AppendRequest(nil, wire.Request{
+			Op: wire.OpSearch, K: 3, Queries: [][]float64{q}, TraceID: traceID,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := http.Post(s.ts.URL+"/v1/frame", "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hr.Body.Close()
+		out, err := wire.ReadResponse(hr.Body)
+		if err != nil {
+			t.Fatalf("status %d: %v", hr.StatusCode, err)
+		}
+		if out.Err != "" {
+			t.Fatalf("frame search failed: %q", out.Err)
+		}
+		return out
+	}
+
+	if got := post(0).TraceID; got != 0 {
+		t.Fatalf("sampler-traced frame response leaked server trace id %#x onto the wire", got)
+	}
+	// The trace still ran internally: the slow log saw the query.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(parseSlowLines(t, &buf)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server-initiated trace never reached the slow log")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A client-forced id still echoes as before.
+	if got := post(0x77).TraceID; got != 0x77 {
+		t.Fatalf("client-forced frame trace id echoed %#x, want 0x77", got)
+	}
+}
+
+// TestQuotaShedSkipsLatencyObservation pins the admission/served split:
+// a request the collection quota turns away never entered the pipeline,
+// so it must not record into the stage histograms or emit a slow-query
+// log line — shed wait time would otherwise skew the served-latency
+// series dashboards alert on.
+func TestQuotaShedSkipsLatencyObservation(t *testing.T) {
+	var buf bytes.Buffer
+	f := newMultiFixture(t, Config{
+		MaxInFlight:        64,
+		CoalesceBatch:      1,
+		TraceSample:        1,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	ctx := context.Background()
+	spec := wire.CollectionSpec{
+		Divergence: "l2", Dim: 4, M: 2,
+		Quota: &wire.Quota{MaxInflight: 1, MaxQueue: 1},
+	}
+	if _, err := f.json.CreateCollection(ctx, "tight", spec); err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints(40, 4, 19)
+	col := f.json.Collection("tight")
+	for _, p := range pts {
+		if _, err := col.Insert(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn, err := f.srv.tenant("tight")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One served search establishes the baseline; finishTrace runs after
+	// the response is written, so poll for its observation to land.
+	if _, err := col.Search(ctx, pts[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	total := tn.hist.Hist(obs.StageTotal)
+	deadline := time.Now().Add(5 * time.Second)
+	for total.Snapshot().Count != 1 || len(parseSlowLines(t, &buf)) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("served search never observed: count=%d lines=%d",
+				total.Snapshot().Count, len(parseSlowLines(t, &buf)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the quota queue so the next search on either protocol sheds.
+	filled := 0
+	for len(tn.quota.queue) < cap(tn.quota.queue) {
+		tn.quota.queue <- struct{}{}
+		filled++
+	}
+	if _, err := col.Search(ctx, pts[0], 3); !errors.Is(err, wire.ErrQuota) {
+		t.Fatalf("json search against a full quota: %v", err)
+	}
+	if _, err := f.bin.Collection("tight").Search(ctx, pts[0], 3); !errors.Is(err, wire.ErrQuota) {
+		t.Fatalf("binary search against a full quota: %v", err)
+	}
+	for ; filled > 0; filled-- {
+		<-tn.quota.queue
+	}
+
+	// Give the shed requests' deferred finishTrace time to (not) record.
+	time.Sleep(100 * time.Millisecond)
+	if got := total.Snapshot().Count; got != 1 {
+		t.Fatalf("shed requests recorded into the latency histogram: count=%d, want 1", got)
+	}
+	if got := len(parseSlowLines(t, &buf)); got != 1 {
+		t.Fatalf("shed requests reached the slow-query log: %d lines, want 1", got)
 	}
 }
